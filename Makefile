@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper into results/.
+experiments:
+	$(GO) run ./cmd/experiments -scale full -out results all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/producerconsumer
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/dbscan
+	$(GO) run ./examples/contexts
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

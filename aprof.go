@@ -1,0 +1,316 @@
+// Package aprof is an input-sensitive profiler implementing the dynamic
+// read memory size (drms) metric of "Estimating the Empirical Cost Function
+// of Routines with Dynamic Workloads" (CGO 2014): for every routine
+// activation it estimates the size of the input the activation actually
+// operated on — including *dynamic* input produced by other threads through
+// shared memory and by the OS kernel through system calls — and relates the
+// activation's cost to that size, yielding per-routine empirical cost
+// functions.
+//
+// The package profiles execution traces (see NewTraceBuilder for
+// programmatic construction) and MiniLang programs executed by the
+// repository's instrumented virtual machine (see ProfileProgram), which
+// substitutes for the dynamic binary instrumentation the original system
+// obtained from Valgrind.
+//
+// Basic use:
+//
+//	b := aprof.NewTraceBuilder()
+//	t1 := b.Thread(1)
+//	t1.Call("worker")
+//	t1.Read(0x1000, 64)
+//	t1.Ret()
+//	profiles, err := aprof.ProfileTrace(b.Trace(), aprof.DefaultConfig())
+//	fmt.Print(aprof.Report(profiles, aprof.ReportOptions{}))
+package aprof
+
+import (
+	"fmt"
+	"io"
+
+	"aprof/internal/asciiplot"
+	"aprof/internal/core"
+	"aprof/internal/fit"
+	"aprof/internal/htmlreport"
+	"aprof/internal/metrics"
+	"aprof/internal/profio"
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+)
+
+// Re-exported trace construction and profiling types. The aliases make the
+// root package a complete surface: callers need no internal imports.
+type (
+	// Trace is a totally ordered execution trace.
+	Trace = trace.Trace
+	// TraceBuilder constructs merged traces programmatically.
+	TraceBuilder = trace.Builder
+	// ThreadBuilder issues one thread's operations into a TraceBuilder.
+	ThreadBuilder = trace.ThreadBuilder
+	// Addr is a memory cell address.
+	Addr = trace.Addr
+	// ThreadID identifies an application thread.
+	ThreadID = trace.ThreadID
+	// Event is one trace operation.
+	Event = trace.Event
+	// Config controls which dynamic input sources the profiler recognizes.
+	Config = core.Config
+	// Profiles is the result of a profiling run.
+	Profiles = core.Profiles
+	// Profile aggregates the activations of one routine.
+	Profile = core.Profile
+	// PlotPoint is one (input size, cost) point of a cost plot.
+	PlotPoint = core.PlotPoint
+	// CostStats aggregates the costs observed at one input size.
+	CostStats = core.CostStats
+	// ActivationRecord reports one completed activation (streaming use).
+	ActivationRecord = core.ActivationRecord
+	// Metric selects between the rms and drms input-size estimates.
+	Metric = core.Metric
+	// VMOptions configures MiniLang execution.
+	VMOptions = vm.Options
+	// VMResult is the outcome of a MiniLang run.
+	VMResult = vm.Result
+)
+
+// Metric values.
+const (
+	// RMS is the read memory size of aprof (PLDI 2012): distinct cells
+	// first accessed by a read.
+	RMS = core.MetricRMS
+	// DRMS is the dynamic read memory size of the CGO 2014 paper: rms plus
+	// induced first-reads from other threads and from the kernel.
+	DRMS = core.MetricDRMS
+)
+
+// DefaultConfig enables both dynamic input sources (full drms).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// RMSOnlyConfig disables both dynamic input sources, reproducing plain
+// aprof.
+func RMSOnlyConfig() Config { return core.RMSOnlyConfig() }
+
+// ExternalOnlyConfig recognizes only kernel-induced input (the Fig. 6b
+// variant of the paper).
+func ExternalOnlyConfig() Config { return Config{ExternalInput: true} }
+
+// ContextSensitiveConfig is DefaultConfig plus calling-context-sensitive
+// collection: activations are additionally keyed by their calling context,
+// so one routine's cost plots can be separated per caller path (see
+// Profiles.HotContexts and Profiles.Context).
+func ContextSensitiveConfig() Config {
+	cfg := core.DefaultConfig()
+	cfg.ContextSensitive = true
+	return cfg
+}
+
+// ContextProfile pairs a calling-context path with its merged profile.
+type ContextProfile = core.ContextProfile
+
+// ContextID identifies a calling-context node.
+type ContextID = core.ContextID
+
+// NewTraceBuilder returns an empty trace builder.
+func NewTraceBuilder() *TraceBuilder { return trace.NewBuilder() }
+
+// ProfileTrace profiles a merged execution trace.
+func ProfileTrace(tr *Trace, cfg Config) (*Profiles, error) {
+	return core.Run(tr, cfg)
+}
+
+// ProfileProgram compiles and executes a MiniLang program under the
+// instrumented VM, then profiles the resulting trace. It returns both the
+// profiles and the VM result (program output, executed basic blocks).
+func ProfileProgram(src string, vmOpts VMOptions, cfg Config) (*Profiles, *VMResult, error) {
+	res, err := vm.RunSource(src, vmOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, err := core.Run(res.Trace, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ps, res, nil
+}
+
+// RunProgram executes a MiniLang program under the instrumented VM without
+// profiling (the trace is available in the result).
+func RunProgram(src string, vmOpts VMOptions) (*VMResult, error) {
+	return vm.RunSource(src, vmOpts)
+}
+
+// CostModel is a fitted empirical cost function of one routine.
+type CostModel struct {
+	// Routine is the routine name.
+	Routine string
+	// Metric is the input-size estimate the model was fitted against.
+	Metric Metric
+	// Formula renders the fitted model, e.g. "cost ~ 12 + 3.1*(n log n)".
+	Formula string
+	// ModelName is the asymptotic class, e.g. "n", "n log n", "n^2".
+	ModelName string
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+	// Exponent is the apparent power-law growth exponent from a log-log
+	// regression (1 = linear, 2 = quadratic, ...).
+	Exponent float64
+	// RobustExponent is the Theil-Sen (outlier-resistant) estimate of the
+	// same exponent; prefer it when costs come from wall-clock timing.
+	RobustExponent float64
+	// Points is the number of distinct input sizes fitted.
+	Points int
+}
+
+// FitCost fits the named routine's worst-case cost plot under the chosen
+// metric, returning the estimated empirical cost function.
+func FitCost(ps *Profiles, routine string, metric Metric) (CostModel, error) {
+	p := ps.Routine(routine)
+	if p == nil {
+		return CostModel{}, fmt.Errorf("aprof: no profile for routine %q", routine)
+	}
+	var pts []fit.Point
+	for _, pp := range p.WorstCasePlot(metric) {
+		pts = append(pts, fit.Point{N: float64(pp.N), Cost: float64(pp.Cost)})
+	}
+	best, err := fit.BestFit(pts)
+	if err != nil {
+		return CostModel{}, fmt.Errorf("aprof: routine %q: %w", routine, err)
+	}
+	model := CostModel{
+		Routine:   routine,
+		Metric:    metric,
+		Formula:   best.String(),
+		ModelName: best.Model.Name,
+		R2:        best.R2,
+		Points:    best.Points,
+	}
+	if exp, _, err := fit.PowerLaw(pts); err == nil {
+		model.Exponent = exp
+	}
+	if robust, err := fit.RobustPowerLaw(pts); err == nil {
+		model.RobustExponent = robust
+	}
+	return model, nil
+}
+
+// RoutineMetrics exposes the paper's evaluation metrics for every routine
+// (profile richness, dynamic input volume, thread/external input shares).
+type RoutineMetrics = metrics.Routine
+
+// ComputeMetrics derives the per-routine evaluation metrics of a run.
+func ComputeMetrics(ps *Profiles) []RoutineMetrics { return metrics.Compute(ps) }
+
+// RunSummary is the run-level characterization of a profiling run.
+type RunSummary = metrics.Summary
+
+// Summarize derives the run-level dynamic-workload characterization.
+func Summarize(ps *Profiles) RunSummary { return metrics.Summarize(ps) }
+
+// WriteProfiles serializes profiles as JSON (the analogue of the report
+// files the original aprof writes for aprof-plot).
+func WriteProfiles(w io.Writer, ps *Profiles) error { return profio.Write(w, ps) }
+
+// ReadProfiles deserializes profiles written by WriteProfiles.
+func ReadProfiles(r io.Reader) (*Profiles, error) { return profio.Read(r) }
+
+// HTMLReportOptions controls WriteHTMLReport.
+type HTMLReportOptions = htmlreport.Options
+
+// WriteHTMLReport renders a self-contained HTML report (per-routine table,
+// dynamic-workload characterization, fitted cost functions, inline SVG
+// rms-vs-drms plots) for archiving next to the profile.
+func WriteHTMLReport(w io.Writer, ps *Profiles, opts HTMLReportOptions) error {
+	return htmlreport.Write(w, ps, opts)
+}
+
+// MergeRuns combines the profiles of several runs (possibly from different
+// processes) into one, reconciling routines by name: profiling an
+// application on several workloads and merging widens the observed
+// input-size range, improving the cost-function fits.
+func MergeRuns(runs ...*Profiles) *Profiles { return core.MergeRuns(runs...) }
+
+// ProfileTraceStream profiles a binary trace incrementally from r: events
+// are decoded and fed to the profiler one at a time, so trace files far
+// larger than memory can be profiled (the profiler's own state is bounded by
+// the traced program's footprint, not by the trace length — especially with
+// Config.MaxPointsPerProfile set).
+func ProfileTraceStream(r io.Reader, cfg Config) (*Profiles, error) {
+	br, err := trace.NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewProfiler(br.Symbols(), cfg)
+	var ev Event
+	for {
+		ok, err := br.Next(&ev)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := p.HandleEvent(&ev); err != nil {
+			return nil, err
+		}
+	}
+	return p.Finish()
+}
+
+// PlotOptions controls PlotASCII rendering.
+type PlotOptions struct {
+	// Width and Height are the plot area size in characters (default
+	// 60x20).
+	Width  int
+	Height int
+	// LogX and LogY select log10 axes.
+	LogX bool
+	LogY bool
+}
+
+// PlotASCII renders the named routine's worst-case cost plot as a text
+// scatter plot, optionally alongside the other metric for comparison.
+func PlotASCII(ps *Profiles, routine string, metric Metric, opts PlotOptions) (string, error) {
+	p := ps.Routine(routine)
+	if p == nil {
+		return "", fmt.Errorf("aprof: no profile for routine %q", routine)
+	}
+	s := asciiplot.Series{Name: metric.String()}
+	for _, pt := range p.WorstCasePlot(metric) {
+		s.Points = append(s.Points, asciiplot.Point{X: float64(pt.N), Y: float64(pt.Cost)})
+	}
+	return asciiplot.Render([]asciiplot.Series{s}, asciiplot.Options{
+		Title:  fmt.Sprintf("%s: worst-case cost plot", routine),
+		XLabel: fmt.Sprintf("input size (%s)", metric),
+		YLabel: "cost (basic blocks)",
+		Width:  opts.Width,
+		Height: opts.Height,
+		LogX:   opts.LogX,
+		LogY:   opts.LogY,
+	}), nil
+}
+
+// PlotCompareASCII renders the routine's rms and drms worst-case cost plots
+// in one chart — the side-by-side view of the paper's Figs. 4-6.
+func PlotCompareASCII(ps *Profiles, routine string, opts PlotOptions) (string, error) {
+	p := ps.Routine(routine)
+	if p == nil {
+		return "", fmt.Errorf("aprof: no profile for routine %q", routine)
+	}
+	var series []asciiplot.Series
+	for _, metric := range []Metric{RMS, DRMS} {
+		s := asciiplot.Series{Name: metric.String()}
+		for _, pt := range p.WorstCasePlot(metric) {
+			s.Points = append(s.Points, asciiplot.Point{X: float64(pt.N), Y: float64(pt.Cost)})
+		}
+		series = append(series, s)
+	}
+	return asciiplot.Render(series, asciiplot.Options{
+		Title:  fmt.Sprintf("%s: rms vs drms worst-case cost plots", routine),
+		XLabel: "input size estimate",
+		YLabel: "cost (basic blocks)",
+		Width:  opts.Width,
+		Height: opts.Height,
+		LogX:   opts.LogX,
+		LogY:   opts.LogY,
+	}), nil
+}

@@ -1,0 +1,183 @@
+package aprof
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeTraceProfiling(t *testing.T) {
+	b := NewTraceBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("consumer")
+	t2.Call("producer")
+	for i := 0; i < 10; i++ {
+		t2.Write1(7)
+		t1.Read1(7)
+	}
+	t1.Ret()
+	t2.Ret()
+	ps, err := ProfileTrace(b.Trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ps.Routine("consumer")
+	if c.SumRMS != 1 || c.SumDRMS != 10 {
+		t.Errorf("consumer rms=%d drms=%d, want 1 and 10", c.SumRMS, c.SumDRMS)
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	build := func() *Trace {
+		b := NewTraceBuilder()
+		t1 := b.Thread(1)
+		t2 := b.Thread(2)
+		t1.Call("f")
+		t1.SysRead(1, 1)
+		t1.Read1(1)
+		t2.Call("g")
+		t2.Write1(2)
+		t2.Ret()
+		t1.Read1(2)
+		t1.Ret()
+		return b.Trace()
+	}
+	// Both reads touch never-before-accessed cells, so every configuration
+	// counts them (drms = rms = 2); what changes is the attribution: the
+	// read of cell 1 follows a kernel fill, the read of cell 2 a foreign
+	// thread write.
+	cases := []struct {
+		name                string
+		cfg                 Config
+		wantExt, wantThread uint64
+	}{
+		{"default", DefaultConfig(), 1, 1},
+		{"external", ExternalOnlyConfig(), 1, 0},
+		{"rms", RMSOnlyConfig(), 0, 0},
+	}
+	for _, tc := range cases {
+		ps, err := ProfileTrace(build(), tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := ps.Routine("f")
+		if f.SumDRMS != 2 || f.SumRMS != 2 {
+			t.Errorf("%s: drms = %d rms = %d, want 2 and 2", tc.name, f.SumDRMS, f.SumRMS)
+		}
+		if f.InducedExternal != tc.wantExt || f.InducedThread != tc.wantThread {
+			t.Errorf("%s: induced = (ext %d, thread %d), want (%d, %d)",
+				tc.name, f.InducedExternal, f.InducedThread, tc.wantExt, tc.wantThread)
+		}
+	}
+}
+
+func TestFacadeProfileProgram(t *testing.T) {
+	src := `
+fn touch(a, n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + a[i];
+	}
+	return s;
+}
+fn main() {
+	var a = alloc(100);
+	for (var i = 0; i < 100; i = i + 1) {
+		a[i] = i;
+	}
+	print(touch(a, 100));
+}`
+	ps, res, err := ProfileProgram(src, VMOptions{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != "4950" {
+		t.Errorf("output = %v", res.Output)
+	}
+	touch := ps.Routine("touch")
+	if touch == nil || touch.SumRMS != 100 {
+		t.Errorf("touch rms = %v, want 100", touch)
+	}
+}
+
+func TestFitCost(t *testing.T) {
+	b := NewTraceBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	for n := 10; n <= 100; n += 10 {
+		tb.Call("linear_scan")
+		tb.Read(Addr(1000), uint32(n))
+		tb.Work(uint64(5 * n))
+		tb.Ret()
+	}
+	tb.Ret()
+	ps, err := ProfileTrace(b.Trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := FitCost(ps, "linear_scan", DRMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.ModelName != "n" {
+		t.Errorf("model = %s, want n", model.ModelName)
+	}
+	if model.Exponent < 0.9 || model.Exponent > 1.1 {
+		t.Errorf("exponent = %.2f, want ~1", model.Exponent)
+	}
+	if _, err := FitCost(ps, "nonexistent", DRMS); err == nil {
+		t.Error("FitCost accepted unknown routine")
+	}
+}
+
+func TestReport(t *testing.T) {
+	b := NewTraceBuilder()
+	t1 := b.Thread(1)
+	t1.Call("main")
+	for n := 5; n <= 50; n += 5 {
+		t1.Call("worker")
+		t1.SysRead(100, uint32(n))
+		t1.Read(100, uint32(n))
+		t1.Work(uint64(n * 2))
+		t1.Ret()
+	}
+	t1.Ret()
+	ps, err := ProfileTrace(b.Trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Report(ps, ReportOptions{Fit: true, Plots: true})
+	for _, want := range []string{"routine", "worker", "main", "fit worker", "plot worker", "dynamic input volume"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	top := Report(ps, ReportOptions{TopN: 1})
+	if strings.Contains(strings.SplitN(top, "\nfit", 2)[0], "worker\n") && strings.Contains(top, "\nworker") {
+		t.Errorf("TopN=1 should keep only the most expensive routine:\n%s", top)
+	}
+}
+
+func TestComputeMetricsAndSummary(t *testing.T) {
+	b := NewTraceBuilder()
+	t1 := b.Thread(1)
+	t1.Call("r")
+	t1.SysRead(5, 2)
+	t1.Read(5, 2)
+	t1.Ret()
+	ps, err := ProfileTrace(b.Trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := ComputeMetrics(ps)
+	if len(ms) != 1 || ms[0].Name != "r" {
+		t.Fatalf("metrics = %+v", ms)
+	}
+	if ms[0].ExternalInputPct != 100 {
+		t.Errorf("external input = %.1f, want 100", ms[0].ExternalInputPct)
+	}
+	s := Summarize(ps)
+	if s.InducedReads != 2 {
+		t.Errorf("induced reads = %d, want 2", s.InducedReads)
+	}
+}

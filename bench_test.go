@@ -1,0 +1,161 @@
+package aprof
+
+// One benchmark per table and figure of the paper's evaluation: each bench
+// regenerates its experiment end to end (workload generation + profiling +
+// metric/figure computation) at quick scale, so `go test -bench=.` exercises
+// every reproduction path and reports its cost. Micro-benchmarks at the
+// bottom measure the profiler's per-event cost directly (the quantity behind
+// Table 1).
+
+import (
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/experiments"
+	"aprof/internal/tools"
+	"aprof/internal/trace"
+	"aprof/internal/workloads"
+)
+
+func benchDriver(b *testing.B, name string) {
+	b.Helper()
+	d, ok := experiments.DriverByName(name)
+	if !ok {
+		b.Fatalf("no driver %q", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tables) == 0 && len(res.Figures) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig1Examples(b *testing.B)           { benchDriver(b, "fig1") }
+func BenchmarkFig2ProducerConsumer(b *testing.B)   { benchDriver(b, "fig2") }
+func BenchmarkFig3Streaming(b *testing.B)          { benchDriver(b, "fig3") }
+func BenchmarkFig4MySQLSelect(b *testing.B)        { benchDriver(b, "fig4") }
+func BenchmarkFig5VipsImGenerate(b *testing.B)     { benchDriver(b, "fig5") }
+func BenchmarkFig6WbufferWriteThread(b *testing.B) { benchDriver(b, "fig6") }
+func BenchmarkFig10SelectionSort(b *testing.B)     { benchDriver(b, "fig10") }
+func BenchmarkFig11Richness(b *testing.B)          { benchDriver(b, "fig11") }
+func BenchmarkFig12InputVolume(b *testing.B)       { benchDriver(b, "fig12") }
+func BenchmarkFig13RoutineHistogram(b *testing.B)  { benchDriver(b, "fig13") }
+func BenchmarkFig14InputCurves(b *testing.B)       { benchDriver(b, "fig14") }
+func BenchmarkFig15Characterization(b *testing.B)  { benchDriver(b, "fig15") }
+func BenchmarkFig16Scaling(b *testing.B)           { benchDriver(b, "fig16") }
+func BenchmarkTable1Tools(b *testing.B)            { benchDriver(b, "table1") }
+
+// benchTrace is a representative multithreaded trace with all three input
+// kinds, reused by the per-event micro-benchmarks.
+func benchTrace() *trace.Trace {
+	bench := workloads.Benchmark{
+		Name: "micro", Suite: "micro",
+		Threads: 4, ComputeRoutines: 12, CommRoutines: 2, IORoutines: 2,
+		CommVolume: 200, IOVolume: 200, Rounds: 40, Seed: 7,
+	}
+	return bench.Build()
+}
+
+// BenchmarkProfilerDRMS measures the full drms profiler on the shared
+// micro-trace; the per-op figure is the cost of one trace event.
+func BenchmarkProfilerDRMS(b *testing.B) {
+	tr := benchTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(tr, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+}
+
+// BenchmarkProfilerRMS measures the rms-only configuration (plain aprof —
+// no global shadow memory). The gap to BenchmarkProfilerDRMS is the paper's
+// "~29% overhead for recognizing induced first-reads".
+func BenchmarkProfilerRMS(b *testing.B) {
+	tr := benchTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(tr, core.RMSOnlyConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+}
+
+// BenchmarkProfilerNaive measures the set-based oracle, demonstrating why
+// the timestamping algorithm exists.
+func BenchmarkProfilerNaive(b *testing.B) {
+	tr := benchTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunNaive(tr, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+}
+
+// BenchmarkProfilerDRMSRenumbering adds frequent counter renumbering.
+func BenchmarkProfilerDRMSRenumbering(b *testing.B) {
+	bench := workloads.Benchmark{
+		Name: "micro-renumber", Suite: "micro",
+		Threads: 4, ComputeRoutines: 12, CommRoutines: 2, IORoutines: 2,
+		CommVolume: 200, IOVolume: 200, Rounds: 400, Seed: 7,
+	}
+	tr := bench.Build()
+	cfg := core.DefaultConfig()
+	cfg.CounterLimit = 1 << 11
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := core.Run(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ps.Renumberings == 0 {
+			b.Fatal("expected renumberings")
+		}
+	}
+}
+
+// BenchmarkComparatorTools measures each comparator tool on the shared
+// micro-trace (the per-tool per-event analysis cost behind Table 1).
+func BenchmarkComparatorTools(b *testing.B) {
+	tr := benchTrace()
+	for _, f := range tools.All() {
+		f := f
+		b.Run(f.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tool := f.New(tr.Symbols)
+				if err := tools.Run(tool, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVMInterpreter measures MiniLang execution speed (instructions per
+// second of the DBI substitute).
+func BenchmarkVMInterpreter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := workloads.SelectionSortVM([]int{64, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command aprof profiles a MiniLang program or a saved execution trace with
+// the input-sensitive profiler and prints per-routine empirical cost
+// information.
+//
+// Usage:
+//
+//	aprof [-metric drms|rms|external-only] [-top N] [-fit] [-plots] program.ml
+//	aprof -trace trace.bin [flags]
+//
+// The metric flag selects which dynamic input sources the profiler
+// recognizes: "drms" (thread and kernel input, the paper's metric), "rms"
+// (plain aprof), or "external-only" (kernel input only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aprof"
+	"aprof/internal/trace"
+)
+
+func main() {
+	var (
+		traceIn  = flag.String("trace", "", "profile this saved trace instead of running a program")
+		format   = flag.String("format", "binary", "trace format of -trace: binary or text")
+		metric   = flag.String("metric", "drms", "input metric: drms, rms, or external-only")
+		topN     = flag.Int("top", 0, "report only the N most expensive routines (0 = all)")
+		fitFlag  = flag.Bool("fit", false, "fit empirical cost functions")
+		plots    = flag.Bool("plots", false, "print worst-case cost plot points")
+		routine  = flag.String("routine", "", "print only this routine's cost plot and fit")
+		quantum  = flag.Int("quantum", 0, "VM scheduling quantum in basic blocks")
+		jsonOut  = flag.String("json", "", "write the profiles as JSON to this file")
+		ascii    = flag.Bool("ascii", false, "with -routine: render the cost plot as an ASCII chart")
+		optimize = flag.Bool("optimize", false, "optimize the program's bytecode before execution")
+		contexts = flag.Int("contexts", 0, "report the N hottest calling contexts (enables context-sensitive profiling)")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML report to this file")
+	)
+	flag.Parse()
+
+	cfg, plotMetric, err := configFor(*metric)
+	if err != nil {
+		fatal(err)
+	}
+	if *contexts > 0 {
+		cfg.ContextSensitive = true
+	}
+
+	var tr *aprof.Trace
+	var ps *aprof.Profiles
+	switch {
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if *format == "text" {
+			tr, err = trace.ReadText(f)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			// Binary traces are profiled in streaming mode: the file is
+			// never materialized in memory.
+			ps, err = aprof.ProfileTraceStream(f, cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		res, err := aprof.RunProgram(string(src), aprof.VMOptions{Quantum: *quantum, Stdout: os.Stderr, Optimize: *optimize})
+		if err != nil {
+			fatal(err)
+		}
+		tr = res.Trace
+	default:
+		fmt.Fprintln(os.Stderr, "usage: aprof [flags] program.ml   or   aprof -trace trace.bin [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if ps == nil {
+		var err error
+		ps, err = aprof.ProfileTrace(tr, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := aprof.WriteHTMLReport(f, ps, aprof.HTMLReportOptions{Title: "aprof-drms report"}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := aprof.WriteProfiles(f, ps); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *routine != "" {
+		p := ps.Routine(*routine)
+		if p == nil {
+			fatal(fmt.Errorf("no profile for routine %q", *routine))
+		}
+		fmt.Printf("routine %s: %d calls, cost %d\n", *routine, p.Calls, p.TotalCost)
+		if *ascii {
+			chart, err := aprof.PlotCompareASCII(ps, *routine, aprof.PlotOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(chart)
+		} else {
+			fmt.Printf("plot [%s]: n -> max cost\n", plotMetric)
+			for _, pt := range p.WorstCasePlot(plotMetric) {
+				fmt.Printf("  %d\t%d\t(%d calls)\n", pt.N, pt.Cost, pt.Calls)
+			}
+		}
+		if model, err := aprof.FitCost(ps, *routine, plotMetric); err == nil {
+			fmt.Printf("fit: %s (exponent %.2f)\n", model.Formula, model.Exponent)
+		}
+		return
+	}
+
+	fmt.Print(aprof.Report(ps, aprof.ReportOptions{
+		TopN:     *topN,
+		Metric:   plotMetric,
+		Fit:      *fitFlag,
+		Plots:    *plots,
+		Contexts: *contexts,
+	}))
+}
+
+func configFor(metric string) (aprof.Config, aprof.Metric, error) {
+	switch strings.ToLower(metric) {
+	case "drms":
+		return aprof.DefaultConfig(), aprof.DRMS, nil
+	case "rms":
+		return aprof.RMSOnlyConfig(), aprof.RMS, nil
+	case "external-only", "external":
+		return aprof.ExternalOnlyConfig(), aprof.DRMS, nil
+	default:
+		return aprof.Config{}, 0, fmt.Errorf("unknown metric %q (want drms, rms, or external-only)", metric)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"aprof"
+)
+
+func TestConfigFor(t *testing.T) {
+	cases := []struct {
+		in         string
+		wantThread bool
+		wantExt    bool
+		wantMetric aprof.Metric
+		wantErr    bool
+	}{
+		{"drms", true, true, aprof.DRMS, false},
+		{"DRMS", true, true, aprof.DRMS, false},
+		{"rms", false, false, aprof.RMS, false},
+		{"external-only", false, true, aprof.DRMS, false},
+		{"external", false, true, aprof.DRMS, false},
+		{"bogus", false, false, 0, true},
+	}
+	for _, tc := range cases {
+		cfg, metric, err := configFor(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("configFor(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("configFor(%q): %v", tc.in, err)
+			continue
+		}
+		if cfg.ThreadInput != tc.wantThread || cfg.ExternalInput != tc.wantExt {
+			t.Errorf("configFor(%q) = %+v", tc.in, cfg)
+		}
+		if metric != tc.wantMetric {
+			t.Errorf("configFor(%q) metric = %v, want %v", tc.in, metric, tc.wantMetric)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Command aprofdiff compares two profile files (written by `aprof -json` or
+// aprof.WriteProfiles) and reports per-routine changes in cost, input size
+// and fitted cost-function class — the profiler-native analogue of a
+// benchmark regression check.
+//
+// Usage:
+//
+//	aprofdiff [-threshold PCT] [-metric drms|rms] old.json new.json
+//
+// The exit status is 2 on usage errors, 1 when any routine's cost regressed
+// by more than the threshold (or its fitted asymptotic class grew), and 0
+// otherwise, so the command can gate CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"aprof"
+	"aprof/internal/fit"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 10, "flag cost regressions above this percentage")
+		metricStr = flag.String("metric", "drms", "input metric for fits: drms or rms")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: aprofdiff [-threshold PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	metric := aprof.DRMS
+	if strings.EqualFold(*metricStr, "rms") {
+		metric = aprof.RMS
+	}
+	oldPs, err := loadProfiles(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newPs, err := loadProfiles(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	report, regressed := diff(oldPs, newPs, metric, *threshold)
+	fmt.Print(report)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func loadProfiles(path string) (*aprof.Profiles, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aprof.ReadProfiles(f)
+}
+
+// routineDiff is the comparison of one routine across the two runs.
+type routineDiff struct {
+	Name      string
+	OldCalls  uint64
+	NewCalls  uint64
+	OldCost   uint64
+	NewCost   uint64
+	CostPct   float64 // percentage change of cost per call
+	OldModel  string
+	NewModel  string
+	ModelGrew bool
+}
+
+// modelRank orders asymptotic classes by growth.
+func modelRank(name string) int {
+	for i, m := range fit.Models {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// fitModelName fits the routine's plot, returning "" when there are too few
+// points.
+func fitModelName(p *aprof.Profile, metric aprof.Metric) string {
+	plot := p.WorstCasePlot(metric)
+	if len(plot) < 5 {
+		return ""
+	}
+	var pts []fit.Point
+	for _, pp := range plot {
+		pts = append(pts, fit.Point{N: float64(pp.N), Cost: float64(pp.Cost)})
+	}
+	best, err := fit.BestFit(pts)
+	if err != nil {
+		return ""
+	}
+	return best.Model.Name
+}
+
+// diff renders the comparison and reports whether any routine regressed.
+func diff(oldPs, newPs *aprof.Profiles, metric aprof.Metric, thresholdPct float64) (string, bool) {
+	oldRoutines := mergedByName(oldPs)
+	newRoutines := mergedByName(newPs)
+
+	var names []string
+	seen := map[string]bool{}
+	for name := range oldRoutines {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range newRoutines {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	var added, removed []string
+	var diffs []routineDiff
+	regressed := false
+	for _, name := range names {
+		op, oldOK := oldRoutines[name]
+		np, newOK := newRoutines[name]
+		switch {
+		case !oldOK:
+			added = append(added, name)
+			continue
+		case !newOK:
+			removed = append(removed, name)
+			continue
+		}
+		d := routineDiff{
+			Name:     name,
+			OldCalls: op.Calls, NewCalls: np.Calls,
+			OldCost: op.TotalCost, NewCost: np.TotalCost,
+			OldModel: fitModelName(op, metric),
+			NewModel: fitModelName(np, metric),
+		}
+		oldPer := perCall(op.TotalCost, op.Calls)
+		newPer := perCall(np.TotalCost, np.Calls)
+		if oldPer > 0 {
+			d.CostPct = 100 * (newPer - oldPer) / oldPer
+		}
+		if d.OldModel != "" && d.NewModel != "" && modelRank(d.NewModel) > modelRank(d.OldModel) {
+			d.ModelGrew = true
+		}
+		if d.CostPct > thresholdPct || d.ModelGrew {
+			regressed = true
+		}
+		diffs = append(diffs, d)
+	}
+	sort.Slice(diffs, func(i, j int) bool { return math.Abs(diffs[i].CostPct) > math.Abs(diffs[j].CostPct) })
+
+	fmt.Fprintf(&sb, "%-28s %10s %10s %9s  %s\n", "routine", "old cost", "new cost", "Δ/call", "cost model")
+	sb.WriteString(strings.Repeat("-", 84))
+	sb.WriteByte('\n')
+	for _, d := range diffs {
+		model := d.NewModel
+		if d.OldModel != d.NewModel && d.OldModel != "" {
+			model = fmt.Sprintf("%s -> %s", orDash(d.OldModel), orDash(d.NewModel))
+			if d.ModelGrew {
+				model += "  !! asymptotic regression"
+			}
+		}
+		marker := " "
+		if d.CostPct > thresholdPct {
+			marker = "!"
+		}
+		fmt.Fprintf(&sb, "%-28s %10d %10d %8.1f%%%s %s\n",
+			d.Name, d.OldCost, d.NewCost, d.CostPct, marker, orDash(model))
+	}
+	for _, name := range added {
+		fmt.Fprintf(&sb, "+ %s (new routine)\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(&sb, "- %s (removed)\n", name)
+	}
+	if regressed {
+		fmt.Fprintf(&sb, "\nREGRESSION: at least one routine exceeded +%.1f%% cost per call or grew its cost model\n", thresholdPct)
+	}
+	return sb.String(), regressed
+}
+
+func mergedByName(ps *aprof.Profiles) map[string]*aprof.Profile {
+	out := make(map[string]*aprof.Profile)
+	for id, p := range ps.MergeThreads() {
+		out[ps.Symbols.Name(id)] = p
+	}
+	return out
+}
+
+func perCall(cost, calls uint64) float64 {
+	if calls == 0 {
+		return 0
+	}
+	return float64(cost) / float64(calls)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aprofdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"aprof"
+)
+
+// buildRun profiles a synthetic workload whose "process" routine costs
+// factor basic blocks per input cell, over a sweep of sizes; the growth
+// function chooses the per-size cost.
+func buildRun(t *testing.T, grow func(n int) uint64, extraRoutine string) *aprof.Profiles {
+	t.Helper()
+	b := aprof.NewTraceBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	for n := 10; n <= 200; n += 10 {
+		tb.Call("process")
+		tb.Read(0x1000, uint32(n))
+		tb.Work(grow(n))
+		tb.Ret()
+	}
+	if extraRoutine != "" {
+		tb.Call(extraRoutine)
+		tb.Work(5)
+		tb.Ret()
+	}
+	tb.Ret()
+	ps, err := aprof.ProfileTrace(b.Trace(), aprof.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	linear := func(n int) uint64 { return uint64(5 * n) }
+	oldPs := buildRun(t, linear, "")
+	newPs := buildRun(t, linear, "")
+	report, regressed := diff(oldPs, newPs, aprof.DRMS, 10)
+	if regressed {
+		t.Errorf("identical runs flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "process") {
+		t.Errorf("report missing routine:\n%s", report)
+	}
+	if strings.Contains(report, "REGRESSION") {
+		t.Errorf("report contains REGRESSION banner:\n%s", report)
+	}
+}
+
+func TestDiffCostRegression(t *testing.T) {
+	oldPs := buildRun(t, func(n int) uint64 { return uint64(5 * n) }, "")
+	newPs := buildRun(t, func(n int) uint64 { return uint64(8 * n) }, "") // +60% per call
+	report, regressed := diff(oldPs, newPs, aprof.DRMS, 10)
+	if !regressed {
+		t.Errorf("60%% cost growth not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("missing banner:\n%s", report)
+	}
+}
+
+func TestDiffAsymptoticRegression(t *testing.T) {
+	oldPs := buildRun(t, func(n int) uint64 { return uint64(5 * n) }, "")
+	newPs := buildRun(t, func(n int) uint64 { return uint64(n * n / 4) }, "")
+	report, regressed := diff(oldPs, newPs, aprof.DRMS, 1e9) // cost threshold effectively off
+	if !regressed {
+		t.Errorf("linear->quadratic growth not flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "asymptotic regression") {
+		t.Errorf("missing asymptotic marker:\n%s", report)
+	}
+	if !strings.Contains(report, "n -> n^2") {
+		t.Errorf("missing model transition:\n%s", report)
+	}
+}
+
+func TestDiffImprovementNotFlagged(t *testing.T) {
+	oldPs := buildRun(t, func(n int) uint64 { return uint64(n * n / 4) }, "")
+	newPs := buildRun(t, func(n int) uint64 { return uint64(5 * n) }, "")
+	_, regressed := diff(oldPs, newPs, aprof.DRMS, 10)
+	if regressed {
+		t.Error("an improvement was flagged as regression")
+	}
+}
+
+func TestDiffAddedAndRemovedRoutines(t *testing.T) {
+	oldPs := buildRun(t, func(n int) uint64 { return uint64(n) }, "legacy_helper")
+	newPs := buildRun(t, func(n int) uint64 { return uint64(n) }, "new_helper")
+	report, _ := diff(oldPs, newPs, aprof.DRMS, 10)
+	if !strings.Contains(report, "+ new_helper (new routine)") {
+		t.Errorf("missing added routine:\n%s", report)
+	}
+	if !strings.Contains(report, "- legacy_helper (removed)") {
+		t.Errorf("missing removed routine:\n%s", report)
+	}
+}
+
+func TestModelRankOrdering(t *testing.T) {
+	prev := -1
+	for _, name := range []string{"1", "log n", "n", "n log n", "n^2", "n^3"} {
+		r := modelRank(name)
+		if r <= prev {
+			t.Errorf("rank(%q) = %d, not increasing", name, r)
+		}
+		prev = r
+	}
+	if modelRank("bogus") != -1 {
+		t.Error("unknown model should rank -1")
+	}
+}

@@ -1,0 +1,96 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-out DIR] [-list] [name ...]
+//
+// With no names (or "all"), every experiment runs. With -out, each
+// experiment's rendering is written to DIR/<name>.txt instead of stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aprof/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "quick", "experiment scale: quick or full")
+		outDir    = flag.String("out", "", "write each experiment to DIR/<name>.txt")
+		asJSON    = flag.Bool("json", false, "emit JSON instead of text")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiments.Drivers() {
+			fmt.Printf("%-8s %s\n", d.Name, d.Description)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fatal(fmt.Errorf("unknown scale %q (want quick or full)", *scaleFlag))
+	}
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = nil
+		for _, d := range experiments.Drivers() {
+			names = append(names, d.Name)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, name := range names {
+		d, ok := experiments.DriverByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", name))
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", d.Name, d.Description)
+		res, err := d.Run(scale)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		var payload []byte
+		ext := ".txt"
+		if *asJSON {
+			payload, err = res.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			ext = ".json"
+		} else {
+			payload = []byte(res.String())
+		}
+		if *outDir == "" {
+			fmt.Printf("%s\n", payload)
+			continue
+		}
+		path := filepath.Join(*outDir, name+ext)
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

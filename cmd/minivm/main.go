@@ -1,0 +1,97 @@
+// Command minivm runs a MiniLang program under the instrumented virtual
+// machine, printing the program's output and optionally saving the emitted
+// execution trace for later profiling with cmd/aprof.
+//
+// Usage:
+//
+//	minivm [-quantum N] [-max-steps N] [-trace FILE] [-trace-format binary|text] [-stats|-fmt|-disasm] program.ml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+)
+
+func main() {
+	var (
+		quantum  = flag.Int("quantum", 0, "basic blocks per scheduling slice (0 = default)")
+		maxSteps = flag.Uint64("max-steps", 0, "instruction limit (0 = default)")
+		traceOut = flag.String("trace", "", "write the execution trace to this file")
+		traceFmt = flag.String("trace-format", "binary", "trace format: binary or text")
+		stats    = flag.Bool("stats", false, "print execution statistics")
+		optimize = flag.Bool("optimize", false, "run the bytecode optimizer before execution")
+		format   = flag.Bool("fmt", false, "format the program to stdout instead of running it")
+		disasm   = flag.Bool("disasm", false, "print the compiled bytecode instead of running")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minivm [flags] program.ml")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *format {
+		out, err := vm.Format(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *disasm {
+		cp, err := vm.Compile(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if *optimize {
+			cp.Optimize()
+		}
+		for _, fn := range cp.Funcs {
+			fmt.Print(fn.Disassemble(cp))
+		}
+		return
+	}
+	res, err := vm.RunSource(string(src), vm.Options{
+		Quantum:  *quantum,
+		MaxSteps: *maxSteps,
+		Stdout:   os.Stdout,
+		Optimize: *optimize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "threads: %d  steps: %d  basic blocks: %d  trace events: %d\n",
+			res.Threads, res.Steps, res.BasicBlocks, res.Trace.Len())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *traceFmt {
+		case "binary":
+			err = trace.WriteBinary(f, res.Trace)
+		case "text":
+			err = trace.WriteText(f, res.Trace)
+		default:
+			err = fmt.Errorf("unknown trace format %q", *traceFmt)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minivm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+package aprof_test
+
+import (
+	"fmt"
+	"log"
+
+	"aprof"
+)
+
+// The producer-consumer pattern of the paper's Fig. 2: the classic rms
+// metric sees a single shared cell, while the drms counts every handed-over
+// item.
+func Example() {
+	b := aprof.NewTraceBuilder()
+	producer := b.Thread(1)
+	consumer := b.Thread(2)
+	producer.Call("producer")
+	consumer.Call("consumer")
+	for i := 0; i < 1000; i++ {
+		producer.Write1(0x100)
+		consumer.Read1(0x100)
+	}
+	producer.Ret()
+	consumer.Ret()
+
+	profiles, err := aprof.ProfileTrace(b.Trace(), aprof.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := profiles.Routine("consumer")
+	fmt.Println("rms: ", c.SumRMS)
+	fmt.Println("drms:", c.SumDRMS)
+	// Output:
+	// rms:  1
+	// drms: 1000
+}
+
+// Fitting an empirical cost function: a routine that reads n cells and
+// performs linear work is recognized as O(n).
+func ExampleFitCost() {
+	b := aprof.NewTraceBuilder()
+	t1 := b.Thread(1)
+	t1.Call("main")
+	for n := 100; n <= 1000; n += 100 {
+		t1.Call("scan")
+		t1.Read(0x2000, uint32(n))
+		t1.Work(uint64(4 * n))
+		t1.Ret()
+	}
+	t1.Ret()
+
+	profiles, err := aprof.ProfileTrace(b.Trace(), aprof.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := aprof.FitCost(profiles, "scan", aprof.DRMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scan is O(%s)\n", model.ModelName)
+	// Output:
+	// scan is O(n)
+}
+
+// Profiling a MiniLang program: the instrumented VM substitutes for dynamic
+// binary instrumentation, emitting the trace the profiler consumes.
+func ExampleProfileProgram() {
+	const program = `
+global buf[4];
+fn reader(n) {
+	var sum = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		sysread(buf, 4);     // the kernel refills the buffer
+		sum = sum + buf[0];  // only one cell is consumed
+	}
+	return sum;
+}
+fn main() {
+	print("sum:", reader(250));
+}`
+	profiles, result, err := aprof.ProfileProgram(program, aprof.VMOptions{}, aprof.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result.Output[0])
+	r := profiles.Routine("reader")
+	fmt.Println("rms: ", r.SumRMS)
+	fmt.Println("drms:", r.SumDRMS)
+	fmt.Println("external induced:", r.InducedExternal)
+	// Output:
+	// sum: 124750
+	// rms:  1
+	// drms: 250
+	// external induced: 250
+}
+
+// Calling-context-sensitive profiling separates the cost plots of one
+// routine per caller path.
+func ExampleContextSensitiveConfig() {
+	b := aprof.NewTraceBuilder()
+	t1 := b.Thread(1)
+	t1.Call("main")
+	t1.Call("query")
+	t1.Call("scan")
+	t1.Read(0x100, 500)
+	t1.Ret()
+	t1.Ret()
+	t1.Call("update")
+	t1.Call("scan")
+	t1.Read(0x100, 2)
+	t1.Ret()
+	t1.Ret()
+	t1.Ret()
+
+	profiles, err := aprof.ProfileTrace(b.Trace(), aprof.ContextSensitiveConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scan total:", profiles.Routine("scan").SumDRMS)
+	fmt.Println("via query: ", profiles.Context("main > query > scan").SumDRMS)
+	fmt.Println("via update:", profiles.Context("main > update > scan").SumDRMS)
+	// Output:
+	// scan total: 502
+	// via query:  500
+	// via update: 2
+}

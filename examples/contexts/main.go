@@ -1,0 +1,99 @@
+// Contexts: calling-context-sensitive profiling. A single helper routine
+// (copy_rows) is used by two very different callers — a full-table report
+// and a single-row lookup. Routine-level profiling mixes both workloads into
+// one cost plot; context-sensitive profiling separates them, so each caller
+// path gets its own empirical cost function.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aprof"
+)
+
+const program = `
+global table[4096];
+
+fn copy_rows(dst, first, count) {
+	for (var i = 0; i < count; i = i + 1) {
+		dst[i] = table[first + i];
+	}
+	return count;
+}
+
+fn report(dst, rows) {
+	// Reports copy whole table prefixes: large inputs.
+	return copy_rows(dst, 0, rows);
+}
+
+fn lookup(dst, row) {
+	// Lookups copy a single row: tiny inputs.
+	return copy_rows(dst, row, 1);
+}
+
+fn main() {
+	for (var i = 0; i < 4096; i = i + 1) {
+		table[i] = i * 3;
+	}
+	var dst = alloc(4096);
+	var total = 0;
+	for (var rows = 256; rows <= 4096; rows = rows * 2) {
+		total = total + report(dst, rows);
+	}
+	for (var k = 0; k < 40; k = k + 1) {
+		total = total + lookup(dst, k * 100);
+	}
+	print("rows copied:", total);
+}
+`
+
+func main() {
+	profiles, result, err := aprof.ProfileProgram(program, aprof.VMOptions{}, aprof.ContextSensitiveConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %v\n\n", result.Output)
+
+	// Routine-level view: one plot mixing both callers.
+	all := profiles.Routine("copy_rows")
+	fmt.Printf("copy_rows (all callers): %d calls, %d distinct drms points\n",
+		all.Calls, len(all.DRMSPoints))
+
+	// Context-sensitive view: each caller path separated.
+	for _, path := range []string{"main > report > copy_rows", "main > lookup > copy_rows"} {
+		p := profiles.Context(path)
+		if p == nil {
+			log.Fatalf("missing context %q", path)
+		}
+		fmt.Printf("  %-28s %3d calls, drms range [%d, %d]\n",
+			path, p.Calls, minKey(p.DRMSPoints), maxKey(p.DRMSPoints))
+	}
+
+	fmt.Println("\nhot calling contexts:")
+	for _, cp := range profiles.HotContexts(5) {
+		fmt.Printf("  cost %8d  %s\n", cp.Profile.TotalCost, cp.Path)
+	}
+}
+
+func minKey(points map[uint64]*aprof.CostStats) uint64 {
+	first := true
+	var out uint64
+	for n := range points {
+		if first || n < out {
+			out = n
+			first = false
+		}
+	}
+	return out
+}
+
+func maxKey(points map[uint64]*aprof.CostStats) uint64 {
+	var out uint64
+	for n := range points {
+		if n > out {
+			out = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Producer-consumer: the paper's Pattern 1 (§2, Fig. 2) as a real
+// multithreaded MiniLang program. The consumer reads the same memory cell
+// over and over, so the classic rms metric reports an input size of 1 no
+// matter how much data flowed through; the drms counts every handed-over
+// item, exposing the consumer's true workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aprof"
+)
+
+const items = 500
+
+var program = fmt.Sprintf(`
+global cell = 0;
+
+fn produceData(i) {
+	return i * 7;
+}
+
+// Semaphore ids arrive as parameters (VM registers), so the only traced
+// memory the pattern touches is the shared cell itself, as in Fig. 2.
+fn producer(n, empty, full) {
+	for (var i = 0; i < n; i = i + 1) {
+		wait(empty);
+		cell = produceData(i);
+		signal(full);
+	}
+}
+
+fn consumeData() {
+	return cell;
+}
+
+fn consumer(n, empty, full) {
+	var sum = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		wait(full);
+		sum = sum + consumeData();
+		signal(empty);
+	}
+	print("consumed sum:", sum);
+}
+
+fn main() {
+	var empty = sem(1);
+	var full = sem(0);
+	spawn producer(%d, empty, full);
+	consumer(%d, empty, full);
+}
+`, items, items)
+
+func main() {
+	profiles, result, err := aprof.ProfileProgram(program, aprof.VMOptions{}, aprof.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %v\n\n", result.Output)
+
+	consumer := profiles.Routine("consumer")
+	fmt.Printf("consumer after %d items:\n", items)
+	fmt.Printf("  rms  (classic aprof):   %d\n", consumer.SumRMS)
+	fmt.Printf("  drms (this paper):      %d\n", consumer.SumDRMS)
+	fmt.Printf("  thread-induced reads:   %d\n", consumer.InducedThread)
+	fmt.Println()
+	fmt.Println("the rms misses the entire dynamic workload: every item arrives by")
+	fmt.Println("overwriting the same shared cell, which only induced first-reads see.")
+
+	summary := aprof.Summarize(profiles)
+	fmt.Printf("\nrun-level dynamic input volume: %.3f (thread input %.1f%%)\n",
+		summary.DynamicInputVolume, summary.ThreadInputPct)
+}

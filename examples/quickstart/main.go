@@ -1,0 +1,52 @@
+// Quickstart: profile a MiniLang program and print its empirical cost
+// report. The program scans arrays of growing sizes, so the profiler
+// collects one performance point per size and fits a linear cost function.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aprof"
+)
+
+const program = `
+// Sum the elements of an array: cost should be linear in the array size.
+fn sum(a, n) {
+	var s = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		s = s + a[i];
+	}
+	return s;
+}
+
+fn main() {
+	var total = 0;
+	for (var n = 50; n <= 1000; n = n + 50) {
+		var a = alloc(n);
+		for (var i = 0; i < n; i = i + 1) {
+			a[i] = i;
+		}
+		total = total + sum(a, n);
+	}
+	print("total:", total);
+}
+`
+
+func main() {
+	profiles, result, err := aprof.ProfileProgram(program, aprof.VMOptions{}, aprof.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %v (executed %d basic blocks on %d thread(s))\n\n",
+		result.Output, result.BasicBlocks, result.Threads)
+
+	fmt.Println(aprof.Report(profiles, aprof.ReportOptions{Fit: true}))
+
+	model, err := aprof.FitCost(profiles, "sum", aprof.DRMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("empirical cost function of sum: %s\n", model.Formula)
+	fmt.Printf("asymptotic class: O(%s), apparent growth exponent %.2f\n", model.ModelName, model.Exponent)
+}

@@ -1,0 +1,163 @@
+package aprof
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// writeBinaryForTest serializes a trace (test helper around the internal
+// codec).
+func writeBinaryForTest(w io.Writer, tr *Trace) error { return trace.WriteBinary(w, tr) }
+
+func buildScalingProfiles(t *testing.T) *Profiles {
+	t.Helper()
+	b := NewTraceBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	for n := 10; n <= 200; n += 10 {
+		tb.Call("scan")
+		tb.SysRead(500, uint32(n))
+		tb.Read(500, uint32(n))
+		tb.Work(uint64(4 * n))
+		tb.Ret()
+	}
+	tb.Ret()
+	ps, err := ProfileTrace(b.Trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestProfilesJSONRoundTripViaFacade(t *testing.T) {
+	ps := buildScalingProfiles(t)
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ps.Routine("scan")
+	rest := got.Routine("scan")
+	if rest == nil || rest.Calls != orig.Calls || rest.SumDRMS != orig.SumDRMS {
+		t.Errorf("restored scan = %+v, want %+v", rest, orig)
+	}
+	// A fit computed from restored profiles matches the original.
+	m1, err := FitCost(ps, "scan", DRMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FitCost(got, "scan", DRMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ModelName != m2.ModelName || m1.R2 != m2.R2 {
+		t.Errorf("fit changed across serialization: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	ps := buildScalingProfiles(t)
+	chart, err := PlotASCII(ps, "scan", DRMS, PlotOptions{Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scan: worst-case cost plot", "input size (drms)", "*"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	if _, err := PlotASCII(ps, "nope", DRMS, PlotOptions{}); err == nil {
+		t.Error("PlotASCII accepted unknown routine")
+	}
+}
+
+func TestPlotCompareASCII(t *testing.T) {
+	ps := buildScalingProfiles(t)
+	chart, err := PlotCompareASCII(ps, "scan", PlotOptions{Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "rms") || !strings.Contains(chart, "drms") {
+		t.Errorf("compare chart missing legend entries:\n%s", chart)
+	}
+	if _, err := PlotCompareASCII(ps, "nope", PlotOptions{}); err == nil {
+		t.Error("PlotCompareASCII accepted unknown routine")
+	}
+}
+
+func TestProfileTraceStreamMatchesBatch(t *testing.T) {
+	// A multithreaded trace with every event kind.
+	b := NewTraceBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("main")
+	t2.Call("peer")
+	for i := 0; i < 200; i++ {
+		t2.Write1(Addr(i % 16))
+		t1.Read1(Addr(i % 16))
+		t1.SysRead(100, 4)
+		t1.Read(100, 2)
+		t1.Acquire(1)
+		t1.Release(1)
+	}
+	t1.Ret()
+	t2.Ret()
+	tr := b.Trace()
+
+	batch, err := ProfileTrace(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := writeBinaryForTest(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ProfileTraceStream(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"main", "peer"} {
+		a, c := batch.Routine(name), stream.Routine(name)
+		if a.SumDRMS != c.SumDRMS || a.SumRMS != c.SumRMS || a.Calls != c.Calls || a.TotalCost != c.TotalCost {
+			t.Errorf("%s: streaming profile differs from batch", name)
+		}
+	}
+}
+
+func TestMergeRunsViaFacade(t *testing.T) {
+	mk := func(base uint32) *Profiles {
+		b := NewTraceBuilder()
+		tb := b.Thread(1)
+		tb.Call("main")
+		tb.Call("scan")
+		tb.SysRead(100, base)
+		tb.Read(100, base)
+		tb.Ret()
+		tb.Ret()
+		ps, err := ProfileTrace(b.Trace(), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	merged := MergeRuns(mk(10), mk(50), mk(200))
+	scan := merged.Routine("scan")
+	if scan.Calls != 3 || len(scan.DRMSPoints) != 3 {
+		t.Errorf("merged scan: calls=%d points=%d, want 3 and 3", scan.Calls, len(scan.DRMSPoints))
+	}
+	// A fit over the merged runs succeeds where single runs have too few
+	// points.
+	if _, err := FitCost(merged, "scan", DRMS); err == nil {
+		// three points fit fine
+	} else {
+		t.Errorf("fit over merged runs failed: %v", err)
+	}
+}

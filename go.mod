@@ -1,0 +1,3 @@
+module aprof
+
+go 1.22

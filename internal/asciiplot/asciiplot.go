@@ -1,0 +1,178 @@
+// Package asciiplot renders scatter plots as text, playing the role of
+// aprof-plot for terminal use: the cost plots the profiler produces (input
+// size on the x-axis, worst-case cost on the y-axis) become immediately
+// readable next to the report, without leaving the terminal.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height are the plot area size in characters (default 60x20).
+	Width  int
+	Height int
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	YLabel string
+	// LogX and LogY put the corresponding axis on a log10 scale
+	// (non-positive values are dropped).
+	LogX bool
+	LogY bool
+	// Marks are the glyphs used for each series, in order; default "*+ox#".
+	Marks string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Width < 8 {
+		o.Width = 8
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	if o.Height < 4 {
+		o.Height = 4
+	}
+	if o.Marks == "" {
+		o.Marks = "*+ox#"
+	}
+	return o
+}
+
+// Series is a named point set.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Render draws the series into a text grid with axes and a legend.
+func Render(series []Series, opts Options) string {
+	opts = opts.withDefaults()
+
+	type xy struct{ x, y float64 }
+	transformed := make([][]xy, len(series))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for i, s := range series {
+		for _, p := range s.Points {
+			x, y := p.X, p.Y
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if opts.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			transformed[i] = append(transformed[i], xy{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			total++
+		}
+	}
+	if total == 0 {
+		return "(no points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for i, pts := range transformed {
+		mark := opts.Marks[i%len(opts.Marks)]
+		for _, p := range pts {
+			col := int(math.Round((p.x - minX) / (maxX - minX) * float64(opts.Width-1)))
+			row := int(math.Round((p.y - minY) / (maxY - minY) * float64(opts.Height-1)))
+			row = opts.Height - 1 - row // y grows upward
+			if row >= 0 && row < opts.Height && col >= 0 && col < opts.Width {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	yHi, yLo := maxY, minY
+	if opts.LogY {
+		yHi, yLo = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	labelHi := formatTick(yHi)
+	labelLo := formatTick(yLo)
+	labelWidth := len(labelHi)
+	if len(labelLo) > labelWidth {
+		labelWidth = len(labelLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, labelHi)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, labelLo)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	xHi, xLo := maxX, minX
+	if opts.LogX {
+		xHi, xLo = math.Pow(10, maxX), math.Pow(10, minX)
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", opts.Width))
+	left := formatTick(xLo)
+	right := formatTick(xHi)
+	pad := opts.Width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), left, strings.Repeat(" ", pad), right)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&sb, "x: %s   y: %s\n", opts.XLabel, opts.YLabel)
+	}
+	if len(series) > 1 || (len(series) == 1 && series[0].Name != "") {
+		sb.WriteString("legend:")
+		for i, s := range series {
+			fmt.Fprintf(&sb, "  %c %s", opts.Marks[i%len(opts.Marks)], s.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// formatTick renders an axis extent compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av > 0 && av < 1e-3):
+		return fmt.Sprintf("%.2e", v)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

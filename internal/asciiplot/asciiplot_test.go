@@ -1,0 +1,133 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func linearSeries(n int) Series {
+	s := Series{Name: "linear"}
+	for i := 1; i <= n; i++ {
+		s.Points = append(s.Points, Point{X: float64(i), Y: float64(3 * i)})
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]Series{linearSeries(20)}, Options{
+		Title:  "demo",
+		XLabel: "n",
+		YLabel: "cost",
+		Width:  40,
+		Height: 10,
+	})
+	for _, want := range []string{"demo", "x: n   y: cost", "legend:", "* linear", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 10 {
+		t.Errorf("got %d plot rows, want 10", plotLines)
+	}
+	if !strings.Contains(out, "60") || !strings.Contains(out, "3") {
+		t.Errorf("axis extents missing:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneDiagonal(t *testing.T) {
+	// For y = x the marks must descend left to right.
+	out := Render([]Series{linearSeries(30)}, Options{Width: 30, Height: 10})
+	var rows []string
+	for _, l := range strings.Split(out, "\n") {
+		if idx := strings.IndexByte(l, '|'); idx >= 0 {
+			rows = append(rows, l[idx+1:])
+		}
+	}
+	firstMark := make(map[int]int) // row -> first column with a mark
+	for r, row := range rows {
+		for c := 0; c < len(row); c++ {
+			if row[c] == '*' {
+				firstMark[r] = c
+				break
+			}
+		}
+	}
+	prev := -1
+	for r := len(rows) - 1; r >= 0; r-- {
+		c, ok := firstMark[r]
+		if !ok {
+			continue
+		}
+		if c < prev {
+			t.Fatalf("marks not monotone: row %d starts at col %d after col %d\n%s", r, c, prev, out)
+		}
+		prev = c
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	a := linearSeries(10)
+	b := Series{Name: "quadratic"}
+	for i := 1; i <= 10; i++ {
+		b.Points = append(b.Points, Point{X: float64(i), Y: float64(i * i)})
+	}
+	out := Render([]Series{a, b}, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "* linear") || !strings.Contains(out, "+ quadratic") {
+		t.Errorf("legend incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Errorf("second series mark missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "no points") {
+		t.Errorf("empty render = %q", out)
+	}
+	if out := Render([]Series{{Name: "x"}}, Options{}); !strings.Contains(out, "no points") {
+		t.Errorf("empty series render = %q", out)
+	}
+}
+
+func TestRenderLogScales(t *testing.T) {
+	s := Series{Name: "pow"}
+	for i := 0; i <= 6; i++ {
+		x := 1.0
+		for j := 0; j < i; j++ {
+			x *= 10
+		}
+		s.Points = append(s.Points, Point{X: x, Y: x * x})
+	}
+	// Include a non-positive point that must be dropped, not crash.
+	s.Points = append(s.Points, Point{X: 0, Y: -1})
+	out := Render([]Series{s}, Options{LogX: true, LogY: true, Width: 30, Height: 8})
+	if strings.Contains(out, "no points") {
+		t.Fatalf("log render dropped everything:\n%s", out)
+	}
+	// On log-log axes a power law is a straight line: every row with a mark
+	// should have exactly one mark.
+	for _, l := range strings.Split(out, "\n") {
+		idx := strings.IndexByte(l, '|')
+		if idx < 0 {
+			continue
+		}
+		if n := strings.Count(l[idx:], "*"); n > 2 {
+			t.Errorf("row has %d marks, expected a thin diagonal:\n%s", n, out)
+		}
+	}
+}
+
+func TestRenderDegenerateExtents(t *testing.T) {
+	s := Series{Points: []Point{{5, 7}, {5, 7}}}
+	out := Render([]Series{s}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single-point cloud not rendered:\n%s", out)
+	}
+}

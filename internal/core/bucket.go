@@ -1,0 +1,79 @@
+package core
+
+// Point bucketing bounds the memory of long-running profiles. Each distinct
+// input size is a point in a routine's cost plot; a server processing
+// millions of distinct workload sizes would otherwise accumulate millions of
+// map entries per routine (the original aprof faces the same concern with
+// its per-rms hash tables). With Config.MaxPointsPerProfile set, a profile
+// whose point count exceeds the limit is re-bucketed: input sizes are
+// progressively quantized by dropping low-order bits (shift doubling each
+// round), halving the point count while preserving the plot's shape — the
+// quantization error is at most a factor (1 + 2^shift/n) on the x-axis,
+// which vanishes for the large n where bucketing matters.
+
+// bucketKey quantizes an input size under the given shift.
+func bucketKey(n uint64, shift uint8) uint64 {
+	return n >> shift << shift
+}
+
+// rebucket coarsens points in place until len(points) <= limit, returning
+// the resulting shift.
+func rebucket(points map[uint64]*CostStats, shift uint8, limit int) uint8 {
+	for len(points) > limit && shift < 63 {
+		shift++
+		coarser := make(map[uint64]*CostStats, len(points)/2+1)
+		for n, st := range points {
+			key := bucketKey(n, shift)
+			dst := coarser[key]
+			if dst == nil {
+				coarser[key] = st
+				continue
+			}
+			dst.merge(st)
+		}
+		// Replace the contents of the original map (callers hold the map
+		// value inside Profile, so mutate in place).
+		for k := range points {
+			delete(points, k)
+		}
+		for k, v := range coarser {
+			points[k] = v
+		}
+	}
+	return shift
+}
+
+// requantize rewrites every key of points under the given shift, merging
+// buckets that collide.
+func requantize(points map[uint64]*CostStats, shift uint8) {
+	coarser := make(map[uint64]*CostStats, len(points))
+	for n, st := range points {
+		key := bucketKey(n, shift)
+		if dst := coarser[key]; dst != nil {
+			dst.merge(st)
+		} else {
+			coarser[key] = st
+		}
+	}
+	for k := range points {
+		delete(points, k)
+	}
+	for k, v := range coarser {
+		points[k] = v
+	}
+}
+
+// addPoint inserts one activation's (input size, cost) observation under the
+// profile's current bucketing, re-bucketing if the limit is exceeded.
+func (p *Profile) addPoint(points map[uint64]*CostStats, shift *uint8, n, cost uint64, limit int) {
+	key := bucketKey(n, *shift)
+	st := points[key]
+	if st == nil {
+		st = &CostStats{}
+		points[key] = st
+	}
+	st.add(cost)
+	if limit > 0 && len(points) > limit {
+		*shift = rebucket(points, *shift, limit)
+	}
+}

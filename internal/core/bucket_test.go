@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aprof/internal/trace"
+)
+
+// sweepTrace produces one activation of "scan" per size 1..n, each reading
+// `size` fresh cells and costing 3*size.
+func sweepTrace(n int) *trace.Trace {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	for size := 1; size <= n; size++ {
+		tb.Call("scan")
+		tb.Read(trace.Addr(1<<20), uint32(size))
+		tb.Work(uint64(3 * size))
+		tb.Ret()
+	}
+	tb.Ret()
+	return b.Trace()
+}
+
+func TestBucketingCapsPoints(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPointsPerProfile = 16
+	ps, err := Run(sweepTrace(500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := ps.Get("scan", 1)
+	if len(scan.DRMSPoints) > 16 {
+		t.Errorf("drms points = %d, want <= 16", len(scan.DRMSPoints))
+	}
+	if len(scan.RMSPoints) > 16 {
+		t.Errorf("rms points = %d, want <= 16", len(scan.RMSPoints))
+	}
+	// Aggregates must be unaffected by bucketing.
+	unbucketed, err := Run(sweepTrace(500), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := unbucketed.Get("scan", 1)
+	if scan.Calls != ref.Calls || scan.SumRMS != ref.SumRMS || scan.SumDRMS != ref.SumDRMS || scan.TotalCost != ref.TotalCost {
+		t.Error("bucketing changed aggregate statistics")
+	}
+	// Total activation count across points is preserved.
+	var total uint64
+	for _, st := range scan.DRMSPoints {
+		total += st.Count
+	}
+	if total != scan.Calls {
+		t.Errorf("points cover %d activations, want %d", total, scan.Calls)
+	}
+	// The worst-case plot keeps its monotone linear shape.
+	plot := scan.WorstCasePlot(MetricDRMS)
+	for i := 1; i < len(plot); i++ {
+		if plot[i].Cost < plot[i-1].Cost {
+			t.Errorf("bucketed worst-case plot no longer monotone at %d", i)
+		}
+	}
+}
+
+func TestBucketingDisabledByDefault(t *testing.T) {
+	ps, err := Run(sweepTrace(300), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := ps.Get("scan", 1)
+	if len(scan.DRMSPoints) != 300 {
+		t.Errorf("got %d points without a cap, want 300", len(scan.DRMSPoints))
+	}
+}
+
+func TestBucketingQuantizationError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPointsPerProfile = 32
+	ps, err := Run(sweepTrace(1000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plot := ps.Get("scan", 1).WorstCasePlot(MetricDRMS)
+	// Every bucketed x must still be a valid quantization: the max cost at
+	// bucket key k covers sizes in [k, k + 2^shift), and cost = 3*size + 2,
+	// so max cost per bucket is bounded by 3*(nextKey) + 2.
+	for i := 0; i < len(plot)-1; i++ {
+		next := plot[i+1].N
+		if plot[i].Cost > 3*next+8 {
+			t.Errorf("bucket %d (n=%d): max cost %d exceeds bound for bucket end %d",
+				i, plot[i].N, plot[i].Cost, next)
+		}
+	}
+}
+
+func TestMergeWithDifferentShifts(t *testing.T) {
+	// Thread 1 has many points (bucketed deep); thread 2 few (unshifted).
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("main")
+	t2.Call("main")
+	for size := 1; size <= 300; size++ {
+		t1.Call("scan")
+		t1.Read(trace.Addr(1<<20), uint32(size))
+		t1.Ret()
+	}
+	for size := 1; size <= 3; size++ {
+		t2.Call("scan")
+		t2.Read(trace.Addr(1<<24), uint32(size))
+		t2.Ret()
+	}
+	t1.Ret()
+	t2.Ret()
+	cfg := DefaultConfig()
+	cfg.MaxPointsPerProfile = 8
+	ps, err := Run(b.Trace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := ps.Routine("scan")
+	if merged.Calls != 303 {
+		t.Fatalf("merged calls = %d, want 303", merged.Calls)
+	}
+	if len(merged.DRMSPoints) > 16 {
+		t.Errorf("merged points = %d, want bounded", len(merged.DRMSPoints))
+	}
+	var total uint64
+	for _, st := range merged.DRMSPoints {
+		total += st.Count
+	}
+	if total != 303 {
+		t.Errorf("merged points cover %d activations, want 303", total)
+	}
+}
+
+// TestBucketKeyQuick checks quantization basics: keys are idempotent, never
+// exceed the input, and differ from it by less than 2^shift.
+func TestBucketKeyQuick(t *testing.T) {
+	f := func(n uint64, shiftRaw uint8) bool {
+		shift := shiftRaw % 48
+		k := bucketKey(n, shift)
+		if k > n {
+			return false
+		}
+		if n-k >= 1<<shift {
+			return false
+		}
+		return bucketKey(k, shift) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

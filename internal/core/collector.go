@@ -1,0 +1,314 @@
+// Package core implements the paper's profiling algorithms: the read/write
+// timestamping algorithm computing the dynamic read memory size (drms) of
+// every routine activation (Figs. 8 and 9), the rms metric of aprof [5]
+// computed side by side, the naive set-based algorithm of Fig. 7 (used as a
+// testing oracle), periodic global timestamp renumbering for counter
+// overflow (§3.2), and the collector that turns activations into performance
+// points relating cost to observed input sizes.
+package core
+
+import (
+	"sort"
+
+	"aprof/internal/trace"
+)
+
+// CostStats aggregates the costs of all activations observed at one input
+// size: the worst-case cost plot uses Max, but Min/Sum/Count support other
+// plot flavors and variance analysis.
+type CostStats struct {
+	Count uint64
+	Max   uint64
+	Min   uint64
+	Sum   uint64
+	SumSq float64
+}
+
+func (s *CostStats) add(cost uint64) {
+	if s.Count == 0 || cost > s.Max {
+		s.Max = cost
+	}
+	if s.Count == 0 || cost < s.Min {
+		s.Min = cost
+	}
+	s.Count++
+	s.Sum += cost
+	s.SumSq += float64(cost) * float64(cost)
+}
+
+// Mean returns the average cost at this input size.
+func (s *CostStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Variance returns the population variance of the costs at this input size.
+func (s *CostStats) Variance() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	m := s.Mean()
+	return s.SumSq/float64(s.Count) - m*m
+}
+
+// merge folds other into s.
+func (s *CostStats) merge(other *CostStats) {
+	if other.Count == 0 {
+		return
+	}
+	if s.Count == 0 || other.Max > s.Max {
+		s.Max = other.Max
+	}
+	if s.Count == 0 || other.Min < s.Min {
+		s.Min = other.Min
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	s.SumSq += other.SumSq
+}
+
+// Key identifies a thread-sensitive routine profile (§3: profiles generated
+// by activations made by different threads are kept distinct).
+type Key struct {
+	Routine trace.RoutineID
+	Thread  trace.ThreadID
+}
+
+// Profile aggregates all activations of one routine by one thread (or, after
+// MergeThreads, by all threads).
+type Profile struct {
+	Routine trace.RoutineID
+	Thread  trace.ThreadID
+	// Calls counts collected activations.
+	Calls uint64
+	// DRMSPoints maps each observed drms value to the cost statistics of the
+	// activations that exhibited it. Each entry is one point of the
+	// routine's drms cost plot.
+	DRMSPoints map[uint64]*CostStats
+	// RMSPoints is the rms counterpart, computed in the same run.
+	RMSPoints map[uint64]*CostStats
+	// SumRMS and SumDRMS accumulate the per-activation metric values; their
+	// ratio across all routines yields the dynamic input volume metric.
+	SumRMS  uint64
+	SumDRMS uint64
+	// FirstReads counts plain first-reads; InducedThread and InducedExternal
+	// count induced first-reads attributed to peer-thread writes and to
+	// kernel (external) writes, attributed to the routine performing the
+	// read operation.
+	FirstReads      uint64
+	InducedThread   uint64
+	InducedExternal uint64
+	// TotalCost sums the inclusive cost of collected activations.
+	TotalCost uint64
+	// maxPoints caps the point maps (0 = unlimited); drmsShift and rmsShift
+	// are the current bucketing granularities (see bucket.go).
+	maxPoints int
+	drmsShift uint8
+	rmsShift  uint8
+}
+
+func newProfile(rtn trace.RoutineID, thr trace.ThreadID) *Profile {
+	return &Profile{
+		Routine:    rtn,
+		Thread:     thr,
+		DRMSPoints: make(map[uint64]*CostStats),
+		RMSPoints:  make(map[uint64]*CostStats),
+	}
+}
+
+// collect records one completed activation.
+func (p *Profile) collect(a activation) {
+	p.Calls++
+	p.SumRMS += a.rms
+	p.SumDRMS += a.drms()
+	p.FirstReads += a.first
+	p.InducedThread += a.indThread
+	p.InducedExternal += a.indExternal
+	p.TotalCost += a.cost
+
+	p.addPoint(p.DRMSPoints, &p.drmsShift, a.drms(), a.cost, p.maxPoints)
+	p.addPoint(p.RMSPoints, &p.rmsShift, a.rms, a.cost, p.maxPoints)
+}
+
+// merge folds other (same routine) into p. Profiles bucketed at different
+// granularities are merged at the coarser one.
+func (p *Profile) merge(other *Profile) {
+	p.Calls += other.Calls
+	p.SumRMS += other.SumRMS
+	p.SumDRMS += other.SumDRMS
+	p.FirstReads += other.FirstReads
+	p.InducedThread += other.InducedThread
+	p.InducedExternal += other.InducedExternal
+	p.TotalCost += other.TotalCost
+	if other.maxPoints > 0 && (p.maxPoints == 0 || other.maxPoints < p.maxPoints) {
+		p.maxPoints = other.maxPoints
+	}
+	// Adopt the coarser granularity, re-quantizing p's own points to it
+	// before folding other's in.
+	if other.drmsShift > p.drmsShift {
+		p.drmsShift = other.drmsShift
+		requantize(p.DRMSPoints, p.drmsShift)
+	}
+	if other.rmsShift > p.rmsShift {
+		p.rmsShift = other.rmsShift
+		requantize(p.RMSPoints, p.rmsShift)
+	}
+	for v, st := range other.DRMSPoints {
+		key := bucketKey(v, p.drmsShift)
+		dst := p.DRMSPoints[key]
+		if dst == nil {
+			dst = &CostStats{}
+			p.DRMSPoints[key] = dst
+		}
+		dst.merge(st)
+	}
+	for v, st := range other.RMSPoints {
+		key := bucketKey(v, p.rmsShift)
+		dst := p.RMSPoints[key]
+		if dst == nil {
+			dst = &CostStats{}
+			p.RMSPoints[key] = dst
+		}
+		dst.merge(st)
+	}
+	if p.maxPoints > 0 {
+		if len(p.DRMSPoints) > p.maxPoints {
+			p.drmsShift = rebucket(p.DRMSPoints, p.drmsShift, p.maxPoints)
+		}
+		if len(p.RMSPoints) > p.maxPoints {
+			p.rmsShift = rebucket(p.RMSPoints, p.rmsShift, p.maxPoints)
+		}
+	}
+}
+
+// InducedReads returns the total induced first-reads attributed to the
+// routine.
+func (p *Profile) InducedReads() uint64 { return p.InducedThread + p.InducedExternal }
+
+// ReadOps returns first-reads plus induced first-reads — the denominator of
+// the paper's per-routine input characterization (Fig. 14).
+func (p *Profile) ReadOps() uint64 { return p.FirstReads + p.InducedReads() }
+
+// PlotPoint is one (input size, cost) point of a cost plot.
+type PlotPoint struct {
+	N     uint64
+	Cost  uint64
+	Calls uint64
+}
+
+// WorstCasePlot returns the worst-case cost plot (max cost per distinct
+// input size) for the chosen metric, sorted by input size.
+func (p *Profile) WorstCasePlot(metric Metric) []PlotPoint {
+	src := p.DRMSPoints
+	if metric == MetricRMS {
+		src = p.RMSPoints
+	}
+	out := make([]PlotPoint, 0, len(src))
+	for n, st := range src {
+		out = append(out, PlotPoint{N: n, Cost: st.Max, Calls: st.Count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].N < out[j].N })
+	return out
+}
+
+// Metric selects which input-size estimate a query refers to.
+type Metric int
+
+const (
+	// MetricDRMS is the dynamic read memory size of this paper. It is the
+	// zero value: drms is the default metric everywhere.
+	MetricDRMS Metric = iota
+	// MetricRMS is the read memory size of aprof [5].
+	MetricRMS
+)
+
+// String returns the lower-case metric name.
+func (m Metric) String() string {
+	if m == MetricRMS {
+		return "rms"
+	}
+	return "drms"
+}
+
+// Profiles is the output of a profiling run: thread-sensitive routine
+// profiles plus run-level bookkeeping.
+type Profiles struct {
+	Symbols *trace.SymbolTable
+	// ByKey holds the thread-sensitive profiles.
+	ByKey map[Key]*Profile
+	// ByContext holds calling-context-sensitive profiles; nil unless the
+	// run had Config.ContextSensitive set.
+	ByContext map[ContextKey]*Profile
+	// Contexts describes the calling-context tree, indexed by ContextID;
+	// nil unless the run was context-sensitive.
+	Contexts []ContextMeta
+	// Renumberings counts how many global timestamp renumberings the run
+	// performed (§3.2, counter overflows).
+	Renumberings int
+	// Events counts processed trace events.
+	Events int
+}
+
+// Get returns the profile for (routine, thread), or nil.
+func (ps *Profiles) Get(routine string, thread trace.ThreadID) *Profile {
+	id, ok := ps.Symbols.Lookup(routine)
+	if !ok {
+		return nil
+	}
+	return ps.ByKey[Key{Routine: id, Thread: thread}]
+}
+
+// MergeThreads merges the per-thread profiles of each routine (the paper's
+// "if necessary, they can be merged in a subsequent step"), returning
+// per-routine profiles keyed by routine id. Merged profiles report Thread
+// -1.
+func (ps *Profiles) MergeThreads() map[trace.RoutineID]*Profile {
+	out := make(map[trace.RoutineID]*Profile)
+	for k, p := range ps.ByKey {
+		dst := out[k.Routine]
+		if dst == nil {
+			dst = newProfile(k.Routine, -1)
+			out[k.Routine] = dst
+		}
+		dst.merge(p)
+	}
+	return out
+}
+
+// Routine returns the merged (cross-thread) profile of the named routine, or
+// nil if the routine never ran.
+func (ps *Profiles) Routine(name string) *Profile {
+	id, ok := ps.Symbols.Lookup(name)
+	if !ok {
+		return nil
+	}
+	var merged *Profile
+	for k, p := range ps.ByKey {
+		if k.Routine != id {
+			continue
+		}
+		if merged == nil {
+			merged = newProfile(id, -1)
+		}
+		merged.merge(p)
+	}
+	return merged
+}
+
+// Routines returns the ids of all profiled routines, sorted by name.
+func (ps *Profiles) Routines() []trace.RoutineID {
+	seen := make(map[trace.RoutineID]bool)
+	var ids []trace.RoutineID
+	for k := range ps.ByKey {
+		if !seen[k.Routine] {
+			seen[k.Routine] = true
+			ids = append(ids, k.Routine)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return ps.Symbols.Name(ids[i]) < ps.Symbols.Name(ids[j])
+	})
+	return ids
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"aprof/internal/trace"
+)
+
+// Calling-context-sensitive profiling: with Config.ContextSensitive the
+// profiler additionally keys collected activations by their calling context
+// (the path of routines from the thread root), building a calling-context
+// tree per run. The paper's profiles are routine-level ("performance
+// metrics to software locations such as routines, basic blocks, or calling
+// contexts" — §1); context sensitivity is the natural refinement its related
+// work ([1], [24]) profiles at, and it lets the cost plots separate
+// activations of one routine that play different roles in different callers.
+//
+// Direct recursion is collapsed (a recursive call re-uses its parent's
+// context node), so recursive algorithms do not materialize unbounded
+// context chains.
+
+// ContextID identifies a calling-context node. The zero value is the
+// synthetic root (no pending activation).
+type ContextID uint32
+
+// RootContext is the synthetic root of the calling-context tree.
+const RootContext ContextID = 0
+
+// ContextMeta describes one calling-context node.
+type ContextMeta struct {
+	// Routine is the node's routine.
+	Routine trace.RoutineID
+	// Parent is the caller's context (RootContext for thread roots).
+	Parent ContextID
+	// Depth is the path length from the root (root children have depth 1).
+	Depth int
+}
+
+// contextNode is the mutable tree node used during profiling.
+type contextNode struct {
+	id       ContextID
+	rtn      trace.RoutineID
+	parent   *contextNode
+	children map[trace.RoutineID]*contextNode
+	depth    int
+}
+
+// contextTable interns calling contexts.
+type contextTable struct {
+	root  *contextNode
+	nodes []*contextNode // index = ContextID
+}
+
+func newContextTable() *contextTable {
+	root := &contextNode{id: RootContext}
+	return &contextTable{root: root, nodes: []*contextNode{root}}
+}
+
+// child returns parent's context node for rtn, creating it on first use and
+// collapsing direct recursion.
+func (ct *contextTable) child(parent *contextNode, rtn trace.RoutineID) *contextNode {
+	if parent.id != RootContext && parent.rtn == rtn {
+		return parent // collapse direct recursion
+	}
+	if c, ok := parent.children[rtn]; ok {
+		return c
+	}
+	c := &contextNode{
+		id:     ContextID(len(ct.nodes)),
+		rtn:    rtn,
+		parent: parent,
+		depth:  parent.depth + 1,
+	}
+	if parent.children == nil {
+		parent.children = make(map[trace.RoutineID]*contextNode)
+	}
+	parent.children[rtn] = c
+	ct.nodes = append(ct.nodes, c)
+	return c
+}
+
+// metas freezes the table into the exported form.
+func (ct *contextTable) metas() []ContextMeta {
+	out := make([]ContextMeta, len(ct.nodes))
+	for i, n := range ct.nodes {
+		meta := ContextMeta{Routine: n.rtn, Depth: n.depth}
+		if n.parent != nil {
+			meta.Parent = n.parent.id
+		}
+		out[i] = meta
+	}
+	return out
+}
+
+// ContextKey identifies a thread-sensitive context profile.
+type ContextKey struct {
+	Context ContextID
+	Thread  trace.ThreadID
+}
+
+// ContextPath renders a context as the routine path from the root, e.g.
+// "main > query > scan".
+func (ps *Profiles) ContextPath(id ContextID) string {
+	if int(id) >= len(ps.Contexts) || id == RootContext {
+		return ""
+	}
+	var parts []string
+	for cur := id; cur != RootContext; cur = ps.Contexts[cur].Parent {
+		parts = append(parts, ps.Symbols.Name(ps.Contexts[cur].Routine))
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " > ")
+}
+
+// Context returns the merged (cross-thread) profile of the context with the
+// given path (routine names joined by " > "), or nil.
+func (ps *Profiles) Context(path string) *Profile {
+	var merged *Profile
+	for key, p := range ps.ByContext {
+		if ps.ContextPath(key.Context) != path {
+			continue
+		}
+		if merged == nil {
+			merged = newProfile(p.Routine, -1)
+		}
+		merged.merge(p)
+	}
+	return merged
+}
+
+// ContextProfile pairs a context path with its merged profile, for reports.
+type ContextProfile struct {
+	Context ContextID
+	Path    string
+	Profile *Profile
+}
+
+// HotContexts returns the merged context profiles sorted by decreasing total
+// cost (all of them when topN <= 0). It returns nil unless the run was
+// context-sensitive.
+func (ps *Profiles) HotContexts(topN int) []ContextProfile {
+	if len(ps.ByContext) == 0 {
+		return nil
+	}
+	byCtx := make(map[ContextID]*Profile)
+	for key, p := range ps.ByContext {
+		dst := byCtx[key.Context]
+		if dst == nil {
+			dst = newProfile(p.Routine, -1)
+			byCtx[key.Context] = dst
+		}
+		dst.merge(p)
+	}
+	out := make([]ContextProfile, 0, len(byCtx))
+	for id, p := range byCtx {
+		out = append(out, ContextProfile{Context: id, Path: ps.ContextPath(id), Profile: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Profile.TotalCost != out[j].Profile.TotalCost {
+			return out[i].Profile.TotalCost > out[j].Profile.TotalCost
+		}
+		return out[i].Path < out[j].Path
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}

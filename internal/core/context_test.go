@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+func contextConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ContextSensitive = true
+	return cfg
+}
+
+// TestContextSeparatesCallers checks the core motivation: one routine called
+// from two different parents gets two contexts with independent cost plots,
+// while the routine-level profile aggregates both.
+func TestContextSeparatesCallers(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+
+	// From "query": scan reads large inputs.
+	for i := 0; i < 4; i++ {
+		tb.Call("query")
+		tb.Call("scan")
+		tb.Read(1000, uint32(100*(i+1)))
+		tb.Work(uint64(200 * (i + 1)))
+		tb.Ret()
+		tb.Ret()
+	}
+	// From "update": scan reads small inputs.
+	for i := 0; i < 3; i++ {
+		tb.Call("update")
+		tb.Call("scan")
+		tb.Read(5000, uint32(i+1))
+		tb.Work(uint64(2 * (i + 1)))
+		tb.Ret()
+		tb.Ret()
+	}
+	tb.Ret()
+
+	ps, err := Run(b.Trace(), contextConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Contexts) == 0 {
+		t.Fatal("no contexts recorded")
+	}
+
+	viaQuery := ps.Context("main > query > scan")
+	viaUpdate := ps.Context("main > update > scan")
+	if viaQuery == nil || viaUpdate == nil {
+		var paths []string
+		for key := range ps.ByContext {
+			paths = append(paths, ps.ContextPath(key.Context))
+		}
+		t.Fatalf("missing scan contexts; have %v", paths)
+	}
+	if viaQuery.Calls != 4 || viaUpdate.Calls != 3 {
+		t.Errorf("calls = (%d, %d), want (4, 3)", viaQuery.Calls, viaUpdate.Calls)
+	}
+	if len(viaQuery.DRMSPoints) != 4 || len(viaUpdate.DRMSPoints) != 3 {
+		t.Errorf("points = (%d, %d), want (4, 3)", len(viaQuery.DRMSPoints), len(viaUpdate.DRMSPoints))
+	}
+	// The routine-level profile aggregates both contexts.
+	scan := ps.Routine("scan")
+	if scan.Calls != 7 {
+		t.Errorf("routine-level calls = %d, want 7", scan.Calls)
+	}
+	if viaQuery.SumDRMS+viaUpdate.SumDRMS != scan.SumDRMS {
+		t.Errorf("context drms sums %d+%d != routine sum %d",
+			viaQuery.SumDRMS, viaUpdate.SumDRMS, scan.SumDRMS)
+	}
+}
+
+func TestContextPathsAndHotContexts(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	tb.Call("a")
+	tb.Call("b")
+	tb.Work(500)
+	tb.Ret()
+	tb.Ret()
+	tb.Call("b")
+	tb.Work(10)
+	tb.Ret()
+	tb.Ret()
+
+	ps, err := Run(b.Trace(), contextConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := ps.HotContexts(0)
+	if len(hot) != 4 { // main, main>a, main>a>b, main>b
+		t.Fatalf("got %d contexts: %+v", len(hot), hot)
+	}
+	if hot[0].Path != "main" {
+		t.Errorf("hottest context = %q, want main (inclusive cost)", hot[0].Path)
+	}
+	// Top-2 limiting.
+	if got := ps.HotContexts(2); len(got) != 2 {
+		t.Errorf("HotContexts(2) returned %d entries", len(got))
+	}
+	for _, cp := range hot {
+		if strings.Contains(cp.Path, ">") && !strings.HasPrefix(cp.Path, "main") {
+			t.Errorf("path %q does not start at the thread root", cp.Path)
+		}
+	}
+}
+
+// TestContextRecursionCollapsed checks that direct recursion re-uses the
+// parent context instead of materializing one node per depth.
+func TestContextRecursionCollapsed(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	tb.Call("rec")
+	for d := 0; d < 50; d++ {
+		tb.Call("rec")
+	}
+	for d := 0; d < 51; d++ {
+		tb.Ret()
+	}
+	tb.Ret()
+
+	ps, err := Run(b.Trace(), contextConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contexts: root, main, main>rec — recursion collapsed.
+	if len(ps.Contexts) != 3 {
+		t.Fatalf("got %d contexts, want 3 (recursion must collapse)", len(ps.Contexts))
+	}
+	rec := ps.Context("main > rec")
+	if rec == nil || rec.Calls != 51 {
+		t.Errorf("collapsed recursive context = %+v, want 51 calls", rec)
+	}
+}
+
+// TestContextDisabledByDefault ensures plain runs carry no context data.
+func TestContextDisabledByDefault(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Ret()
+	ps, err := Run(b.Trace(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ByContext != nil || ps.Contexts != nil {
+		t.Error("context data present without ContextSensitive")
+	}
+	if ps.HotContexts(5) != nil {
+		t.Error("HotContexts non-nil for a routine-level run")
+	}
+}
+
+// TestContextMetricsMatchRoutineTotals checks, on a multithreaded trace with
+// dynamic input, that per-context metric sums reconstruct every routine
+// total exactly.
+func TestContextMetricsMatchRoutineTotals(t *testing.T) {
+	tr := func() *trace.Trace {
+		b := trace.NewBuilder()
+		t1 := b.Thread(1)
+		t2 := b.Thread(2)
+		t1.Call("main")
+		t2.Call("peer")
+		for i := 0; i < 10; i++ {
+			t1.Call("work")
+			t2.Write1(3)
+			t1.Read1(3)
+			t1.SysRead(9, 2)
+			t1.Read(9, 2)
+			t1.Ret()
+		}
+		t1.Ret()
+		t2.Ret()
+		return b.Trace()
+	}()
+	ps, err := Run(tr, contextConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	routineTotals := make(map[trace.RoutineID]uint64)
+	for key, p := range ps.ByContext {
+		routineTotals[ps.Contexts[key.Context].Routine] += p.SumDRMS
+	}
+	for id, p := range ps.MergeThreads() {
+		if routineTotals[id] != p.SumDRMS {
+			t.Errorf("routine %s: context sum %d != routine sum %d",
+				ps.Symbols.Name(id), routineTotals[id], p.SumDRMS)
+		}
+	}
+}

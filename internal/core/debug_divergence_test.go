@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// TestDebugDivergence shrinks a diverging random trace and prints it. It is
+// skipped unless it finds a divergence (development aid).
+func TestDebugDivergence(t *testing.T) {
+	cfg := Config{ThreadInput: true, ExternalInput: true}
+	diverges := func(tr *trace.Trace) bool {
+		fast, err := Run(tr, cfg)
+		if err != nil {
+			return false
+		}
+		slow, err := RunNaive(tr, cfg)
+		if err != nil {
+			return false
+		}
+		return !reflect.DeepEqual(summarize(fast), summarize(slow))
+	}
+	var tr *trace.Trace
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cand := randomTrace(rng, 200+rng.Intn(600))
+		if diverges(cand) {
+			tr = cand
+			break
+		}
+	}
+	if tr == nil {
+		t.Skip("no divergence on these seeds")
+	}
+	// Shrink: repeatedly try dropping each event (non-structural kinds only,
+	// to keep the trace valid).
+	events := tr.Events
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(events); i++ {
+			k := events[i].Kind
+			if k == trace.KindCall || k == trace.KindReturn || k == trace.KindSwitchThread {
+				continue
+			}
+			cand := &trace.Trace{Symbols: tr.Symbols}
+			cand.Events = append(cand.Events, events[:i]...)
+			cand.Events = append(cand.Events, events[i+1:]...)
+			if diverges(cand) {
+				events = cand.Events
+				changed = true
+				i--
+			}
+		}
+	}
+	min := &trace.Trace{Symbols: tr.Symbols, Events: events}
+	for _, ev := range min.Events {
+		t.Logf("%s", ev.String())
+	}
+	fast, _ := Run(min, cfg)
+	slow, _ := RunNaive(min, cfg)
+	fs, ss := summarize(fast), summarize(slow)
+	for i := range fs {
+		if i < len(ss) && !reflect.DeepEqual(fs[i], ss[i]) {
+			t.Logf("DIFF fast:  %+v", fs[i])
+			t.Logf("DIFF naive: %+v", ss[i])
+		}
+	}
+	t.Fatal("divergence (see minimized trace above)")
+}

@@ -1,0 +1,89 @@
+package core
+
+import "aprof/internal/trace"
+
+// MergeRuns combines the profiles of several profiling runs into one, the
+// multi-run mode the paper's introduction describes (input-sensitive
+// profilers "collect data from multiple or even single program runs"):
+// running the application on several workloads and merging widens the range
+// of observed input sizes, which is exactly what the cost-plot fits need.
+//
+// Runs may come from different processes, so routine ids are reconciled by
+// name through a fresh symbol table. Thread-sensitive profiles merge by
+// (routine name, thread id); calling-context profiles merge by (context
+// path, thread id) when every input run is context-sensitive, and are
+// dropped otherwise (a path-keyed merge of partial data would be
+// misleading). Run-level counters accumulate.
+func MergeRuns(runs ...*Profiles) *Profiles {
+	out := &Profiles{
+		Symbols: trace.NewSymbolTable(),
+		ByKey:   make(map[Key]*Profile),
+	}
+	if len(runs) == 0 {
+		return out
+	}
+
+	for _, run := range runs {
+		out.Events += run.Events
+		out.Renumberings += run.Renumberings
+		for key, p := range run.ByKey {
+			id := out.Symbols.Intern(run.Symbols.Name(key.Routine))
+			newKey := Key{Routine: id, Thread: key.Thread}
+			dst := out.ByKey[newKey]
+			if dst == nil {
+				dst = newProfile(id, key.Thread)
+				out.ByKey[newKey] = dst
+			}
+			dst.merge(p)
+			dst.Routine = id
+		}
+	}
+
+	// Context-sensitive merge, only when every run carries contexts.
+	allCtx := true
+	for _, run := range runs {
+		if run.ByContext == nil {
+			allCtx = false
+			break
+		}
+	}
+	if !allCtx {
+		return out
+	}
+	// Rebuild a shared context tree keyed by routine-name paths.
+	table := newContextTable()
+	out.ByContext = make(map[ContextKey]*Profile)
+	for _, run := range runs {
+		// Map each of the run's context ids to a node in the shared tree by
+		// walking its path.
+		mapped := make(map[ContextID]*contextNode, len(run.Contexts))
+		var resolve func(id ContextID) *contextNode
+		resolve = func(id ContextID) *contextNode {
+			if id == RootContext {
+				return table.root
+			}
+			if n, ok := mapped[id]; ok {
+				return n
+			}
+			meta := run.Contexts[id]
+			parent := resolve(meta.Parent)
+			name := run.Symbols.Name(meta.Routine)
+			n := table.child(parent, out.Symbols.Intern(name))
+			mapped[id] = n
+			return n
+		}
+		for key, p := range run.ByContext {
+			node := resolve(key.Context)
+			newKey := ContextKey{Context: node.id, Thread: key.Thread}
+			dst := out.ByContext[newKey]
+			if dst == nil {
+				dst = newProfile(node.rtn, key.Thread)
+				out.ByContext[newKey] = dst
+			}
+			dst.merge(p)
+			dst.Routine = node.rtn
+		}
+	}
+	out.Contexts = table.metas()
+	return out
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// runOn profiles a scan workload at the given sizes, optionally
+// context-sensitively. Each run has its own symbol table, with an extra
+// routine to force different id assignments across runs.
+func runOn(t *testing.T, sizes []int, ctx bool, extraFirst string) *Profiles {
+	t.Helper()
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	if extraFirst != "" {
+		tb.Call(extraFirst)
+		tb.Work(3)
+		tb.Ret()
+	}
+	tb.Call("main")
+	for _, n := range sizes {
+		tb.Call("scan")
+		tb.Read(5000, uint32(n))
+		tb.Work(uint64(2 * n))
+		tb.Ret()
+	}
+	tb.Ret()
+	cfg := DefaultConfig()
+	cfg.ContextSensitive = ctx
+	ps, err := Run(b.Trace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestMergeRunsWidensPlots(t *testing.T) {
+	run1 := runOn(t, []int{10, 20, 30}, false, "setup_a")
+	run2 := runOn(t, []int{100, 200}, false, "")
+	merged := MergeRuns(run1, run2)
+
+	scan := merged.Routine("scan")
+	if scan == nil {
+		t.Fatal("no merged scan profile")
+	}
+	if scan.Calls != 5 {
+		t.Errorf("merged calls = %d, want 5", scan.Calls)
+	}
+	if len(scan.DRMSPoints) != 5 {
+		t.Errorf("merged points = %d, want 5", len(scan.DRMSPoints))
+	}
+	plot := scan.WorstCasePlot(MetricDRMS)
+	if plot[0].N != 10 || plot[len(plot)-1].N != 200 {
+		t.Errorf("merged plot range [%d, %d], want [10, 200]", plot[0].N, plot[len(plot)-1].N)
+	}
+	// The run-specific extra routine survives under its name.
+	if merged.Routine("setup_a") == nil {
+		t.Error("routine present in only one run was lost")
+	}
+	if merged.Events != run1.Events+run2.Events {
+		t.Error("event counters not accumulated")
+	}
+}
+
+func TestMergeRunsReconcilesIDs(t *testing.T) {
+	// In run2, "scan" has a different RoutineID than in run1 (extra routine
+	// interned first); the merge must still combine them.
+	run1 := runOn(t, []int{5}, false, "")
+	run2 := runOn(t, []int{7}, false, "zzz_first")
+	id1, _ := run1.Symbols.Lookup("scan")
+	id2, _ := run2.Symbols.Lookup("scan")
+	if id1 == id2 {
+		t.Fatal("test setup: ids should differ across runs")
+	}
+	merged := MergeRuns(run1, run2)
+	if got := merged.Routine("scan").Calls; got != 2 {
+		t.Errorf("merged scan calls = %d, want 2", got)
+	}
+}
+
+func TestMergeRunsContexts(t *testing.T) {
+	run1 := runOn(t, []int{10, 20}, true, "setup_a")
+	run2 := runOn(t, []int{40}, true, "")
+	merged := MergeRuns(run1, run2)
+	if merged.ByContext == nil {
+		t.Fatal("context data lost")
+	}
+	scanCtx := merged.Context("main > scan")
+	if scanCtx == nil {
+		t.Fatal("merged context main > scan missing")
+	}
+	if scanCtx.Calls != 3 {
+		t.Errorf("context calls = %d, want 3", scanCtx.Calls)
+	}
+	if len(scanCtx.DRMSPoints) != 3 {
+		t.Errorf("context points = %d, want 3", len(scanCtx.DRMSPoints))
+	}
+}
+
+func TestMergeRunsMixedContextsDropsThem(t *testing.T) {
+	run1 := runOn(t, []int{10}, true, "")
+	run2 := runOn(t, []int{20}, false, "")
+	merged := MergeRuns(run1, run2)
+	if merged.ByContext != nil {
+		t.Error("partial context data should be dropped")
+	}
+	if merged.Routine("scan").Calls != 2 {
+		t.Error("routine-level merge incomplete")
+	}
+}
+
+func TestMergeRunsEmpty(t *testing.T) {
+	merged := MergeRuns()
+	if merged == nil || len(merged.ByKey) != 0 {
+		t.Error("empty merge should produce an empty Profiles")
+	}
+	single := runOn(t, []int{5}, false, "")
+	again := MergeRuns(single)
+	if again.Routine("scan").Calls != 1 {
+		t.Error("single-run merge lost data")
+	}
+}

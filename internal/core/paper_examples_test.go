@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// profileBoth runs both the efficient and the naive profiler and fails the
+// test if any disagreement arises later via compareProfiles.
+func runFull(t *testing.T, tr *trace.Trace) *Profiles {
+	t.Helper()
+	ps, err := Run(tr, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ps
+}
+
+func mustProfile(t *testing.T, ps *Profiles, routine string, thread trace.ThreadID) *Profile {
+	t.Helper()
+	p := ps.Get(routine, thread)
+	if p == nil {
+		t.Fatalf("no profile for %s on thread %d", routine, thread)
+	}
+	return p
+}
+
+// TestFigure1a reproduces Fig. 1a: routine f in thread T1 reads x twice, and
+// routine g in thread T2 overwrites x between the two reads. The second read
+// gets a value not produced by f, so it is new input: rms(f)=1, drms(f)=2.
+func TestFigure1a(t *testing.T) {
+	const x = trace.Addr(100)
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+
+	t1.Call("f")
+	t1.Read1(x)
+
+	t2.Call("g")
+	t2.Write1(x)
+	t2.Ret()
+
+	t1.Read1(x)
+	t1.Ret()
+
+	ps := runFull(t, b.Trace())
+	f := mustProfile(t, ps, "f", 1)
+	if f.SumRMS != 1 {
+		t.Errorf("rms(f,T1) = %d, want 1", f.SumRMS)
+	}
+	if f.SumDRMS != 2 {
+		t.Errorf("drms(f,T1) = %d, want 2", f.SumDRMS)
+	}
+	if f.InducedThread != 1 || f.InducedExternal != 0 {
+		t.Errorf("induced(f) = (thread=%d, external=%d), want (1, 0)", f.InducedThread, f.InducedExternal)
+	}
+}
+
+// TestFigure1b reproduces Fig. 1b: f reads x, T2 overwrites x, f's
+// subroutine h reads x (an induced first-read, also counted for f), then f
+// reads x a third time — not induced, because f already re-accessed x
+// through h after T2's write. rms(h)=1, rms(f)=1, drms(h)=1, drms(f)=2.
+func TestFigure1b(t *testing.T) {
+	const x = trace.Addr(100)
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+
+	t1.Call("f")
+	t1.Read1(x)
+
+	t2.Call("g")
+	t2.Write1(x)
+	t2.Ret()
+
+	t1.Call("h")
+	t1.Read1(x)
+	t1.Ret()
+	t1.Read1(x)
+	t1.Ret()
+
+	ps := runFull(t, b.Trace())
+	f := mustProfile(t, ps, "f", 1)
+	h := mustProfile(t, ps, "h", 1)
+	if h.SumRMS != 1 || h.SumDRMS != 1 {
+		t.Errorf("h: rms=%d drms=%d, want 1 and 1", h.SumRMS, h.SumDRMS)
+	}
+	if f.SumRMS != 1 {
+		t.Errorf("rms(f,T1) = %d, want 1", f.SumRMS)
+	}
+	if f.SumDRMS != 2 {
+		t.Errorf("drms(f,T1) = %d, want 2", f.SumDRMS)
+	}
+}
+
+// TestFigure2ProducerConsumer reproduces the producer-consumer pattern of
+// Fig. 2: the consumer repeatedly reads the same location x, which the
+// producer overwrites before every read. After n iterations
+// rms(consumer)=1 while drms(consumer)=n.
+func TestFigure2ProducerConsumer(t *testing.T) {
+	const (
+		x = trace.Addr(500)
+		n = 40
+	)
+	b := trace.NewBuilder()
+	prod := b.Thread(1)
+	cons := b.Thread(2)
+
+	prod.Call("producer")
+	cons.Call("consumer")
+	for i := 0; i < n; i++ {
+		// Semaphore handshakes; the paper disregards the semaphore cells
+		// themselves, and so does the consumer's metric because acquire and
+		// release events touch no traced memory.
+		prod.Acquire(1) // wait(empty)
+		prod.Call("produceData")
+		prod.Write1(x)
+		prod.Ret()
+		prod.Release(2) // signal(full)
+
+		cons.Acquire(2) // wait(full)
+		cons.Call("consumeData")
+		cons.Read1(x)
+		cons.Ret()
+		cons.Release(1) // signal(empty)
+	}
+	prod.Ret()
+	cons.Ret()
+
+	ps := runFull(t, b.Trace())
+	consumer := mustProfile(t, ps, "consumer", 2)
+	if consumer.SumRMS != 1 {
+		t.Errorf("rms(consumer) = %d, want 1", consumer.SumRMS)
+	}
+	if consumer.SumDRMS != n {
+		t.Errorf("drms(consumer) = %d, want %d", consumer.SumDRMS, n)
+	}
+	// Every read is preceded by a producer write, so all n reads are
+	// thread-induced.
+	if consumer.InducedThread != n {
+		t.Errorf("inducedThread(consumer) = %d, want %d", consumer.InducedThread, n)
+	}
+}
+
+// TestFigure3Streaming reproduces the data-streaming pattern of Fig. 3: the
+// OS fills a 2-cell buffer n times; only b[0] is consumed each iteration.
+// rms(streamReader)=1 but drms(streamReader)=n thanks to n induced
+// first-reads from external input.
+func TestFigure3Streaming(t *testing.T) {
+	const (
+		buf = trace.Addr(800)
+		n   = 25
+	)
+	b := trace.NewBuilder()
+	tr := b.Thread(1)
+	tr.Call("streamReader")
+	for i := 0; i < n; i++ {
+		tr.SysRead(buf, 2) // fill b with external data
+		tr.Call("consumeData")
+		tr.Read1(buf) // read and process b[0]
+		tr.Ret()
+	}
+	tr.Ret()
+
+	ps := runFull(t, b.Trace())
+	sr := mustProfile(t, ps, "streamReader", 1)
+	if sr.SumRMS != 1 {
+		t.Errorf("rms(streamReader) = %d, want 1", sr.SumRMS)
+	}
+	if sr.SumDRMS != n {
+		t.Errorf("drms(streamReader) = %d, want %d", sr.SumDRMS, n)
+	}
+	if sr.InducedExternal != n {
+		t.Errorf("inducedExternal(streamReader) = %d, want %d", sr.InducedExternal, n)
+	}
+	if sr.InducedThread != 0 {
+		t.Errorf("inducedThread(streamReader) = %d, want 0", sr.InducedThread)
+	}
+}
+
+// TestExternalOnlyConfig checks the Fig. 6b configuration: thread-induced
+// reads are not counted when ThreadInput is disabled, while external ones
+// still are.
+func TestExternalOnlyConfig(t *testing.T) {
+	const x = trace.Addr(10)
+	build := func() *trace.Trace {
+		b := trace.NewBuilder()
+		t1 := b.Thread(1)
+		t2 := b.Thread(2)
+		t1.Call("f")
+		t1.Read1(x) // first-read
+		t2.Call("g")
+		t2.Write1(x)
+		t2.Ret()
+		t1.Read1(x)      // thread-induced
+		t1.SysRead(x, 1) // kernel refills x
+		t1.Read1(x)      // external-induced
+		t1.Ret()
+		return b.Trace()
+	}
+
+	full, err := Run(build(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extOnly, err := Run(build(), Config{ExternalInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmsOnly, err := Run(build(), RMSOnlyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := full.Get("f", 1).SumDRMS; got != 3 {
+		t.Errorf("full drms(f) = %d, want 3", got)
+	}
+	if got := extOnly.Get("f", 1).SumDRMS; got != 2 {
+		t.Errorf("external-only drms(f) = %d, want 2", got)
+	}
+	if got := rmsOnly.Get("f", 1).SumDRMS; got != 1 {
+		t.Errorf("rms-only drms(f) = %d, want 1", got)
+	}
+	for _, ps := range []*Profiles{full, extOnly, rmsOnly} {
+		if got := ps.Get("f", 1).SumRMS; got != 1 {
+			t.Errorf("rms(f) = %d, want 1", got)
+		}
+	}
+}
+
+// TestUserToKernelCountsAsRead checks Fig. 9: an OS write to an external
+// device reads the thread's memory, and counts exactly like a read performed
+// by the thread.
+func TestUserToKernelCountsAsRead(t *testing.T) {
+	const buf = trace.Addr(50)
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t1.Call("sender")
+	t1.Write(buf, 4)    // thread produces the buffer itself
+	t1.SysWrite(buf, 4) // kernel reads it: not input (first accessed by write)
+	t1.Ret()
+
+	t1.Call("forwarder")
+	t1.SysWrite(buf, 4) // kernel reads it: 4 first-reads for forwarder
+	t1.Ret()
+
+	ps := runFull(t, b.Trace())
+	if got := mustProfile(t, ps, "sender", 1).SumDRMS; got != 0 {
+		t.Errorf("drms(sender) = %d, want 0", got)
+	}
+	if got := mustProfile(t, ps, "forwarder", 1).SumDRMS; got != 4 {
+		t.Errorf("drms(forwarder) = %d, want 4", got)
+	}
+}
+
+// TestInequality1 checks drms >= rms per activation on a small nested
+// workload (Inequality 1).
+func TestInequality1(t *testing.T) {
+	var records []ActivationRecord
+	cfg := DefaultConfig()
+	cfg.OnActivation = func(r ActivationRecord) { records = append(records, r) }
+
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("a")
+	for i := 0; i < 10; i++ {
+		t1.Call("b")
+		t1.Read(trace.Addr(uint64(i)), 3)
+		t1.Write(trace.Addr(uint64(i+1)), 2)
+		t2.Call("w")
+		t2.Write(trace.Addr(uint64(i)), 4)
+		t2.Ret()
+		t1.Read(trace.Addr(uint64(i)), 4)
+		t1.Ret()
+	}
+	t1.Ret()
+
+	if _, err := Run(b.Trace(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no activations collected")
+	}
+	for _, r := range records {
+		if r.DRMS < r.RMS {
+			t.Errorf("activation of routine %d: drms %d < rms %d", r.Routine, r.DRMS, r.RMS)
+		}
+		if r.FirstReads+r.InducedThread+r.InducedExternal != r.DRMS {
+			t.Errorf("activation of routine %d: breakdown %d+%d+%d != drms %d",
+				r.Routine, r.FirstReads, r.InducedThread, r.InducedExternal, r.DRMS)
+		}
+	}
+}

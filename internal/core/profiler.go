@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aprof/internal/shadow"
+	"aprof/internal/trace"
+)
+
+// Config controls a profiling run.
+type Config struct {
+	// ThreadInput enables recognizing induced first-reads caused by writes
+	// of other threads. Disabling it reproduces the "external input only"
+	// variant of Fig. 6b.
+	ThreadInput bool
+	// ExternalInput enables recognizing induced first-reads caused by
+	// kernelToUser events (data from disk, network, ...).
+	ExternalInput bool
+	// CounterLimit, when non-zero, caps the global timestamp counter: when
+	// count reaches the limit the profiler renumbers all live timestamps to
+	// a dense range preserving their order (§3.2, counter overflows). A
+	// zero limit uses a practically unreachable default.
+	CounterLimit uint64
+	// ContextSensitive additionally keys collected activations by calling
+	// context, populating Profiles.ByContext and Profiles.Contexts. Direct
+	// recursion is collapsed.
+	ContextSensitive bool
+	// MaxPointsPerProfile caps the number of distinct input-size points each
+	// profile retains (0 = unlimited). When a profile exceeds the cap its
+	// input sizes are progressively quantized (low-order bits dropped),
+	// bounding the profiler's memory on long-running workloads while
+	// preserving the cost-plot shape.
+	MaxPointsPerProfile int
+	// OnActivation, when non-nil, is invoked for every collected activation
+	// in completion order, before aggregation. It supports streaming
+	// consumers and the differential tests.
+	OnActivation func(ActivationRecord)
+}
+
+// ActivationRecord reports one completed routine activation.
+type ActivationRecord struct {
+	Routine trace.RoutineID
+	Thread  trace.ThreadID
+	// RMS and DRMS are the input-size estimates of the activation; DRMS >=
+	// RMS always holds (Inequality 1 of the paper).
+	RMS  uint64
+	DRMS uint64
+	// Cost is the inclusive cost (basic blocks between call and return).
+	Cost uint64
+	// FirstReads + InducedThread + InducedExternal = DRMS.
+	FirstReads      uint64
+	InducedThread   uint64
+	InducedExternal uint64
+}
+
+func (a activation) record(rtn trace.RoutineID, thr trace.ThreadID) ActivationRecord {
+	return ActivationRecord{
+		Routine:         rtn,
+		Thread:          thr,
+		RMS:             a.rms,
+		DRMS:            a.drms(),
+		Cost:            a.cost,
+		FirstReads:      a.first,
+		InducedThread:   a.indThread,
+		InducedExternal: a.indExternal,
+	}
+}
+
+// DefaultConfig enables both dynamic input sources — the full drms metric.
+func DefaultConfig() Config {
+	return Config{ThreadInput: true, ExternalInput: true}
+}
+
+// RMSOnlyConfig disables both dynamic input sources; the drms then
+// degenerates to the rms and no global write-timestamp shadow memory is
+// maintained, mirroring plain aprof [5].
+func RMSOnlyConfig() Config {
+	return Config{}
+}
+
+// writer kinds stored in the wkind shadow alongside wts.
+const (
+	writerNone   uint8 = 0
+	writerThread uint8 = 1
+	writerKernel uint8 = 2
+)
+
+// practicalInfinity is the default counter limit: far beyond any trace this
+// implementation can process, yet small enough that limit+1 cannot overflow.
+const practicalInfinity = 1<<63 - 1
+
+// activation carries the values collected when an activation completes.
+type activation struct {
+	first       uint64
+	indThread   uint64
+	indExternal uint64
+	rms         uint64
+	cost        uint64
+}
+
+func (a activation) drms() uint64 { return a.first + a.indThread + a.indExternal }
+
+// frame is one entry of a thread's shadow run-time stack. The counter fields
+// hold *partial* values maintained under Invariant 2: the true metric of the
+// i-th pending activation is the sum of the partial values from i to the top
+// of the stack.
+type frame struct {
+	rtn       trace.RoutineID
+	ts        uint64
+	entryCost uint64
+	ctx       *contextNode
+	// Partial metric counters. int64: the ancestor decrement of the
+	// first-read branch makes individual partial values transiently
+	// negative in legal executions only in the presence of bugs; keeping
+	// them signed lets the differential tests detect that instead of
+	// silently wrapping.
+	first       int64
+	indThread   int64
+	indExternal int64
+	rms         int64
+}
+
+// threadState holds the thread-specific structures of the algorithm: the
+// shadow memory ts_t of latest accesses and the shadow run-time stack S_t.
+type threadState struct {
+	id    trace.ThreadID
+	ts    *shadow.Table[uint64]
+	stack []frame
+	cost  uint64 // last observed cumulative cost
+}
+
+// Profiler implements the read/write timestamping algorithm of Figs. 8 and 9
+// over a merged trace, computing rms and drms side by side.
+type Profiler struct {
+	cfg  Config
+	syms *trace.SymbolTable
+
+	// count is the global counter of thread switches, routine activations
+	// and kernelToUser events.
+	count uint64
+	limit uint64
+
+	// wts is the global shadow memory of latest-write timestamps; wkind
+	// records whether the latest writer was an application thread or the
+	// kernel, for the thread/external attribution of induced first-reads.
+	// Both stay nil when neither dynamic input source is enabled (rms-only
+	// mode), mirroring aprof's lack of a global shadow memory.
+	wts   *shadow.Table[uint64]
+	wkind *shadow.Table[uint8]
+
+	threads map[trace.ThreadID]*threadState
+	ctx     *contextTable
+	out     *Profiles
+	err     error
+}
+
+// NewProfiler returns a profiler for traces built against syms.
+func NewProfiler(syms *trace.SymbolTable, cfg Config) *Profiler {
+	limit := cfg.CounterLimit
+	if limit == 0 {
+		limit = practicalInfinity
+	}
+	p := &Profiler{
+		cfg: cfg,
+		// count starts at 1, not 0: timestamp 0 is the "never accessed"
+		// sentinel (Fig. 8, line 6), so operations of the very first
+		// scheduling quantum — before any call or thread switch has bumped
+		// the counter — must not stamp 0 into the shadow memories, or a
+		// write there would be invisible to the induced first-read test.
+		count:   1,
+		syms:    syms,
+		limit:   limit,
+		threads: make(map[trace.ThreadID]*threadState),
+		out: &Profiles{
+			Symbols: syms,
+			ByKey:   make(map[Key]*Profile),
+		},
+	}
+	if cfg.ThreadInput || cfg.ExternalInput {
+		p.wts = shadow.New[uint64]()
+		p.wkind = shadow.New[uint8]()
+	}
+	if cfg.ContextSensitive {
+		p.ctx = newContextTable()
+		p.out.ByContext = make(map[ContextKey]*Profile)
+	}
+	return p
+}
+
+// Run profiles a merged trace with the given configuration.
+func Run(tr *trace.Trace, cfg Config) (*Profiles, error) {
+	p := NewProfiler(tr.Symbols, cfg)
+	if err := p.Feed(tr); err != nil {
+		return nil, err
+	}
+	return p.Finish()
+}
+
+// Feed processes all events of tr in order.
+func (p *Profiler) Feed(tr *trace.Trace) error {
+	for i := range tr.Events {
+		if err := p.HandleEvent(&tr.Events[i]); err != nil {
+			return fmt.Errorf("core: event %d (%s): %w", i, tr.Events[i].String(), err)
+		}
+	}
+	return nil
+}
+
+// HandleEvent processes one event.
+func (p *Profiler) HandleEvent(ev *trace.Event) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.out.Events++
+	switch ev.Kind {
+	case trace.KindCall:
+		return p.onCall(ev)
+	case trace.KindReturn:
+		return p.onReturn(ev)
+	case trace.KindSwitchThread:
+		return p.tick()
+	case trace.KindRead:
+		t := p.thread(ev.Thread)
+		t.cost = ev.Cost
+		ev.Cells(func(a trace.Addr) { p.onRead(t, a) })
+		return nil
+	case trace.KindWrite:
+		t := p.thread(ev.Thread)
+		t.cost = ev.Cost
+		ev.Cells(func(a trace.Addr) { p.onWrite(t, a) })
+		return nil
+	case trace.KindUserToKernel:
+		// Read memory accesses by the operating system are regarded as read
+		// operations implicitly performed by the thread, as if the system
+		// call were a normal subroutine (Fig. 9).
+		t := p.thread(ev.Thread)
+		t.cost = ev.Cost
+		ev.Cells(func(a trace.Addr) { p.onRead(t, a) })
+		return nil
+	case trace.KindKernelToUser:
+		return p.onKernelToUser(ev)
+	case trace.KindAcquire, trace.KindRelease:
+		// Synchronization events are instrumentation for the race-detection
+		// comparators; the profiler ignores them (the paper's simplifying
+		// assumption of not considering memory accesses due to semaphore
+		// operations).
+		p.thread(ev.Thread).cost = ev.Cost
+		return nil
+	default:
+		return fmt.Errorf("unhandled event kind %v", ev.Kind)
+	}
+}
+
+// Finish completes the run: any still-pending activations are collected as
+// if they returned at their thread's last observed cost, and the profiles
+// are returned. The profiler must not be fed further events afterwards.
+func (p *Profiler) Finish() (*Profiles, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	ids := make([]trace.ThreadID, 0, len(p.threads))
+	for id := range p.threads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := p.threads[id]
+		for len(t.stack) > 0 {
+			p.popFrame(t, t.cost)
+		}
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.ctx != nil {
+		p.out.Contexts = p.ctx.metas()
+	}
+	return p.out, nil
+}
+
+func (p *Profiler) thread(id trace.ThreadID) *threadState {
+	t, ok := p.threads[id]
+	if !ok {
+		t = &threadState{id: id, ts: shadow.New[uint64]()}
+		p.threads[id] = t
+	}
+	return t
+}
+
+// tick increments the global counter, renumbering timestamps if the counter
+// limit is reached.
+func (p *Profiler) tick() error {
+	if p.count+1 >= p.limit {
+		if err := p.renumber(); err != nil {
+			p.err = err
+			return err
+		}
+	}
+	p.count++
+	return nil
+}
+
+func (p *Profiler) onCall(ev *trace.Event) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	t := p.thread(ev.Thread)
+	t.cost = ev.Cost
+	f := frame{
+		rtn:       ev.Routine,
+		ts:        p.count,
+		entryCost: ev.Cost,
+	}
+	if p.ctx != nil {
+		parent := p.ctx.root
+		if len(t.stack) > 0 {
+			parent = t.stack[len(t.stack)-1].ctx
+		}
+		f.ctx = p.ctx.child(parent, ev.Routine)
+	}
+	t.stack = append(t.stack, f)
+	return nil
+}
+
+func (p *Profiler) onReturn(ev *trace.Event) error {
+	t := p.thread(ev.Thread)
+	t.cost = ev.Cost
+	if len(t.stack) == 0 {
+		return fmt.Errorf("return on thread %d with empty shadow stack", ev.Thread)
+	}
+	p.popFrame(t, ev.Cost)
+	return p.err
+}
+
+// popFrame collects the topmost activation of t at return cost retCost and
+// folds its partial counters into its parent, preserving Invariant 2.
+func (p *Profiler) popFrame(t *threadState, retCost uint64) {
+	top := len(t.stack) - 1
+	f := &t.stack[top]
+	if f.first < 0 || f.indThread < 0 || f.indExternal < 0 || f.rms < 0 {
+		p.err = fmt.Errorf("core: negative partial metric at return of %s on thread %d (first=%d indThread=%d indExternal=%d rms=%d): invariant violated",
+			p.syms.Name(f.rtn), t.id, f.first, f.indThread, f.indExternal, f.rms)
+		return
+	}
+	key := Key{Routine: f.rtn, Thread: t.id}
+	prof := p.out.ByKey[key]
+	if prof == nil {
+		prof = newProfile(f.rtn, t.id)
+		prof.maxPoints = p.cfg.MaxPointsPerProfile
+		p.out.ByKey[key] = prof
+	}
+	cost := uint64(0)
+	if retCost > f.entryCost {
+		cost = retCost - f.entryCost
+	}
+	a := activation{
+		first:       uint64(f.first),
+		indThread:   uint64(f.indThread),
+		indExternal: uint64(f.indExternal),
+		rms:         uint64(f.rms),
+		cost:        cost,
+	}
+	prof.collect(a)
+	if p.ctx != nil {
+		ckey := ContextKey{Context: f.ctx.id, Thread: t.id}
+		cprof := p.out.ByContext[ckey]
+		if cprof == nil {
+			cprof = newProfile(f.rtn, t.id)
+			cprof.maxPoints = p.cfg.MaxPointsPerProfile
+			p.out.ByContext[ckey] = cprof
+		}
+		cprof.collect(a)
+	}
+	if p.cfg.OnActivation != nil {
+		p.cfg.OnActivation(a.record(f.rtn, t.id))
+	}
+	if top > 0 {
+		parent := &t.stack[top-1]
+		parent.first += f.first
+		parent.indThread += f.indThread
+		parent.indExternal += f.indExternal
+		parent.rms += f.rms
+	}
+	t.stack = t.stack[:top]
+}
+
+// onRead implements the read(ℓ,t) handler of Fig. 8, extended to classify
+// the source of induced first-reads and to maintain the rms in parallel.
+func (p *Profiler) onRead(t *threadState, a trace.Addr) {
+	tsSlot := t.ts.Slot(a)
+	old := *tsSlot
+	*tsSlot = p.count
+
+	if len(t.stack) == 0 {
+		return
+	}
+	top := &t.stack[len(t.stack)-1]
+	firstAccess := old < top.ts
+
+	induced := false
+	if p.wts != nil {
+		if w := p.wts.Load(a); old < w {
+			// The location was written, by some thread different from t or
+			// by the kernel, since t's latest access (a write by t itself
+			// would have set ts_t[ℓ] = wts[ℓ]).
+			switch p.wkind.Load(a) {
+			case writerThread:
+				if p.cfg.ThreadInput {
+					induced = true
+					top.indThread++
+				}
+			case writerKernel:
+				if p.cfg.ExternalInput {
+					induced = true
+					top.indExternal++
+				}
+			}
+		}
+	}
+	if !induced && firstAccess {
+		// First read for the topmost activation; charge it and discharge
+		// the deepest ancestor that had already accessed ℓ (Fig. 8, lines
+		// 4-10).
+		top.first++
+		if old != 0 {
+			if i, ok := deepestAncestor(t.stack, old); ok {
+				t.stack[i].first--
+			}
+		}
+	}
+	if firstAccess {
+		// rms bookkeeping (aprof [5]): a first access that is a read.
+		top.rms++
+		if old != 0 {
+			if i, ok := deepestAncestor(t.stack, old); ok {
+				t.stack[i].rms--
+			}
+		}
+	}
+}
+
+// onWrite implements the write(ℓ,t) handler of Fig. 8. Writes mark the cell
+// as produced by the thread: they update the local timestamp (so later local
+// reads are not first accesses) and the global write timestamp (so reads by
+// *other* threads become induced first-reads).
+func (p *Profiler) onWrite(t *threadState, a trace.Addr) {
+	t.ts.Store(a, p.count)
+	if p.wts != nil {
+		p.wts.Store(a, p.count)
+		p.wkind.Store(a, writerThread)
+	}
+}
+
+// onKernelToUser implements the kernelToUser handler of Fig. 9: the counter
+// is incremented once and every buffer cell receives a global write
+// timestamp larger than any thread-specific timestamp, forcing the induced
+// first-read test to succeed on subsequent reads.
+func (p *Profiler) onKernelToUser(ev *trace.Event) error {
+	if err := p.tick(); err != nil {
+		return err
+	}
+	t := p.thread(ev.Thread)
+	t.cost = ev.Cost
+	if p.wts == nil {
+		return nil
+	}
+	ev.Cells(func(a trace.Addr) {
+		p.wts.Store(a, p.count)
+		p.wkind.Store(a, writerKernel)
+	})
+	return nil
+}
+
+// deepestAncestor returns the maximum index i such that stack[i].ts <= ts.
+// Stack timestamps are strictly increasing, so this is a binary search —
+// the O(log d_t) step of the algorithm.
+func deepestAncestor(stack []frame, ts uint64) (int, bool) {
+	// sort.Search finds the first index with stack[i].ts > ts.
+	i := sort.Search(len(stack), func(i int) bool { return stack[i].ts > ts })
+	if i == 0 {
+		return 0, false
+	}
+	return i - 1, true
+}
+
+// SpaceBytes estimates the live memory of the profiler's data structures:
+// shadow memories, shadow stacks, and collected profiles. Used by the
+// comparator harness for the space-overhead experiments.
+func (p *Profiler) SpaceBytes() int64 {
+	var total int64
+	if p.wts != nil {
+		total += p.wts.SizeBytes(8)
+		total += p.wkind.SizeBytes(1)
+	}
+	const frameSize = 8 * 8
+	for _, t := range p.threads {
+		total += t.ts.SizeBytes(8)
+		total += int64(cap(t.stack)) * frameSize
+	}
+	const statsSize = 5 * 8
+	const profileBase = 16 * 8
+	for _, prof := range p.out.ByKey {
+		total += profileBase
+		total += int64(len(prof.DRMSPoints)+len(prof.RMSPoints)) * (statsSize + 16)
+	}
+	return total
+}
+
+// Count exposes the current global counter value (for tests).
+func (p *Profiler) Count() uint64 { return p.count }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aprof/internal/trace"
+)
+
+// renumber performs the periodical global renumbering of timestamps (§3.2).
+// Counter overflows alter the partial ordering between memory timestamps and
+// yield wrong input sizes, so when the counter reaches its limit every live
+// timestamp — ts_t[ℓ] for every thread t and location ℓ, wts[ℓ] for every
+// location ℓ, and S_t[i].ts for every pending activation — is remapped to a
+// dense range 1..k preserving the full order, *including equalities*:
+// ts_t[ℓ] == wts[ℓ] distinguishes a thread's own latest write from a foreign
+// one, so the same rank function must be applied to every table.
+func (p *Profiler) renumber() error {
+	vals := make([]uint64, 0, 1024)
+	collect := func(v uint64) {
+		if v != 0 {
+			vals = append(vals, v)
+		}
+	}
+	for _, t := range p.threads {
+		for i := range t.stack {
+			collect(t.stack[i].ts)
+		}
+		t.ts.ForEach(func(v uint64) bool { return v == 0 }, func(_ trace.Addr, v uint64) { collect(v) })
+	}
+	if p.wts != nil {
+		p.wts.ForEach(func(v uint64) bool { return v == 0 }, func(_ trace.Addr, v uint64) { collect(v) })
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	vals = dedupeSorted(vals)
+
+	rank := func(v uint64) uint64 {
+		if v == 0 {
+			return 0
+		}
+		i := sort.Search(len(vals), func(i int) bool { return vals[i] >= v })
+		// v was collected, so it is present.
+		return uint64(i) + 1
+	}
+	for _, t := range p.threads {
+		for i := range t.stack {
+			t.stack[i].ts = rank(t.stack[i].ts)
+		}
+		t.ts.UpdateAll(rank)
+	}
+	if p.wts != nil {
+		p.wts.UpdateAll(rank)
+	}
+	// Ranks are 1..len(vals); the counter resumes past them (and never below
+	// 1, which would let fresh timestamps collide with the zero sentinel).
+	p.count = uint64(len(vals)) + 1
+	p.out.Renumberings++
+	if p.count+1 >= p.limit {
+		return fmt.Errorf("core: counter limit %d too small: %d timestamps live after renumbering", p.limit, p.count)
+	}
+	return nil
+}
+
+func dedupeSorted(vals []uint64) []uint64 {
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

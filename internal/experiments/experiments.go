@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each driver runs the corresponding workload through the
+// profiler (or the tool-comparison harness) and renders the same rows or
+// series the paper reports. cmd/experiments exposes the drivers on the
+// command line; bench_test.go exercises one per table/figure.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Scale selects experiment sizing: Quick keeps runs small enough for tests
+// and CI; Full mirrors the scale of the paper's plots.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a renderable plot: the series hold exactly the data a plotting
+// tool needs to redraw the paper's figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Table is a renderable table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Result is the output of one experiment driver.
+type Result struct {
+	Tables  []*Table
+	Figures []*Figure
+}
+
+// JSON renders the result as a machine-readable document for external
+// plotting pipelines: {"tables": [...], "figures": [...]} with the same
+// field names the Go structs use.
+func (r *Result) JSON() ([]byte, error) {
+	doc := struct {
+		Tables  []*Table  `json:"tables"`
+		Figures []*Figure `json:"figures"`
+	}{r.Tables, r.Figures}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// String renders all tables and figures as text.
+func (r *Result) String() string {
+	var sb strings.Builder
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// String renders the figure as labelled series blocks.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "x: %s   y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "-- series %s (%d points)\n", s.Name, len(s.Points))
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%g\t%g\n", p.X, p.Y)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Driver runs one experiment at the given scale.
+type Driver struct {
+	Name        string
+	Description string
+	Run         func(Scale) (*Result, error)
+}
+
+// Drivers returns every experiment driver keyed and ordered by figure/table
+// id.
+func Drivers() []Driver {
+	return []Driver{
+		{"fig1", "drms vs rms on the Fig. 1 interleavings", Fig1},
+		{"fig2", "producer-consumer pattern (rms=1, drms=n)", Fig2},
+		{"fig3", "buffered data streaming (rms=1, drms=n)", Fig3},
+		{"fig4", "mysql_select cost plots, rms vs drms", Fig4},
+		{"fig5", "vips im_generate cost plots, rms vs drms", Fig5},
+		{"fig6", "vips wbuffer_write_thread point counts", Fig6},
+		{"fig10", "selection sort: basic blocks vs wall time", Fig10},
+		{"fig11", "routine profile richness curves", Fig11},
+		{"fig12", "dynamic input volume curves", Fig12},
+		{"fig13", "per-routine thread/external input (MySQL, vips)", Fig13},
+		{"fig14", "thread and external input tail curves", Fig14},
+		{"fig15", "induced first-read characterization per benchmark", Fig15},
+		{"fig16", "time and space overhead vs thread count", Fig16},
+		{"table1", "tool slowdown and space overhead comparison", Table1},
+		{"interleaving", "drms sensitivity to thread interleaving (§4.2)", Interleaving},
+		{"vmsuite", "interpreted VM applications and algorithm fits", VMSuite},
+	}
+}
+
+// DriverByName looks up a driver.
+func DriverByName(name string) (Driver, bool) {
+	for _, d := range Drivers() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Driver{}, false
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// jsonUnmarshal is a thin alias so the test reads naturally.
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+// TestAllDriversRunQuick runs every experiment driver at quick scale and
+// checks it produces renderable output.
+func TestAllDriversRunQuick(t *testing.T) {
+	for _, d := range Drivers() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			res, err := d.Run(Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name, err)
+			}
+			if len(res.Tables) == 0 && len(res.Figures) == 0 {
+				t.Fatalf("%s produced no output", d.Name)
+			}
+			text := res.String()
+			if !strings.Contains(text, "==") {
+				t.Errorf("%s rendering missing headers:\n%s", d.Name, text)
+			}
+		})
+	}
+}
+
+func TestDriverByName(t *testing.T) {
+	if _, ok := DriverByName("fig4"); !ok {
+		t.Error("fig4 driver missing")
+	}
+	if _, ok := DriverByName("fig99"); ok {
+		t.Error("nonexistent driver found")
+	}
+}
+
+// TestFig1Values checks the exact paper-reported metric values.
+func TestFig1Values(t *testing.T) {
+	res, err := Fig1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	want := [][]string{
+		{"(a)", "f", "1", "2"},
+		{"(b)", "f", "1", "2"},
+		{"(b)", "h", "1", "1"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if rows[i][j] != want[i][j] {
+				t.Errorf("row %d col %d = %q, want %q", i, j, rows[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestFig2And3Identities checks rms=1, drms=n for every reported n.
+func TestFig2And3Identities(t *testing.T) {
+	for _, name := range []string{"fig2", "fig3"} {
+		d, _ := DriverByName(name)
+		res, err := d.Run(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Tables[0].Rows {
+			if row[1] != "1" {
+				t.Errorf("%s: n=%s: rms = %s, want 1", name, row[0], row[1])
+			}
+			if row[2] != row[0] {
+				t.Errorf("%s: n=%s: drms = %s, want %s", name, row[0], row[2], row[0])
+			}
+		}
+	}
+}
+
+// TestFig4Shape checks the headline result: the drms plot is fitted by the
+// linear model while the rms plot exhibits a superlinear apparent exponent.
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.Figures[0]
+	notes := strings.Join(fig.Notes, "\n")
+	if !strings.Contains(notes, "drms plot: best fit n;") {
+		t.Errorf("drms not fitted linear:\n%s", notes)
+	}
+	// The rms series has far fewer x-spread than drms.
+	var rms, drms Series
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "rms":
+			rms = s
+		case "drms":
+			drms = s
+		}
+	}
+	if len(rms.Points) == 0 || len(drms.Points) == 0 {
+		t.Fatal("missing series")
+	}
+	rmsSpread := rms.Points[len(rms.Points)-1].X / rms.Points[0].X
+	drmsSpread := drms.Points[len(drms.Points)-1].X / drms.Points[0].X
+	if rmsSpread*3 > drmsSpread {
+		t.Errorf("rms spread %.2f not much smaller than drms spread %.2f", rmsSpread, drmsSpread)
+	}
+}
+
+// TestFig6PointCounts checks the 2 / in-between / 110 point progression.
+func TestFig6PointCounts(t *testing.T) {
+	res, err := Fig6(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	pts := make([]int, 3)
+	for i, row := range rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = n
+	}
+	if pts[0] != 2 {
+		t.Errorf("rms points = %d, want 2", pts[0])
+	}
+	if pts[1] <= pts[0] || pts[1] >= pts[2] {
+		t.Errorf("external-only points = %d, want between %d and %d", pts[1], pts[0], pts[2])
+	}
+	if pts[2] != 110 {
+		t.Errorf("full drms points = %d, want 110", pts[2])
+	}
+}
+
+// TestFig15OMPCluster checks that the OMP-like benchmarks cluster at the top
+// of the thread-input ordering.
+func TestFig15OMPCluster(t *testing.T) {
+	res, err := Fig15(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) < 10 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	// All OMP rows must report >= 69% thread input; the last row should be
+	// the external-dominated MySQL load.
+	for _, row := range rows {
+		if row[1] != "SPEC OMP2012" {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 69 {
+			t.Errorf("%s: thread input %.1f < 69", row[0], v)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last[0] != "mysqlslap" {
+		t.Errorf("last row is %s, want mysqlslap (most external input)", last[0])
+	}
+}
+
+// TestTable1Ordering checks the qualitative Table 1 shape at quick scale:
+// nulgrind is the cheapest tool on every suite.
+func TestTable1Ordering(t *testing.T) {
+	res, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := res.Tables[0]
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	col := map[string]int{}
+	for i, h := range slow.Header {
+		col[h] = i
+	}
+	for _, row := range slow.Rows {
+		nul := parse(row[col["nulgrind"]])
+		for _, tool := range []string{"memcheck", "helgrind", "aprof", "aprof-drms"} {
+			if parse(row[col[tool]]) < nul {
+				t.Errorf("%s: %s (%s) faster than nulgrind (%.2f)", row[0], tool, row[col[tool]], nul)
+			}
+		}
+	}
+}
+
+// TestTableRendering checks column alignment basics.
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"xxxxxx", "1"}},
+		Notes:  []string{"a note"},
+	}
+	out := tab.String()
+	for _, want := range []string{"== t: demo ==", "long-header", "xxxxxx", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "f", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", Points: []Point{{1, 2}}}},
+	}
+	out := fig.String()
+	for _, want := range []string{"== f: demo ==", "series s", "1\t2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestResultJSON checks the machine-readable rendering round-trips through
+// encoding/json.
+func TestResultJSON(t *testing.T) {
+	res, err := Fig1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Tables []struct {
+			ID   string
+			Rows [][]string
+		}
+	}
+	if err := jsonUnmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Tables) != 1 || doc.Tables[0].ID != "fig1" || len(doc.Tables[0].Rows) != 3 {
+		t.Errorf("unexpected JSON structure: %s", data)
+	}
+}
+
+// TestInterleavingExternalStability asserts the §4.2 headline at quick
+// scale: external-induced reads never fluctuate across schedules.
+func TestInterleavingExternalStability(t *testing.T) {
+	res, err := Interleaving(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	racy := map[string]bool{"dedup": true, "x264": true}
+	for _, row := range rows {
+		if row[1] == "external input" && row[5] != "0.00" {
+			t.Errorf("%s: external input fluctuated: %s%%", row[0], row[5])
+		}
+		if row[1] == "thread input" && !racy[row[0]] && row[5] != "0.00" {
+			t.Errorf("%s: synchronized benchmark's thread input fluctuated: %s%%", row[0], row[5])
+		}
+	}
+}

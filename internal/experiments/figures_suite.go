@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"aprof/internal/metrics"
+	"aprof/internal/workloads"
+)
+
+// suiteSelection returns the benchmarks the aggregate figures run on. Quick
+// scale trims rounds to keep test runs fast while preserving every
+// benchmark's input mix.
+func suiteSelection(scale Scale) []workloads.Benchmark {
+	benches := workloads.FullSuite()
+	if scale == Quick {
+		for i := range benches {
+			benches[i].Rounds = benches[i].Rounds / 2
+			if benches[i].Rounds == 0 {
+				benches[i].Rounds = 1
+			}
+		}
+	}
+	return benches
+}
+
+// suiteMetrics profiles every benchmark and computes its per-routine
+// metrics.
+type benchMetrics struct {
+	bench    workloads.Benchmark
+	routines []metrics.Routine
+	summary  metrics.Summary
+}
+
+func runSuite(scale Scale) ([]benchMetrics, error) {
+	var out []benchMetrics
+	for _, b := range suiteSelection(scale) {
+		ps, err := profileTrace(b.Build())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+		}
+		out = append(out, benchMetrics{
+			bench:    b,
+			routines: metrics.Compute(ps),
+			summary:  metrics.Summarize(ps),
+		})
+	}
+	return out, nil
+}
+
+// figure11Names matches the representative benchmark split of the paper's
+// Fig. 11/12 panels.
+var figureBenchNames = []string{
+	"fluidanimate", "mysqlslap", "smithwa", "dedup", "nab",
+	"bodytrack", "swaptions", "vips", "x264",
+}
+
+func selectBenches(all []benchMetrics, names []string) []benchMetrics {
+	var out []benchMetrics
+	for _, name := range names {
+		for i := range all {
+			if all[i].bench.Name == name {
+				out = append(out, all[i])
+			}
+		}
+	}
+	return out
+}
+
+// Fig11 builds the routine profile richness tail curves: a point (x, y)
+// means x% of routines have profile richness at least y.
+func Fig11(scale Scale) (*Result, error) {
+	suite, err := runSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	figure := &Figure{
+		ID:     "fig11",
+		Title:  "routine profile richness of drms w.r.t. rms",
+		XLabel: "percentage of routines",
+		YLabel: "profile richness (|drms|-|rms|)/|rms|",
+	}
+	for _, bm := range selectBenches(suite, figureBenchNames) {
+		curve := metrics.TailCurve(metrics.RichnessValues(bm.routines))
+		s := Series{Name: bm.bench.Name}
+		for _, p := range curve {
+			s.Points = append(s.Points, Point{X: p.X, Y: p.Y})
+		}
+		figure.Series = append(figure.Series, s)
+	}
+	figure.Notes = append(figure.Notes,
+		"paper: only a small percentage of routines has high richness (I/O and thread communication are encapsulated in few components), with factors up to ~10^6 for dedup; negative richness is statistically intangible")
+	return &Result{Figures: []*Figure{figure}}, nil
+}
+
+// Fig12 builds the dynamic input volume tail curves.
+func Fig12(scale Scale) (*Result, error) {
+	suite, err := runSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	figure := &Figure{
+		ID:     "fig12",
+		Title:  "dynamic input volume of drms w.r.t. rms",
+		XLabel: "percentage of routines",
+		YLabel: "input volume x 100",
+	}
+	for _, bm := range selectBenches(suite, figureBenchNames) {
+		values := metrics.InputVolumeValues(bm.routines)
+		for i := range values {
+			values[i] *= 100
+		}
+		curve := metrics.TailCurve(values)
+		s := Series{Name: bm.bench.Name}
+		for _, p := range curve {
+			s.Points = append(s.Points, Point{X: p.X, Y: p.Y})
+		}
+		figure.Series = append(figure.Series, s)
+	}
+	figure.Notes = append(figure.Notes,
+		"paper: curves decrease steeply from 100 to 0, reaching the minimum around x = 8%: few routines are responsible for thread intercommunication and streamed I/O")
+	return &Result{Figures: []*Figure{figure}}, nil
+}
+
+// Fig13 builds the routine-by-routine induced first-read histograms for the
+// MySQL-like and vips-like applications: for each routine, the percentage of
+// its counted reads that are thread- and external-induced, sorted by
+// decreasing total induced percentage.
+func Fig13(scale Scale) (*Result, error) {
+	suite, err := runSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	var figures []*Figure
+	for _, name := range []string{"mysqlslap", "vips"} {
+		bms := selectBenches(suite, []string{name})
+		if len(bms) == 0 {
+			return nil, fmt.Errorf("experiments: benchmark %s missing", name)
+		}
+		rs := bms[0].routines
+		sort.Slice(rs, func(i, j int) bool { return rs[i].InducedPct() > rs[j].InducedPct() })
+		thread := Series{Name: "thread input"}
+		external := Series{Name: "external input"}
+		for i, r := range rs {
+			thread.Points = append(thread.Points, Point{X: float64(i + 1), Y: r.ThreadInputPct})
+			external.Points = append(external.Points, Point{X: float64(i + 1), Y: r.ExternalInputPct})
+		}
+		figures = append(figures, &Figure{
+			ID:     "fig13-" + name,
+			Title:  fmt.Sprintf("routine-by-routine thread and external input (%s)", name),
+			XLabel: "routine (sorted by decreasing induced first-reads)",
+			YLabel: "% induced first-reads",
+			Series: []Series{thread, external},
+			Notes: []string{
+				"paper: induced first-reads of most MySQL routines are due to external input; thread input is predominant in vips",
+			},
+		})
+	}
+	return &Result{Figures: figures}, nil
+}
+
+// Fig14 builds the thread/external input tail curves: a point (x, y) means
+// x% of routines take at least y% of their counted reads from the given
+// dynamic source.
+func Fig14(scale Scale) (*Result, error) {
+	suite, err := runSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"swaptions", "bodytrack", "smithwa", "kdtree", "dedup", "x264"}
+	threadFig := &Figure{
+		ID:     "fig14-thread",
+		Title:  "thread input on a routine basis",
+		XLabel: "percentage of routines",
+		YLabel: "percentage thread input",
+	}
+	externalFig := &Figure{
+		ID:     "fig14-external",
+		Title:  "external input on a routine basis",
+		XLabel: "percentage of routines",
+		YLabel: "percentage external input",
+	}
+	for _, bm := range selectBenches(suite, names) {
+		tCurve := metrics.TailCurve(metrics.ThreadInputValues(bm.routines))
+		eCurve := metrics.TailCurve(metrics.ExternalInputValues(bm.routines))
+		ts := Series{Name: bm.bench.Name}
+		for _, p := range tCurve {
+			ts.Points = append(ts.Points, Point{X: p.X, Y: p.Y})
+		}
+		es := Series{Name: bm.bench.Name}
+		for _, p := range eCurve {
+			es.Points = append(es.Points, Point{X: p.X, Y: p.Y})
+		}
+		threadFig.Series = append(threadFig.Series, ts)
+		externalFig.Series = append(externalFig.Series, es)
+	}
+	return &Result{Figures: []*Figure{threadFig, externalFig}}, nil
+}
+
+// Fig15 builds the per-benchmark induced first-read characterization: each
+// benchmark's induced reads split between thread and external input (bars
+// summing to 100%), sorted by decreasing thread input.
+func Fig15(scale Scale) (*Result, error) {
+	suite, err := runSuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(suite, func(i, j int) bool {
+		return suite[i].summary.ThreadInputPct > suite[j].summary.ThreadInputPct
+	})
+	table := &Table{
+		ID:     "fig15",
+		Title:  "characterization of induced first-reads (sorted by thread input)",
+		Header: []string{"benchmark", "suite", "thread input %", "external input %", "dyn. input volume"},
+	}
+	ompMinThread := 100.0
+	for _, bm := range suite {
+		s := bm.summary
+		table.Rows = append(table.Rows, []string{
+			bm.bench.Name,
+			bm.bench.Suite,
+			fmt.Sprintf("%.1f", s.ThreadInputPct),
+			fmt.Sprintf("%.1f", s.ExternalInputPct),
+			fmt.Sprintf("%.3f", s.DynamicInputVolume),
+		})
+		if bm.bench.Suite == "SPEC OMP2012" && s.ThreadInputPct < ompMinThread {
+			ompMinThread = s.ThreadInputPct
+		}
+	}
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("paper: the SPEC OMP2012 benchmarks cluster at the top with thread input >= 69%% (measured minimum here: %.1f%%); mysqlslap is dominated by external input", ompMinThread))
+	return &Result{Tables: []*Table{table}}, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aprof/internal/core"
+	"aprof/internal/fit"
+	"aprof/internal/metrics"
+	"aprof/internal/workloads"
+)
+
+// VMSuite profiles the interpreted MiniLang applications and the classic
+// algorithm collection: the end-to-end validation of the DBI substitute. For
+// each multithreaded application it reports the dynamic-workload
+// characterization (the analogue of Fig. 15 for real interpreted programs);
+// for each algorithm it reports the fitted empirical cost function, which
+// must recover the algorithm's textbook complexity.
+func VMSuite(scale Scale) (*Result, error) {
+	apps := &Table{
+		ID:     "vmsuite-apps",
+		Title:  "interpreted multithreaded applications: dynamic workload characterization",
+		Header: []string{"program", "routine", "rms", "drms", "drms/rms", "thread %", "external %"},
+	}
+	for _, prog := range workloads.VMPrograms() {
+		tr, err := prog.BuildTrace()
+		if err != nil {
+			return nil, err
+		}
+		ps, err := core.Run(tr, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Summarize(ps)
+		hot := ps.Routine(prog.HotRoutine)
+		ratio := 0.0
+		if hot.SumRMS > 0 {
+			ratio = float64(hot.SumDRMS) / float64(hot.SumRMS)
+		}
+		apps.Rows = append(apps.Rows, []string{
+			prog.Name,
+			prog.HotRoutine,
+			fmt.Sprint(hot.SumRMS),
+			fmt.Sprint(hot.SumDRMS),
+			fmt.Sprintf("%.1fx", ratio),
+			fmt.Sprintf("%.1f", s.ThreadInputPct),
+			fmt.Sprintf("%.1f", s.ExternalInputPct),
+		})
+	}
+	apps.Notes = append(apps.Notes,
+		"pipeline/mapreduce take their dynamic input from peer threads; the server from the network — the application classes of §2's patterns, run as real interpreted programs")
+
+	algs := &Table{
+		ID:     "vmsuite-algorithms",
+		Title:  "algorithmic profiling validation (cost fits of interpreted algorithms)",
+		Header: []string{"algorithm", "sizes", "fit vs n", "expected", "exponent vs rms", "expected"},
+	}
+	algorithms := workloads.Algorithms()
+	if scale == Quick {
+		// Trim the largest sweep entries to keep the quick run fast.
+		for i := range algorithms {
+			if len(algorithms[i].Sizes) > 6 {
+				algorithms[i].Sizes = algorithms[i].Sizes[:6]
+			}
+		}
+	}
+	for _, alg := range algorithms {
+		tr, err := alg.BuildTrace()
+		if err != nil {
+			return nil, err
+		}
+		ps, err := core.Run(tr, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		plot := ps.Routine(alg.Name).WorstCasePlot(core.MetricRMS)
+		var vsN, vsRMS []fit.Point
+		for i, pp := range plot {
+			if i < len(alg.Sizes) {
+				vsN = append(vsN, fit.Point{N: float64(alg.Sizes[i]), Cost: float64(pp.Cost)})
+			}
+			vsRMS = append(vsRMS, fit.Point{N: float64(pp.N), Cost: float64(pp.Cost)})
+		}
+		best, err := fit.BestFit(vsN)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", alg.Name, err)
+		}
+		exp, _, err := fit.PowerLaw(vsRMS)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", alg.Name, err)
+		}
+		algs.Rows = append(algs.Rows, []string{
+			alg.Name,
+			fmt.Sprintf("%d..%d", alg.Sizes[0], alg.Sizes[len(alg.Sizes)-1]),
+			best.Model.Name,
+			alg.ComplexityVsN,
+			fmt.Sprintf("%.2f", exp),
+			fmt.Sprintf("%.2f", alg.ExponentVsRMS),
+		})
+	}
+	algs.Notes = append(algs.Notes,
+		"binary search: logarithmic in n but linear in its rms — the rms of an activation is the input it actually reads, which for binary search is the log n probed cells")
+	return &Result{Tables: []*Table{apps, algs}}, nil
+}

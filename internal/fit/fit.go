@@ -1,0 +1,235 @@
+// Package fit estimates empirical cost functions from the performance
+// points produced by the profiler. Given the (input size, worst-case cost)
+// points of a routine, it fits the classical asymptotic models by linear
+// least squares on a transformed axis and reports goodness of fit, plus a
+// log-log power-law regression that exposes the apparent growth exponent —
+// the quantity that distinguishes the paper's Fig. 4 plots (rms suggests a
+// false superlinear trend for mysql_select, drms a linear one).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one performance point: a routine was observed to cost Cost on
+// input size N.
+type Point struct {
+	N    float64
+	Cost float64
+}
+
+// Model is a one-basis cost model: cost(n) ≈ A + B·g(n).
+type Model struct {
+	// Name is the conventional asymptotic name, e.g. "n log n".
+	Name string
+	g    func(float64) float64
+}
+
+// Eval returns g(n) for the model's basis function.
+func (m Model) Eval(n float64) float64 { return m.g(n) }
+
+// The model catalogue, ordered by growth rate. Simpler (slower-growing)
+// models win ties in BestFit.
+var (
+	Constant  = Model{"1", func(n float64) float64 { return 1 }}
+	LogN      = Model{"log n", func(n float64) float64 { return math.Log2(max(n, 1)) }}
+	SqrtN     = Model{"sqrt n", func(n float64) float64 { return math.Sqrt(n) }}
+	Linear    = Model{"n", func(n float64) float64 { return n }}
+	NLogN     = Model{"n log n", func(n float64) float64 { return n * math.Log2(max(n, 2)) }}
+	Quadratic = Model{"n^2", func(n float64) float64 { return n * n }}
+	Cubic     = Model{"n^3", func(n float64) float64 { return n * n * n }}
+)
+
+// Models lists the catalogue in growth order.
+var Models = []Model{Constant, LogN, SqrtN, Linear, NLogN, Quadratic, Cubic}
+
+// Fit is a fitted model with its quality measures.
+type Fit struct {
+	Model Model
+	// A and B are the intercept and slope of cost ≈ A + B·g(n).
+	A, B float64
+	// R2 is the coefficient of determination in the transformed space.
+	R2 float64
+	// RMSE is the root-mean-square error of the fit.
+	RMSE float64
+	// Points is the number of points fitted.
+	Points int
+}
+
+// String renders the fit as a formula with quality, e.g.
+// "cost ≈ 3.1 + 2.0·n (R²=0.999)".
+func (f Fit) String() string {
+	return fmt.Sprintf("cost ~ %.4g + %.4g*(%s) (R2=%.4f, %d points)", f.A, f.B, f.Model.Name, f.R2, f.Points)
+}
+
+// ErrTooFewPoints is returned when fewer than two distinct points are
+// available.
+var ErrTooFewPoints = errors.New("fit: need at least two distinct points")
+
+// FitModel fits one model to the points by ordinary least squares on the
+// transformed axis x = g(n).
+func FitModel(pts []Point, m Model) (Fit, error) {
+	if len(pts) < 2 {
+		return Fit{}, ErrTooFewPoints
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := m.g(p.N)
+		sx += x
+		sy += p.Cost
+		sxx += x * x
+		sxy += x * p.Cost
+	}
+	n := float64(len(pts))
+	denom := n*sxx - sx*sx
+	var a, b float64
+	if math.Abs(denom) < 1e-12 {
+		// Degenerate transformed axis (e.g. the constant model): fall back
+		// to the mean.
+		a = sy / n
+		b = 0
+	} else {
+		b = (n*sxy - sx*sy) / denom
+		a = (sy - b*sx) / n
+	}
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for _, p := range pts {
+		pred := a + b*m.g(p.N)
+		ssRes += (p.Cost - pred) * (p.Cost - pred)
+		ssTot += (p.Cost - meanY) * (p.Cost - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return Fit{
+		Model:  m,
+		A:      a,
+		B:      b,
+		R2:     r2,
+		RMSE:   math.Sqrt(ssRes / n),
+		Points: len(pts),
+	}, nil
+}
+
+// BestFit fits every model in the catalogue and returns the best one. The
+// slowest-growing model whose unexplained variance (1−R²) is within a
+// constant factor of the best model's wins: a faster-growing basis always
+// absorbs slightly more variance (n² fits any n·log n curve almost
+// perfectly), so comparing residual ratios rather than absolute R²
+// differences is what separates genuinely better models from overfitting.
+// Models with a negative slope on a non-constant basis are rejected (cost
+// functions do not decrease with input size).
+func BestFit(pts []Point) (Fit, error) {
+	const residualSlack = 2.0
+	fits, err := FitAll(pts)
+	if err != nil {
+		return Fit{}, err
+	}
+	minBad := math.Inf(1)
+	for _, f := range fits {
+		if bad := 1 - f.R2; bad < minBad {
+			minBad = bad
+		}
+	}
+	for _, f := range fits {
+		if 1-f.R2 <= residualSlack*minBad+1e-12 {
+			return f, nil
+		}
+	}
+	return fits[len(fits)-1], nil
+}
+
+// FitAll fits every model in the catalogue, in growth order, skipping
+// decreasing fits for non-constant models.
+func FitAll(pts []Point) ([]Fit, error) {
+	if len(pts) < 2 {
+		return nil, ErrTooFewPoints
+	}
+	var out []Fit
+	for _, m := range Models {
+		f, err := FitModel(pts, m)
+		if err != nil {
+			continue
+		}
+		if m.Name != Constant.Name && f.B < 0 {
+			continue
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, ErrTooFewPoints
+	}
+	return out, nil
+}
+
+// PowerLaw fits cost ≈ c·n^k by linear regression in log-log space,
+// returning the exponent k and the R² of the log-space fit. Points with
+// non-positive coordinates are skipped (log undefined).
+func PowerLaw(pts []Point) (exponent, r2 float64, err error) {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.N > 0 && p.Cost > 0 {
+			xs = append(xs, math.Log(p.N))
+			ys = append(ys, math.Log(p.Cost))
+		}
+	}
+	if len(xs) < 2 {
+		return 0, 0, ErrTooFewPoints
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if math.Abs(denom) < 1e-12 {
+		return 0, 0, errors.New("fit: all input sizes equal in log space")
+	}
+	b := (n*sxy - sx*sy) / denom
+	a := (sy - b*sx) / n
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for i := range xs {
+		pred := a + b*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 = 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return b, r2, nil
+}
+
+// Dedupe sorts the points by N and keeps, for duplicated N values, the
+// maximum cost — the worst-case plot convention.
+func Dedupe(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].N < sorted[j].N })
+	out := sorted[:1]
+	for _, p := range sorted[1:] {
+		last := &out[len(out)-1]
+		if p.N == last.N {
+			if p.Cost > last.Cost {
+				last.Cost = p.Cost
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func synth(n int, f func(float64) float64, noise float64, rng *rand.Rand) []Point {
+	pts := make([]Point, 0, n)
+	for i := 1; i <= n; i++ {
+		x := float64(i * 10)
+		y := f(x)
+		if noise > 0 {
+			y *= 1 + noise*(rng.Float64()*2-1)
+		}
+		pts = append(pts, Point{N: x, Cost: y})
+	}
+	return pts
+}
+
+func TestBestFitRecoversModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		want string
+	}{
+		{"constant", func(x float64) float64 { return 42 }, "1"},
+		{"logarithmic", func(x float64) float64 { return 7 * math.Log2(x) }, "log n"},
+		{"linear", func(x float64) float64 { return 3*x + 5 }, "n"},
+		{"nlogn", func(x float64) float64 { return 2 * x * math.Log2(x) }, "n log n"},
+		{"quadratic", func(x float64) float64 { return 0.5 * x * x }, "n^2"},
+		{"cubic", func(x float64) float64 { return 0.1 * x * x * x }, "n^3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := synth(60, tc.f, 0.01, rng)
+			best, err := BestFit(pts)
+			if err != nil {
+				t.Fatalf("BestFit: %v", err)
+			}
+			if best.Model.Name != tc.want {
+				t.Errorf("BestFit picked %q (R2=%.4f), want %q", best.Model.Name, best.R2, tc.want)
+			}
+			// R² is not meaningful for the constant model (there is no
+			// variance to explain); check it only for growing models.
+			if tc.want != "1" && best.R2 < 0.98 {
+				t.Errorf("R2 = %.4f, want >= 0.98", best.R2)
+			}
+		})
+	}
+}
+
+func TestPowerLawExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name string
+		f    func(float64) float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 4 * x }, 1},
+		{"quadratic", func(x float64) float64 { return 0.5 * x * x }, 2},
+		{"sqrt", math.Sqrt, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := synth(50, tc.f, 0.02, rng)
+			k, r2, err := PowerLaw(pts)
+			if err != nil {
+				t.Fatalf("PowerLaw: %v", err)
+			}
+			if math.Abs(k-tc.want) > 0.05 {
+				t.Errorf("exponent = %.3f, want %.3f", k, tc.want)
+			}
+			if r2 < 0.99 {
+				t.Errorf("R2 = %.4f, want >= 0.99", r2)
+			}
+		})
+	}
+}
+
+func TestPowerLawSkipsNonPositive(t *testing.T) {
+	pts := []Point{{0, 0}, {0, 5}, {10, 10}, {20, 20}, {40, 40}}
+	k, _, err := PowerLaw(pts)
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	if math.Abs(k-1) > 0.01 {
+		t.Errorf("exponent = %.3f, want 1", k)
+	}
+}
+
+func TestTooFewPoints(t *testing.T) {
+	if _, err := BestFit([]Point{{1, 1}}); err == nil {
+		t.Error("BestFit accepted a single point")
+	}
+	if _, _, err := PowerLaw([]Point{{1, 1}}); err == nil {
+		t.Error("PowerLaw accepted a single point")
+	}
+	if _, err := FitModel(nil, Linear); err == nil {
+		t.Error("FitModel accepted no points")
+	}
+}
+
+func TestBestFitPrefersSimplerOnTies(t *testing.T) {
+	// Perfectly constant data is fitted exactly by every model (B=0); the
+	// constant model must win.
+	pts := []Point{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	best, err := BestFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model.Name != "1" {
+		t.Errorf("BestFit picked %q for constant data", best.Model.Name)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	pts := []Point{{3, 10}, {1, 2}, {3, 50}, {2, 4}, {1, 1}}
+	got := Dedupe(pts)
+	want := []Point{{1, 2}, {2, 4}, {3, 50}}
+	if len(got) != len(want) {
+		t.Fatalf("Dedupe = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dedupe = %v, want %v", got, want)
+		}
+	}
+	if Dedupe(nil) != nil {
+		t.Error("Dedupe(nil) != nil")
+	}
+}
+
+// TestFitQuickExactLinear is a property test: noiseless data from y = a+b·n
+// with b >= 0 is recovered with R² = 1 by the linear model.
+func TestFitQuickExactLinear(t *testing.T) {
+	f := func(a int16, bRaw uint16, seed int64) bool {
+		b := float64(bRaw%500) / 10
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for i := 0; i < 20; i++ {
+			x := float64(1 + rng.Intn(10000))
+			pts = append(pts, Point{N: x, Cost: float64(a) + b*x})
+		}
+		pts = Dedupe(pts)
+		if len(pts) < 2 {
+			return true
+		}
+		fit, err := FitModel(pts, Linear)
+		if err != nil {
+			return false
+		}
+		return fit.R2 > 0.999999 &&
+			math.Abs(fit.B-b) < 1e-6*(1+b) &&
+			math.Abs(fit.A-float64(a)) < 1e-3*(1+math.Abs(float64(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitStringIncludesModel(t *testing.T) {
+	fit, err := FitModel([]Point{{1, 1}, {2, 2}, {3, 3}}, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fit.String()
+	if s == "" || !containsAll(s, "n", "R2") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

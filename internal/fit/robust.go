@@ -1,0 +1,67 @@
+package fit
+
+import (
+	"math"
+	"sort"
+)
+
+// RobustPowerLaw estimates the power-law exponent of cost ≈ c·nᵏ with the
+// Theil–Sen estimator in log-log space: the slope is the median of the
+// slopes of all point pairs. Unlike the least-squares PowerLaw it is
+// insensitive to a minority of outliers — exactly the contamination
+// wall-clock cost measurements suffer from (Fig. 10's noisy timing plot):
+// up to ~29% of points can be arbitrary garbage without moving the median
+// slope.
+//
+// Points with non-positive coordinates are skipped (log undefined).
+func RobustPowerLaw(pts []Point) (exponent float64, err error) {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.N > 0 && p.Cost > 0 {
+			xs = append(xs, math.Log(p.N))
+			ys = append(ys, math.Log(p.Cost))
+		}
+	}
+	if len(xs) < 2 {
+		return 0, ErrTooFewPoints
+	}
+	slopes := make([]float64, 0, len(xs)*(len(xs)-1)/2)
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] == xs[j] {
+				continue
+			}
+			slopes = append(slopes, (ys[j]-ys[i])/(xs[j]-xs[i]))
+		}
+	}
+	if len(slopes) == 0 {
+		return 0, ErrTooFewPoints
+	}
+	sort.Float64s(slopes)
+	return median(slopes), nil
+}
+
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MedianCostPlot reduces repeated measurements at each input size to their
+// median, the robust alternative to the worst-case (max) plot for
+// noise-contaminated cost meters.
+func MedianCostPlot(pts []Point) []Point {
+	byN := make(map[float64][]float64)
+	for _, p := range pts {
+		byN[p.N] = append(byN[p.N], p.Cost)
+	}
+	out := make([]Point, 0, len(byN))
+	for n, costs := range byN {
+		sort.Float64s(costs)
+		out = append(out, Point{N: n, Cost: median(costs)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].N < out[j].N })
+	return out
+}

@@ -1,0 +1,104 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRobustPowerLawExact(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(x float64) float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 7 * x }, 1},
+		{"quadratic", func(x float64) float64 { return 0.1 * x * x }, 2},
+		{"cubic", func(x float64) float64 { return x * x * x }, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var pts []Point
+			for i := 1; i <= 30; i++ {
+				x := float64(i * 20)
+				pts = append(pts, Point{N: x, Cost: tc.f(x)})
+			}
+			k, err := RobustPowerLaw(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(k-tc.want) > 0.01 {
+				t.Errorf("exponent = %.4f, want %.2f", k, tc.want)
+			}
+		})
+	}
+}
+
+// TestRobustPowerLawSurvivesOutliers is the motivating case: a quarter of
+// the points are wildly wrong (GC pauses, scheduler noise in wall-clock
+// measurements), yet the Theil-Sen exponent holds while least squares drifts.
+func TestRobustPowerLawSurvivesOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pts []Point
+	for i := 1; i <= 40; i++ {
+		x := float64(i * 25)
+		y := 3 * x // true exponent 1
+		if i%4 == 0 {
+			y *= 20 + 100*rng.Float64() // gross outlier
+		}
+		pts = append(pts, Point{N: x, Cost: y})
+	}
+	robust, err := RobustPowerLaw(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust-1) > 0.1 {
+		t.Errorf("robust exponent = %.3f, want ~1 despite outliers", robust)
+	}
+	ls, _, err := PowerLaw(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ls-1) < math.Abs(robust-1) {
+		t.Errorf("least squares (%.3f) unexpectedly closer than Theil-Sen (%.3f)", ls, robust)
+	}
+}
+
+func TestRobustPowerLawErrors(t *testing.T) {
+	if _, err := RobustPowerLaw(nil); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := RobustPowerLaw([]Point{{1, 1}}); err == nil {
+		t.Error("accepted a single point")
+	}
+	// All-equal x: no usable pair.
+	if _, err := RobustPowerLaw([]Point{{5, 1}, {5, 9}, {5, 3}}); err == nil {
+		t.Error("accepted degenerate x values")
+	}
+	// Non-positive values are skipped, remainder still fits.
+	k, err := RobustPowerLaw([]Point{{0, 5}, {-3, 2}, {10, 10}, {100, 100}, {1000, 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 0.01 {
+		t.Errorf("exponent = %.3f, want 1", k)
+	}
+}
+
+func TestMedianCostPlot(t *testing.T) {
+	pts := []Point{
+		{10, 100}, {10, 120}, {10, 9999}, // median 120
+		{20, 200}, {20, 240}, // median 220
+		{5, 50},
+	}
+	got := MedianCostPlot(pts)
+	want := []Point{{5, 50}, {10, 120}, {20, 220}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

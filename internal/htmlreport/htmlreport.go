@@ -1,0 +1,286 @@
+// Package htmlreport renders a profiling run as a self-contained HTML
+// document: the per-routine table, run-level dynamic-workload
+// characterization, fitted empirical cost functions, and inline SVG
+// rms-vs-drms cost plots per routine. No external assets or scripts — the
+// file can be archived next to the profile it describes.
+package htmlreport
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"aprof/internal/core"
+	"aprof/internal/fit"
+	"aprof/internal/metrics"
+)
+
+// Options controls report generation.
+type Options struct {
+	// Title heads the document (default "aprof-drms report").
+	Title string
+	// TopN limits the per-routine sections (0 = all routines).
+	TopN int
+	// MinPlotPoints is the minimum number of distinct input sizes a routine
+	// needs before a plot and fit are rendered (default 3).
+	MinPlotPoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Title == "" {
+		o.Title = "aprof-drms report"
+	}
+	if o.MinPlotPoints == 0 {
+		o.MinPlotPoints = 3
+	}
+	return o
+}
+
+// routineView is the per-routine template payload.
+type routineView struct {
+	Name            string
+	Calls           uint64
+	TotalCost       uint64
+	SumRMS          uint64
+	SumDRMS         uint64
+	RMSPoints       int
+	DRMSPoints      int
+	ThreadPct       string
+	ExternalPct     string
+	VarianceRMS     string
+	VarianceDRMS    string
+	FitFormula      string
+	FitClass        string
+	Plot            template.HTML
+	InducedDominant bool
+}
+
+// reportView is the top-level template payload.
+type reportView struct {
+	Title        string
+	Routines     []routineView
+	RoutineCount int
+	InputVolume  string
+	ThreadPct    string
+	ExternalPct  string
+	Induced      uint64
+	Events       int
+}
+
+// Write renders the report for ps into w.
+func Write(w io.Writer, ps *core.Profiles, opts Options) error {
+	opts = opts.withDefaults()
+
+	type ranked struct {
+		name string
+		p    *core.Profile
+	}
+	var rows []ranked
+	for id, p := range ps.MergeThreads() {
+		rows = append(rows, ranked{name: ps.Symbols.Name(id), p: p})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p.TotalCost != rows[j].p.TotalCost {
+			return rows[i].p.TotalCost > rows[j].p.TotalCost
+		}
+		return rows[i].name < rows[j].name
+	})
+	if opts.TopN > 0 && len(rows) > opts.TopN {
+		rows = rows[:opts.TopN]
+	}
+
+	view := reportView{
+		Title:  opts.Title,
+		Events: ps.Events,
+	}
+	s := metrics.Summarize(ps)
+	view.RoutineCount = s.Routines
+	view.InputVolume = fmt.Sprintf("%.3f", s.DynamicInputVolume)
+	view.ThreadPct = fmt.Sprintf("%.1f", s.ThreadInputPct)
+	view.ExternalPct = fmt.Sprintf("%.1f", s.ExternalInputPct)
+	view.Induced = s.InducedReads
+
+	for _, r := range rows {
+		p := r.p
+		rv := routineView{
+			Name:       r.name,
+			Calls:      p.Calls,
+			TotalCost:  p.TotalCost,
+			SumRMS:     p.SumRMS,
+			SumDRMS:    p.SumDRMS,
+			RMSPoints:  len(p.RMSPoints),
+			DRMSPoints: len(p.DRMSPoints),
+		}
+		if reads := p.ReadOps(); reads > 0 {
+			rv.ThreadPct = fmt.Sprintf("%.1f", 100*float64(p.InducedThread)/float64(reads))
+			rv.ExternalPct = fmt.Sprintf("%.1f", 100*float64(p.InducedExternal)/float64(reads))
+			rv.InducedDominant = p.InducedReads()*2 > reads
+		}
+		rv.VarianceRMS = fmt.Sprintf("%.3f", metrics.VarianceIndicator(p, core.MetricRMS))
+		rv.VarianceDRMS = fmt.Sprintf("%.3f", metrics.VarianceIndicator(p, core.MetricDRMS))
+		if len(p.DRMSPoints) >= opts.MinPlotPoints {
+			var pts []fit.Point
+			for _, pp := range p.WorstCasePlot(core.MetricDRMS) {
+				pts = append(pts, fit.Point{N: float64(pp.N), Cost: float64(pp.Cost)})
+			}
+			if best, err := fit.BestFit(pts); err == nil {
+				rv.FitFormula = best.String()
+				rv.FitClass = best.Model.Name
+			}
+			rv.Plot = plotSVG(p)
+		}
+		view.Routines = append(view.Routines, rv)
+	}
+	return page.Execute(w, view)
+}
+
+// plotSVG renders the routine's rms and drms worst-case plots as one inline
+// SVG scatter chart.
+func plotSVG(p *core.Profile) template.HTML {
+	const (
+		width, height   = 460, 220
+		padLeft, padBot = 54, 28
+		padRight, padTT = 16, 14
+	)
+	type series struct {
+		metric core.Metric
+		color  string
+		label  string
+	}
+	all := []series{
+		{core.MetricRMS, "#c0392b", "rms"},
+		{core.MetricDRMS, "#2467a8", "drms"},
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range all {
+		for _, pt := range p.WorstCasePlot(s.metric) {
+			minX = math.Min(minX, float64(pt.N))
+			maxX = math.Max(maxX, float64(pt.N))
+			minY = math.Min(minY, float64(pt.Cost))
+			maxY = math.Max(maxY, float64(pt.Cost))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	sx := func(v float64) float64 {
+		return padLeft + (v-minX)/(maxX-minX)*(width-padLeft-padRight)
+	}
+	sy := func(v float64) float64 {
+		return height - padBot - (v-minY)/(maxY-minY)*(height-padBot-padTT)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`, width, height, width, height)
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#555"/>`,
+		padLeft, height-padBot, width-padRight, height-padBot)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#555"/>`,
+		padLeft, padTT, padLeft, height-padBot)
+	// Extent labels.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" fill="#333">%s</text>`,
+		padLeft, height-8, tick(minX))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" fill="#333" text-anchor="end">%s</text>`,
+		width-padRight, height-8, tick(maxX))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" fill="#333" text-anchor="end">%s</text>`,
+		padLeft-4, height-padBot, tick(minY))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" fill="#333" text-anchor="end">%s</text>`,
+		padLeft-4, padTT+8, tick(maxY))
+	// Legend.
+	lx := padLeft + 8
+	for _, s := range all {
+		fmt.Fprintf(&sb, `<circle cx="%d" cy="%d" r="3" fill="%s"/>`, lx, padTT, s.color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" fill="#333">%s</text>`, lx+6, padTT+3, s.label)
+		lx += 52
+	}
+	// Points.
+	for _, s := range all {
+		for _, pt := range p.WorstCasePlot(s.metric) {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.8"/>`,
+				sx(float64(pt.N)), sy(float64(pt.Cost)), s.color)
+		}
+	}
+	sb.WriteString(`</svg>`)
+	return template.HTML(sb.String())
+}
+
+func tick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+var page = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 72em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: right; padding: 3px 9px; border-bottom: 1px solid #ddd; }
+th:first-child, td:first-child { text-align: left; }
+thead th { border-bottom: 2px solid #999; }
+.summary { background: #f5f7fa; padding: .8em 1.2em; border-radius: 6px; }
+.dyn { color: #2467a8; font-weight: 600; }
+.fit { font-family: ui-monospace, monospace; font-size: 12px; color: #444; }
+.routine { margin-top: 1.6em; border-top: 1px solid #eee; padding-top: .4em; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="summary">
+{{.RoutineCount}} routines, {{.Events}} trace events.
+Dynamic input volume <strong>{{.InputVolume}}</strong>;
+{{.Induced}} induced first-reads
+(thread {{.ThreadPct}}%, external {{.ExternalPct}}%).
+</p>
+
+<h2>Routines by inclusive cost</h2>
+<table>
+<thead><tr>
+<th>routine</th><th>calls</th><th>cost</th><th>Σrms</th><th>Σdrms</th>
+<th>rms pts</th><th>drms pts</th><th>thread %</th><th>ext %</th>
+<th>cv(rms)</th><th>cv(drms)</th>
+</tr></thead>
+<tbody>
+{{range .Routines}}<tr>
+<td>{{if .InducedDominant}}<span class="dyn">{{.Name}}</span>{{else}}{{.Name}}{{end}}</td>
+<td>{{.Calls}}</td><td>{{.TotalCost}}</td><td>{{.SumRMS}}</td><td>{{.SumDRMS}}</td>
+<td>{{.RMSPoints}}</td><td>{{.DRMSPoints}}</td><td>{{.ThreadPct}}</td><td>{{.ExternalPct}}</td>
+<td>{{.VarianceRMS}}</td><td>{{.VarianceDRMS}}</td>
+</tr>
+{{end}}</tbody>
+</table>
+<p><span class="dyn">Highlighted</span> routines take most of their input dynamically.</p>
+
+{{range .Routines}}{{if .Plot}}
+<div class="routine">
+<h2>{{.Name}}</h2>
+{{if .FitFormula}}<p class="fit">empirical cost function (drms): {{.FitFormula}} — O({{.FitClass}})</p>{{end}}
+{{.Plot}}
+</div>
+{{end}}{{end}}
+</body>
+</html>
+`))

@@ -1,0 +1,108 @@
+package htmlreport
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+	"aprof/internal/workloads"
+)
+
+func sampleProfiles(t *testing.T) *core.Profiles {
+	t.Helper()
+	ps, err := core.Run(workloads.DBScan([]int{512, 1024, 2048, 4096}, workloads.DefaultDBScanConfig()), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestWriteProducesValidHTML(t *testing.T) {
+	ps := sampleProfiles(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ps, Options{Title: "dbscan demo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<title>dbscan demo</title>",
+		"mysql_select",
+		"Dynamic input volume",
+		"<svg",
+		"empirical cost function (drms):",
+		"O(n)",
+		"</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Both series appear in the SVG legend.
+	if !strings.Contains(out, ">rms</text>") || !strings.Contains(out, ">drms</text>") {
+		t.Error("legend incomplete")
+	}
+}
+
+func TestWriteEscapesRoutineNames(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call(`<script>alert("x")</script>`)
+	tb.Read(1, 4)
+	tb.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ps, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `<script>alert`) {
+		t.Error("routine name not escaped")
+	}
+	if !strings.Contains(buf.String(), "&lt;script&gt;") {
+		t.Error("escaped name missing entirely")
+	}
+}
+
+func TestWriteTopN(t *testing.T) {
+	ps := sampleProfiles(t)
+	var full, top bytes.Buffer
+	if err := Write(&full, ps, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&top, ps, Options{TopN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if top.Len() >= full.Len() {
+		t.Error("TopN=1 did not shrink the report")
+	}
+	if !strings.Contains(top.String(), "mysqld") {
+		t.Error("most expensive routine missing from TopN report")
+	}
+}
+
+func TestWriteEmptyRun(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("noop")
+	tb.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ps, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "noop") {
+		t.Error("single no-op routine missing")
+	}
+	// No plot section for a routine with one point.
+	if strings.Contains(buf.String(), "<svg") {
+		t.Error("plot rendered for a routine without enough points")
+	}
+}

@@ -1,0 +1,211 @@
+// Package metrics implements the evaluation metrics of §4.1 of the paper:
+// routine profile richness, dynamic input volume, thread input and external
+// input, plus the cumulative "x% of routines have metric ≥ y" curves used by
+// Figs. 11, 12 and 14 and the per-benchmark induced first-read
+// characterization of Fig. 15.
+package metrics
+
+import (
+	"sort"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// Routine aggregates the evaluation metrics of one routine across all
+// threads, as the paper does (|rms_r| and |drms_r| count distinct input
+// sizes collected by all threads).
+type Routine struct {
+	ID   trace.RoutineID
+	Name string
+	// Calls counts collected activations across threads.
+	Calls uint64
+	// DistinctRMS and DistinctDRMS are |rms_r| and |drms_r|: the numbers of
+	// distinct input sizes collected for the routine, i.e. the numbers of
+	// points in its two cost plots.
+	DistinctRMS  int
+	DistinctDRMS int
+	// Richness is (|drms_r| − |rms_r|) / |rms_r|; it may be negative when
+	// distinct rms values collapse onto fewer drms values.
+	Richness float64
+	// SumRMS and SumDRMS accumulate per-activation metric values.
+	SumRMS  uint64
+	SumDRMS uint64
+	// InputVolume is 1 − Σrms/Σdrms restricted to this routine's
+	// activations, in [0, 1).
+	InputVolume float64
+	// FirstReads, InducedThread and InducedExternal partition the routine's
+	// counted read operations.
+	FirstReads      uint64
+	InducedThread   uint64
+	InducedExternal uint64
+	// ThreadInputPct and ExternalInputPct are the percentages of the
+	// routine's counted reads (first + induced) that are thread-induced and
+	// external-induced, respectively (Figs. 13 and 14).
+	ThreadInputPct   float64
+	ExternalInputPct float64
+}
+
+// InducedPct returns the percentage of the routine's counted reads that are
+// induced (thread or external).
+func (r *Routine) InducedPct() float64 { return r.ThreadInputPct + r.ExternalInputPct }
+
+// Compute derives per-routine metrics from a profiling run, sorted by
+// routine name.
+func Compute(ps *core.Profiles) []Routine {
+	merged := ps.MergeThreads()
+	out := make([]Routine, 0, len(merged))
+	for id, p := range merged {
+		r := Routine{
+			ID:              id,
+			Name:            ps.Symbols.Name(id),
+			Calls:           p.Calls,
+			DistinctRMS:     len(p.RMSPoints),
+			DistinctDRMS:    len(p.DRMSPoints),
+			SumRMS:          p.SumRMS,
+			SumDRMS:         p.SumDRMS,
+			FirstReads:      p.FirstReads,
+			InducedThread:   p.InducedThread,
+			InducedExternal: p.InducedExternal,
+		}
+		if r.DistinctRMS > 0 {
+			r.Richness = float64(r.DistinctDRMS-r.DistinctRMS) / float64(r.DistinctRMS)
+		}
+		if r.SumDRMS > 0 {
+			r.InputVolume = 1 - float64(r.SumRMS)/float64(r.SumDRMS)
+		}
+		if reads := p.ReadOps(); reads > 0 {
+			r.ThreadInputPct = 100 * float64(p.InducedThread) / float64(reads)
+			r.ExternalInputPct = 100 * float64(p.InducedExternal) / float64(reads)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Summary holds the run-level metrics of one benchmark.
+type Summary struct {
+	// Routines is the number of profiled routines.
+	Routines int
+	// DynamicInputVolume is 1 − Σrms/Σdrms over all routine activations
+	// (§4.1, metric 2), in [0, 1).
+	DynamicInputVolume float64
+	// ThreadInputPct and ExternalInputPct partition the induced first-reads
+	// of the whole run between thread intercommunication and external input
+	// (§4.1, metrics 3 and 4); they sum to 100 when any induced first-read
+	// exists (Fig. 15).
+	ThreadInputPct   float64
+	ExternalInputPct float64
+	// InducedReads is the total number of induced first-reads.
+	InducedReads uint64
+	// TotalReads is the total number of counted read operations.
+	TotalReads uint64
+}
+
+// Summarize derives the run-level metrics.
+func Summarize(ps *core.Profiles) Summary {
+	var s Summary
+	var sumRMS, sumDRMS, first, indThread, indExternal uint64
+	routines := make(map[trace.RoutineID]bool)
+	for k, p := range ps.ByKey {
+		routines[k.Routine] = true
+		sumRMS += p.SumRMS
+		sumDRMS += p.SumDRMS
+		first += p.FirstReads
+		indThread += p.InducedThread
+		indExternal += p.InducedExternal
+	}
+	s.Routines = len(routines)
+	if sumDRMS > 0 {
+		s.DynamicInputVolume = 1 - float64(sumRMS)/float64(sumDRMS)
+	}
+	s.InducedReads = indThread + indExternal
+	s.TotalReads = first + s.InducedReads
+	if s.InducedReads > 0 {
+		s.ThreadInputPct = 100 * float64(indThread) / float64(s.InducedReads)
+		s.ExternalInputPct = 100 * float64(indExternal) / float64(s.InducedReads)
+	}
+	return s
+}
+
+// CurvePoint is one point of a cumulative tail curve: x% of routines have
+// metric value at least Y.
+type CurvePoint struct {
+	X float64 // percentage of routines
+	Y float64 // metric value
+}
+
+// TailCurve builds the cumulative curve the paper plots in Figs. 11, 12 and
+// 14: values are sorted in decreasing order and the i-th value (1-based) is
+// emitted at x = 100·i/n, so a point (x, y) means "x% of routines have
+// metric ≥ y".
+func TailCurve(values []float64) []CurvePoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	out := make([]CurvePoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CurvePoint{
+			X: 100 * float64(i+1) / float64(len(sorted)),
+			Y: v,
+		}
+	}
+	return out
+}
+
+// AtLeast returns the fraction (in percent) of values that are >= threshold,
+// i.e. the x-coordinate at which a tail curve crosses y = threshold.
+func AtLeast(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v >= threshold {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(values))
+}
+
+// RichnessValues, InputVolumeValues, ThreadInputValues and
+// ExternalInputValues extract per-routine metric vectors for curve
+// building.
+func RichnessValues(rs []Routine) []float64 {
+	out := make([]float64, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Richness
+	}
+	return out
+}
+
+// InputVolumeValues extracts the per-routine dynamic input volume.
+func InputVolumeValues(rs []Routine) []float64 {
+	out := make([]float64, len(rs))
+	for i := range rs {
+		out[i] = rs[i].InputVolume
+	}
+	return out
+}
+
+// ThreadInputValues extracts the per-routine thread-input percentage.
+func ThreadInputValues(rs []Routine) []float64 {
+	out := make([]float64, len(rs))
+	for i := range rs {
+		out[i] = rs[i].ThreadInputPct
+	}
+	return out
+}
+
+// ExternalInputValues extracts the per-routine external-input percentage.
+func ExternalInputValues(rs []Routine) []float64 {
+	out := make([]float64, len(rs))
+	for i := range rs {
+		out[i] = rs[i].ExternalInputPct
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// buildStreamingRun profiles a streaming workload where rms collapses to one
+// value while drms grows, giving known metric values.
+func buildStreamingRun(t *testing.T, calls int) *core.Profiles {
+	t.Helper()
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	for i := 0; i < calls; i++ {
+		tb.Call("reader")
+		tb.SysRead(100, 1)
+		for j := 0; j <= i; j++ {
+			tb.Read1(100)
+		}
+		tb.Ret()
+	}
+	tb.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func findRoutine(t *testing.T, rs []Routine, name string) *Routine {
+	t.Helper()
+	for i := range rs {
+		if rs[i].Name == name {
+			return &rs[i]
+		}
+	}
+	t.Fatalf("routine %q not in metrics", name)
+	return nil
+}
+
+func TestComputeRichness(t *testing.T) {
+	// Each reader call has drms = 1 (one induced first-read per call: the
+	// kernel refill is read i+1 times but only the first read after the
+	// refill is induced; subsequent ones are repeat accesses).
+	ps := buildStreamingRun(t, 5)
+	rs := Compute(ps)
+	reader := findRoutine(t, rs, "reader")
+	if reader.Calls != 5 {
+		t.Fatalf("reader.Calls = %d, want 5", reader.Calls)
+	}
+	// rms of each call is 1 (cell first accessed by read); drms is 1 as
+	// well per call here, so richness is 0 for reader.
+	if reader.DistinctRMS != 1 {
+		t.Errorf("DistinctRMS = %d, want 1", reader.DistinctRMS)
+	}
+	// main sees growing drms via roll-up? No: main's own points are a
+	// single activation. Richness is about distinct values per routine.
+	main := findRoutine(t, rs, "main")
+	if main.DistinctDRMS != 1 || main.DistinctRMS != 1 {
+		t.Errorf("main distinct = (%d,%d), want (1,1)", main.DistinctRMS, main.DistinctDRMS)
+	}
+	if main.SumDRMS <= main.SumRMS {
+		t.Errorf("main sums: drms %d should exceed rms %d", main.SumDRMS, main.SumRMS)
+	}
+	if main.InputVolume <= 0 || main.InputVolume >= 1 {
+		t.Errorf("main.InputVolume = %f, want in (0,1)", main.InputVolume)
+	}
+}
+
+func TestRichnessGrowsWithDistinctDRMS(t *testing.T) {
+	// A routine whose rms is constant but whose drms differs per call:
+	// consumer reads a cell overwritten a growing number of times.
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t2.Call("writer")
+	const calls = 8
+	t1.Call("main")
+	for i := 0; i < calls; i++ {
+		t1.Call("consumer")
+		for j := 0; j <= i; j++ {
+			t2.Write1(7)
+			t1.Read1(7)
+		}
+		t1.Ret()
+	}
+	t1.Ret()
+	t2.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Compute(ps)
+	consumer := findRoutine(t, rs, "consumer")
+	if consumer.DistinctRMS != 1 {
+		t.Errorf("DistinctRMS = %d, want 1 (always the same single cell)", consumer.DistinctRMS)
+	}
+	if consumer.DistinctDRMS != calls {
+		t.Errorf("DistinctDRMS = %d, want %d (1,2,...,%d induced reads)", consumer.DistinctDRMS, calls, calls)
+	}
+	wantRichness := float64(calls-1) / 1
+	if math.Abs(consumer.Richness-wantRichness) > 1e-9 {
+		t.Errorf("Richness = %f, want %f", consumer.Richness, wantRichness)
+	}
+	if consumer.ThreadInputPct != 100 {
+		t.Errorf("ThreadInputPct = %f, want 100", consumer.ThreadInputPct)
+	}
+	if consumer.ExternalInputPct != 0 {
+		t.Errorf("ExternalInputPct = %f, want 0", consumer.ExternalInputPct)
+	}
+}
+
+func TestSummarizeSplitsInducedReads(t *testing.T) {
+	b := trace.NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("main")
+	t2.Call("peer")
+	// 3 thread-induced reads.
+	for i := 0; i < 3; i++ {
+		t2.Write1(1)
+		t1.Read1(1)
+	}
+	// 1 external-induced read.
+	t1.SysRead(2, 1)
+	t1.Read1(2)
+	t1.Ret()
+	t2.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(ps)
+	if s.InducedReads != 4 {
+		t.Fatalf("InducedReads = %d, want 4", s.InducedReads)
+	}
+	if math.Abs(s.ThreadInputPct-75) > 1e-9 || math.Abs(s.ExternalInputPct-25) > 1e-9 {
+		t.Errorf("split = (%f, %f), want (75, 25)", s.ThreadInputPct, s.ExternalInputPct)
+	}
+	if math.Abs(s.ThreadInputPct+s.ExternalInputPct-100) > 1e-9 {
+		t.Errorf("split does not sum to 100")
+	}
+	if s.DynamicInputVolume <= 0 || s.DynamicInputVolume >= 1 {
+		t.Errorf("DynamicInputVolume = %f, want in (0,1)", s.DynamicInputVolume)
+	}
+}
+
+func TestSummarizeNoInduced(t *testing.T) {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Write1(1)
+	tb.Read1(1)
+	tb.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(ps)
+	if s.DynamicInputVolume != 0 {
+		t.Errorf("DynamicInputVolume = %f, want 0 (drms == rms)", s.DynamicInputVolume)
+	}
+	if s.ThreadInputPct != 0 || s.ExternalInputPct != 0 {
+		t.Errorf("induced split should be zero, got (%f, %f)", s.ThreadInputPct, s.ExternalInputPct)
+	}
+}
+
+func TestTailCurve(t *testing.T) {
+	values := []float64{1, 5, 3, 2}
+	curve := TailCurve(values)
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points, want 4", len(curve))
+	}
+	// Descending y, ascending x.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Y > curve[i-1].Y {
+			t.Errorf("curve y not descending at %d", i)
+		}
+		if curve[i].X <= curve[i-1].X {
+			t.Errorf("curve x not ascending at %d", i)
+		}
+	}
+	if curve[0].X != 25 || curve[0].Y != 5 {
+		t.Errorf("first point = %+v, want (25, 5)", curve[0])
+	}
+	if curve[3].X != 100 || curve[3].Y != 1 {
+		t.Errorf("last point = %+v, want (100, 1)", curve[3])
+	}
+	if TailCurve(nil) != nil {
+		t.Error("TailCurve(nil) != nil")
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	values := []float64{10, 20, 30, 40}
+	if got := AtLeast(values, 25); got != 50 {
+		t.Errorf("AtLeast(25) = %f, want 50", got)
+	}
+	if got := AtLeast(values, 100); got != 0 {
+		t.Errorf("AtLeast(100) = %f, want 0", got)
+	}
+	if got := AtLeast(nil, 1); got != 0 {
+		t.Errorf("AtLeast(nil) = %f, want 0", got)
+	}
+}
+
+// TestTailCurveQuick checks the curve properties on random inputs: the
+// x-coordinates are a permutation-invariant grid and the curve at x=100
+// equals the minimum value.
+func TestTailCurveQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return TailCurve(raw) == nil
+		}
+		curve := TailCurve(raw)
+		if len(curve) != len(raw) {
+			return false
+		}
+		minV := raw[0]
+		for _, v := range raw {
+			minV = math.Min(minV, v)
+		}
+		last := curve[len(curve)-1]
+		if last.X != 100 || last.Y != minV {
+			return false
+		}
+		ys := make([]float64, len(curve))
+		for i, p := range curve {
+			ys[i] = p.Y
+		}
+		return sort.IsSorted(sort.Reverse(sort.Float64Slice(ys)))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// coreTraceBuilder is a tiny indirection so variance tests can build traces
+// without importing the trace package twice.
+func coreTraceBuilder() *trace.Builder { return trace.NewBuilder() }

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"math"
+
+	"aprof/internal/core"
+)
+
+// Cost-variance indicator (§2.1): when a profiler collapses activations with
+// genuinely different workloads onto one input-size value, their costs
+// spread widely at that value. The paper uses exactly this signal on
+// wbuffer_write_thread — "we observed a high cost variance for these rms
+// values: this is a good indicator that some kind of information might not
+// be captured correctly". A high indicator under the rms that drops under
+// the drms means the drms recovered the missing input.
+
+// VarianceIndicator returns the weighted mean coefficient of variation
+// (stddev/mean) of the activation costs across the points of the routine's
+// cost plot under the chosen metric. Points with a single activation
+// contribute zero; weights are activation counts. The result is 0 for a
+// perfectly input-determined cost and grows as activations with unlike costs
+// share input-size values.
+func VarianceIndicator(p *core.Profile, metric core.Metric) float64 {
+	points := p.DRMSPoints
+	if metric == core.MetricRMS {
+		points = p.RMSPoints
+	}
+	var weighted float64
+	var total uint64
+	for _, st := range points {
+		total += st.Count
+		if st.Count < 2 {
+			continue
+		}
+		mean := st.Mean()
+		if mean <= 0 {
+			continue
+		}
+		cv := math.Sqrt(math.Max(st.Variance(), 0)) / mean
+		weighted += cv * float64(st.Count)
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / float64(total)
+}
+
+// VarianceDrop compares the indicator under rms and drms:
+// a value near 1 means the drms eliminated nearly all the unexplained cost
+// variance; near 0 means the two metrics explain costs equally well.
+func VarianceDrop(p *core.Profile) float64 {
+	rms := VarianceIndicator(p, core.MetricRMS)
+	if rms == 0 {
+		return 0
+	}
+	drms := VarianceIndicator(p, core.MetricDRMS)
+	return (rms - drms) / rms
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/workloads"
+)
+
+// TestVarianceIndicatorOnWbuffer reproduces the paper's §2.1 diagnostic on
+// the wbuffer workload: under the rms, 110 calls with very different costs
+// collapse onto 2 points (high cost variance); under the drms every call has
+// its own point (zero variance). The indicator must capture that.
+func TestVarianceIndicatorOnWbuffer(t *testing.T) {
+	tr := workloads.VipsWbuffer(workloads.DefaultVipsWbufferConfig())
+	ps, err := core.Run(tr, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ps.Routine("wbuffer_write_thread")
+	rmsCV := VarianceIndicator(p, core.MetricRMS)
+	drmsCV := VarianceIndicator(p, core.MetricDRMS)
+	if rmsCV <= 0.05 {
+		t.Errorf("rms variance indicator = %.4f, want clearly positive", rmsCV)
+	}
+	if drmsCV != 0 {
+		t.Errorf("drms variance indicator = %.4f, want 0 (all 110 points distinct)", drmsCV)
+	}
+	if drop := VarianceDrop(p); drop < 0.95 {
+		t.Errorf("variance drop = %.3f, want ~1 (drms explains the costs)", drop)
+	}
+}
+
+// TestVarianceIndicatorInputDetermined checks the baseline: a routine whose
+// cost is a function of its input size has indicator 0 under both metrics.
+func TestVarianceIndicatorInputDetermined(t *testing.T) {
+	b := coreTraceBuilder()
+	tb := b.Thread(1)
+	tb.Call("main")
+	for rep := 0; rep < 3; rep++ {
+		for n := 10; n <= 50; n += 10 {
+			tb.Call("scan")
+			tb.Read(1000, uint32(n))
+			tb.Work(uint64(2 * n))
+			tb.Ret()
+		}
+	}
+	tb.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ps.Routine("scan")
+	if got := VarianceIndicator(p, core.MetricRMS); got != 0 {
+		t.Errorf("input-determined routine has rms indicator %.4f, want 0", got)
+	}
+	if got := VarianceDrop(p); got != 0 {
+		t.Errorf("VarianceDrop = %.4f, want 0", got)
+	}
+}
+
+func TestVarianceIndicatorEmpty(t *testing.T) {
+	b := coreTraceBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Ret()
+	ps, err := core.Run(b.Trace(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := VarianceIndicator(ps.Routine("f"), core.MetricDRMS); got != 0 {
+		t.Errorf("indicator of a no-read routine = %.4f, want 0", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package profio serializes profiling results. The original aprof writes
+// report files that downstream tooling (aprof-plot) consumes; this package
+// plays that role with a stable JSON schema carrying the thread-sensitive
+// profiles, every performance point of both metrics, and the run-level
+// counters. Calling-context profiles are not serialized: the JSON file is
+// the routine-level exchange format; context-sensitive analyses consume
+// Profiles in memory.
+package profio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// fileFormat is bumped on breaking schema changes.
+const fileFormat = 1
+
+// pointJSON is one performance point of a cost plot.
+type pointJSON struct {
+	N     uint64  `json:"n"`
+	Count uint64  `json:"count"`
+	Max   uint64  `json:"max"`
+	Min   uint64  `json:"min"`
+	Sum   uint64  `json:"sum"`
+	SumSq float64 `json:"sumsq"`
+}
+
+// profileJSON is one thread-sensitive routine profile.
+type profileJSON struct {
+	Routine         string      `json:"routine"`
+	Thread          int32       `json:"thread"`
+	Calls           uint64      `json:"calls"`
+	SumRMS          uint64      `json:"sum_rms"`
+	SumDRMS         uint64      `json:"sum_drms"`
+	FirstReads      uint64      `json:"first_reads"`
+	InducedThread   uint64      `json:"induced_thread"`
+	InducedExternal uint64      `json:"induced_external"`
+	TotalCost       uint64      `json:"total_cost"`
+	DRMSPoints      []pointJSON `json:"drms_points"`
+	RMSPoints       []pointJSON `json:"rms_points"`
+}
+
+// fileJSON is the on-disk document.
+type fileJSON struct {
+	Format       int           `json:"format"`
+	Generator    string        `json:"generator"`
+	Events       int           `json:"events"`
+	Renumberings int           `json:"renumberings"`
+	Profiles     []profileJSON `json:"profiles"`
+}
+
+func pointsToJSON(points map[uint64]*core.CostStats) []pointJSON {
+	out := make([]pointJSON, 0, len(points))
+	for n, st := range points {
+		out = append(out, pointJSON{
+			N: n, Count: st.Count, Max: st.Max, Min: st.Min, Sum: st.Sum, SumSq: st.SumSq,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].N < out[j].N })
+	return out
+}
+
+func pointsFromJSON(points []pointJSON) (map[uint64]*core.CostStats, error) {
+	out := make(map[uint64]*core.CostStats, len(points))
+	for _, p := range points {
+		if _, dup := out[p.N]; dup {
+			return nil, fmt.Errorf("profio: duplicate point at n=%d", p.N)
+		}
+		out[p.N] = &core.CostStats{
+			Count: p.Count, Max: p.Max, Min: p.Min, Sum: p.Sum, SumSq: p.SumSq,
+		}
+	}
+	return out, nil
+}
+
+// Write serializes ps to w as JSON.
+func Write(w io.Writer, ps *core.Profiles) error {
+	doc := fileJSON{
+		Format:       fileFormat,
+		Generator:    "aprof-drms",
+		Events:       ps.Events,
+		Renumberings: ps.Renumberings,
+	}
+	keys := make([]core.Key, 0, len(ps.ByKey))
+	for k := range ps.ByKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Routine != keys[j].Routine {
+			return keys[i].Routine < keys[j].Routine
+		}
+		return keys[i].Thread < keys[j].Thread
+	})
+	for _, k := range keys {
+		p := ps.ByKey[k]
+		doc.Profiles = append(doc.Profiles, profileJSON{
+			Routine:         ps.Symbols.Name(k.Routine),
+			Thread:          int32(k.Thread),
+			Calls:           p.Calls,
+			SumRMS:          p.SumRMS,
+			SumDRMS:         p.SumDRMS,
+			FirstReads:      p.FirstReads,
+			InducedThread:   p.InducedThread,
+			InducedExternal: p.InducedExternal,
+			TotalCost:       p.TotalCost,
+			DRMSPoints:      pointsToJSON(p.DRMSPoints),
+			RMSPoints:       pointsToJSON(p.RMSPoints),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Read deserializes profiles written by Write.
+func Read(r io.Reader) (*core.Profiles, error) {
+	var doc fileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profio: decoding: %w", err)
+	}
+	if doc.Format != fileFormat {
+		return nil, fmt.Errorf("profio: unsupported format %d (want %d)", doc.Format, fileFormat)
+	}
+	ps := &core.Profiles{
+		Symbols:      trace.NewSymbolTable(),
+		ByKey:        make(map[core.Key]*core.Profile, len(doc.Profiles)),
+		Events:       doc.Events,
+		Renumberings: doc.Renumberings,
+	}
+	for i, pj := range doc.Profiles {
+		id := ps.Symbols.Intern(pj.Routine)
+		key := core.Key{Routine: id, Thread: trace.ThreadID(pj.Thread)}
+		if _, dup := ps.ByKey[key]; dup {
+			return nil, fmt.Errorf("profio: profile %d: duplicate (routine %q, thread %d)", i, pj.Routine, pj.Thread)
+		}
+		drms, err := pointsFromJSON(pj.DRMSPoints)
+		if err != nil {
+			return nil, fmt.Errorf("profio: profile %q/%d: %w", pj.Routine, pj.Thread, err)
+		}
+		rms, err := pointsFromJSON(pj.RMSPoints)
+		if err != nil {
+			return nil, fmt.Errorf("profio: profile %q/%d: %w", pj.Routine, pj.Thread, err)
+		}
+		ps.ByKey[key] = &core.Profile{
+			Routine:         id,
+			Thread:          trace.ThreadID(pj.Thread),
+			Calls:           pj.Calls,
+			SumRMS:          pj.SumRMS,
+			SumDRMS:         pj.SumDRMS,
+			FirstReads:      pj.FirstReads,
+			InducedThread:   pj.InducedThread,
+			InducedExternal: pj.InducedExternal,
+			TotalCost:       pj.TotalCost,
+			DRMSPoints:      drms,
+			RMSPoints:       rms,
+		}
+	}
+	return ps, nil
+}

@@ -1,0 +1,123 @@
+package profio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/workloads"
+)
+
+func sampleProfiles(t *testing.T) *core.Profiles {
+	t.Helper()
+	ps, err := core.Run(workloads.ProducerConsumer(20), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestRoundTrip(t *testing.T) {
+	ps := sampleProfiles(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ps); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Events != ps.Events || got.Renumberings != ps.Renumberings {
+		t.Errorf("run counters changed: %d/%d vs %d/%d", got.Events, got.Renumberings, ps.Events, ps.Renumberings)
+	}
+	if len(got.ByKey) != len(ps.ByKey) {
+		t.Fatalf("profile count %d, want %d", len(got.ByKey), len(ps.ByKey))
+	}
+	for k, orig := range ps.ByKey {
+		name := ps.Symbols.Name(k.Routine)
+		restored := got.Get(name, k.Thread)
+		if restored == nil {
+			t.Fatalf("missing profile %q thread %d", name, k.Thread)
+		}
+		if restored.Calls != orig.Calls || restored.SumRMS != orig.SumRMS || restored.SumDRMS != orig.SumDRMS ||
+			restored.FirstReads != orig.FirstReads || restored.InducedThread != orig.InducedThread ||
+			restored.InducedExternal != orig.InducedExternal || restored.TotalCost != orig.TotalCost {
+			t.Errorf("%q/%d: scalar fields changed", name, k.Thread)
+		}
+		if !reflect.DeepEqual(restored.DRMSPoints, orig.DRMSPoints) {
+			t.Errorf("%q/%d: drms points changed", name, k.Thread)
+		}
+		if !reflect.DeepEqual(restored.RMSPoints, orig.RMSPoints) {
+			t.Errorf("%q/%d: rms points changed", name, k.Thread)
+		}
+	}
+	// Plots derived from the restored profiles match.
+	origPlot := ps.Routine("consumer").WorstCasePlot(core.MetricDRMS)
+	gotPlot := got.Routine("consumer").WorstCasePlot(core.MetricDRMS)
+	if !reflect.DeepEqual(origPlot, gotPlot) {
+		t.Error("worst-case plot changed across round trip")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage", "not json"},
+		{"bad format", `{"format": 99, "profiles": []}`},
+		{"unknown field", `{"format": 1, "bogus": 1, "profiles": []}`},
+		{"duplicate profile", `{"format":1,"generator":"x","events":0,"renumberings":0,"profiles":[
+			{"routine":"f","thread":1,"calls":1,"sum_rms":0,"sum_drms":0,"first_reads":0,"induced_thread":0,"induced_external":0,"total_cost":0,"drms_points":[],"rms_points":[]},
+			{"routine":"f","thread":1,"calls":1,"sum_rms":0,"sum_drms":0,"first_reads":0,"induced_thread":0,"induced_external":0,"total_cost":0,"drms_points":[],"rms_points":[]}]}`},
+		{"duplicate point", `{"format":1,"generator":"x","events":0,"renumberings":0,"profiles":[
+			{"routine":"f","thread":1,"calls":1,"sum_rms":0,"sum_drms":0,"first_reads":0,"induced_thread":0,"induced_external":0,"total_cost":0,
+			 "drms_points":[{"n":1,"count":1,"max":1,"min":1,"sum":1,"sumsq":1},{"n":1,"count":1,"max":1,"min":1,"sum":1,"sumsq":1}],"rms_points":[]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.src)); err == nil {
+				t.Error("Read accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	ps := sampleProfiles(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, ps); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two writes of the same profiles differ")
+	}
+	if !strings.Contains(a.String(), `"routine": "consumer"`) {
+		t.Error("output missing expected routine")
+	}
+}
+
+func TestMetricsSurviveRoundTrip(t *testing.T) {
+	ps := sampleProfiles(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ps.Routine("consumer")
+	rest := got.Routine("consumer")
+	if orig.InducedReads() != rest.InducedReads() || orig.ReadOps() != rest.ReadOps() {
+		t.Error("derived metrics changed across round trip")
+	}
+	if _, ok := got.Symbols.Lookup("producer"); !ok {
+		t.Error("symbol table incomplete after round trip")
+	}
+}

@@ -1,0 +1,164 @@
+// Package shadow implements the sparse three-level lookup tables the paper
+// uses for shadow memories (§4.1, "Implementation Details"): only chunks
+// related to memory cells actually accessed need to be materialized, which
+// keeps the per-thread shadow memories cheap for threads that touch little
+// memory.
+//
+// The address space is split as
+//
+//	[ level-1: upper bits, hash map ][ level-2: midBits ][ level-3: lowBits ]
+//
+// Level 1 is a map so the full 64-bit address space is covered; levels 2 and
+// 3 are dense arrays. The zero value of T is the default content of every
+// cell; chunks are allocated on first Store of a non-observed region.
+package shadow
+
+import "aprof/internal/trace"
+
+const (
+	lowBits  = 12 // cells per leaf chunk: 4096
+	midBits  = 10 // leaf chunks per level-2 node: 1024
+	lowSize  = 1 << lowBits
+	midSize  = 1 << midBits
+	lowMask  = lowSize - 1
+	midMask  = midSize - 1
+	topShift = lowBits + midBits
+)
+
+// leaf is a level-3 chunk of cell values.
+type leaf[T any] struct {
+	cells [lowSize]T
+}
+
+// node is a level-2 table of leaf chunks.
+type node[T any] struct {
+	leaves [midSize]*leaf[T]
+}
+
+// Table is a sparse map from trace.Addr to T with zero-valued default
+// content and O(1) access.
+type Table[T any] struct {
+	top map[uint64]*node[T]
+	// leafCount tracks materialized leaf chunks for space accounting.
+	leafCount int
+	// hint caches the most recently touched node to exploit locality.
+	hintKey  uint64
+	hintNode *node[T]
+}
+
+// New returns an empty table.
+func New[T any]() *Table[T] {
+	return &Table[T]{top: make(map[uint64]*node[T])}
+}
+
+// Load returns the value at addr, or the zero value if the cell was never
+// stored to.
+func (t *Table[T]) Load(addr trace.Addr) T {
+	var zero T
+	n := t.lookupNode(uint64(addr) >> topShift)
+	if n == nil {
+		return zero
+	}
+	lf := n.leaves[(uint64(addr)>>lowBits)&midMask]
+	if lf == nil {
+		return zero
+	}
+	return lf.cells[uint64(addr)&lowMask]
+}
+
+// Store sets the value at addr, materializing chunks as needed.
+func (t *Table[T]) Store(addr trace.Addr, v T) {
+	*t.slot(addr) = v
+}
+
+// Slot returns a pointer to the cell at addr, materializing chunks as
+// needed. The pointer is invalidated by nothing (chunks are never freed), so
+// callers may retain it across calls within a single goroutine.
+func (t *Table[T]) Slot(addr trace.Addr) *T {
+	return t.slot(addr)
+}
+
+func (t *Table[T]) slot(addr trace.Addr) *T {
+	key := uint64(addr) >> topShift
+	n := t.lookupNode(key)
+	if n == nil {
+		n = &node[T]{}
+		t.top[key] = n
+		t.hintKey, t.hintNode = key, n
+	}
+	li := (uint64(addr) >> lowBits) & midMask
+	lf := n.leaves[li]
+	if lf == nil {
+		lf = &leaf[T]{}
+		n.leaves[li] = lf
+		t.leafCount++
+	}
+	return &lf.cells[uint64(addr)&lowMask]
+}
+
+func (t *Table[T]) lookupNode(key uint64) *node[T] {
+	if t.hintNode != nil && t.hintKey == key {
+		return t.hintNode
+	}
+	n := t.top[key]
+	if n != nil {
+		t.hintKey, t.hintNode = key, n
+	}
+	return n
+}
+
+// LeafChunks returns the number of materialized level-3 chunks.
+func (t *Table[T]) LeafChunks() int { return t.leafCount }
+
+// SizeBytes estimates the memory held by the table: materialized leaves plus
+// level-2 pointer arrays, with elemSize the size of T in bytes.
+func (t *Table[T]) SizeBytes(elemSize int) int64 {
+	const ptrSize = 8
+	leafBytes := int64(t.leafCount) * int64(lowSize) * int64(elemSize)
+	nodeBytes := int64(len(t.top)) * int64(midSize) * ptrSize
+	return leafBytes + nodeBytes
+}
+
+// ForEach calls fn for every cell in every materialized chunk whose value is
+// non-zero according to isZero. Iteration order is unspecified.
+func (t *Table[T]) ForEach(isZero func(T) bool, fn func(trace.Addr, T)) {
+	for key, n := range t.top {
+		base := key << topShift
+		for li, lf := range n.leaves {
+			if lf == nil {
+				continue
+			}
+			chunkBase := base | uint64(li)<<lowBits
+			for ci := range lf.cells {
+				v := lf.cells[ci]
+				if isZero(v) {
+					continue
+				}
+				fn(trace.Addr(chunkBase|uint64(ci)), v)
+			}
+		}
+	}
+}
+
+// UpdateAll rewrites every cell of every materialized chunk through fn.
+// Cells never stored to are not visited (their chunks do not exist).
+func (t *Table[T]) UpdateAll(fn func(T) T) {
+	for _, n := range t.top {
+		for _, lf := range n.leaves {
+			if lf == nil {
+				continue
+			}
+			for ci := range lf.cells {
+				lf.cells[ci] = fn(lf.cells[ci])
+			}
+		}
+	}
+}
+
+// Reset drops all chunks, returning the table to its empty state.
+func (t *Table[T]) Reset() {
+	t.top = make(map[uint64]*node[T])
+	t.leafCount = 0
+	t.hintNode = nil
+	t.hintKey = 0
+}

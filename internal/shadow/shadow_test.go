@@ -1,0 +1,196 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aprof/internal/trace"
+)
+
+func TestLoadDefaultZero(t *testing.T) {
+	m := New[uint64]()
+	if got := m.Load(12345); got != 0 {
+		t.Errorf("Load of untouched cell = %d, want 0", got)
+	}
+	if m.LeafChunks() != 0 {
+		t.Error("Load materialized a chunk")
+	}
+}
+
+func TestStoreLoad(t *testing.T) {
+	m := New[uint64]()
+	addrs := []trace.Addr{0, 1, lowSize - 1, lowSize, lowSize * midSize, 1 << 40, 1<<63 + 17}
+	for i, a := range addrs {
+		m.Store(a, uint64(i)+100)
+	}
+	for i, a := range addrs {
+		if got := m.Load(a); got != uint64(i)+100 {
+			t.Errorf("Load(%d) = %d, want %d", a, got, uint64(i)+100)
+		}
+	}
+}
+
+func TestSlotAliasesStore(t *testing.T) {
+	m := New[uint64]()
+	slot := m.Slot(77)
+	*slot = 5
+	if got := m.Load(77); got != 5 {
+		t.Errorf("Load = %d, want 5", got)
+	}
+	m.Store(77, 9)
+	if *slot != 9 {
+		t.Errorf("slot sees %d, want 9", *slot)
+	}
+}
+
+func TestAgainstMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New[uint64]()
+	oracle := make(map[trace.Addr]uint64)
+	// Clustered addresses exercise chunk sharing; sparse ones exercise the
+	// top-level map.
+	for i := 0; i < 20000; i++ {
+		var a trace.Addr
+		if rng.Intn(2) == 0 {
+			a = trace.Addr(rng.Intn(10000))
+		} else {
+			a = trace.Addr(rng.Uint64())
+		}
+		if rng.Intn(3) == 0 {
+			if got, want := m.Load(a), oracle[a]; got != want {
+				t.Fatalf("Load(%d) = %d, want %d", a, got, want)
+			}
+		} else {
+			v := rng.Uint64()
+			m.Store(a, v)
+			oracle[a] = v
+		}
+	}
+	for a, want := range oracle {
+		if got := m.Load(a); got != want {
+			t.Fatalf("final Load(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestForEachVisitsExactlyNonZero(t *testing.T) {
+	m := New[uint64]()
+	want := map[trace.Addr]uint64{
+		3:       1,
+		4096:    2,
+		1 << 30: 3,
+		1 << 50: 4,
+	}
+	for a, v := range want {
+		m.Store(a, v)
+	}
+	m.Store(99, 5)
+	m.Store(99, 0) // explicitly zeroed: must not be visited
+	got := make(map[trace.Addr]uint64)
+	m.ForEach(func(v uint64) bool { return v == 0 }, func(a trace.Addr, v uint64) {
+		got[a] = v
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d cells, want %d: %v", len(got), len(want), got)
+	}
+	for a, v := range want {
+		if got[a] != v {
+			t.Errorf("ForEach got[%d] = %d, want %d", a, got[a], v)
+		}
+	}
+}
+
+func TestUpdateAll(t *testing.T) {
+	m := New[uint64]()
+	m.Store(1, 10)
+	m.Store(2, 20)
+	m.Store(1<<40, 30)
+	m.UpdateAll(func(v uint64) uint64 {
+		if v == 0 {
+			return 0
+		}
+		return v / 10
+	})
+	for a, want := range map[trace.Addr]uint64{1: 1, 2: 2, 1 << 40: 3, 7: 0} {
+		if got := m.Load(a); got != want {
+			t.Errorf("after UpdateAll, Load(%d) = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	m := New[uint8]()
+	if m.SizeBytes(1) != 0 {
+		t.Error("empty table reports non-zero size")
+	}
+	m.Store(0, 1)
+	one := m.SizeBytes(1)
+	if one <= 0 {
+		t.Error("non-empty table reports non-positive size")
+	}
+	m.Store(1, 1) // same chunk
+	if got := m.SizeBytes(1); got != one {
+		t.Errorf("same-chunk store changed size: %d -> %d", one, got)
+	}
+	m.Store(1<<40, 1) // new top-level region and chunk
+	if got := m.SizeBytes(1); got <= one {
+		t.Errorf("new chunk did not grow size: %d -> %d", one, got)
+	}
+	if m.LeafChunks() != 2 {
+		t.Errorf("LeafChunks = %d, want 2", m.LeafChunks())
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New[uint64]()
+	m.Store(5, 5)
+	m.Reset()
+	if m.Load(5) != 0 || m.LeafChunks() != 0 {
+		t.Error("Reset did not clear the table")
+	}
+	m.Store(5, 7)
+	if m.Load(5) != 7 {
+		t.Error("table unusable after Reset")
+	}
+}
+
+// TestQuickStoreLoad is a property test: a Store followed by a Load of the
+// same address returns the stored value, and a Load of a different address
+// in a fresh table returns zero.
+func TestQuickStoreLoad(t *testing.T) {
+	f := func(a trace.Addr, v uint64, other trace.Addr) bool {
+		m := New[uint64]()
+		m.Store(a, v)
+		if m.Load(a) != v {
+			return false
+		}
+		if other != a && m.Load(other) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStoreDense(b *testing.B) {
+	m := New[uint64]()
+	for i := 0; i < b.N; i++ {
+		m.Store(trace.Addr(i&0xffff), uint64(i))
+	}
+}
+
+func BenchmarkLoadDense(b *testing.B) {
+	m := New[uint64]()
+	for i := 0; i < 1<<16; i++ {
+		m.Store(trace.Addr(i), uint64(i))
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += m.Load(trace.Addr(i & 0xffff))
+	}
+	_ = sink
+}

@@ -1,0 +1,48 @@
+package tools
+
+import (
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// Aprof wraps the input-sensitive profiler as a Tool. With drms disabled it
+// is the rms-only aprof of [5] (no global shadow memory — the configuration
+// the paper's "aprof" column measures); with drms enabled it is aprof-drms,
+// the tool this repository reproduces.
+type Aprof struct {
+	name string
+	p    *core.Profiler
+	out  *core.Profiles
+}
+
+// NewAprof returns the rms-only profiler tool.
+func NewAprof(syms *trace.SymbolTable) *Aprof {
+	return &Aprof{name: "aprof", p: core.NewProfiler(syms, core.RMSOnlyConfig())}
+}
+
+// NewAprofDRMS returns the full dynamic-input profiler tool.
+func NewAprofDRMS(syms *trace.SymbolTable) *Aprof {
+	return &Aprof{name: "aprof-drms", p: core.NewProfiler(syms, core.DefaultConfig())}
+}
+
+// Name implements Tool.
+func (a *Aprof) Name() string { return a.name }
+
+// HandleEvent implements Tool.
+func (a *Aprof) HandleEvent(ev *trace.Event) error { return a.p.HandleEvent(ev) }
+
+// Finish implements Tool.
+func (a *Aprof) Finish() error {
+	out, err := a.p.Finish()
+	if err != nil {
+		return err
+	}
+	a.out = out
+	return nil
+}
+
+// SpaceBytes implements Tool.
+func (a *Aprof) SpaceBytes() int64 { return a.p.SpaceBytes() }
+
+// Profiles returns the collected profiles (after Finish).
+func (a *Aprof) Profiles() *core.Profiles { return a.out }

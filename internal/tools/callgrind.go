@@ -1,0 +1,191 @@
+package tools
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aprof/internal/trace"
+)
+
+// Callgrind is a call-graph profiler in the style of Valgrind's callgrind:
+// it builds the dynamic call graph with call counts per edge and attributes
+// exclusive and inclusive basic-block costs and memory-access counts to
+// routines.
+type Callgrind struct {
+	syms    *trace.SymbolTable
+	nodes   map[trace.RoutineID]*CallNode
+	edges   map[callEdge]int64
+	threads map[trace.ThreadID]*cgThread
+}
+
+// CallNode aggregates one routine of the call graph.
+type CallNode struct {
+	Routine   trace.RoutineID
+	Calls     int64
+	Exclusive uint64
+	Inclusive uint64
+	Reads     int64
+	Writes    int64
+}
+
+type callEdge struct {
+	caller trace.RoutineID
+	callee trace.RoutineID
+}
+
+type cgFrame struct {
+	rtn       trace.RoutineID
+	entryCost uint64
+	childCost uint64
+}
+
+type cgThread struct {
+	stack []cgFrame
+	cost  uint64
+}
+
+// NewCallgrind returns a call-graph profiler for traces built against syms.
+func NewCallgrind(syms *trace.SymbolTable) *Callgrind {
+	return &Callgrind{
+		syms:    syms,
+		nodes:   make(map[trace.RoutineID]*CallNode),
+		edges:   make(map[callEdge]int64),
+		threads: make(map[trace.ThreadID]*cgThread),
+	}
+}
+
+// Name implements Tool.
+func (c *Callgrind) Name() string { return "callgrind" }
+
+func (c *Callgrind) node(r trace.RoutineID) *CallNode {
+	n := c.nodes[r]
+	if n == nil {
+		n = &CallNode{Routine: r}
+		c.nodes[r] = n
+	}
+	return n
+}
+
+func (c *Callgrind) thread(id trace.ThreadID) *cgThread {
+	t := c.threads[id]
+	if t == nil {
+		t = &cgThread{}
+		c.threads[id] = t
+	}
+	return t
+}
+
+// HandleEvent implements Tool.
+func (c *Callgrind) HandleEvent(ev *trace.Event) error {
+	if ev.Kind == trace.KindSwitchThread {
+		return nil
+	}
+	t := c.thread(ev.Thread)
+	t.cost = ev.Cost
+	switch ev.Kind {
+	case trace.KindCall:
+		c.node(ev.Routine).Calls++
+		if len(t.stack) > 0 {
+			c.edges[callEdge{caller: t.stack[len(t.stack)-1].rtn, callee: ev.Routine}]++
+		}
+		t.stack = append(t.stack, cgFrame{rtn: ev.Routine, entryCost: ev.Cost})
+	case trace.KindReturn:
+		if len(t.stack) == 0 {
+			return fmt.Errorf("callgrind: return on thread %d with empty stack", ev.Thread)
+		}
+		top := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		inclusive := uint64(0)
+		if ev.Cost > top.entryCost {
+			inclusive = ev.Cost - top.entryCost
+		}
+		n := c.node(top.rtn)
+		n.Inclusive += inclusive
+		if inclusive >= top.childCost {
+			n.Exclusive += inclusive - top.childCost
+		}
+		if len(t.stack) > 0 {
+			t.stack[len(t.stack)-1].childCost += inclusive
+		}
+	case trace.KindRead, trace.KindKernelToUser:
+		if len(t.stack) > 0 {
+			c.node(t.stack[len(t.stack)-1].rtn).Reads += int64(ev.Size)
+		}
+	case trace.KindWrite, trace.KindUserToKernel:
+		if len(t.stack) > 0 {
+			c.node(t.stack[len(t.stack)-1].rtn).Writes += int64(ev.Size)
+		}
+	}
+	return nil
+}
+
+// Finish implements Tool: pending activations are closed at their thread's
+// final cost.
+func (c *Callgrind) Finish() error {
+	for _, t := range c.threads {
+		for len(t.stack) > 0 {
+			top := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			inclusive := uint64(0)
+			if t.cost > top.entryCost {
+				inclusive = t.cost - top.entryCost
+			}
+			n := c.node(top.rtn)
+			n.Inclusive += inclusive
+			if inclusive >= top.childCost {
+				n.Exclusive += inclusive - top.childCost
+			}
+			if len(t.stack) > 0 {
+				t.stack[len(t.stack)-1].childCost += inclusive
+			}
+		}
+	}
+	return nil
+}
+
+// SpaceBytes implements Tool.
+func (c *Callgrind) SpaceBytes() int64 {
+	const nodeSize = 6 * 8
+	const edgeSize = 3 * 8
+	var stackBytes int64
+	for _, t := range c.threads {
+		stackBytes += int64(cap(t.stack)) * 3 * 8
+	}
+	return int64(len(c.nodes))*nodeSize + int64(len(c.edges))*edgeSize + stackBytes
+}
+
+// Node returns the call-graph node for the named routine, or nil.
+func (c *Callgrind) Node(name string) *CallNode {
+	id, ok := c.syms.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// EdgeCount returns the number of calls along caller→callee.
+func (c *Callgrind) EdgeCount(caller, callee string) int64 {
+	callerID, ok1 := c.syms.Lookup(caller)
+	calleeID, ok2 := c.syms.Lookup(callee)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return c.edges[callEdge{caller: callerID, callee: calleeID}]
+}
+
+// Report renders the call graph as a table sorted by inclusive cost.
+func (c *Callgrind) Report() string {
+	nodes := make([]*CallNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Inclusive > nodes[j].Inclusive })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %12s %12s %10s %10s\n", "routine", "calls", "inclusive", "exclusive", "reads", "writes")
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "%-28s %10d %12d %12d %10d %10d\n",
+			c.syms.Name(n.Routine), n.Calls, n.Inclusive, n.Exclusive, n.Reads, n.Writes)
+	}
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+package tools
+
+import (
+	"fmt"
+
+	"aprof/internal/shadow"
+	"aprof/internal/trace"
+)
+
+// FastTrack is the epoch-optimized happens-before race detector of Flanagan
+// and Freund: most cells carry only the (thread, clock) epoch of their last
+// write and last read in flat shadow tables, with vector-clock work reserved
+// for synchronization operations and read-shared cells. It is not one of
+// the paper's comparison tools (the paper predates a Valgrind FastTrack);
+// it is included as an ablation partner for Helgrind, demonstrating how
+// much of helgrind's Table 1 cost is the unoptimized vector-clock handling.
+type FastTrack struct {
+	threads map[trace.ThreadID]*hgThread
+	syncs   map[trace.Addr]vectorClock
+	// lastWrite and lastRead hold packed epochs per cell; readShared holds
+	// full read vector clocks for the (rare) cells read concurrently by
+	// multiple threads.
+	lastWrite  *shadow.Table[uint64]
+	lastRead   *shadow.Table[uint64]
+	readShared map[trace.Addr]vectorClock
+	// Races counts detected conflicting access pairs.
+	Races int64
+}
+
+// epoch packing: 16 bits thread index, 48 bits clock.
+func packEpoch(tid uint32, clock uint64) uint64 {
+	return uint64(tid)<<48 | (clock & (1<<48 - 1))
+}
+
+func unpackEpoch(e uint64) (tid uint32, clock uint64) {
+	return uint32(e >> 48), e & (1<<48 - 1)
+}
+
+// NewFastTrack returns a fresh epoch-optimized race detector.
+func NewFastTrack() *FastTrack {
+	return &FastTrack{
+		threads:    make(map[trace.ThreadID]*hgThread),
+		syncs:      make(map[trace.Addr]vectorClock),
+		lastWrite:  shadow.New[uint64](),
+		lastRead:   shadow.New[uint64](),
+		readShared: make(map[trace.Addr]vectorClock),
+	}
+}
+
+// Name implements Tool.
+func (h *FastTrack) Name() string { return "fasttrack" }
+
+func (h *FastTrack) thread(id trace.ThreadID) *hgThread {
+	t := h.threads[id]
+	if t == nil {
+		t = &hgThread{id: id, index: uint32(len(h.threads) + 1), vc: make(vectorClock)}
+		t.vc[t.index] = 1
+		h.threads[id] = t
+	}
+	return t
+}
+
+// epochOrdered reports whether the access with packed epoch e is ordered
+// before thread t's current state.
+func (h *FastTrack) epochOrdered(e uint64, t *hgThread) bool {
+	if e == 0 {
+		return true
+	}
+	tid, clock := unpackEpoch(e)
+	return clock <= t.vc[tid]
+}
+
+// HandleEvent implements Tool.
+func (h *FastTrack) HandleEvent(ev *trace.Event) error {
+	switch ev.Kind {
+	case trace.KindSwitchThread, trace.KindCall, trace.KindReturn:
+		return nil
+	case trace.KindAcquire:
+		t := h.thread(ev.Thread)
+		if vc, ok := h.syncs[ev.Addr]; ok {
+			t.vc.join(vc)
+		}
+		return nil
+	case trace.KindRelease:
+		t := h.thread(ev.Thread)
+		vc, ok := h.syncs[ev.Addr]
+		if !ok {
+			vc = make(vectorClock)
+			h.syncs[ev.Addr] = vc
+		}
+		vc.join(t.vc)
+		t.vc[t.index]++
+		return nil
+	case trace.KindRead, trace.KindUserToKernel:
+		t := h.thread(ev.Thread)
+		epoch := packEpoch(t.index, t.vc[t.index])
+		ev.Cells(func(a trace.Addr) {
+			if !h.epochOrdered(h.lastWrite.Load(a), t) {
+				h.Races++
+			}
+			// Same-epoch fast path; escalate to a read vector clock when a
+			// second thread reads concurrently.
+			slot := h.lastRead.Slot(a)
+			if vc, shared := h.readShared[a]; shared {
+				vc[t.index] = t.vc[t.index]
+				return
+			}
+			old := *slot
+			if old == 0 || h.epochOrdered(old, t) {
+				*slot = epoch
+				return
+			}
+			tid, clock := unpackEpoch(old)
+			vc := vectorClock{tid: clock, t.index: t.vc[t.index]}
+			h.readShared[a] = vc
+		})
+		return nil
+	case trace.KindWrite, trace.KindKernelToUser:
+		t := h.thread(ev.Thread)
+		epoch := packEpoch(t.index, t.vc[t.index])
+		ev.Cells(func(a trace.Addr) {
+			if !h.epochOrdered(h.lastWrite.Load(a), t) {
+				h.Races++
+			}
+			if vc, shared := h.readShared[a]; shared {
+				for idx, clock := range vc {
+					if idx != t.index && clock > t.vc[idx] {
+						h.Races++
+					}
+				}
+				delete(h.readShared, a)
+				h.lastRead.Store(a, 0)
+			} else if !h.epochOrdered(h.lastRead.Load(a), t) {
+				h.Races++
+			}
+			h.lastWrite.Store(a, epoch)
+		})
+		return nil
+	default:
+		return fmt.Errorf("fasttrack: unhandled event kind %v", ev.Kind)
+	}
+}
+
+// Finish implements Tool.
+func (h *FastTrack) Finish() error { return nil }
+
+// SpaceBytes implements Tool.
+func (h *FastTrack) SpaceBytes() int64 {
+	const vcEntry = 16
+	const mapEntryOverhead = 48
+	total := h.lastWrite.SizeBytes(8) + h.lastRead.SizeBytes(8)
+	for _, vc := range h.readShared {
+		total += mapEntryOverhead + int64(len(vc))*vcEntry
+	}
+	for _, t := range h.threads {
+		total += int64(len(t.vc)) * vcEntry
+	}
+	for _, vc := range h.syncs {
+		total += int64(len(vc)) * vcEntry
+	}
+	return total
+}

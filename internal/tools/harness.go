@@ -1,0 +1,198 @@
+package tools
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aprof/internal/trace"
+)
+
+// The measurement harness reproduces the methodology behind Table 1 and
+// Fig. 16: every tool analyses the same execution trace; its wall-clock time
+// is compared against a "native" baseline that replays the same events with
+// no analysis attached; its live data-structure footprint is compared
+// against the traced program's own memory footprint.
+//
+// Two native baselines exist. The serialized baseline models a sequential
+// program. The parallel baseline models the program on one core per thread
+// (per-thread replays combined as their maximum) — this is the Fig. 16
+// scenario: the native program exploits all cores while every Valgrind tool
+// serializes threads, which is exactly why tool slowdowns grow with the
+// thread count in the paper.
+
+// nativeSink prevents the replay loops from being optimized away.
+var nativeSink uint64
+
+// replayEvents consumes events with trivial work, standing in for native
+// execution of the traced operations.
+func replayEvents(events []trace.Event) uint64 {
+	var sum uint64
+	for i := range events {
+		ev := &events[i]
+		sum += uint64(ev.Addr) + uint64(ev.Size) + uint64(ev.Kind)
+	}
+	return sum
+}
+
+// NativeTime measures the serialized native baseline: the best of `repeats`
+// uninstrumented replays of the merged trace.
+func NativeTime(tr *trace.Trace, repeats int) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < max(repeats, 1); r++ {
+		start := time.Now()
+		nativeSink += replayEvents(tr.Events)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return maxDuration(best, time.Nanosecond)
+}
+
+// NativeParallelTime measures the parallel native baseline: the wall-clock
+// time of the program on hardware with one core per thread. Each thread's
+// event stream is replayed and timed separately and the streams are combined
+// as their maximum — the completion time under perfect parallelism. The
+// per-thread measurement (rather than actual goroutines) keeps the
+// experiment meaningful on any host, including single-core machines where
+// real concurrency could not speed the baseline up; the paper's testbed was
+// a 32-core Opteron, so the assumption matches its hardware, not ours.
+func NativeParallelTime(tr *trace.Trace, repeats int) time.Duration {
+	parts := trace.Split(tr)
+	var longest time.Duration
+	for i := range parts {
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < max(repeats, 1); r++ {
+			start := time.Now()
+			nativeSink += replayEvents(parts[i].Events)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		if best > longest {
+			longest = best
+		}
+	}
+	return maxDuration(longest, time.Nanosecond)
+}
+
+// Measurement is the raw cost of one tool on one trace.
+type Measurement struct {
+	Tool string
+	// Duration is the best wall-clock time over the configured repeats.
+	Duration time.Duration
+	// SpaceBytes is the tool's data-structure footprint after the run.
+	SpaceBytes int64
+}
+
+// Measure runs the tool over the trace `repeats` times and reports the best
+// time and the final space.
+func Measure(f Factory, tr *trace.Trace, repeats int) (Measurement, error) {
+	m := Measurement{Tool: f.Name}
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < max(repeats, 1); r++ {
+		tool := f.New(tr.Symbols)
+		start := time.Now()
+		if err := Run(tool, tr); err != nil {
+			return m, fmt.Errorf("tools: %s: %w", f.Name, err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		m.SpaceBytes = tool.SpaceBytes()
+	}
+	m.Duration = maxDuration(best, time.Nanosecond)
+	return m, nil
+}
+
+// Overhead is one tool's slowdown and space overhead relative to native on
+// one trace.
+type Overhead struct {
+	Tool string
+	// Slowdown is toolTime / nativeTime.
+	Slowdown float64
+	// SpaceOverhead is (programFootprint + toolSpace) / programFootprint —
+	// the ratio of the instrumented process's memory to the native one,
+	// which is what the paper's space columns report.
+	SpaceOverhead float64
+}
+
+// CompareConfig controls a comparison run.
+type CompareConfig struct {
+	// Repeats is the number of timed repetitions (best-of). 0 means 3.
+	Repeats int
+	// ParallelNative selects the parallel native baseline (Fig. 16) instead
+	// of the serialized one.
+	ParallelNative bool
+	// Tools restricts the comparison to the named tools; empty means all.
+	Tools []string
+}
+
+func (c CompareConfig) withDefaults() CompareConfig {
+	if c.Repeats == 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// Compare measures every tool on the trace and reports per-tool overheads.
+func Compare(tr *trace.Trace, cfg CompareConfig) ([]Overhead, error) {
+	cfg = cfg.withDefaults()
+	var native time.Duration
+	if cfg.ParallelNative {
+		native = NativeParallelTime(tr, cfg.Repeats)
+	} else {
+		native = NativeTime(tr, cfg.Repeats)
+	}
+	footprint := int64(tr.MemoryFootprint()) * 8
+	if footprint == 0 {
+		footprint = 8
+	}
+	factories := All()
+	if len(cfg.Tools) > 0 {
+		factories = factories[:0:0]
+		for _, name := range cfg.Tools {
+			f, ok := ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("tools: unknown tool %q", name)
+			}
+			factories = append(factories, f)
+		}
+	}
+	out := make([]Overhead, 0, len(factories))
+	for _, f := range factories {
+		m, err := Measure(f, tr, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Overhead{
+			Tool:          f.Name,
+			Slowdown:      float64(m.Duration) / float64(native),
+			SpaceOverhead: float64(footprint+m.SpaceBytes) / float64(footprint),
+		})
+	}
+	return out, nil
+}
+
+// GeoMean returns the geometric mean of the values (the aggregation Table 1
+// uses across a benchmark suite).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

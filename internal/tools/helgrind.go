@@ -1,0 +1,202 @@
+package tools
+
+import (
+	"fmt"
+
+	"aprof/internal/trace"
+)
+
+// Helgrind is a happens-before data-race detector in the style of Valgrind's
+// helgrind: every memory cell carries full vector clocks for its reads and
+// its last write, checked and updated on every access. This is deliberately
+// the heavyweight formulation — helgrind predates FastTrack's epoch
+// optimization and pays per-access vector-clock work, which is why it is the
+// slowest and most space-hungry tool of the paper's Table 1 (4.5-8.4x
+// space, 153-179x slowdown). The epoch-optimized variant is available as
+// the separate FastTrack tool.
+type Helgrind struct {
+	threads map[trace.ThreadID]*hgThread
+	syncs   map[trace.Addr]vectorClock
+	cells   map[trace.Addr]*hgCell
+	// Races counts detected conflicting access pairs.
+	Races int64
+}
+
+type hgThread struct {
+	id    trace.ThreadID
+	index uint32
+	vc    vectorClock
+	// snapshot is an interned immutable copy of vc, shared by every cell
+	// written since the clock last advanced (helgrind interns its vector
+	// clocks the same way; without this, a full clone per written cell
+	// dominates everything).
+	snapshot      vectorClock
+	snapshotValid bool
+}
+
+// frozen returns the thread's interned vector-clock snapshot.
+func (t *hgThread) frozen() vectorClock {
+	if !t.snapshotValid {
+		t.snapshot = t.vc.clone()
+		t.snapshotValid = true
+	}
+	return t.snapshot
+}
+
+// hgCell is the per-cell shadow state: the vector clock of the last write
+// and the accumulated clock of reads since that write.
+type hgCell struct {
+	write     vectorClock
+	reads     vectorClock
+	lastWrite uint32 // index of the last writing thread
+	hasWrite  bool
+}
+
+// vectorClock maps thread indices to logical clocks.
+type vectorClock map[uint32]uint64
+
+func (vc vectorClock) clone() vectorClock {
+	out := make(vectorClock, len(vc))
+	for k, v := range vc {
+		out[k] = v
+	}
+	return out
+}
+
+func (vc vectorClock) join(other vectorClock) {
+	for k, v := range other {
+		if v > vc[k] {
+			vc[k] = v
+		}
+	}
+}
+
+// happensBefore reports whether every component of vc is covered by now.
+func (vc vectorClock) happensBefore(now vectorClock) bool {
+	for k, v := range vc {
+		if v > now[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// NewHelgrind returns a fresh race detector.
+func NewHelgrind() *Helgrind {
+	return &Helgrind{
+		threads: make(map[trace.ThreadID]*hgThread),
+		syncs:   make(map[trace.Addr]vectorClock),
+		cells:   make(map[trace.Addr]*hgCell),
+	}
+}
+
+// Name implements Tool.
+func (h *Helgrind) Name() string { return "helgrind" }
+
+func (h *Helgrind) thread(id trace.ThreadID) *hgThread {
+	t := h.threads[id]
+	if t == nil {
+		// Thread indices start at 1 so that index 0 can mean "none".
+		t = &hgThread{id: id, index: uint32(len(h.threads) + 1), vc: make(vectorClock)}
+		t.vc[t.index] = 1
+		h.threads[id] = t
+	}
+	return t
+}
+
+func (h *Helgrind) cell(a trace.Addr) *hgCell {
+	c := h.cells[a]
+	if c == nil {
+		c = &hgCell{}
+		h.cells[a] = c
+	}
+	return c
+}
+
+// HandleEvent implements Tool.
+func (h *Helgrind) HandleEvent(ev *trace.Event) error {
+	switch ev.Kind {
+	case trace.KindSwitchThread, trace.KindCall, trace.KindReturn:
+		return nil
+	case trace.KindAcquire:
+		t := h.thread(ev.Thread)
+		if vc, ok := h.syncs[ev.Addr]; ok {
+			t.vc.join(vc)
+			t.snapshotValid = false
+		}
+		return nil
+	case trace.KindRelease:
+		t := h.thread(ev.Thread)
+		vc, ok := h.syncs[ev.Addr]
+		if !ok {
+			vc = make(vectorClock)
+			h.syncs[ev.Addr] = vc
+		}
+		vc.join(t.vc)
+		t.vc[t.index]++
+		t.snapshotValid = false
+		return nil
+	case trace.KindRead, trace.KindUserToKernel:
+		t := h.thread(ev.Thread)
+		ev.Cells(func(a trace.Addr) {
+			c := h.cell(a)
+			if c.hasWrite && c.lastWrite != t.index && !c.write.happensBefore(t.vc) {
+				h.Races++
+			}
+			if c.reads == nil {
+				c.reads = make(vectorClock, 4)
+			}
+			c.reads[t.index] = t.vc[t.index]
+		})
+		return nil
+	case trace.KindWrite, trace.KindKernelToUser:
+		t := h.thread(ev.Thread)
+		ev.Cells(func(a trace.Addr) {
+			c := h.cell(a)
+			if c.hasWrite && c.lastWrite != t.index && !c.write.happensBefore(t.vc) {
+				h.Races++
+			}
+			for idx, clock := range c.reads {
+				if idx != t.index && clock > t.vc[idx] {
+					h.Races++
+				}
+			}
+			c.write = t.frozen()
+			c.lastWrite = t.index
+			c.hasWrite = true
+			clear(c.reads)
+		})
+		return nil
+	default:
+		return fmt.Errorf("helgrind: unhandled event kind %v", ev.Kind)
+	}
+}
+
+// Finish implements Tool.
+func (h *Helgrind) Finish() error { return nil }
+
+// SpaceBytes implements Tool.
+func (h *Helgrind) SpaceBytes() int64 {
+	const vcEntry = 16
+	// Go maps cost on the order of 100 bytes per entry for small maps
+	// (bucket slots, overflow pointers, allocation headers); the per-cell
+	// map entry plus the heap-allocated cell struct are what make helgrind
+	// the most space-hungry tool, as in the paper.
+	const mapEntryOverhead = 96
+	const cellStruct = 40
+	var total int64
+	for _, c := range h.cells {
+		total += mapEntryOverhead + cellStruct
+		total += int64(len(c.write)+len(c.reads)) * vcEntry
+		if c.reads != nil {
+			total += mapEntryOverhead // the retained reads map header
+		}
+	}
+	for _, t := range h.threads {
+		total += int64(len(t.vc)) * vcEntry
+	}
+	for _, vc := range h.syncs {
+		total += int64(len(vc)) * vcEntry
+	}
+	return total
+}

@@ -1,0 +1,31 @@
+package tools
+
+import "aprof/internal/trace"
+
+// Nulgrind is the no-analysis tool: it pays only the instrumentation
+// dispatch cost, like Valgrind's nulgrind, which the paper uses to isolate
+// the framework overhead from the per-tool analysis overhead.
+type Nulgrind struct {
+	events int64
+}
+
+// NewNulgrind returns the no-op tool.
+func NewNulgrind() *Nulgrind { return &Nulgrind{} }
+
+// Name implements Tool.
+func (n *Nulgrind) Name() string { return "nulgrind" }
+
+// HandleEvent implements Tool: it observes the event and does nothing.
+func (n *Nulgrind) HandleEvent(ev *trace.Event) error {
+	n.events++
+	return nil
+}
+
+// Finish implements Tool.
+func (n *Nulgrind) Finish() error { return nil }
+
+// SpaceBytes implements Tool.
+func (n *Nulgrind) SpaceBytes() int64 { return 8 }
+
+// Events returns the number of observed events.
+func (n *Nulgrind) Events() int64 { return n.events }

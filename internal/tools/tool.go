@@ -1,0 +1,88 @@
+// Package tools implements the comparator analysis tools of the paper's
+// evaluation (§4.1, "Evaluated Tools") over the same trace-event
+// instrumentation the profiler uses, plus the measurement harness that
+// produces the slowdown and space-overhead comparisons of Table 1 and
+// Fig. 16.
+//
+// The paper compares aprof-drms against four Valgrind tools that share the
+// same instrumentation infrastructure: nulgrind (no analysis), memcheck
+// (memory-error detection with definedness shadow bits), callgrind (a
+// call-graph profiler) and helgrind (a happens-before data-race detector).
+// Each Go analogue performs the canonical per-event work of its tool class
+// over identical event streams, so relative per-event analysis costs — the
+// quantity behind the paper's slowdown table — are faithfully exercised.
+// Absolute slowdowns differ from the paper's by construction (our "native"
+// baseline is an uninstrumented trace replay, not native x86 execution).
+package tools
+
+import (
+	"aprof/internal/trace"
+)
+
+// Tool is a trace analysis that can be driven event by event.
+type Tool interface {
+	// Name returns the tool's name as used in Table 1.
+	Name() string
+	// HandleEvent processes one event of the merged trace.
+	HandleEvent(ev *trace.Event) error
+	// Finish completes the analysis.
+	Finish() error
+	// SpaceBytes estimates the live memory held by the tool's data
+	// structures after the run.
+	SpaceBytes() int64
+}
+
+// Factory constructs a tool for a trace built against the given symbol
+// table.
+type Factory struct {
+	Name string
+	New  func(syms *trace.SymbolTable) Tool
+}
+
+// All returns the factories of every evaluated tool, in the column order of
+// Table 1.
+func All() []Factory {
+	return []Factory{
+		{Name: "nulgrind", New: func(*trace.SymbolTable) Tool { return NewNulgrind() }},
+		{Name: "memcheck", New: func(*trace.SymbolTable) Tool { return NewMemcheck() }},
+		{Name: "callgrind", New: func(s *trace.SymbolTable) Tool { return NewCallgrind(s) }},
+		{Name: "helgrind", New: func(*trace.SymbolTable) Tool { return NewHelgrind() }},
+		{Name: "aprof", New: func(s *trace.SymbolTable) Tool { return NewAprof(s) }},
+		{Name: "aprof-drms", New: func(s *trace.SymbolTable) Tool { return NewAprofDRMS(s) }},
+	}
+}
+
+// Extras returns additional tools that are not part of the paper's Table 1
+// comparison: the FastTrack detector is an ablation partner for helgrind,
+// isolating the cost of the epoch optimization.
+func Extras() []Factory {
+	return []Factory{
+		{Name: "fasttrack", New: func(*trace.SymbolTable) Tool { return NewFastTrack() }},
+	}
+}
+
+// ByName returns the factory with the given name, searching the Table 1
+// tools and the extras.
+func ByName(name string) (Factory, bool) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	for _, f := range Extras() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// Run drives a tool over an entire trace.
+func Run(t Tool, tr *trace.Trace) error {
+	for i := range tr.Events {
+		if err := t.HandleEvent(&tr.Events[i]); err != nil {
+			return err
+		}
+	}
+	return t.Finish()
+}

@@ -1,0 +1,184 @@
+package trace
+
+import "fmt"
+
+// Builder constructs a merged trace programmatically. Workload generators
+// drive one ThreadBuilder per simulated thread; the builder linearizes
+// operations in call order and inserts switchThread events between
+// operations of different threads, exactly as the paper's merged traces
+// require. This stands in for observing a real interleaved execution: the
+// interleaving is whatever order the generator issues operations in.
+type Builder struct {
+	tr      *Trace
+	time    uint64
+	last    ThreadID
+	started bool
+	noAuto  bool
+	threads map[ThreadID]*ThreadBuilder
+}
+
+// AutoCost controls whether every emitted operation implicitly advances the
+// issuing thread's cost by one basic block (the default, suitable for
+// programmatic workload generators where one operation stands for one
+// block). The VM disables it and drives costs explicitly from its own
+// basic-block counter via ThreadBuilder.SetCost.
+func (b *Builder) AutoCost(enabled bool) { b.noAuto = !enabled }
+
+// NewBuilder returns a Builder with an empty trace.
+func NewBuilder() *Builder {
+	return &Builder{
+		tr:      NewTrace(),
+		threads: make(map[ThreadID]*ThreadBuilder),
+	}
+}
+
+// Symbols exposes the symbol table of the trace under construction.
+func (b *Builder) Symbols() *SymbolTable { return b.tr.Symbols }
+
+// Thread returns the builder for thread id, creating it on first use.
+func (b *Builder) Thread(id ThreadID) *ThreadBuilder {
+	if tb, ok := b.threads[id]; ok {
+		return tb
+	}
+	tb := &ThreadBuilder{b: b, id: id}
+	b.threads[id] = tb
+	return tb
+}
+
+// Trace finalizes and returns the built trace. Pending activations are
+// closed with synthetic returns so that every activation is collected. The
+// builder must not be used afterwards.
+func (b *Builder) Trace() *Trace {
+	b.tr.CloseDangling()
+	tr := b.tr
+	b.tr = nil
+	return tr
+}
+
+// emit appends ev, inserting a switchThread event first if the issuing
+// thread differs from the previous one.
+func (b *Builder) emit(ev Event) {
+	if b.tr == nil {
+		panic("trace: Builder used after Trace()")
+	}
+	if b.started && ev.Thread != b.last {
+		b.time++
+		b.tr.Events = append(b.tr.Events, Event{
+			Kind:   KindSwitchThread,
+			Thread: ev.Thread,
+			Time:   b.time,
+		})
+	}
+	b.started = true
+	b.last = ev.Thread
+	b.time++
+	ev.Time = b.time
+	b.tr.Events = append(b.tr.Events, ev)
+}
+
+// ThreadBuilder issues the operations of one thread.
+type ThreadBuilder struct {
+	b     *Builder
+	id    ThreadID
+	cost  uint64
+	depth int
+}
+
+// ID returns the thread id.
+func (t *ThreadBuilder) ID() ThreadID { return t.id }
+
+// Cost returns the thread's cumulative cost so far.
+func (t *ThreadBuilder) Cost() uint64 { return t.cost }
+
+// Depth returns the thread's current call-stack depth.
+func (t *ThreadBuilder) Depth() int { return t.depth }
+
+// Work advances the thread's cost by n executed basic blocks.
+func (t *ThreadBuilder) Work(n uint64) { t.cost += n }
+
+// SetCost sets the thread's cumulative cost to c. It panics if c would make
+// the cost decrease. Used by instrumentation layers (the VM) that count
+// basic blocks themselves.
+func (t *ThreadBuilder) SetCost(c uint64) {
+	if c < t.cost {
+		panic(fmt.Sprintf("trace: thread %d: SetCost(%d) below current cost %d", t.id, c, t.cost))
+	}
+	t.cost = c
+}
+
+// bump advances the cost by one operation unless the builder is in
+// explicit-cost mode.
+func (t *ThreadBuilder) bump() {
+	if !t.b.noAuto {
+		t.cost++
+	}
+}
+
+// Call activates the routine with the given name. Every operation costs one
+// basic block, so Call also advances the cost by one.
+func (t *ThreadBuilder) Call(name string) {
+	t.bump()
+	t.depth++
+	t.b.emit(Event{
+		Kind:    KindCall,
+		Thread:  t.id,
+		Routine: t.b.tr.Symbols.Intern(name),
+		Cost:    t.cost,
+	})
+}
+
+// Ret completes the topmost pending activation.
+func (t *ThreadBuilder) Ret() {
+	if t.depth == 0 {
+		panic(fmt.Sprintf("trace: thread %d: Ret with empty call stack", t.id))
+	}
+	t.bump()
+	t.depth--
+	t.b.emit(Event{Kind: KindReturn, Thread: t.id, Cost: t.cost})
+}
+
+// Read issues a read of size cells starting at addr.
+func (t *ThreadBuilder) Read(addr Addr, size uint32) {
+	t.bump()
+	t.b.emit(Event{Kind: KindRead, Thread: t.id, Addr: addr, Size: size, Cost: t.cost})
+}
+
+// Write issues a write of size cells starting at addr.
+func (t *ThreadBuilder) Write(addr Addr, size uint32) {
+	t.bump()
+	t.b.emit(Event{Kind: KindWrite, Thread: t.id, Addr: addr, Size: size, Cost: t.cost})
+}
+
+// Read1 reads the single cell at addr.
+func (t *ThreadBuilder) Read1(addr Addr) { t.Read(addr, 1) }
+
+// Write1 writes the single cell at addr.
+func (t *ThreadBuilder) Write1(addr Addr) { t.Write(addr, 1) }
+
+// SysRead models a read-like system call (read, recvfrom, pread64, readv,
+// msgrcv, preadv): the kernel fills size cells at addr with external data,
+// producing a kernelToUser event.
+func (t *ThreadBuilder) SysRead(addr Addr, size uint32) {
+	t.bump()
+	t.b.emit(Event{Kind: KindKernelToUser, Thread: t.id, Addr: addr, Size: size, Cost: t.cost})
+}
+
+// SysWrite models a write-like system call (write, sendto, pwrite64, writev,
+// msgsnd, pwritev): the kernel reads size cells at addr on the thread's
+// behalf, producing a userToKernel event.
+func (t *ThreadBuilder) SysWrite(addr Addr, size uint32) {
+	t.bump()
+	t.b.emit(Event{Kind: KindUserToKernel, Thread: t.id, Addr: addr, Size: size, Cost: t.cost})
+}
+
+// Acquire emits a synchronization acquire on the object at addr.
+func (t *ThreadBuilder) Acquire(obj Addr) {
+	t.bump()
+	t.b.emit(Event{Kind: KindAcquire, Thread: t.id, Addr: obj, Cost: t.cost})
+}
+
+// Release emits a synchronization release on the object at addr.
+func (t *ThreadBuilder) Release(obj Addr) {
+	t.bump()
+	t.b.emit(Event{Kind: KindRelease, Thread: t.id, Addr: obj, Cost: t.cost})
+}

@@ -1,0 +1,404 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The binary format is a compact varint stream:
+//
+//	magic "APT1"
+//	uvarint numRoutines, then each routine name as uvarint length + bytes
+//	uvarint numEvents, then per event:
+//	    byte kind
+//	    varint  thread
+//	    uvarint time delta (from previous event)
+//	    uvarint cost
+//	    kind-dependent payload (routine, or addr+size)
+//
+// Time is delta-encoded because merged traces have strictly increasing
+// times; all other fields are absolute.
+
+const binaryMagic = "APT1"
+
+// WriteBinary encodes tr to w in the binary trace format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	names := tr.Symbols.Names()
+	if err := putUvarint(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := putUvarint(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	if err := putUvarint(uint64(len(tr.Events))); err != nil {
+		return err
+	}
+	var prevTime uint64
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+			return err
+		}
+		if err := putVarint(int64(ev.Thread)); err != nil {
+			return err
+		}
+		if ev.Time < prevTime {
+			return fmt.Errorf("trace: event %d: non-monotonic time", i)
+		}
+		if err := putUvarint(ev.Time - prevTime); err != nil {
+			return err
+		}
+		prevTime = ev.Time
+		if err := putUvarint(ev.Cost); err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case KindCall:
+			if err := putUvarint(uint64(ev.Routine)); err != nil {
+				return err
+			}
+		case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
+			if err := putUvarint(uint64(ev.Addr)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(ev.Size)); err != nil {
+				return err
+			}
+		case KindAcquire, KindRelease:
+			if err := putUvarint(uint64(ev.Addr)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// BinaryReader decodes a binary trace incrementally: the header (magic and
+// symbol table) is parsed on construction and events are delivered one at a
+// time, so arbitrarily large trace files can be profiled without
+// materializing them (see the -trace mode of cmd/aprof).
+type BinaryReader struct {
+	br        *bufio.Reader
+	syms      *SymbolTable
+	remaining uint64
+	prevTime  uint64
+	index     uint64
+	total     uint64
+}
+
+// NewBinaryReader parses the header of a binary trace.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	syms := NewSymbolTable()
+	numRoutines, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: routine count: %w", err)
+	}
+	if numRoutines > 1<<24 {
+		return nil, fmt.Errorf("trace: implausible routine count %d", numRoutines)
+	}
+	nameBuf := make([]byte, 0, 64)
+	for i := uint64(0); i < numRoutines; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: routine %d name length: %w", i, err)
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("trace: implausible name length %d", n)
+		}
+		if uint64(cap(nameBuf)) < n {
+			nameBuf = make([]byte, n)
+		}
+		nameBuf = nameBuf[:n]
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("trace: routine %d name: %w", i, err)
+		}
+		syms.Intern(string(nameBuf))
+	}
+	numEvents, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: event count: %w", err)
+	}
+	return &BinaryReader{br: br, syms: syms, remaining: numEvents, total: numEvents}, nil
+}
+
+// Symbols returns the trace's symbol table.
+func (r *BinaryReader) Symbols() *SymbolTable { return r.syms }
+
+// Len returns the total number of events declared by the header.
+func (r *BinaryReader) Len() int { return int(r.total) }
+
+// Next decodes the next event into ev, returning false at the end of the
+// trace.
+func (r *BinaryReader) Next(ev *Event) (bool, error) {
+	if r.remaining == 0 {
+		return false, nil
+	}
+	i := r.index
+	r.index++
+	r.remaining--
+
+	kindByte, err := r.br.ReadByte()
+	if err != nil {
+		return false, fmt.Errorf("trace: event %d kind: %w", i, err)
+	}
+	*ev = Event{Kind: Kind(kindByte)}
+	if !ev.Kind.Valid() {
+		return false, fmt.Errorf("trace: event %d: invalid kind %d", i, kindByte)
+	}
+	thread, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return false, fmt.Errorf("trace: event %d thread: %w", i, err)
+	}
+	ev.Thread = ThreadID(thread)
+	dt, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return false, fmt.Errorf("trace: event %d time: %w", i, err)
+	}
+	r.prevTime += dt
+	ev.Time = r.prevTime
+	if ev.Cost, err = binary.ReadUvarint(r.br); err != nil {
+		return false, fmt.Errorf("trace: event %d cost: %w", i, err)
+	}
+	switch ev.Kind {
+	case KindCall:
+		rtn, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return false, fmt.Errorf("trace: event %d routine: %w", i, err)
+		}
+		if int(rtn) >= r.syms.Len() {
+			return false, fmt.Errorf("trace: event %d: routine id %d out of range", i, rtn)
+		}
+		ev.Routine = RoutineID(rtn)
+	case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
+		addr, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return false, fmt.Errorf("trace: event %d addr: %w", i, err)
+		}
+		ev.Addr = Addr(addr)
+		size, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return false, fmt.Errorf("trace: event %d size: %w", i, err)
+		}
+		if size > 1<<32-1 {
+			return false, fmt.Errorf("trace: event %d: size %d overflows", i, size)
+		}
+		ev.Size = uint32(size)
+	case KindAcquire, KindRelease:
+		addr, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return false, fmt.Errorf("trace: event %d addr: %w", i, err)
+		}
+		ev.Addr = Addr(addr)
+	}
+	return true, nil
+}
+
+// ReadBinary decodes a whole trace previously written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Symbols: br.Symbols()}
+	const maxPrealloc = 1 << 22
+	tr.Events = make([]Event, 0, min(uint64(br.Len()), maxPrealloc))
+	var ev Event
+	for {
+		ok, err := br.Next(&ev)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return tr, nil
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+}
+
+// WriteText encodes tr in a line-oriented human-readable format: a header
+// line per routine ("routine <id> <name>") followed by one line per event in
+// the form produced by Event.String.
+func WriteText(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for id, name := range tr.Symbols.Names() {
+		if _, err := fmt.Fprintf(bw, "routine %d %s\n", id, name); err != nil {
+			return err
+		}
+	}
+	for i := range tr.Events {
+		if _, err := fmt.Fprintln(bw, tr.Events[i].String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format emitted by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	tr := NewTrace()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "routine ") {
+			fields := strings.SplitN(line, " ", 3)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: malformed routine declaration", lineNo)
+			}
+			want, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: routine id: %w", lineNo, err)
+			}
+			got := tr.Symbols.Intern(fields[2])
+			if int(got) != want {
+				return nil, fmt.Errorf("trace: line %d: routine id %d declared out of order (expected %d)", lineNo, want, got)
+			}
+			continue
+		}
+		ev, err := parseEventLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if ev.Kind == KindCall && int(ev.Routine) >= tr.Symbols.Len() {
+			return nil, fmt.Errorf("trace: line %d: undeclared routine id %d", lineNo, ev.Routine)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// parseEventLine parses one Event.String form, e.g.
+// "t1@42 c7 read 100+4" or "t0@1 c1 call r0".
+func parseEventLine(line string) (Event, error) {
+	var ev Event
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return ev, errors.New("too few fields")
+	}
+	head := fields[0]
+	if !strings.HasPrefix(head, "t") {
+		return ev, fmt.Errorf("malformed thread/time field %q", head)
+	}
+	at := strings.IndexByte(head, '@')
+	if at < 0 {
+		return ev, fmt.Errorf("malformed thread/time field %q", head)
+	}
+	thread, err := strconv.ParseInt(head[1:at], 10, 32)
+	if err != nil {
+		return ev, fmt.Errorf("thread: %w", err)
+	}
+	ev.Thread = ThreadID(thread)
+	if ev.Time, err = strconv.ParseUint(head[at+1:], 10, 64); err != nil {
+		return ev, fmt.Errorf("time: %w", err)
+	}
+	if !strings.HasPrefix(fields[1], "c") {
+		return ev, fmt.Errorf("malformed cost field %q", fields[1])
+	}
+	if ev.Cost, err = strconv.ParseUint(fields[1][1:], 10, 64); err != nil {
+		return ev, fmt.Errorf("cost: %w", err)
+	}
+	kindWord := fields[2]
+	rest := fields[3:]
+	switch kindWord {
+	case "call":
+		ev.Kind = KindCall
+		if len(rest) != 1 || !strings.HasPrefix(rest[0], "r") {
+			return ev, errors.New("call needs a routine operand rN")
+		}
+		rtn, err := strconv.ParseUint(rest[0][1:], 10, 32)
+		if err != nil {
+			return ev, fmt.Errorf("routine: %w", err)
+		}
+		ev.Routine = RoutineID(rtn)
+	case "return":
+		ev.Kind = KindReturn
+	case "switchThread":
+		ev.Kind = KindSwitchThread
+	case "acquire", "release":
+		if kindWord == "acquire" {
+			ev.Kind = KindAcquire
+		} else {
+			ev.Kind = KindRelease
+		}
+		if len(rest) != 1 {
+			return ev, fmt.Errorf("%s needs an object operand", kindWord)
+		}
+		obj, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			return ev, fmt.Errorf("object: %w", err)
+		}
+		ev.Addr = Addr(obj)
+	case "read", "write", "userToKernel", "kernelToUser":
+		switch kindWord {
+		case "read":
+			ev.Kind = KindRead
+		case "write":
+			ev.Kind = KindWrite
+		case "userToKernel":
+			ev.Kind = KindUserToKernel
+		default:
+			ev.Kind = KindKernelToUser
+		}
+		if len(rest) != 1 {
+			return ev, fmt.Errorf("%s needs an addr+size operand", kindWord)
+		}
+		plus := strings.IndexByte(rest[0], '+')
+		if plus < 0 {
+			return ev, fmt.Errorf("%s operand %q lacks +size", kindWord, rest[0])
+		}
+		addr, err := strconv.ParseUint(rest[0][:plus], 10, 64)
+		if err != nil {
+			return ev, fmt.Errorf("addr: %w", err)
+		}
+		size, err := strconv.ParseUint(rest[0][plus+1:], 10, 32)
+		if err != nil {
+			return ev, fmt.Errorf("size: %w", err)
+		}
+		ev.Addr = Addr(addr)
+		ev.Size = uint32(size)
+	default:
+		return ev, fmt.Errorf("unknown event kind %q", kindWord)
+	}
+	return ev, nil
+}

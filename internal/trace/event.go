@@ -1,0 +1,149 @@
+// Package trace defines the event vocabulary consumed by the profiler and
+// the supporting machinery to construct, encode, merge and replay execution
+// traces.
+//
+// The profiling algorithm of the paper ("Estimating the Empirical Cost
+// Function of Routines with Dynamic Workloads", CGO 2014) is defined over a
+// totally ordered trace of program operations: routine activations (call),
+// routine completions (return), read/write memory accesses, and read/write
+// operations performed through kernel system calls (userToKernel and
+// kernelToUser). Per-thread traces are merged into a single trace by
+// timestamp, with switchThread events inserted between operations of
+// different threads. This package is the Go analogue of the instrumentation
+// layer Valgrind provides to the paper's implementation.
+package trace
+
+import "fmt"
+
+// ThreadID identifies an application thread. Thread 0 is conventionally the
+// main thread. The OS kernel is not a thread: kernel-mediated accesses are
+// modelled by the UserToKernel and KernelToUser event kinds.
+type ThreadID int32
+
+// Addr is the index of a memory cell. The profiler works at cell
+// granularity, matching the paper's "distinct memory cells" phrasing; a cell
+// stands for whatever unit the instrumentation traces (a byte or a word).
+type Addr uint64
+
+// RoutineID is a compact identifier for a routine, resolved to a name via a
+// SymbolTable.
+type RoutineID uint32
+
+// Kind enumerates the event kinds of the paper's execution traces, plus the
+// Acquire/Release synchronization events emitted by the VM's semaphore
+// operations (used by the helgrind comparator and ignored by the profiler).
+type Kind uint8
+
+const (
+	// KindCall marks the activation of routine Event.Routine by
+	// Event.Thread.
+	KindCall Kind = iota
+	// KindReturn marks the completion of the topmost pending activation of
+	// Event.Thread.
+	KindReturn
+	// KindRead is a memory read of Event.Size cells starting at Event.Addr.
+	KindRead
+	// KindWrite is a memory write of Event.Size cells starting at
+	// Event.Addr.
+	KindWrite
+	// KindUserToKernel marks cells read by the OS kernel on behalf of the
+	// thread (e.g. the buffer of a write(2) system call).
+	KindUserToKernel
+	// KindKernelToUser marks cells written by the OS kernel on behalf of the
+	// thread (e.g. the buffer filled by a read(2) system call). This is the
+	// external-input event.
+	KindKernelToUser
+	// KindSwitchThread marks a scheduler switch; Event.Thread is the thread
+	// being switched in. Only merged traces contain switch events.
+	KindSwitchThread
+	// KindAcquire is a synchronization acquire on the object at Event.Addr
+	// (semaphore wait). Used by race-detection comparators only.
+	KindAcquire
+	// KindRelease is a synchronization release on the object at Event.Addr
+	// (semaphore signal). Used by race-detection comparators only.
+	KindRelease
+
+	numKinds = int(KindRelease) + 1
+)
+
+var kindNames = [numKinds]string{
+	KindCall:         "call",
+	KindReturn:       "return",
+	KindRead:         "read",
+	KindWrite:        "write",
+	KindUserToKernel: "userToKernel",
+	KindKernelToUser: "kernelToUser",
+	KindSwitchThread: "switchThread",
+	KindAcquire:      "acquire",
+	KindRelease:      "release",
+}
+
+// String returns the paper's name for the event kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return int(k) < numKinds }
+
+// Event is one operation of an execution trace.
+type Event struct {
+	// Time orders events. In a per-thread trace it is the thread-local
+	// timestamp used for merging; in a merged trace it is the position-
+	// consistent global timestamp.
+	Time uint64
+	// Cost is the issuing thread's cumulative cost (executed basic blocks)
+	// at the moment of the event. Cost is non-decreasing per thread.
+	Cost uint64
+	// Addr is the first cell touched by memory and kernel events, or the
+	// synchronization object of acquire/release events.
+	Addr Addr
+	// Size is the number of consecutive cells touched by memory and kernel
+	// events.
+	Size uint32
+	// Routine is the callee of a call event.
+	Routine RoutineID
+	// Thread is the issuing thread (the incoming thread for switch events).
+	Thread ThreadID
+	// Kind discriminates the event.
+	Kind Kind
+}
+
+// String renders the event in the compact text form used by the codec.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCall:
+		return fmt.Sprintf("t%d@%d c%d call r%d", e.Thread, e.Time, e.Cost, e.Routine)
+	case KindReturn:
+		return fmt.Sprintf("t%d@%d c%d return", e.Thread, e.Time, e.Cost)
+	case KindSwitchThread:
+		return fmt.Sprintf("t%d@%d c%d switchThread", e.Thread, e.Time, e.Cost)
+	case KindAcquire, KindRelease:
+		return fmt.Sprintf("t%d@%d c%d %s %d", e.Thread, e.Time, e.Cost, e.Kind, e.Addr)
+	default:
+		return fmt.Sprintf("t%d@%d c%d %s %d+%d", e.Thread, e.Time, e.Cost, e.Kind, e.Addr, e.Size)
+	}
+}
+
+// Cells calls fn for every cell touched by a memory or kernel event, in
+// ascending address order. Events of other kinds touch no cells.
+func (e Event) Cells(fn func(Addr)) {
+	switch e.Kind {
+	case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
+		for i := uint32(0); i < e.Size; i++ {
+			fn(e.Addr + Addr(i))
+		}
+	}
+}
+
+// IsMemory reports whether the event touches application memory cells.
+func (e Event) IsMemory() bool {
+	switch e.Kind {
+	case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
+		return true
+	}
+	return false
+}

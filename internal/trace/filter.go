@@ -1,0 +1,138 @@
+package trace
+
+// Trace slicing utilities: extract sub-traces for focused analysis (profile
+// one thread, one routine's activations, or one region of the execution).
+// All slices renumber times and re-insert switchThread events so the result
+// is a well-formed merged trace again.
+
+// rebuildMerged renumbers times and re-inserts switch events over a filtered
+// event sequence (switch events in the input are ignored).
+func rebuildMerged(syms *SymbolTable, events []Event) *Trace {
+	out := &Trace{Symbols: syms, Events: make([]Event, 0, len(events)+len(events)/4)}
+	var (
+		time    uint64
+		last    ThreadID
+		started bool
+	)
+	for _, ev := range events {
+		if ev.Kind == KindSwitchThread {
+			continue
+		}
+		if started && ev.Thread != last {
+			time++
+			out.Events = append(out.Events, Event{
+				Kind:   KindSwitchThread,
+				Thread: ev.Thread,
+				Time:   time,
+			})
+		}
+		started = true
+		last = ev.Thread
+		time++
+		ev.Time = time
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
+// FilterThreads keeps only the events of the given threads. Call stacks of
+// the kept threads are untouched, so the result profiles exactly like those
+// threads did in the full run (cross-thread writes from dropped threads are
+// gone, which is the point: the slice shows the thread in isolation).
+func FilterThreads(tr *Trace, keep ...ThreadID) *Trace {
+	keepSet := make(map[ThreadID]bool, len(keep))
+	for _, id := range keep {
+		keepSet[id] = true
+	}
+	var events []Event
+	for _, ev := range tr.Events {
+		if ev.Kind != KindSwitchThread && keepSet[ev.Thread] {
+			events = append(events, ev)
+		}
+	}
+	return rebuildMerged(tr.Symbols, events)
+}
+
+// TimeWindow keeps the events with Time in [from, to], balancing each
+// thread's call stack: calls pending at the window edges are closed with
+// synthetic returns (at the thread's last in-window cost), and returns whose
+// calls precede the window are dropped. The result profiles the execution
+// region in isolation.
+func TimeWindow(tr *Trace, from, to uint64) *Trace {
+	depth := make(map[ThreadID]int)
+	cost := make(map[ThreadID]uint64)
+	var order []ThreadID
+	var events []Event
+	for _, ev := range tr.Events {
+		if ev.Time < from || ev.Time > to || ev.Kind == KindSwitchThread {
+			continue
+		}
+		if _, seen := depth[ev.Thread]; !seen {
+			depth[ev.Thread] = 0
+			order = append(order, ev.Thread)
+		}
+		switch ev.Kind {
+		case KindCall:
+			depth[ev.Thread]++
+		case KindReturn:
+			if depth[ev.Thread] == 0 {
+				// The matching call precedes the window; drop the return.
+				cost[ev.Thread] = ev.Cost
+				continue
+			}
+			depth[ev.Thread]--
+		}
+		cost[ev.Thread] = ev.Cost
+		events = append(events, ev)
+	}
+	// Close activations left pending at the window's right edge.
+	for _, id := range order {
+		for depth[id] > 0 {
+			events = append(events, Event{
+				Kind:   KindReturn,
+				Thread: id,
+				Cost:   cost[id],
+			})
+			depth[id]--
+		}
+	}
+	return rebuildMerged(tr.Symbols, events)
+}
+
+// FilterRoutine keeps, for each thread, only the events inside activations
+// of the named routine (including nested callees). Everything outside those
+// activations — other routines, top-level accesses — is dropped.
+func FilterRoutine(tr *Trace, syms *SymbolTable, routine string) *Trace {
+	id, ok := syms.Lookup(routine)
+	if !ok {
+		return &Trace{Symbols: syms}
+	}
+	// inside[t] counts how deeply thread t currently sits inside target
+	// activations (0 = outside).
+	inside := make(map[ThreadID]int)
+	var events []Event
+	for _, ev := range tr.Events {
+		if ev.Kind == KindSwitchThread {
+			continue
+		}
+		switch ev.Kind {
+		case KindCall:
+			if inside[ev.Thread] > 0 || ev.Routine == id {
+				inside[ev.Thread]++
+				events = append(events, ev)
+			}
+		case KindReturn:
+			if inside[ev.Thread] > 0 {
+				inside[ev.Thread]--
+				events = append(events, ev)
+			}
+		default:
+			if inside[ev.Thread] > 0 {
+				events = append(events, ev)
+			}
+		}
+	}
+	out := rebuildMerged(tr.Symbols, events)
+	out.CloseDangling()
+	return out
+}

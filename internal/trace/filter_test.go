@@ -1,0 +1,125 @@
+package trace
+
+import "testing"
+
+func buildFilterFixture() *Trace {
+	b := NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("main")
+	t2.Call("worker")
+	t1.Call("query")
+	t1.Read(100, 4)
+	t2.Write(200, 2)
+	t1.Call("scan")
+	t1.Read(300, 8)
+	t1.Ret()
+	t1.Ret()
+	t2.Read(200, 2)
+	t1.Call("update")
+	t1.Write(400, 1)
+	t1.Ret()
+	t1.Ret()
+	t2.Ret()
+	return b.Trace()
+}
+
+func TestFilterThreads(t *testing.T) {
+	tr := buildFilterFixture()
+	only1 := FilterThreads(tr, 1)
+	if err := only1.Validate(); err != nil {
+		t.Fatalf("filtered trace invalid: %v", err)
+	}
+	for _, ev := range only1.Events {
+		if ev.Thread != 1 {
+			t.Fatalf("event from thread %d survived the filter", ev.Thread)
+		}
+	}
+	if n := len(Split(only1)); n != 1 {
+		t.Errorf("filtered trace has %d threads, want 1", n)
+	}
+	// No switch events remain in a single-thread trace.
+	for _, ev := range only1.Events {
+		if ev.Kind == KindSwitchThread {
+			t.Error("switch event in single-thread slice")
+		}
+	}
+	// Keeping both threads preserves all non-switch events.
+	both := FilterThreads(tr, 1, 2)
+	orig := 0
+	for _, ev := range tr.Events {
+		if ev.Kind != KindSwitchThread {
+			orig++
+		}
+	}
+	got := 0
+	for _, ev := range both.Events {
+		if ev.Kind != KindSwitchThread {
+			got++
+		}
+	}
+	if got != orig {
+		t.Errorf("keep-all filter lost events: %d vs %d", got, orig)
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	tr := buildFilterFixture()
+	full := TimeWindow(tr, 0, 1<<60)
+	if err := full.Validate(); err != nil {
+		t.Fatalf("full window invalid: %v", err)
+	}
+
+	// A window starting mid-trace: returns without calls must be dropped
+	// and pending calls closed.
+	mid := tr.Events[len(tr.Events)/2].Time
+	tail := TimeWindow(tr, mid, 1<<60)
+	if err := tail.Validate(); err != nil {
+		t.Fatalf("tail window invalid: %v", err)
+	}
+	head := TimeWindow(tr, 0, mid)
+	if err := head.Validate(); err != nil {
+		t.Fatalf("head window invalid: %v", err)
+	}
+	if head.Len() == 0 || tail.Len() == 0 {
+		t.Error("windows unexpectedly empty")
+	}
+	empty := TimeWindow(tr, 1<<60, 1<<61)
+	if empty.Len() != 0 {
+		t.Errorf("out-of-range window has %d events", empty.Len())
+	}
+}
+
+func TestFilterRoutine(t *testing.T) {
+	tr := buildFilterFixture()
+	q := FilterRoutine(tr, tr.Symbols, "query")
+	if err := q.Validate(); err != nil {
+		t.Fatalf("routine slice invalid: %v", err)
+	}
+	// The slice contains query and its nested scan, nothing else.
+	names := map[string]bool{}
+	var reads, writes int
+	for _, ev := range q.Events {
+		switch ev.Kind {
+		case KindCall:
+			names[q.Symbols.Name(ev.Routine)] = true
+		case KindRead:
+			reads++
+		case KindWrite:
+			writes++
+		}
+	}
+	if !names["query"] || !names["scan"] {
+		t.Errorf("slice routines = %v, want query and scan", names)
+	}
+	if names["update"] || names["worker"] || names["main"] {
+		t.Errorf("slice contains foreign routines: %v", names)
+	}
+	if reads != 2 || writes != 0 {
+		t.Errorf("slice has %d reads, %d writes; want 2 and 0", reads, writes)
+	}
+	// Unknown routine: empty slice.
+	if got := FilterRoutine(tr, tr.Symbols, "nonexistent"); got.Len() != 0 {
+		t.Errorf("unknown-routine slice has %d events", got.Len())
+	}
+}

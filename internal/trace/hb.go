@@ -1,0 +1,152 @@
+package trace
+
+import "math/rand"
+
+// ReinterleaveSync produces an alternative interleaving that respects the
+// trace's synchronization: per-thread order is preserved, and an acquire on
+// a semaphore is never scheduled before the releases that supply its tokens.
+// Within those constraints the scheduler picks randomly among the threads
+// whose next event lies within `window` positions of the earliest ready
+// unscheduled event, modelling a bounded scheduler perturbation.
+//
+// This mirrors what varying Valgrind's scheduling configuration does to a
+// properly synchronized application (§4.2): semaphore-ordered communication
+// cannot reorder, so the drms fluctuation across runs comes only from
+// genuinely racy accesses.
+func ReinterleaveSync(tr *Trace, seed int64, window int) *Trace {
+	if window < 1 {
+		window = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Per-thread event streams with each event's original global position.
+	type stream struct {
+		events []Event
+		pos    []int
+		next   int
+	}
+	var threads []*stream
+	index := make(map[ThreadID]*stream)
+	pos := 0
+	for i := range tr.Events {
+		ev := tr.Events[i]
+		if ev.Kind == KindSwitchThread {
+			continue
+		}
+		s := index[ev.Thread]
+		if s == nil {
+			s = &stream{}
+			index[ev.Thread] = s
+			threads = append(threads, s)
+		}
+		s.events = append(s.events, ev)
+		s.pos = append(s.pos, pos)
+		pos++
+	}
+
+	// Pre-simulate the original order to learn each semaphore's implicit
+	// initial token count: an acquire observed with zero outstanding
+	// releases must have consumed an initial token.
+	initial := make(map[Addr]int)
+	sim := make(map[Addr]int)
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case KindRelease:
+			sim[ev.Addr]++
+		case KindAcquire:
+			if sim[ev.Addr] == 0 {
+				initial[ev.Addr]++
+			} else {
+				sim[ev.Addr]--
+			}
+		}
+	}
+
+	avail := make(map[Addr]int, len(initial))
+	for o, n := range initial {
+		avail[o] = n
+	}
+
+	scheduled := make([]Event, 0, pos)
+	emit := func(s *stream) {
+		ev := s.events[s.next]
+		s.next++
+		switch ev.Kind {
+		case KindRelease:
+			avail[ev.Addr]++
+		case KindAcquire:
+			avail[ev.Addr]--
+		}
+		scheduled = append(scheduled, ev)
+	}
+
+	for {
+		var (
+			oldest      *stream // globally earliest unscheduled event
+			oldestPos   = -1
+			minReadyPos = -1
+			ready       []*stream
+		)
+		for _, s := range threads {
+			if s.next >= len(s.events) {
+				continue
+			}
+			p := s.pos[s.next]
+			if oldestPos < 0 || p < oldestPos {
+				oldestPos = p
+				oldest = s
+			}
+			ev := &s.events[s.next]
+			if ev.Kind == KindAcquire && avail[ev.Addr] <= 0 {
+				continue
+			}
+			if minReadyPos < 0 || p < minReadyPos {
+				minReadyPos = p
+			}
+			ready = append(ready, s)
+		}
+		if oldest == nil {
+			break // every event scheduled
+		}
+		var candidates []*stream
+		for _, s := range ready {
+			if s.pos[s.next] <= minReadyPos+window {
+				candidates = append(candidates, s)
+			}
+		}
+		if len(candidates) == 0 {
+			// Every thread is blocked on an acquire. The original order is
+			// always a legal continuation, so force its earliest event (the
+			// token bookkeeping is conservative; the original execution
+			// proves the acquire was grantable).
+			emit(oldest)
+			continue
+		}
+		emit(candidates[rng.Intn(len(candidates))])
+	}
+
+	// Renumber times and reinsert switchThread events.
+	out := &Trace{Symbols: tr.Symbols, Events: make([]Event, 0, len(scheduled)+len(scheduled)/4)}
+	var (
+		time    uint64
+		last    ThreadID
+		started bool
+	)
+	for _, ev := range scheduled {
+		if started && ev.Thread != last {
+			time++
+			out.Events = append(out.Events, Event{
+				Kind:   KindSwitchThread,
+				Thread: ev.Thread,
+				Time:   time,
+			})
+		}
+		started = true
+		last = ev.Thread
+		time++
+		ev.Time = time
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Merge interleaves per-thread traces into a single totally ordered trace,
+// following §3 of the paper: events are ordered by their timestamps; if two
+// or more operations issued by different threads carry the same timestamp,
+// ties are broken arbitrarily (here: pseudo-randomly, from seed, so a merge
+// is reproducible but no ordering may be assumed by callers); switchThread
+// events are inserted between any two operations performed by different
+// threads. Times in the merged trace are reassigned to the global sequence
+// position so they are strictly increasing.
+//
+// The symbol table is shared: all ThreadTraces must have been built against
+// syms.
+func Merge(syms *SymbolTable, parts []ThreadTrace, seed int64) *Trace {
+	total := 0
+	for i := range parts {
+		total += len(parts[i].Events)
+	}
+	out := &Trace{
+		Symbols: syms,
+		Events:  make([]Event, 0, total+total/4),
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// next[i] is the cursor into parts[i].
+	next := make([]int, len(parts))
+	// frontier holds the indices of parts whose next event has the minimal
+	// timestamp; rebuilt on every pop.
+	var frontier []int
+
+	var (
+		time    uint64
+		last    ThreadID
+		started bool
+	)
+	for {
+		frontier = frontier[:0]
+		best := uint64(0)
+		for i := range parts {
+			if next[i] >= len(parts[i].Events) {
+				continue
+			}
+			ts := parts[i].Events[next[i]].Time
+			switch {
+			case len(frontier) == 0 || ts < best:
+				frontier = append(frontier[:0], i)
+				best = ts
+			case ts == best:
+				frontier = append(frontier, i)
+			}
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		pick := frontier[rng.Intn(len(frontier))]
+		ev := parts[pick].Events[next[pick]]
+		next[pick]++
+
+		ev.Thread = parts[pick].Thread
+		if started && ev.Thread != last {
+			time++
+			out.Events = append(out.Events, Event{
+				Kind:   KindSwitchThread,
+				Thread: ev.Thread,
+				Time:   time,
+			})
+		}
+		started = true
+		last = ev.Thread
+		time++
+		ev.Time = time
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
+// Split decomposes a merged trace back into per-thread traces, dropping
+// switchThread events and preserving each thread's event order and original
+// timestamps. It is the inverse of Merge up to switch events and
+// tie-breaking.
+func Split(tr *Trace) []ThreadTrace {
+	byThread := make(map[ThreadID]*ThreadTrace)
+	var order []ThreadID
+	for i := range tr.Events {
+		ev := tr.Events[i]
+		if ev.Kind == KindSwitchThread {
+			continue
+		}
+		tt, ok := byThread[ev.Thread]
+		if !ok {
+			tt = &ThreadTrace{Thread: ev.Thread}
+			byThread[ev.Thread] = tt
+			order = append(order, ev.Thread)
+		}
+		tt.Events = append(tt.Events, ev)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]ThreadTrace, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byThread[id])
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func makeThreadTrace(id ThreadID, syms *SymbolTable, times []uint64) ThreadTrace {
+	tt := ThreadTrace{Thread: id}
+	rtn := syms.Intern("main")
+	tt.Events = append(tt.Events, Event{Kind: KindCall, Routine: rtn, Time: times[0], Thread: id})
+	for _, ts := range times[1:] {
+		tt.Events = append(tt.Events, Event{Kind: KindRead, Addr: Addr(ts), Size: 1, Time: ts, Thread: id})
+	}
+	return tt
+}
+
+func TestMergePreservesPerThreadOrder(t *testing.T) {
+	syms := NewSymbolTable()
+	parts := []ThreadTrace{
+		makeThreadTrace(1, syms, []uint64{1, 4, 4, 9, 12}),
+		makeThreadTrace(2, syms, []uint64{2, 4, 7, 9}),
+		makeThreadTrace(3, syms, []uint64{4, 5, 6}),
+	}
+	merged := Merge(syms, parts, 42)
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Per-thread subsequences must match the inputs exactly.
+	split := Split(merged)
+	if len(split) != 3 {
+		t.Fatalf("Split returned %d threads, want 3", len(split))
+	}
+	for i, part := range split {
+		orig := parts[i]
+		if part.Thread != orig.Thread {
+			t.Fatalf("thread %d: id %d, want %d", i, part.Thread, orig.Thread)
+		}
+		if len(part.Events) != len(orig.Events) {
+			t.Fatalf("thread %d: %d events, want %d", part.Thread, len(part.Events), len(orig.Events))
+		}
+		for j := range part.Events {
+			if part.Events[j].Kind != orig.Events[j].Kind || part.Events[j].Addr != orig.Events[j].Addr {
+				t.Fatalf("thread %d event %d reordered", part.Thread, j)
+			}
+		}
+	}
+}
+
+func TestMergeRespectsTimestamps(t *testing.T) {
+	syms := NewSymbolTable()
+	parts := []ThreadTrace{
+		makeThreadTrace(1, syms, []uint64{1, 10, 20}),
+		makeThreadTrace(2, syms, []uint64{5, 15, 25}),
+	}
+	merged := Merge(syms, parts, 7)
+	// Reconstruct original timestamps by thread position and check global
+	// order: an event with original time u must not precede one with time
+	// v < u.
+	type stamped struct {
+		orig uint64
+	}
+	var seq []stamped
+	idx := map[ThreadID]int{}
+	for _, ev := range merged.Events {
+		if ev.Kind == KindSwitchThread {
+			continue
+		}
+		part := parts[ev.Thread-1]
+		orig := part.Events[idx[ev.Thread]].Time
+		idx[ev.Thread]++
+		seq = append(seq, stamped{orig})
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].orig < seq[i-1].orig {
+			t.Fatalf("merged order violates timestamps at %d: %d after %d", i, seq[i].orig, seq[i-1].orig)
+		}
+	}
+}
+
+func TestMergeTieBreakingIsSeedDependentButComplete(t *testing.T) {
+	syms := NewSymbolTable()
+	build := func() []ThreadTrace {
+		return []ThreadTrace{
+			makeThreadTrace(1, syms, []uint64{1, 5, 5, 5}),
+			makeThreadTrace(2, syms, []uint64{1, 5, 5, 5}),
+		}
+	}
+	a := Merge(syms, build(), 1)
+	b := Merge(syms, build(), 1)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed produced different merges")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same seed produced different merges")
+		}
+	}
+	// All events survive regardless of seed.
+	for seed := int64(0); seed < 10; seed++ {
+		m := Merge(syms, build(), seed)
+		n := 0
+		for _, ev := range m.Events {
+			if ev.Kind != KindSwitchThread {
+				n++
+			}
+		}
+		if n != 8 {
+			t.Fatalf("seed %d: %d events after merge, want 8", seed, n)
+		}
+	}
+}
+
+func TestMergeRandomizedValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		syms := NewSymbolTable()
+		numThreads := 1 + rng.Intn(5)
+		parts := make([]ThreadTrace, numThreads)
+		for i := range parts {
+			n := 1 + rng.Intn(20)
+			times := make([]uint64, n)
+			ts := uint64(1 + rng.Intn(3))
+			for j := range times {
+				times[j] = ts
+				ts += uint64(rng.Intn(4))
+			}
+			parts[i] = makeThreadTrace(ThreadID(i+1), syms, times)
+		}
+		merged := Merge(syms, parts, int64(iter))
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	syms := NewSymbolTable()
+	merged := Merge(syms, nil, 0)
+	if merged.Len() != 0 {
+		t.Errorf("empty merge has %d events", merged.Len())
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "math/rand"
+
+// Reinterleave produces an alternative legal interleaving of a merged trace:
+// per-thread event order is preserved exactly, but events of different
+// threads may swap their relative order within a bounded window. It models
+// re-running the program under a perturbed scheduler configuration, which
+// the paper uses to study how scheduling affects the drms (§4.2: external
+// input stays stable; thread input fluctuates by a few percent on average).
+//
+// The default window is 8 events; ReinterleaveWindow exposes it. A larger
+// window perturbs more aggressively (a window on the order of the trace
+// length approaches an arbitrary re-draw, which no real scheduler produces).
+func Reinterleave(tr *Trace, seed int64) *Trace {
+	return ReinterleaveWindow(tr, seed, 8)
+}
+
+// ReinterleaveWindow reinterleaves with an explicit perturbation window: an
+// event may move up to `window` positions relative to events of other
+// threads. Per-thread order is always preserved.
+func ReinterleaveWindow(tr *Trace, seed int64, window int) *Trace {
+	if window < 1 {
+		window = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Assign each non-switch event its global position in the original
+	// merged order, jittered within the window; per-thread monotonicity is
+	// restored with a running maximum so each thread's stream stays intact.
+	parts := Split(tr)
+	cursors := make(map[ThreadID]int, len(parts))
+	byThread := make(map[ThreadID][]Event, len(parts))
+	for i := range parts {
+		byThread[parts[i].Thread] = parts[i].Events
+	}
+	lastTime := make(map[ThreadID]uint64, len(parts))
+	pos := uint64(0)
+	for i := range tr.Events {
+		src := &tr.Events[i]
+		if src.Kind == KindSwitchThread {
+			continue
+		}
+		pos++
+		events := byThread[src.Thread]
+		j := cursors[src.Thread]
+		cursors[src.Thread] = j + 1
+		t := pos + uint64(rng.Intn(window))
+		if t < lastTime[src.Thread] {
+			t = lastTime[src.Thread]
+		}
+		lastTime[src.Thread] = t
+		events[j].Time = t
+	}
+	return Merge(tr.Symbols, parts, seed)
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildMultiThreadTrace(threads, opsPerThread int, rng *rand.Rand) *Trace {
+	b := NewBuilder()
+	tbs := make([]*ThreadBuilder, threads)
+	for i := range tbs {
+		tbs[i] = b.Thread(ThreadID(i + 1))
+		tbs[i].Call("main")
+	}
+	for op := 0; op < opsPerThread; op++ {
+		for _, tb := range tbs {
+			switch rng.Intn(3) {
+			case 0:
+				tb.Read1(Addr(rng.Intn(64)))
+			case 1:
+				tb.Write1(Addr(rng.Intn(64)))
+			default:
+				tb.SysRead(Addr(rng.Intn(64)), 2)
+			}
+		}
+	}
+	for _, tb := range tbs {
+		tb.Ret()
+	}
+	return b.Trace()
+}
+
+func TestReinterleavePreservesPerThreadStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := buildMultiThreadTrace(3, 50, rng)
+	for seed := int64(0); seed < 5; seed++ {
+		out := Reinterleave(tr, seed)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		origParts := Split(tr)
+		outParts := Split(out)
+		if len(origParts) != len(outParts) {
+			t.Fatalf("seed %d: thread count changed", seed)
+		}
+		for i := range origParts {
+			if len(origParts[i].Events) != len(outParts[i].Events) {
+				t.Fatalf("seed %d thread %d: event count changed", seed, origParts[i].Thread)
+			}
+			for j := range origParts[i].Events {
+				a, b := origParts[i].Events[j], outParts[i].Events[j]
+				if a.Kind != b.Kind || a.Addr != b.Addr || a.Size != b.Size || a.Routine != b.Routine || a.Cost != b.Cost {
+					t.Fatalf("seed %d thread %d event %d: %v != %v", seed, origParts[i].Thread, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReinterleaveVariesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := buildMultiThreadTrace(3, 80, rng)
+	fingerprint := func(tr *Trace) string {
+		out := make([]byte, 0, len(tr.Events))
+		for _, ev := range tr.Events {
+			if ev.Kind == KindSwitchThread {
+				continue
+			}
+			out = append(out, byte('0'+ev.Thread))
+		}
+		return string(out)
+	}
+	a := fingerprint(Reinterleave(tr, 1))
+	b := fingerprint(Reinterleave(tr, 2))
+	if a == b {
+		t.Error("different seeds produced the identical interleaving")
+	}
+	if a != fingerprint(Reinterleave(tr, 1)) {
+		t.Error("same seed produced different interleavings")
+	}
+}
+
+func TestReinterleaveSingleThreadIsIdentity(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Read1(1)
+	tb.Write1(2)
+	tb.Ret()
+	tr := b.Trace()
+	out := Reinterleave(tr, 99)
+	if len(Split(out)[0].Events) != len(Split(tr)[0].Events) {
+		t.Fatal("single-thread reinterleave altered the stream")
+	}
+}

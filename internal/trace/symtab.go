@@ -1,0 +1,61 @@
+package trace
+
+import "fmt"
+
+// SymbolTable maps routine names to compact RoutineIDs and back. IDs are
+// assigned densely in registration order, so they can index slices.
+type SymbolTable struct {
+	names []string
+	ids   map[string]RoutineID
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]RoutineID)}
+}
+
+// Intern returns the id for name, registering it if needed.
+func (s *SymbolTable) Intern(name string) RoutineID {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := RoutineID(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for name and whether it is registered.
+func (s *SymbolTable) Lookup(name string) (RoutineID, bool) {
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// Name returns the name for id, or a synthetic placeholder if id was never
+// registered (which indicates a malformed trace).
+func (s *SymbolTable) Name(id RoutineID) string {
+	if int(id) < len(s.names) {
+		return s.names[id]
+	}
+	return fmt.Sprintf("routine#%d", id)
+}
+
+// Len returns the number of registered routines.
+func (s *SymbolTable) Len() int { return len(s.names) }
+
+// Names returns the registered names in id order. The returned slice is a
+// copy.
+func (s *SymbolTable) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (s *SymbolTable) Clone() *SymbolTable {
+	c := NewSymbolTable()
+	for _, n := range s.names {
+		c.Intern(n)
+	}
+	return c
+}

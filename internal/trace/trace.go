@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Trace is a totally ordered execution trace together with the symbol table
+// resolving its routine ids. A Trace is what the profiler and the comparator
+// tools consume.
+type Trace struct {
+	// Symbols resolves RoutineIDs appearing in Events.
+	Symbols *SymbolTable
+	// Events in execution order. Time is non-decreasing.
+	Events []Event
+}
+
+// NewTrace returns an empty trace with a fresh symbol table.
+func NewTrace() *Trace {
+	return &Trace{Symbols: NewSymbolTable()}
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Threads returns the distinct thread ids appearing in the trace, in order
+// of first appearance.
+func (t *Trace) Threads() []ThreadID {
+	seen := make(map[ThreadID]bool)
+	var out []ThreadID
+	for i := range t.Events {
+		id := t.Events[i].Thread
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MemoryFootprint returns the number of distinct cells touched by memory
+// events. It approximates the "native" memory use of the traced program and
+// anchors the space-overhead ratios of the comparator harness.
+func (t *Trace) MemoryFootprint() int {
+	cells := make(map[Addr]struct{})
+	for i := range t.Events {
+		t.Events[i].Cells(func(a Addr) { cells[a] = struct{}{} })
+	}
+	return len(cells)
+}
+
+// Validate checks the structural well-formedness the profiler relies on:
+// known event kinds, registered routine ids on calls, per-thread
+// non-decreasing cost, balanced returns, and non-decreasing Time.
+func (t *Trace) Validate() error {
+	if t.Symbols == nil {
+		return errors.New("trace: nil symbol table")
+	}
+	depth := make(map[ThreadID]int)
+	cost := make(map[ThreadID]uint64)
+	var lastTime uint64
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if !ev.Kind.Valid() {
+			return fmt.Errorf("trace: event %d: invalid kind %d", i, uint8(ev.Kind))
+		}
+		if ev.Time < lastTime {
+			return fmt.Errorf("trace: event %d: time %d decreases below %d", i, ev.Time, lastTime)
+		}
+		lastTime = ev.Time
+		if ev.Kind != KindSwitchThread {
+			if c, ok := cost[ev.Thread]; ok && ev.Cost < c {
+				return fmt.Errorf("trace: event %d: thread %d cost %d decreases below %d", i, ev.Thread, ev.Cost, c)
+			}
+			cost[ev.Thread] = ev.Cost
+		}
+		switch ev.Kind {
+		case KindCall:
+			if int(ev.Routine) >= t.Symbols.Len() {
+				return fmt.Errorf("trace: event %d: unregistered routine id %d", i, ev.Routine)
+			}
+			depth[ev.Thread]++
+		case KindReturn:
+			if depth[ev.Thread] == 0 {
+				return fmt.Errorf("trace: event %d: return on thread %d with empty call stack", i, ev.Thread)
+			}
+			depth[ev.Thread]--
+		case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
+			if ev.Size == 0 {
+				return fmt.Errorf("trace: event %d: %s of zero cells", i, ev.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// CloseDangling appends return events for every activation still pending at
+// the end of the trace, using each thread's final cost. Workload generators
+// use it so every activation is collected.
+func (t *Trace) CloseDangling() {
+	depth := make(map[ThreadID]int)
+	cost := make(map[ThreadID]uint64)
+	order := []ThreadID{}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind == KindSwitchThread {
+			continue
+		}
+		if _, ok := depth[ev.Thread]; !ok {
+			order = append(order, ev.Thread)
+		}
+		switch ev.Kind {
+		case KindCall:
+			depth[ev.Thread]++
+		case KindReturn:
+			depth[ev.Thread]--
+		}
+		cost[ev.Thread] = ev.Cost
+	}
+	time := uint64(0)
+	if n := len(t.Events); n > 0 {
+		time = t.Events[n-1].Time
+	}
+	for _, id := range order {
+		for depth[id] > 0 {
+			time++
+			t.Events = append(t.Events, Event{
+				Kind:   KindReturn,
+				Thread: id,
+				Time:   time,
+				Cost:   cost[id],
+			})
+			depth[id]--
+		}
+	}
+}
+
+// ThreadTrace is the event stream of a single thread, before merging.
+type ThreadTrace struct {
+	Thread ThreadID
+	Events []Event
+}

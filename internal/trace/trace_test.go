@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderInsertsSwitchEvents(t *testing.T) {
+	b := NewBuilder()
+	t1 := b.Thread(1)
+	t2 := b.Thread(2)
+	t1.Call("main")
+	t1.Write1(10)
+	t2.Call("worker")
+	t2.Read1(10)
+	t1.Read1(10)
+	t1.Ret()
+	t2.Ret()
+	tr := b.Trace()
+
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	switches := 0
+	var prev ThreadID
+	started := false
+	for i, ev := range tr.Events {
+		if ev.Kind == KindSwitchThread {
+			switches++
+			if i == 0 {
+				t.Error("switch event before any operation")
+			}
+			continue
+		}
+		if started && ev.Thread != prev {
+			if tr.Events[i-1].Kind != KindSwitchThread {
+				t.Errorf("event %d: thread change %d->%d without switch", i, prev, ev.Thread)
+			}
+		}
+		prev = ev.Thread
+		started = true
+	}
+	// Thread changes: 1->2, 2->1, 1->2 plus the dangling-close transitions.
+	if switches < 3 {
+		t.Errorf("got %d switch events, want at least 3", switches)
+	}
+}
+
+func TestBuilderTimesStrictlyIncrease(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread(0)
+	tb.Call("f")
+	for i := 0; i < 100; i++ {
+		tb.Write1(Addr(uint64(i)))
+		tb.Read1(Addr(uint64(i)))
+	}
+	tb.Ret()
+	tr := b.Trace()
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Time <= tr.Events[i-1].Time {
+			t.Fatalf("event %d: time %d not greater than %d", i, tr.Events[i].Time, tr.Events[i-1].Time)
+		}
+	}
+}
+
+func TestBuilderClosesDanglingActivations(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread(0)
+	tb.Call("a")
+	tb.Call("b")
+	tb.Call("c")
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	returns := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == KindReturn {
+			returns++
+		}
+	}
+	if returns != 3 {
+		t.Errorf("got %d synthetic returns, want 3", returns)
+	}
+}
+
+func TestBuilderPanicsAfterTrace(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread(0)
+	tb.Call("f")
+	_ = b.Trace()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on use after Trace()")
+		}
+	}()
+	tb.Read1(0)
+}
+
+func TestBuilderRetPanicsOnEmptyStack(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on Ret with empty stack")
+		}
+	}()
+	tb.Ret()
+}
+
+func TestValidateRejectsMalformedTraces(t *testing.T) {
+	syms := NewSymbolTable()
+	f := syms.Intern("f")
+
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"unregistered routine", []Event{
+			{Kind: KindCall, Routine: 99, Time: 1},
+		}},
+		{"return without call", []Event{
+			{Kind: KindReturn, Time: 1},
+		}},
+		{"decreasing time", []Event{
+			{Kind: KindCall, Routine: f, Time: 5},
+			{Kind: KindRead, Addr: 1, Size: 1, Time: 4},
+		}},
+		{"decreasing cost", []Event{
+			{Kind: KindCall, Routine: f, Time: 1, Cost: 10},
+			{Kind: KindRead, Addr: 1, Size: 1, Time: 2, Cost: 5},
+		}},
+		{"zero-size read", []Event{
+			{Kind: KindCall, Routine: f, Time: 1},
+			{Kind: KindRead, Addr: 1, Size: 0, Time: 2},
+		}},
+		{"invalid kind", []Event{
+			{Kind: Kind(200), Time: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &Trace{Symbols: syms, Events: tc.events}
+			if err := tr.Validate(); err == nil {
+				t.Error("Validate accepted a malformed trace")
+			}
+		})
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread(0)
+	tb.Call("f")
+	tb.Write(100, 10) // cells 100..109
+	tb.Read(105, 10)  // cells 105..114: 5 new
+	tb.SysRead(200, 4)
+	tb.Ret()
+	tr := b.Trace()
+	if got := tr.MemoryFootprint(); got != 19 {
+		t.Errorf("MemoryFootprint = %d, want 19", got)
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	s := NewSymbolTable()
+	a := s.Intern("alpha")
+	b := s.Intern("beta")
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if got := s.Intern("alpha"); got != a {
+		t.Errorf("re-Intern returned %d, want %d", got, a)
+	}
+	if name := s.Name(b); name != "beta" {
+		t.Errorf("Name(%d) = %q, want beta", b, name)
+	}
+	if _, ok := s.Lookup("gamma"); ok {
+		t.Error("Lookup found unregistered name")
+	}
+	if !strings.HasPrefix(s.Name(RoutineID(42)), "routine#") {
+		t.Error("unknown id should produce a placeholder name")
+	}
+	c := s.Clone()
+	c.Intern("gamma")
+	if s.Len() != 2 || c.Len() != 3 {
+		t.Errorf("Clone not independent: orig %d, clone %d", s.Len(), c.Len())
+	}
+}
+
+func TestEventCells(t *testing.T) {
+	ev := Event{Kind: KindRead, Addr: 10, Size: 3}
+	var got []Addr
+	ev.Cells(func(a Addr) { got = append(got, a) })
+	want := []Addr{10, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Cells visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cells visited %v, want %v", got, want)
+		}
+	}
+	callEv := Event{Kind: KindCall}
+	callEv.Cells(func(Addr) { t.Error("call event should touch no cells") })
+}
+
+func TestThreadsOrder(t *testing.T) {
+	b := NewBuilder()
+	b.Thread(5).Call("f")
+	b.Thread(2).Call("g")
+	b.Thread(5).Read1(1)
+	tr := b.Trace()
+	ids := tr.Threads()
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 2 {
+		t.Errorf("Threads() = %v, want [5 2]", ids)
+	}
+}

@@ -1,0 +1,191 @@
+package vm
+
+// Program is a parsed MiniLang compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a memory-backed global scalar or array. Globals live
+// in the traced heap: every access to them produces read/write events.
+type GlobalDecl struct {
+	Name string
+	// Size is the number of cells (1 for scalars).
+	Size int64
+	// Init is the initial value of a scalar global.
+	Init int64
+	// IsArray distinguishes "global a[n];" from "global a = v;". Array
+	// globals evaluate to their base address; scalar globals evaluate to
+	// their content.
+	IsArray bool
+	Pos     Pos
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Pos    Pos
+}
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// Position returns the source position of the expression.
+	Position() Pos
+}
+
+// VarStmt declares and initializes a local (register) variable.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Pos  Pos
+}
+
+// AssignStmt assigns to a local, a global scalar, or an indexed heap cell.
+type AssignStmt struct {
+	Target Expr // *Ident or *IndexExpr
+	Value  Expr
+	Pos    Pos
+}
+
+// IfStmt is a conditional with an optional else branch (which may itself be
+// an IfStmt for else-if chains).
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // nil, *Block, or *IfStmt
+	Pos  Pos
+}
+
+// WhileStmt is a pre-test loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// ForStmt is a C-style loop; Init/Cond/Post may each be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+	Pos  Pos
+}
+
+// ReturnStmt returns from the enclosing function, with value 0 when Value is
+// nil.
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// SpawnStmt starts a new thread running the named function.
+type SpawnStmt struct {
+	Call *CallExpr
+	Pos  Pos
+}
+
+// BreakStmt exits the innermost enclosing loop.
+type BreakStmt struct {
+	Pos Pos
+}
+
+// ContinueStmt jumps to the next iteration of the innermost enclosing loop.
+type ContinueStmt struct {
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*SpawnStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*Block) stmtNode()        {}
+
+// NumberLit is an integer literal.
+type NumberLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// StringLit is a string literal; permitted only as the first argument of
+// print.
+type StringLit struct {
+	Value string
+	Pos   Pos
+}
+
+// Ident references a local, parameter, global, or (in call position) a
+// function.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is base[index]: a traced heap access at address base+index.
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+	Pos   Pos
+}
+
+// CallExpr calls a function or builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op  TokenKind
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   TokenKind
+	X, Y Expr
+	Pos  Pos
+}
+
+func (*NumberLit) exprNode()  {}
+func (*StringLit) exprNode()  {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// Position implementations.
+func (e *NumberLit) Position() Pos  { return e.Pos }
+func (e *StringLit) Position() Pos  { return e.Pos }
+func (e *Ident) Position() Pos      { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }

@@ -1,0 +1,220 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bytecode opcode. The VM is a stack machine: operands are popped
+// from and results pushed to a per-frame evaluation stack.
+type Op uint8
+
+// Opcodes.
+const (
+	// OpConst pushes constants[A].
+	OpConst Op = iota
+	// OpLoadLocal pushes locals[A].
+	OpLoadLocal
+	// OpStoreLocal pops into locals[A].
+	OpStoreLocal
+	// OpLoadMem pops an address and pushes heap[addr] (a traced read).
+	OpLoadMem
+	// OpStoreMem pops value then address and stores heap[addr] = value (a
+	// traced write).
+	OpStoreMem
+	// Arithmetic and logic: pop two (or one for OpNeg/OpNot), push one.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpNot
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// OpJump sets pc = A.
+	OpJump
+	// OpJumpIfZero pops; if zero, pc = A.
+	OpJumpIfZero
+	// OpJumpIfNonZero pops; if non-zero, pc = A. (Short-circuit ||.)
+	OpJumpIfNonZero
+	// OpCall calls funcs[A], popping its arguments.
+	OpCall
+	// OpSpawn starts a thread running funcs[A], popping its arguments.
+	OpSpawn
+	// OpReturn pops the return value and returns from the current frame.
+	OpReturn
+	// OpPop discards the top of stack.
+	OpPop
+	// OpAlloc pops n and pushes the base address of n freshly allocated
+	// heap cells.
+	OpAlloc
+	// OpSemNew pops the initial value and pushes a new semaphore id.
+	OpSemNew
+	// OpSemWait pops a semaphore id and performs wait() (may block).
+	OpSemWait
+	// OpSemSignal pops a semaphore id and performs signal().
+	OpSemSignal
+	// OpSysRead pops n then base: the kernel fills heap[base..base+n) with
+	// external data (kernelToUser event). Pushes n.
+	OpSysRead
+	// OpSysWrite pops n then base: the kernel reads heap[base..base+n)
+	// (userToKernel event). Pushes n.
+	OpSysWrite
+	// OpPrint pops A values and prints them (with the string-pool format
+	// prefix B, if B >= 0). Pushes 0.
+	OpPrint
+	// OpAssert pops a value and aborts the run with a runtime error when it
+	// is zero. Pushes 0.
+	OpAssert
+	// OpRand pops n and pushes a deterministic pseudo-random value in
+	// [0, n) drawn from the VM's seeded generator.
+	OpRand
+)
+
+var opNames = [...]string{
+	OpConst:         "const",
+	OpLoadLocal:     "loadlocal",
+	OpStoreLocal:    "storelocal",
+	OpLoadMem:       "loadmem",
+	OpStoreMem:      "storemem",
+	OpAdd:           "add",
+	OpSub:           "sub",
+	OpMul:           "mul",
+	OpDiv:           "div",
+	OpMod:           "mod",
+	OpNeg:           "neg",
+	OpNot:           "not",
+	OpEq:            "eq",
+	OpNe:            "ne",
+	OpLt:            "lt",
+	OpLe:            "le",
+	OpGt:            "gt",
+	OpGe:            "ge",
+	OpJump:          "jump",
+	OpJumpIfZero:    "jz",
+	OpJumpIfNonZero: "jnz",
+	OpCall:          "call",
+	OpSpawn:         "spawn",
+	OpReturn:        "return",
+	OpPop:           "pop",
+	OpAlloc:         "alloc",
+	OpSemNew:        "semnew",
+	OpSemWait:       "wait",
+	OpSemSignal:     "signal",
+	OpSysRead:       "sysread",
+	OpSysWrite:      "syswrite",
+	OpPrint:         "print",
+	OpAssert:        "assert",
+	OpRand:          "rand",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one bytecode instruction. A and B are operand fields whose
+// meaning depends on the opcode.
+type Instr struct {
+	Op   Op
+	A    int32
+	B    int32
+	Line int32 // source line, for runtime errors
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name      string
+	NumParams int
+	NumLocals int
+	Code      []Instr
+	// BlockStart[pc] reports whether pc is a basic-block leader; the
+	// interpreter increments the executed-basic-block counter whenever it
+	// enters a leader, and the scheduler may switch threads there.
+	BlockStart []bool
+	// NumBlocks is the number of basic blocks in the function.
+	NumBlocks int
+}
+
+// CompiledProgram is a fully compiled MiniLang program, ready to run.
+type CompiledProgram struct {
+	Funcs      []*Func
+	FuncByName map[string]int
+	Constants  []int64
+	Strings    []string
+	// GlobalBase maps global names to their fixed heap addresses; GlobalEnd
+	// is the first free heap address after the globals.
+	GlobalBase map[string]int64
+	GlobalEnd  int64
+	// GlobalInit holds (address, value) pairs stored before main runs.
+	GlobalInit [][2]int64
+}
+
+// Disassemble renders a function's bytecode for debugging and golden tests.
+func (f *Func) Disassemble(cp *CompiledProgram) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fn %s (params=%d locals=%d blocks=%d)\n", f.Name, f.NumParams, f.NumLocals, f.NumBlocks)
+	for pc, ins := range f.Code {
+		marker := " "
+		if f.BlockStart[pc] {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, "%s %4d  %-10s", marker, pc, ins.Op)
+		switch ins.Op {
+		case OpConst:
+			fmt.Fprintf(&sb, " %d", cp.Constants[ins.A])
+		case OpLoadLocal, OpStoreLocal, OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			fmt.Fprintf(&sb, " %d", ins.A)
+		case OpCall, OpSpawn:
+			fmt.Fprintf(&sb, " %s", cp.Funcs[ins.A].Name)
+		case OpPrint:
+			fmt.Fprintf(&sb, " argc=%d", ins.A)
+			if ins.B >= 0 {
+				fmt.Fprintf(&sb, " fmt=%q", cp.Strings[ins.B])
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// markBlocks computes basic-block leaders: the entry point, every jump
+// target, and every instruction following a control transfer (jumps, calls,
+// spawns, returns and potentially-blocking semaphore waits — call and block
+// boundaries are where the scheduler may switch threads, mirroring
+// Valgrind's superblock boundaries).
+func (f *Func) markBlocks() {
+	f.BlockStart = make([]bool, len(f.Code))
+	if len(f.Code) == 0 {
+		return
+	}
+	f.BlockStart[0] = true
+	for pc, ins := range f.Code {
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			if int(ins.A) < len(f.Code) {
+				f.BlockStart[ins.A] = true
+			}
+			if pc+1 < len(f.Code) {
+				f.BlockStart[pc+1] = true
+			}
+		case OpCall, OpSpawn, OpReturn, OpSemWait, OpSemSignal:
+			if pc+1 < len(f.Code) {
+				f.BlockStart[pc+1] = true
+			}
+		}
+	}
+	for _, b := range f.BlockStart {
+		if b {
+			f.NumBlocks++
+		}
+	}
+}

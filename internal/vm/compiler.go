@@ -1,0 +1,591 @@
+package vm
+
+import "fmt"
+
+// heapBase is the first heap address handed out; address 0 is reserved so
+// that it can serve as a null value.
+const heapBase = 1
+
+// builtins maps builtin names to their fixed argument counts.
+var builtins = map[string]int{
+	"alloc":    1,
+	"sem":      1,
+	"wait":     1,
+	"signal":   1,
+	"sysread":  2,
+	"syswrite": 2,
+	"assert":   1,
+	"rand":     1,
+	// print is variadic and handled specially.
+}
+
+// Compile parses and compiles MiniLang source into an executable program.
+func Compile(src string) (*CompiledProgram, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog)
+}
+
+// CompileProgram compiles a parsed program.
+func CompileProgram(prog *Program) (*CompiledProgram, error) {
+	cp := &CompiledProgram{
+		FuncByName: make(map[string]int),
+		GlobalBase: make(map[string]int64),
+	}
+
+	// Lay out globals at fixed heap addresses.
+	addr := int64(heapBase)
+	globals := make(map[string]*GlobalDecl)
+	for _, g := range prog.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return nil, errAt(g.Pos, "global %q redeclared", g.Name)
+		}
+		globals[g.Name] = g
+		cp.GlobalBase[g.Name] = addr
+		if !g.IsArray && g.Init != 0 {
+			cp.GlobalInit = append(cp.GlobalInit, [2]int64{addr, g.Init})
+		}
+		addr += g.Size
+	}
+	cp.GlobalEnd = addr
+
+	// Register functions first so calls can be resolved in any order.
+	for _, fn := range prog.Funcs {
+		if _, dup := cp.FuncByName[fn.Name]; dup {
+			return nil, errAt(fn.Pos, "function %q redeclared", fn.Name)
+		}
+		if _, isBuiltin := builtins[fn.Name]; isBuiltin || fn.Name == "print" {
+			return nil, errAt(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		cp.FuncByName[fn.Name] = len(cp.Funcs)
+		cp.Funcs = append(cp.Funcs, &Func{Name: fn.Name, NumParams: len(fn.Params)})
+	}
+	if _, ok := cp.FuncByName["main"]; !ok {
+		return nil, fmt.Errorf("minilang: program has no 'main' function")
+	}
+	if cp.Funcs[cp.FuncByName["main"]].NumParams != 0 {
+		return nil, errAt(prog.Funcs[cp.FuncByName["main"]].Pos, "'main' must take no parameters")
+	}
+
+	for i, fn := range prog.Funcs {
+		fc := &funcCompiler{cp: cp, prog: prog, globals: globals, out: cp.Funcs[i]}
+		if err := fc.compile(fn); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+// funcCompiler compiles one function body.
+type funcCompiler struct {
+	cp      *CompiledProgram
+	prog    *Program
+	globals map[string]*GlobalDecl
+	out     *Func
+	// scopes is a stack of name → local-slot maps.
+	scopes    []map[string]int
+	numLocals int
+	maxLocals int
+	// loops is the stack of enclosing loops, holding the jump sites that
+	// break and continue statements leave to be patched.
+	loops []*loopCtx
+}
+
+// loopCtx records the pending branch targets of one loop under compilation.
+type loopCtx struct {
+	breakJumps    []int
+	continueJumps []int
+}
+
+func (fc *funcCompiler) compile(fn *FuncDecl) error {
+	fc.pushScope()
+	for _, param := range fn.Params {
+		if _, err := fc.declareLocal(param, fn.Pos); err != nil {
+			return err
+		}
+	}
+	if err := fc.block(fn.Body); err != nil {
+		return err
+	}
+	fc.popScope()
+	// Implicit "return 0" for functions that fall off the end.
+	fc.emit(OpConst, fc.constIdx(0), 0, fn.Pos)
+	fc.emit(OpReturn, 0, 0, fn.Pos)
+	fc.out.NumLocals = fc.maxLocals
+	fc.out.markBlocks()
+	return nil
+}
+
+func (fc *funcCompiler) pushScope() {
+	fc.scopes = append(fc.scopes, make(map[string]int))
+}
+
+func (fc *funcCompiler) popScope() {
+	top := fc.scopes[len(fc.scopes)-1]
+	fc.numLocals -= len(top)
+	fc.scopes = fc.scopes[:len(fc.scopes)-1]
+}
+
+func (fc *funcCompiler) declareLocal(name string, pos Pos) (int, error) {
+	top := fc.scopes[len(fc.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, errAt(pos, "variable %q redeclared in this scope", name)
+	}
+	slot := fc.numLocals
+	top[name] = slot
+	fc.numLocals++
+	if fc.numLocals > fc.maxLocals {
+		fc.maxLocals = fc.numLocals
+	}
+	return slot, nil
+}
+
+func (fc *funcCompiler) lookupLocal(name string) (int, bool) {
+	for i := len(fc.scopes) - 1; i >= 0; i-- {
+		if slot, ok := fc.scopes[i][name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func (fc *funcCompiler) emit(op Op, a, b int32, pos Pos) int {
+	fc.out.Code = append(fc.out.Code, Instr{Op: op, A: a, B: b, Line: int32(pos.Line)})
+	return len(fc.out.Code) - 1
+}
+
+func (fc *funcCompiler) constIdx(v int64) int32 {
+	for i, c := range fc.cp.Constants {
+		if c == v {
+			return int32(i)
+		}
+	}
+	fc.cp.Constants = append(fc.cp.Constants, v)
+	return int32(len(fc.cp.Constants) - 1)
+}
+
+func (fc *funcCompiler) stringIdx(s string) int32 {
+	for i, c := range fc.cp.Strings {
+		if c == s {
+			return int32(i)
+		}
+	}
+	fc.cp.Strings = append(fc.cp.Strings, s)
+	return int32(len(fc.cp.Strings) - 1)
+}
+
+// patch sets the jump target of the instruction at idx to the current end of
+// the code.
+func (fc *funcCompiler) patch(idx int) {
+	fc.out.Code[idx].A = int32(len(fc.out.Code))
+}
+
+func (fc *funcCompiler) block(b *Block) error {
+	fc.pushScope()
+	defer fc.popScope()
+	for _, s := range b.Stmts {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *funcCompiler) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return fc.block(s)
+	case *VarStmt:
+		if err := fc.expr(s.Init); err != nil {
+			return err
+		}
+		slot, err := fc.declareLocal(s.Name, s.Pos)
+		if err != nil {
+			return err
+		}
+		fc.emit(OpStoreLocal, int32(slot), 0, s.Pos)
+		return nil
+	case *AssignStmt:
+		return fc.assign(s)
+	case *IfStmt:
+		return fc.ifStmt(s)
+	case *WhileStmt:
+		top := len(fc.out.Code)
+		if err := fc.expr(s.Cond); err != nil {
+			return err
+		}
+		exit := fc.emit(OpJumpIfZero, 0, 0, s.Pos)
+		loop := &loopCtx{}
+		fc.loops = append(fc.loops, loop)
+		if err := fc.block(s.Body); err != nil {
+			return err
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		// continue re-tests the condition; break exits.
+		for _, idx := range loop.continueJumps {
+			fc.out.Code[idx].A = int32(top)
+		}
+		fc.emit(OpJump, int32(top), 0, s.Pos)
+		fc.patch(exit)
+		for _, idx := range loop.breakJumps {
+			fc.patch(idx)
+		}
+		return nil
+	case *ForStmt:
+		fc.pushScope()
+		defer fc.popScope()
+		if s.Init != nil {
+			if err := fc.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		top := len(fc.out.Code)
+		exit := -1
+		if s.Cond != nil {
+			if err := fc.expr(s.Cond); err != nil {
+				return err
+			}
+			exit = fc.emit(OpJumpIfZero, 0, 0, s.Pos)
+		}
+		loop := &loopCtx{}
+		fc.loops = append(fc.loops, loop)
+		if err := fc.block(s.Body); err != nil {
+			return err
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		// continue lands on the post statement (or the condition re-test
+		// when there is none).
+		postPC := len(fc.out.Code)
+		if s.Post != nil {
+			if err := fc.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		for _, idx := range loop.continueJumps {
+			fc.out.Code[idx].A = int32(postPC)
+		}
+		fc.emit(OpJump, int32(top), 0, s.Pos)
+		if exit >= 0 {
+			fc.patch(exit)
+		}
+		for _, idx := range loop.breakJumps {
+			fc.patch(idx)
+		}
+		return nil
+	case *ReturnStmt:
+		if s.Value != nil {
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+		} else {
+			fc.emit(OpConst, fc.constIdx(0), 0, s.Pos)
+		}
+		fc.emit(OpReturn, 0, 0, s.Pos)
+		return nil
+	case *SpawnStmt:
+		idx, ok := fc.cp.FuncByName[s.Call.Name]
+		if !ok {
+			return errAt(s.Pos, "spawn of unknown function %q", s.Call.Name)
+		}
+		fn := fc.cp.Funcs[idx]
+		if len(s.Call.Args) != fn.NumParams {
+			return errAt(s.Pos, "spawn %s: got %d arguments, want %d", s.Call.Name, len(s.Call.Args), fn.NumParams)
+		}
+		for _, arg := range s.Call.Args {
+			if err := fc.expr(arg); err != nil {
+				return err
+			}
+		}
+		fc.emit(OpSpawn, int32(idx), int32(len(s.Call.Args)), s.Pos)
+		return nil
+	case *BreakStmt:
+		if len(fc.loops) == 0 {
+			return errAt(s.Pos, "break outside a loop")
+		}
+		loop := fc.loops[len(fc.loops)-1]
+		loop.breakJumps = append(loop.breakJumps, fc.emit(OpJump, 0, 0, s.Pos))
+		return nil
+	case *ContinueStmt:
+		if len(fc.loops) == 0 {
+			return errAt(s.Pos, "continue outside a loop")
+		}
+		loop := fc.loops[len(fc.loops)-1]
+		loop.continueJumps = append(loop.continueJumps, fc.emit(OpJump, 0, 0, s.Pos))
+		return nil
+	case *ExprStmt:
+		if err := fc.expr(s.X); err != nil {
+			return err
+		}
+		fc.emit(OpPop, 0, 0, s.Pos)
+		return nil
+	default:
+		return fmt.Errorf("minilang: unhandled statement %T", s)
+	}
+}
+
+func (fc *funcCompiler) assign(s *AssignStmt) error {
+	switch target := s.Target.(type) {
+	case *Ident:
+		if slot, ok := fc.lookupLocal(target.Name); ok {
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+			fc.emit(OpStoreLocal, int32(slot), 0, s.Pos)
+			return nil
+		}
+		if g, ok := fc.globals[target.Name]; ok {
+			if g.IsArray {
+				return errAt(s.Pos, "cannot assign to array global %q (assign to its elements)", target.Name)
+			}
+			fc.emit(OpConst, fc.constIdx(fc.cp.GlobalBase[target.Name]), 0, s.Pos)
+			if err := fc.expr(s.Value); err != nil {
+				return err
+			}
+			fc.emit(OpStoreMem, 0, 0, s.Pos)
+			return nil
+		}
+		return errAt(s.Pos, "assignment to undeclared variable %q", target.Name)
+	case *IndexExpr:
+		// Compute the cell address, then the value, then store.
+		if err := fc.expr(target.Base); err != nil {
+			return err
+		}
+		if err := fc.expr(target.Index); err != nil {
+			return err
+		}
+		fc.emit(OpAdd, 0, 0, s.Pos)
+		if err := fc.expr(s.Value); err != nil {
+			return err
+		}
+		fc.emit(OpStoreMem, 0, 0, s.Pos)
+		return nil
+	default:
+		return errAt(s.Pos, "invalid assignment target")
+	}
+}
+
+func (fc *funcCompiler) ifStmt(s *IfStmt) error {
+	if err := fc.expr(s.Cond); err != nil {
+		return err
+	}
+	elseJump := fc.emit(OpJumpIfZero, 0, 0, s.Pos)
+	if err := fc.block(s.Then); err != nil {
+		return err
+	}
+	if s.Else == nil {
+		fc.patch(elseJump)
+		return nil
+	}
+	endJump := fc.emit(OpJump, 0, 0, s.Pos)
+	fc.patch(elseJump)
+	if err := fc.stmt(s.Else); err != nil {
+		return err
+	}
+	fc.patch(endJump)
+	return nil
+}
+
+func (fc *funcCompiler) expr(e Expr) error {
+	switch e := e.(type) {
+	case *NumberLit:
+		fc.emit(OpConst, fc.constIdx(e.Value), 0, e.Pos)
+		return nil
+	case *StringLit:
+		return errAt(e.Pos, "string literals are only allowed as the first argument of print")
+	case *Ident:
+		if slot, ok := fc.lookupLocal(e.Name); ok {
+			fc.emit(OpLoadLocal, int32(slot), 0, e.Pos)
+			return nil
+		}
+		if g, ok := fc.globals[e.Name]; ok {
+			base := fc.cp.GlobalBase[e.Name]
+			if g.IsArray {
+				// An array global evaluates to its base address.
+				fc.emit(OpConst, fc.constIdx(base), 0, e.Pos)
+				return nil
+			}
+			fc.emit(OpConst, fc.constIdx(base), 0, e.Pos)
+			fc.emit(OpLoadMem, 0, 0, e.Pos)
+			return nil
+		}
+		return errAt(e.Pos, "undeclared variable %q", e.Name)
+	case *IndexExpr:
+		if err := fc.expr(e.Base); err != nil {
+			return err
+		}
+		if err := fc.expr(e.Index); err != nil {
+			return err
+		}
+		fc.emit(OpAdd, 0, 0, e.Pos)
+		fc.emit(OpLoadMem, 0, 0, e.Pos)
+		return nil
+	case *CallExpr:
+		return fc.call(e)
+	case *UnaryExpr:
+		if err := fc.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case TokMinus:
+			fc.emit(OpNeg, 0, 0, e.Pos)
+		case TokBang:
+			fc.emit(OpNot, 0, 0, e.Pos)
+		default:
+			return errAt(e.Pos, "unhandled unary operator %s", e.Op)
+		}
+		return nil
+	case *BinaryExpr:
+		return fc.binary(e)
+	default:
+		return fmt.Errorf("minilang: unhandled expression %T", e)
+	}
+}
+
+func (fc *funcCompiler) binary(e *BinaryExpr) error {
+	// Short-circuit forms compile to jumps so that && and || have C
+	// semantics and produce 0/1.
+	switch e.Op {
+	case TokAndAnd:
+		if err := fc.expr(e.X); err != nil {
+			return err
+		}
+		fail := fc.emit(OpJumpIfZero, 0, 0, e.Pos)
+		if err := fc.expr(e.Y); err != nil {
+			return err
+		}
+		fail2 := fc.emit(OpJumpIfZero, 0, 0, e.Pos)
+		fc.emit(OpConst, fc.constIdx(1), 0, e.Pos)
+		end := fc.emit(OpJump, 0, 0, e.Pos)
+		fc.patch(fail)
+		fc.patch(fail2)
+		fc.emit(OpConst, fc.constIdx(0), 0, e.Pos)
+		fc.patch(end)
+		return nil
+	case TokOrOr:
+		if err := fc.expr(e.X); err != nil {
+			return err
+		}
+		ok1 := fc.emit(OpJumpIfNonZero, 0, 0, e.Pos)
+		if err := fc.expr(e.Y); err != nil {
+			return err
+		}
+		ok2 := fc.emit(OpJumpIfNonZero, 0, 0, e.Pos)
+		fc.emit(OpConst, fc.constIdx(0), 0, e.Pos)
+		end := fc.emit(OpJump, 0, 0, e.Pos)
+		fc.patch(ok1)
+		fc.patch(ok2)
+		fc.emit(OpConst, fc.constIdx(1), 0, e.Pos)
+		fc.patch(end)
+		return nil
+	}
+	if err := fc.expr(e.X); err != nil {
+		return err
+	}
+	if err := fc.expr(e.Y); err != nil {
+		return err
+	}
+	var op Op
+	switch e.Op {
+	case TokPlus:
+		op = OpAdd
+	case TokMinus:
+		op = OpSub
+	case TokStar:
+		op = OpMul
+	case TokSlash:
+		op = OpDiv
+	case TokPercent:
+		op = OpMod
+	case TokEq:
+		op = OpEq
+	case TokNe:
+		op = OpNe
+	case TokLt:
+		op = OpLt
+	case TokLe:
+		op = OpLe
+	case TokGt:
+		op = OpGt
+	case TokGe:
+		op = OpGe
+	default:
+		return errAt(e.Pos, "unhandled binary operator %s", e.Op)
+	}
+	fc.emit(op, 0, 0, e.Pos)
+	return nil
+}
+
+func (fc *funcCompiler) call(e *CallExpr) error {
+	if e.Name == "print" {
+		return fc.printCall(e)
+	}
+	if wantArgs, isBuiltin := builtins[e.Name]; isBuiltin {
+		if len(e.Args) != wantArgs {
+			return errAt(e.Pos, "%s: got %d arguments, want %d", e.Name, len(e.Args), wantArgs)
+		}
+		for _, arg := range e.Args {
+			if err := fc.expr(arg); err != nil {
+				return err
+			}
+		}
+		var op Op
+		switch e.Name {
+		case "alloc":
+			op = OpAlloc
+		case "sem":
+			op = OpSemNew
+		case "wait":
+			op = OpSemWait
+		case "signal":
+			op = OpSemSignal
+		case "sysread":
+			op = OpSysRead
+		case "syswrite":
+			op = OpSysWrite
+		case "assert":
+			op = OpAssert
+		case "rand":
+			op = OpRand
+		}
+		fc.emit(op, 0, 0, e.Pos)
+		return nil
+	}
+	idx, ok := fc.cp.FuncByName[e.Name]
+	if !ok {
+		return errAt(e.Pos, "call to unknown function %q", e.Name)
+	}
+	fn := fc.cp.Funcs[idx]
+	if len(e.Args) != fn.NumParams {
+		return errAt(e.Pos, "%s: got %d arguments, want %d", e.Name, len(e.Args), fn.NumParams)
+	}
+	for _, arg := range e.Args {
+		if err := fc.expr(arg); err != nil {
+			return err
+		}
+	}
+	fc.emit(OpCall, int32(idx), int32(len(e.Args)), e.Pos)
+	return nil
+}
+
+func (fc *funcCompiler) printCall(e *CallExpr) error {
+	args := e.Args
+	fmtIdx := int32(-1)
+	if len(args) > 0 {
+		if s, ok := args[0].(*StringLit); ok {
+			fmtIdx = fc.stringIdx(s.Value)
+			args = args[1:]
+		}
+	}
+	for _, arg := range args {
+		if _, isStr := arg.(*StringLit); isStr {
+			return errAt(arg.Position(), "only the first argument of print may be a string")
+		}
+		if err := fc.expr(arg); err != nil {
+			return err
+		}
+	}
+	fc.emit(OpPrint, int32(len(args)), fmtIdx, e.Pos)
+	return nil
+}

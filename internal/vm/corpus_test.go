@@ -1,0 +1,107 @@
+package vm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadCorpus reads testdata/*.ml; each file declares its expected output in
+// leading "// expect: <line>" comments.
+func loadCorpus(t *testing.T) map[string]struct {
+	src  string
+	want []string
+} {
+	t.Helper()
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]struct {
+		src  string
+		want []string
+	})
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".ml") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		var want []string
+		for _, line := range strings.Split(src, "\n") {
+			if rest, ok := strings.CutPrefix(line, "// expect: "); ok {
+				want = append(want, rest)
+			}
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s has no // expect: header", e.Name())
+		}
+		out[e.Name()] = struct {
+			src  string
+			want []string
+		}{src, want}
+	}
+	if len(out) < 5 {
+		t.Fatalf("corpus unexpectedly small: %d programs", len(out))
+	}
+	return out
+}
+
+// TestCorpus runs every corpus program plain, optimized, and formatted,
+// requiring identical expected output each way.
+func TestCorpus(t *testing.T) {
+	for name, prog := range loadCorpus(t) {
+		name, prog := name, prog
+		t.Run(name, func(t *testing.T) {
+			variants := map[string]func() (*Result, error){
+				"plain": func() (*Result, error) { return RunSource(prog.src, Options{}) },
+				"optimized": func() (*Result, error) {
+					return RunSource(prog.src, Options{Optimize: true})
+				},
+				"formatted": func() (*Result, error) {
+					formatted, err := Format(prog.src)
+					if err != nil {
+						return nil, err
+					}
+					return RunSource(formatted, Options{})
+				},
+				"quantum1": func() (*Result, error) {
+					return RunSource(prog.src, Options{Quantum: 1})
+				},
+			}
+			for vname, run := range variants {
+				res, err := run()
+				if err != nil {
+					t.Fatalf("%s: %v", vname, err)
+				}
+				if !reflect.DeepEqual(res.Output, prog.want) {
+					t.Errorf("%s: output %q, want %q", vname, res.Output, prog.want)
+				}
+				if err := res.Trace.Validate(); err != nil {
+					t.Errorf("%s: invalid trace: %v", vname, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDisassembles ensures every corpus program has a printable
+// disassembly (exercises the Disassemble path over real programs).
+func TestCorpusDisassembles(t *testing.T) {
+	for name, prog := range loadCorpus(t) {
+		cp, err := Compile(prog.src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, fn := range cp.Funcs {
+			if dis := fn.Disassemble(cp); !strings.Contains(dis, "fn "+fn.Name) {
+				t.Errorf("%s: disassembly of %s malformed", name, fn.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aprof/internal/trace"
+)
+
+// Options configures an interpreter run.
+type Options struct {
+	// MaxSteps bounds the total number of executed instructions across all
+	// threads (a runaway-loop backstop). 0 means the default of 200M.
+	MaxSteps uint64
+	// Quantum is the number of basic blocks a thread executes before the
+	// scheduler switches to the next runnable thread. 0 means the default
+	// of 50. Threads are serialized, as under Valgrind; the quantum only
+	// controls interleaving granularity.
+	Quantum int
+	// HeapLimit bounds the traced heap, in cells. 0 means the default of
+	// 1<<26.
+	HeapLimit int64
+	// Stdout, when non-nil, receives print output as it is produced (it is
+	// always also collected in Result.Output).
+	Stdout io.Writer
+	// Optimize runs the bytecode optimizer (constant folding, jump
+	// threading, dead-code elimination) before execution. It changes the
+	// basic-block cost metric — like compiling the profiled application
+	// with optimizations — but never the traced memory events.
+	Optimize bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200_000_000
+	}
+	if o.Quantum == 0 {
+		o.Quantum = 50
+	}
+	if o.HeapLimit == 0 {
+		o.HeapLimit = 1 << 26
+	}
+	return o
+}
+
+// Result is the outcome of an interpreter run.
+type Result struct {
+	// Trace is the merged instrumentation trace of the execution.
+	Trace *trace.Trace
+	// Output collects the lines printed by the program.
+	Output []string
+	// Steps is the total number of executed instructions.
+	Steps uint64
+	// BasicBlocks is the total number of executed basic blocks across all
+	// threads (the cost measure).
+	BasicBlocks uint64
+	// Threads is the number of threads the program ran (including main).
+	Threads int
+}
+
+// RuntimeError is an execution error with source context.
+type RuntimeError struct {
+	Func string
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("minilang: runtime error in %s (line %d): %s", e.Func, e.Line, e.Msg)
+}
+
+// RunSource compiles and runs MiniLang source.
+func RunSource(src string, opts Options) (*Result, error) {
+	cp, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		cp.Optimize()
+	}
+	return RunProgram(cp, opts)
+}
+
+// vmThread is one interpreted thread.
+type vmThread struct {
+	id      trace.ThreadID
+	tb      *trace.ThreadBuilder
+	frames  []*vmFrame
+	bb      uint64
+	started bool
+	done    bool
+	// blockedOn is the semaphore id the thread is waiting on, or -1.
+	blockedOn int
+}
+
+// vmFrame is one activation record.
+type vmFrame struct {
+	fn     *Func
+	pc     int
+	locals []int64
+	stack  []int64
+}
+
+func (f *vmFrame) push(v int64) { f.stack = append(f.stack, v) }
+
+func (f *vmFrame) pop() int64 {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// semaphore is a counting semaphore with a FIFO wait queue.
+type semaphore struct {
+	value   int64
+	waiters []*vmThread
+}
+
+// interp holds the whole machine state.
+type interp struct {
+	cp      *CompiledProgram
+	opts    Options
+	heap    []int64
+	heapEnd int64
+	sems    []*semaphore
+	runq    []*vmThread
+	threads []*vmThread
+	builder *trace.Builder
+	output  []string
+	steps   uint64
+	extSeq  int64
+	randSt  uint64
+	nextID  trace.ThreadID
+}
+
+const maxCallDepth = 4096
+
+// RunProgram executes a compiled program under instrumentation and returns
+// the merged trace plus program output.
+func RunProgram(cp *CompiledProgram, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	in := &interp{
+		cp:      cp,
+		opts:    opts,
+		builder: trace.NewBuilder(),
+		heapEnd: cp.GlobalEnd,
+		nextID:  1,
+	}
+	in.builder.AutoCost(false)
+	in.heap = make([]int64, cp.GlobalEnd+1024)
+	for _, init := range cp.GlobalInit {
+		in.heap[init[0]] = init[1]
+	}
+
+	main := in.spawnThread(cp.FuncByName["main"], nil)
+	_ = main
+	if err := in.schedule(); err != nil {
+		return nil, err
+	}
+	var totalBB uint64
+	for _, t := range in.threads {
+		totalBB += t.bb
+	}
+	return &Result{
+		Trace:       in.builder.Trace(),
+		Output:      in.output,
+		Steps:       in.steps,
+		BasicBlocks: totalBB,
+		Threads:     len(in.threads),
+	}, nil
+}
+
+// spawnThread creates a thread whose root activation runs funcs[fnIdx] with
+// the given arguments.
+func (in *interp) spawnThread(fnIdx int, args []int64) *vmThread {
+	fn := in.cp.Funcs[fnIdx]
+	fr := &vmFrame{fn: fn, locals: make([]int64, fn.NumLocals)}
+	copy(fr.locals, args)
+	t := &vmThread{
+		id:        in.nextID,
+		frames:    []*vmFrame{fr},
+		blockedOn: -1,
+	}
+	in.nextID++
+	t.tb = in.builder.Thread(t.id)
+	in.threads = append(in.threads, t)
+	in.runq = append(in.runq, t)
+	return t
+}
+
+// schedule runs the round-robin scheduler until all threads complete.
+func (in *interp) schedule() error {
+	for len(in.runq) > 0 {
+		t := in.runq[0]
+		in.runq = in.runq[1:]
+		if err := in.runSlice(t); err != nil {
+			return err
+		}
+		if !t.done && t.blockedOn < 0 {
+			in.runq = append(in.runq, t)
+		}
+	}
+	for _, t := range in.threads {
+		if !t.done {
+			return &RuntimeError{
+				Func: t.frames[len(t.frames)-1].fn.Name,
+				Line: 0,
+				Msg:  fmt.Sprintf("deadlock: thread %d blocked on semaphore %d with no runnable threads", t.id, t.blockedOn),
+			}
+		}
+	}
+	return nil
+}
+
+// runSlice executes t until it crosses Quantum basic-block boundaries,
+// blocks, or finishes.
+func (in *interp) runSlice(t *vmThread) error {
+	if !t.started {
+		t.started = true
+		// The root activation's call event: the thread begins executing its
+		// root function.
+		t.tb.SetCost(t.bb)
+		t.tb.Call(t.frames[0].fn.Name)
+	}
+	blocks := 0
+	for !t.done && t.blockedOn < 0 {
+		fr := t.frames[len(t.frames)-1]
+		if fr.fn.BlockStart[fr.pc] {
+			if blocks >= in.opts.Quantum {
+				return nil // switch threads at the block boundary
+			}
+			blocks++
+			t.bb++
+		}
+		if in.steps >= in.opts.MaxSteps {
+			return &RuntimeError{Func: fr.fn.Name, Line: int(fr.fn.Code[fr.pc].Line), Msg: "step limit exceeded (infinite loop?)"}
+		}
+		in.steps++
+		if err := in.step(t, fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) rtErr(fr *vmFrame, ins Instr, format string, args ...any) error {
+	return &RuntimeError{Func: fr.fn.Name, Line: int(ins.Line), Msg: fmt.Sprintf(format, args...)}
+}
+
+// checkAddr validates a heap address for an n-cell access.
+func (in *interp) checkAddr(fr *vmFrame, ins Instr, addr, n int64) error {
+	if addr < heapBase || n < 0 || addr+n > in.heapEnd {
+		return in.rtErr(fr, ins, "invalid memory access at address %d (%d cells; heap is [%d, %d))", addr, n, heapBase, in.heapEnd)
+	}
+	return nil
+}
+
+// step executes one instruction of t's topmost frame.
+func (in *interp) step(t *vmThread, fr *vmFrame) error {
+	ins := fr.fn.Code[fr.pc]
+	fr.pc++
+	switch ins.Op {
+	case OpConst:
+		fr.push(in.cp.Constants[ins.A])
+	case OpLoadLocal:
+		fr.push(fr.locals[ins.A])
+	case OpStoreLocal:
+		fr.locals[ins.A] = fr.pop()
+	case OpLoadMem:
+		addr := fr.pop()
+		if err := in.checkAddr(fr, ins, addr, 1); err != nil {
+			return err
+		}
+		t.tb.SetCost(t.bb)
+		t.tb.Read1(trace.Addr(addr))
+		fr.push(in.heap[addr])
+	case OpStoreMem:
+		value := fr.pop()
+		addr := fr.pop()
+		if err := in.checkAddr(fr, ins, addr, 1); err != nil {
+			return err
+		}
+		t.tb.SetCost(t.bb)
+		t.tb.Write1(trace.Addr(addr))
+		in.heap[addr] = value
+	case OpAdd:
+		y := fr.pop()
+		fr.push(fr.pop() + y)
+	case OpSub:
+		y := fr.pop()
+		fr.push(fr.pop() - y)
+	case OpMul:
+		y := fr.pop()
+		fr.push(fr.pop() * y)
+	case OpDiv:
+		y := fr.pop()
+		if y == 0 {
+			return in.rtErr(fr, ins, "division by zero")
+		}
+		fr.push(fr.pop() / y)
+	case OpMod:
+		y := fr.pop()
+		if y == 0 {
+			return in.rtErr(fr, ins, "division by zero")
+		}
+		fr.push(fr.pop() % y)
+	case OpNeg:
+		fr.push(-fr.pop())
+	case OpNot:
+		fr.push(boolVal(fr.pop() == 0))
+	case OpEq:
+		y := fr.pop()
+		fr.push(boolVal(fr.pop() == y))
+	case OpNe:
+		y := fr.pop()
+		fr.push(boolVal(fr.pop() != y))
+	case OpLt:
+		y := fr.pop()
+		fr.push(boolVal(fr.pop() < y))
+	case OpLe:
+		y := fr.pop()
+		fr.push(boolVal(fr.pop() <= y))
+	case OpGt:
+		y := fr.pop()
+		fr.push(boolVal(fr.pop() > y))
+	case OpGe:
+		y := fr.pop()
+		fr.push(boolVal(fr.pop() >= y))
+	case OpJump:
+		fr.pc = int(ins.A)
+	case OpJumpIfZero:
+		if fr.pop() == 0 {
+			fr.pc = int(ins.A)
+		}
+	case OpJumpIfNonZero:
+		if fr.pop() != 0 {
+			fr.pc = int(ins.A)
+		}
+	case OpPop:
+		fr.pop()
+	case OpCall:
+		if len(t.frames) >= maxCallDepth {
+			return in.rtErr(fr, ins, "call stack overflow (depth %d)", maxCallDepth)
+		}
+		callee := in.cp.Funcs[ins.A]
+		nargs := int(ins.B)
+		nf := &vmFrame{fn: callee, locals: make([]int64, callee.NumLocals)}
+		for i := nargs - 1; i >= 0; i-- {
+			nf.locals[i] = fr.pop()
+		}
+		t.tb.SetCost(t.bb)
+		t.tb.Call(callee.Name)
+		t.frames = append(t.frames, nf)
+	case OpSpawn:
+		callee := int(ins.A)
+		nargs := int(ins.B)
+		args := make([]int64, nargs)
+		for i := nargs - 1; i >= 0; i-- {
+			args[i] = fr.pop()
+		}
+		in.spawnThread(callee, args)
+	case OpReturn:
+		ret := fr.pop()
+		t.tb.SetCost(t.bb)
+		t.tb.Ret()
+		t.frames = t.frames[:len(t.frames)-1]
+		if len(t.frames) == 0 {
+			t.done = true
+			return nil
+		}
+		t.frames[len(t.frames)-1].push(ret)
+	case OpAlloc:
+		n := fr.pop()
+		if n <= 0 {
+			return in.rtErr(fr, ins, "alloc of non-positive size %d", n)
+		}
+		if in.heapEnd+n > in.opts.HeapLimit {
+			return in.rtErr(fr, ins, "heap limit of %d cells exceeded", in.opts.HeapLimit)
+		}
+		base := in.heapEnd
+		in.heapEnd += n
+		for int64(len(in.heap)) < in.heapEnd {
+			in.heap = append(in.heap, make([]int64, len(in.heap))...)
+		}
+		fr.push(base)
+	case OpSemNew:
+		init := fr.pop()
+		if init < 0 {
+			return in.rtErr(fr, ins, "semaphore initialized to negative value %d", init)
+		}
+		in.sems = append(in.sems, &semaphore{value: init})
+		fr.push(int64(len(in.sems) - 1))
+	case OpSemWait:
+		id := fr.pop()
+		if id < 0 || id >= int64(len(in.sems)) {
+			return in.rtErr(fr, ins, "wait on invalid semaphore %d", id)
+		}
+		s := in.sems[id]
+		if s.value > 0 {
+			s.value--
+			t.tb.SetCost(t.bb)
+			t.tb.Acquire(trace.Addr(id))
+			fr.push(0)
+			return nil
+		}
+		// Block: the wait is granted later by a signal, which also emits
+		// the acquire event and completes the instruction's stack effect.
+		t.blockedOn = int(id)
+		s.waiters = append(s.waiters, t)
+	case OpSemSignal:
+		id := fr.pop()
+		if id < 0 || id >= int64(len(in.sems)) {
+			return in.rtErr(fr, ins, "signal on invalid semaphore %d", id)
+		}
+		s := in.sems[id]
+		t.tb.SetCost(t.bb)
+		t.tb.Release(trace.Addr(id))
+		if len(s.waiters) > 0 {
+			w := s.waiters[0]
+			s.waiters = s.waiters[1:]
+			w.blockedOn = -1
+			// Complete the waiter's pending wait: acquire event and stack
+			// effect, then make it runnable again.
+			w.tb.SetCost(w.bb)
+			w.tb.Acquire(trace.Addr(id))
+			w.frames[len(w.frames)-1].push(0)
+			in.runq = append(in.runq, w)
+		} else {
+			s.value++
+		}
+		fr.push(0)
+	case OpSysRead:
+		n := fr.pop()
+		base := fr.pop()
+		if err := in.checkAddr(fr, ins, base, n); err != nil {
+			return err
+		}
+		if n > 0 {
+			t.tb.SetCost(t.bb)
+			t.tb.SysRead(trace.Addr(base), uint32(n))
+			for i := int64(0); i < n; i++ {
+				in.extSeq++
+				in.heap[base+i] = in.extSeq
+			}
+		}
+		fr.push(n)
+	case OpSysWrite:
+		n := fr.pop()
+		base := fr.pop()
+		if err := in.checkAddr(fr, ins, base, n); err != nil {
+			return err
+		}
+		if n > 0 {
+			t.tb.SetCost(t.bb)
+			t.tb.SysWrite(trace.Addr(base), uint32(n))
+		}
+		fr.push(n)
+	case OpPrint:
+		argc := int(ins.A)
+		vals := make([]int64, argc)
+		for i := argc - 1; i >= 0; i-- {
+			vals[i] = fr.pop()
+		}
+		var sb strings.Builder
+		if ins.B >= 0 {
+			sb.WriteString(in.cp.Strings[ins.B])
+		}
+		for i, v := range vals {
+			if i > 0 || ins.B >= 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		line := sb.String()
+		in.output = append(in.output, line)
+		if in.opts.Stdout != nil {
+			fmt.Fprintln(in.opts.Stdout, line)
+		}
+		fr.push(0)
+	case OpAssert:
+		if fr.pop() == 0 {
+			return in.rtErr(fr, ins, "assertion failed")
+		}
+		fr.push(0)
+	case OpRand:
+		n := fr.pop()
+		if n <= 0 {
+			return in.rtErr(fr, ins, "rand of non-positive bound %d", n)
+		}
+		// SplitMix64: deterministic across runs (the VM is seeded, not the
+		// wall clock), so profiled programs stay reproducible.
+		in.randSt += 0x9e3779b97f4a7c15
+		z := in.randSt
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		fr.push(int64(z % uint64(n)))
+	default:
+		return in.rtErr(fr, ins, "unhandled opcode %s", ins.Op)
+	}
+	return nil
+}
+
+func boolVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

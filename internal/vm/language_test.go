@@ -1,0 +1,185 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakExitsLoop(t *testing.T) {
+	res := run(t, `
+fn main() {
+	var s = 0;
+	for (var i = 0; i < 100; i = i + 1) {
+		if (i == 5) { break; }
+		s = s + i;
+	}
+	print(s);
+	var j = 0;
+	while (1) {
+		j = j + 1;
+		if (j >= 7) { break; }
+	}
+	print(j);
+}`)
+	wantOutput(t, res, "10", "7")
+}
+
+func TestContinueSkipsIteration(t *testing.T) {
+	res := run(t, `
+fn main() {
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 1) { continue; }
+		s = s + i;
+	}
+	print(s);
+	var j = 0;
+	var odd = 0;
+	while (j < 10) {
+		j = j + 1;
+		if (j % 2 == 0) { continue; }
+		odd = odd + j;
+	}
+	print(odd);
+}`)
+	wantOutput(t, res, "20", "25")
+}
+
+func TestNestedLoopBreakBindsInnermost(t *testing.T) {
+	res := run(t, `
+fn main() {
+	var count = 0;
+	for (var i = 0; i < 4; i = i + 1) {
+		for (var j = 0; j < 100; j = j + 1) {
+			if (j == 2) { break; }
+			count = count + 1;
+		}
+	}
+	print(count);
+}`)
+	wantOutput(t, res, "8")
+}
+
+func TestContinueInForRunsPost(t *testing.T) {
+	// If continue skipped the post statement, this would loop forever (and
+	// trip the step limit).
+	res, err := RunSource(`
+fn main() {
+	var hits = 0;
+	for (var i = 0; i < 5; i = i + 1) {
+		if (i == 1) { continue; }
+		hits = hits + 1;
+	}
+	print(hits);
+}`, Options{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res, "4")
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	for _, src := range []string{
+		`fn main() { break; }`,
+		`fn main() { continue; }`,
+		`fn main() { if (1) { break; } }`,
+	} {
+		if _, err := Compile(src); err == nil || !strings.Contains(err.Error(), "outside a loop") {
+			t.Errorf("Compile(%q) err = %v, want outside-a-loop error", src, err)
+		}
+	}
+}
+
+func TestBreakContinueSurviveOptimizer(t *testing.T) {
+	src := `
+fn main() {
+	var s = 0;
+	for (var i = 0; i < 50; i = i + 1) {
+		if (i % 3 == 0) { continue; }
+		if (i > 20) { break; }
+		s = s + i;
+	}
+	print(s);
+}`
+	plain, err := RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunSource(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Output[0] != opt.Output[0] {
+		t.Errorf("optimizer changed result: %v vs %v", plain.Output, opt.Output)
+	}
+}
+
+func TestAssert(t *testing.T) {
+	res := run(t, `
+fn main() {
+	assert(1);
+	assert(2 + 2 == 4);
+	print("passed");
+}`)
+	wantOutput(t, res, "passed")
+
+	_, err := RunSource(`fn main() { assert(1 == 2); }`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "assertion failed") {
+		t.Errorf("err = %v, want assertion failure", err)
+	}
+}
+
+func TestRandDeterministicAndBounded(t *testing.T) {
+	src := `
+fn main() {
+	var seen_oob = 0;
+	var sum = 0;
+	for (var i = 0; i < 1000; i = i + 1) {
+		var v = rand(10);
+		if (v < 0 || v >= 10) { seen_oob = 1; }
+		sum = sum + v;
+	}
+	print(seen_oob, sum);
+}`
+	a, err := RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Output[0] != b.Output[0] {
+		t.Errorf("rand not deterministic: %v vs %v", a.Output, b.Output)
+	}
+	if !strings.HasPrefix(a.Output[0], "0 ") {
+		t.Errorf("rand out of bounds: %v", a.Output)
+	}
+	// The sum of 1000 draws from [0,10) concentrates around 4500; a
+	// degenerate generator (all zeros / all nines) would be far away.
+	var sum int
+	if _, err := fmtSscanf(a.Output[0], &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum < 3500 || sum > 5500 {
+		t.Errorf("rand sum = %d, not plausibly uniform", sum)
+	}
+
+	if _, err := RunSource(`fn main() { rand(0); }`, Options{}); err == nil {
+		t.Error("rand(0) accepted")
+	}
+}
+
+// fmtSscanf extracts the second field of "0 <sum>".
+func fmtSscanf(s string, sum *int) (int, error) {
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return 0, nil
+	}
+	n := 0
+	for _, c := range fields[1] {
+		n = n*10 + int(c-'0')
+	}
+	*sum = n
+	return 1, nil
+}

@@ -1,0 +1,120 @@
+package vm
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`fn main() { var x = 42; x = x + 1; }`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokenKind{
+		TokFn, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokVar, TokIdent, TokAssign, TokNumber, TokSemicolon,
+		TokIdent, TokAssign, TokIdent, TokPlus, TokNumber, TokSemicolon,
+		TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`== != < <= > >= && || ! = + - * / %`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []TokenKind{
+		TokEq, TokNe, TokLt, TokLe, TokGt, TokGe, TokAndAnd, TokOrOr,
+		TokBang, TokAssign, TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex(`
+// line comment
+fn /* block
+   comment */ main() {}
+`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Kind != TokFn || toks[1].Kind != TokIdent || toks[1].Text != "main" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex(`0 7 123456789 0x1f`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []int64{0, 7, 123456789, 31}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Value != w {
+			t.Errorf("token %d = %+v, want number %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`"hello" "a\nb" "q\"q"`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []string{"hello", "a\nb", `q"q`}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Errorf("token %d = %+v, want string %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("fn\n  main")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("fn at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("main at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`@`,
+		`"unterminated`,
+		`"bad \q escape"`,
+		`/* unterminated`,
+		`&`,
+		`|`,
+		`12abc`, // malformed number (identifier chars in numeric literal)
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package vm
+
+// Optimizer: classical bytecode cleanups applied per function, to a
+// fixpoint:
+//
+//   - constant folding of unary and binary operations on OpConst operands;
+//   - folding of conditional jumps whose condition is a constant;
+//   - jump threading (a jump to an unconditional jump retargets to the
+//     final destination);
+//   - unreachable-code elimination.
+//
+// Division and modulo by a constant zero are never folded: the runtime
+// error (with its source line) must survive.
+//
+// Optimization changes the basic-block structure, and therefore the
+// basic-block cost metric of profiled programs — the same effect compiler
+// optimization levels have on real instrumented binaries. The instrumented
+// events (heap reads/writes, calls, system calls) are never added, removed
+// or reordered: only pure register computation is folded, so rms/drms
+// values are unaffected.
+
+// opNop marks an instruction for removal by compact. It never survives
+// Optimize.
+const opNop = Op(0xff)
+
+// Optimize rewrites every function of the program. It returns the total
+// number of instructions removed.
+func (cp *CompiledProgram) Optimize() int {
+	removed := 0
+	for _, fn := range cp.Funcs {
+		removed += cp.optimizeFunc(fn)
+	}
+	return removed
+}
+
+func (cp *CompiledProgram) optimizeFunc(fn *Func) int {
+	before := len(fn.Code)
+	for {
+		changed := false
+		if cp.foldConstants(fn) {
+			changed = true
+		}
+		if threadJumps(fn) {
+			changed = true
+		}
+		if eliminateUnreachable(fn) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	fn.NumBlocks = 0
+	fn.markBlocks()
+	return before - len(fn.Code)
+}
+
+// jumpTargets returns the set of instruction indices that are jump targets.
+func jumpTargets(fn *Func) map[int32]bool {
+	targets := make(map[int32]bool)
+	for _, ins := range fn.Code {
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			targets[ins.A] = true
+		}
+	}
+	return targets
+}
+
+// foldConstants performs one peephole pass; it reports whether anything
+// changed. Folded instructions become opNop and are compacted away.
+func (cp *CompiledProgram) foldConstants(fn *Func) bool {
+	targets := jumpTargets(fn)
+	changed := false
+	code := fn.Code
+	for i := 0; i < len(code); i++ {
+		// Unary fold: Const a; Neg/Not.
+		if i+1 < len(code) && code[i].Op == OpConst && !targets[int32(i+1)] {
+			a := cp.Constants[code[i].A]
+			switch code[i+1].Op {
+			case OpNeg:
+				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(-a), Line: code[i].Line}
+				code[i+1].Op = opNop
+				changed = true
+				continue
+			case OpNot:
+				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(boolVal(a == 0)), Line: code[i].Line}
+				code[i+1].Op = opNop
+				changed = true
+				continue
+			case OpJumpIfZero, OpJumpIfNonZero:
+				// Constant condition: the jump either always or never
+				// fires.
+				takes := (a == 0) == (code[i+1].Op == OpJumpIfZero)
+				if takes {
+					code[i] = Instr{Op: OpJump, A: code[i+1].A, Line: code[i].Line}
+				} else {
+					code[i].Op = opNop
+				}
+				code[i+1].Op = opNop
+				changed = true
+				continue
+			}
+		}
+		// Binary fold: Const a; Const b; binop.
+		if i+2 < len(code) && code[i].Op == OpConst && code[i+1].Op == OpConst &&
+			!targets[int32(i+1)] && !targets[int32(i+2)] {
+			a := cp.Constants[code[i].A]
+			b := cp.Constants[code[i+1].A]
+			v, ok := foldBinary(code[i+2].Op, a, b)
+			if ok {
+				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(v), Line: code[i].Line}
+				code[i+1].Op = opNop
+				code[i+2].Op = opNop
+				changed = true
+			}
+		}
+	}
+	if changed {
+		compact(fn)
+	}
+	return changed
+}
+
+// foldBinary evaluates a binary opcode on constants, refusing the cases
+// that must fail (or do anything) at run time.
+func foldBinary(op Op, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpEq:
+		return boolVal(a == b), true
+	case OpNe:
+		return boolVal(a != b), true
+	case OpLt:
+		return boolVal(a < b), true
+	case OpLe:
+		return boolVal(a <= b), true
+	case OpGt:
+		return boolVal(a > b), true
+	case OpGe:
+		return boolVal(a >= b), true
+	default:
+		return 0, false
+	}
+}
+
+// constIdxOpt interns a constant (Optimize-time variant of the compiler's
+// pool interning).
+func (cp *CompiledProgram) constIdxOpt(v int64) int32 {
+	for i, c := range cp.Constants {
+		if c == v {
+			return int32(i)
+		}
+	}
+	cp.Constants = append(cp.Constants, v)
+	return int32(len(cp.Constants) - 1)
+}
+
+// threadJumps retargets jumps that land on unconditional jumps.
+func threadJumps(fn *Func) bool {
+	changed := false
+	for i := range fn.Code {
+		ins := &fn.Code[i]
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			target := ins.A
+			hops := 0
+			for int(target) < len(fn.Code) && fn.Code[target].Op == OpJump && hops < len(fn.Code) {
+				next := fn.Code[target].A
+				if next == target {
+					break // self-loop: leave it alone
+				}
+				target = next
+				hops++
+			}
+			if target != ins.A {
+				ins.A = target
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// eliminateUnreachable drops instructions no control path reaches.
+func eliminateUnreachable(fn *Func) bool {
+	if len(fn.Code) == 0 {
+		return false
+	}
+	reachable := make([]bool, len(fn.Code))
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		if pc < 0 || pc >= len(fn.Code) || reachable[pc] {
+			continue
+		}
+		reachable[pc] = true
+		ins := fn.Code[pc]
+		switch ins.Op {
+		case OpJump:
+			work = append(work, int(ins.A))
+		case OpJumpIfZero, OpJumpIfNonZero:
+			work = append(work, int(ins.A), pc+1)
+		case OpReturn:
+			// No successor.
+		default:
+			work = append(work, pc+1)
+		}
+	}
+	changed := false
+	for pc := range fn.Code {
+		if !reachable[pc] && fn.Code[pc].Op != opNop {
+			fn.Code[pc].Op = opNop
+			changed = true
+		}
+	}
+	if changed {
+		compact(fn)
+	}
+	return changed
+}
+
+// compact removes opNop instructions, remapping jump targets.
+func compact(fn *Func) {
+	remap := make([]int32, len(fn.Code)+1)
+	kept := int32(0)
+	for pc := range fn.Code {
+		remap[pc] = kept
+		if fn.Code[pc].Op != opNop {
+			kept++
+		}
+	}
+	remap[len(fn.Code)] = kept
+
+	out := make([]Instr, 0, kept)
+	for pc := range fn.Code {
+		ins := fn.Code[pc]
+		if ins.Op == opNop {
+			continue
+		}
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			if int(ins.A) <= len(fn.Code) {
+				ins.A = remap[ins.A]
+			}
+		}
+		out = append(out, ins)
+	}
+	fn.Code = out
+}

@@ -1,0 +1,243 @@
+package vm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// optimizerPrograms is a battery of programs whose observable behaviour
+// (printed output and traced memory events) must be identical with and
+// without optimization.
+var optimizerPrograms = []struct {
+	name string
+	src  string
+}{
+	{"constants", `
+fn main() {
+	print(1 + 2 * 3 - 4 / 2);
+	print(-(3 - 5), !0, !(2 > 1));
+	print((1 + 2) * (3 + 4) % 5);
+}`},
+	{"const branches", `
+fn main() {
+	if (1) { print(10); } else { print(20); }
+	if (0) { print(30); } else { print(40); }
+	if (2 > 3) { print(50); }
+	while (0) { print(60); }
+	print(99);
+}`},
+	{"loops and calls", `
+fn sq(x) { return x * x; }
+fn main() {
+	var total = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		total = total + sq(i) + 2 * 3;
+	}
+	print(total);
+}`},
+	{"memory and io", `
+global g = 7;
+fn main() {
+	var a = alloc(8);
+	for (var i = 0; i < 8; i = i + 1) {
+		a[i] = i * (2 + 3);
+	}
+	sysread(a, 4);
+	syswrite(a, 2);
+	g = g + 1 * 1;
+	print(g, a[0], a[7]);
+}`},
+	{"threads", `
+global cell = 0;
+fn worker(n, s, d) {
+	for (var i = 0; i < n; i = i + 1) {
+		wait(s);
+		cell = cell + 1 + 0;
+		signal(s);
+	}
+	signal(d);
+}
+fn main() {
+	var s = sem(1);
+	var d = sem(0);
+	spawn worker(5, s, d);
+	spawn worker(5, s, d);
+	wait(d);
+	wait(d);
+	print(cell);
+}`},
+	{"short circuit", `
+fn boom() { return 1 / 0; }
+fn main() {
+	print(0 && boom());
+	print(1 || boom());
+	print(1 && 1 && 0 || 1);
+}`},
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	for _, tc := range optimizerPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, err := RunSource(tc.src, Options{})
+			if err != nil {
+				t.Fatalf("unoptimized: %v", err)
+			}
+			opt, err := RunSource(tc.src, Options{Optimize: true})
+			if err != nil {
+				t.Fatalf("optimized: %v", err)
+			}
+			if !reflect.DeepEqual(plain.Output, opt.Output) {
+				t.Errorf("output changed: %v vs %v", plain.Output, opt.Output)
+			}
+			// The traced memory/kernel/sync event sequences must be
+			// identical (only pure register computation may be folded).
+			filter := func(res *Result) []string {
+				var out []string
+				for _, ev := range res.Trace.Events {
+					if ev.IsMemory() {
+						out = append(out, ev.Kind.String()+":"+itoa(int(ev.Addr))+"+"+itoa(int(ev.Size)))
+					}
+				}
+				return out
+			}
+			if !reflect.DeepEqual(filter(plain), filter(opt)) {
+				t.Error("traced memory events changed under optimization")
+			}
+			if opt.Steps > plain.Steps {
+				t.Errorf("optimization increased steps: %d -> %d", plain.Steps, opt.Steps)
+			}
+		})
+	}
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	cp, err := Compile(`fn main() { print(1 + 2 * 3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(cp.Funcs[cp.FuncByName["main"]].Code)
+	removed := cp.Optimize()
+	if removed == 0 {
+		t.Fatal("optimizer removed nothing")
+	}
+	main := cp.Funcs[cp.FuncByName["main"]]
+	if len(main.Code) >= before {
+		t.Errorf("code not shortened: %d -> %d", before, len(main.Code))
+	}
+	// The folded constant 7 must appear as a single OpConst.
+	found := false
+	for _, ins := range main.Code {
+		if ins.Op == OpConst && cp.Constants[ins.A] == 7 {
+			found = true
+		}
+		if ins.Op == OpAdd || ins.Op == OpMul {
+			t.Errorf("arithmetic survived folding: %s", ins.Op)
+		}
+	}
+	if !found {
+		t.Error("folded constant 7 not found")
+	}
+}
+
+func TestOptimizeRemovesDeadBranches(t *testing.T) {
+	cp, err := Compile(`
+fn main() {
+	if (0) {
+		print(1); print(2); print(3);
+	}
+	print(4);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Optimize()
+	main := cp.Funcs[cp.FuncByName["main"]]
+	prints := 0
+	for _, ins := range main.Code {
+		if ins.Op == OpPrint {
+			prints++
+		}
+	}
+	if prints != 1 {
+		t.Errorf("dead branch survives: %d prints\n%s", prints, main.Disassemble(cp))
+	}
+}
+
+func TestOptimizeKeepsDivisionByZero(t *testing.T) {
+	src := `fn main() { print(1 / 0); }`
+	_, err := RunSource(src, Options{Optimize: true})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want division by zero at runtime", err)
+	}
+}
+
+func TestOptimizeJumpThreading(t *testing.T) {
+	cp, err := Compile(`
+fn main() {
+	var x = 1;
+	if (x) {
+		if (x) {
+			print(x);
+		}
+	}
+	print(2);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Optimize()
+	main := cp.Funcs[cp.FuncByName["main"]]
+	// No jump may target an unconditional jump after threading.
+	for pc, ins := range main.Code {
+		switch ins.Op {
+		case OpJump, OpJumpIfZero, OpJumpIfNonZero:
+			if int(ins.A) < len(main.Code) && main.Code[ins.A].Op == OpJump && ins.A != int32(pc) {
+				t.Errorf("pc %d still jumps to a jump at %d\n%s", pc, ins.A, main.Disassemble(cp))
+			}
+		}
+	}
+}
+
+func TestOptimizeReducesBasicBlocks(t *testing.T) {
+	src := `
+fn main() {
+	var s = 0;
+	for (var i = 0; i < 100; i = i + 1) {
+		if (1) {
+			s = s + 2 * 3;
+		}
+	}
+	print(s);
+}`
+	plain, err := RunSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunSource(src, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.BasicBlocks >= plain.BasicBlocks {
+		t.Errorf("optimization did not reduce executed blocks: %d -> %d", plain.BasicBlocks, opt.BasicBlocks)
+	}
+	if plain.Output[0] != opt.Output[0] {
+		t.Errorf("outputs differ: %v vs %v", plain.Output, opt.Output)
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	cp, err := Compile(`fn main() { if (1+1 == 2) { print(4 * 5); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Optimize()
+	snapshot := make([]Instr, len(cp.Funcs[0].Code))
+	copy(snapshot, cp.Funcs[0].Code)
+	if removed := cp.Optimize(); removed != 0 {
+		t.Errorf("second Optimize removed %d instructions", removed)
+	}
+	if !reflect.DeepEqual(snapshot, cp.Funcs[0].Code) {
+		t.Error("second Optimize changed code")
+	}
+}

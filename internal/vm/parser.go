@@ -1,0 +1,544 @@
+package vm
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a MiniLang program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch {
+		case p.at(TokFn):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		case p.at(TokGlobal):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		default:
+			return nil, errAt(p.cur().Pos, "expected 'fn' or 'global' at top level, got %s", p.cur().Kind)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) at(k TokenKind) bool {
+	return p.cur().Kind == k
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokenKind) (Token, bool) {
+	if p.at(k) {
+		return p.advance(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if p.at(k) {
+		return p.advance(), nil
+	}
+	return Token{}, errAt(p.cur().Pos, "expected %s, got %s", k, p.cur().Kind)
+}
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	kw, _ := p.expect(TokGlobal)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.Text, Size: 1, Pos: kw.Pos}
+	switch {
+	case p.at(TokAssign):
+		p.advance()
+		neg := false
+		if _, ok := p.accept(TokMinus); ok {
+			neg = true
+		}
+		num, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		g.Init = num.Value
+		if neg {
+			g.Init = -g.Init
+		}
+	case p.at(TokLBracket):
+		p.advance()
+		num, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if num.Value <= 0 {
+			return nil, errAt(num.Pos, "global array size must be positive, got %d", num.Value)
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		g.IsArray = true
+		g.Size = num.Value
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, _ := p.expect(TokFn)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Pos: kw.Pos}
+	if !p.at(TokRParen) {
+		for {
+			param, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, param.Text)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: open.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errAt(open.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // consume '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.block()
+	case TokVar:
+		s, err := p.varStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		kw := p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}, nil
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		kw := p.advance()
+		s := &ReturnStmt{Pos: kw.Pos}
+		if !p.at(TokSemicolon) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokBreak:
+		kw := p.advance()
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case TokContinue:
+		kw := p.advance()
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	case TokSpawn:
+		kw := p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		call, err := p.callArgs(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &SpawnStmt{Call: call, Pos: kw.Pos}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varStmt parses "var name = expr" without the trailing semicolon (shared
+// with for-loop headers).
+func (p *parser) varStmt() (Stmt, error) {
+	kw := p.advance()
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &VarStmt{Name: name.Text, Init: init, Pos: kw.Pos}, nil
+}
+
+// simpleStmt parses an assignment or expression statement without the
+// trailing semicolon.
+func (p *parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := p.accept(TokAssign); ok {
+		switch lhs.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			return nil, errAt(pos, "invalid assignment target")
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lhs, Value: rhs, Pos: pos}, nil
+	}
+	return &ExprStmt{X: lhs, Pos: pos}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if _, ok := p.accept(TokElse); ok {
+		if p.at(TokIf) {
+			elseIf, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elseIf
+		} else {
+			blk, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = blk
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: kw.Pos}
+	if !p.at(TokSemicolon) {
+		var init Stmt
+		var err error
+		if p.at(TokVar) {
+			init, err = p.varStmt()
+		} else {
+			init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(TokSemicolon) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOrOr) {
+		op := p.advance()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: TokOrOr, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAndAnd) {
+		op := p.advance()
+		y, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: TokAndAnd, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+			op := p.advance()
+			y, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			x = &BinaryExpr{Op: op.Kind, X: x, Y: y, Pos: op.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.advance()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op.Kind, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.advance()
+		y, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op.Kind, X: x, Y: y, Pos: op.Pos}
+	}
+	return x, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(TokMinus) || p.at(TokBang) {
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Kind, X: x, Pos: op.Pos}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokLBracket) {
+		open := p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Base: x, Index: idx, Pos: open.Pos}
+	}
+	return x, nil
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokNumber:
+		p.advance()
+		return &NumberLit{Value: tok.Value, Pos: tok.Pos}, nil
+	case TokString:
+		p.advance()
+		return &StringLit{Value: tok.Text, Pos: tok.Pos}, nil
+	case TokIdent:
+		p.advance()
+		if p.at(TokLParen) {
+			return p.callArgs(tok)
+		}
+		return &Ident{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokLParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, errAt(tok.Pos, "expected an expression, got %s", tok.Kind)
+	}
+}
+
+// callArgs parses "(" args ")" after a function name token.
+func (p *parser) callArgs(name Token) (*CallExpr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name.Text, Pos: name.Pos}
+	if !p.at(TokRParen) {
+		for {
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

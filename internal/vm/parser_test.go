@@ -1,0 +1,150 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProgramShape(t *testing.T) {
+	prog, err := Parse(`
+global counter = 5;
+global buf[100];
+
+fn helper(a, b) {
+	return a + b;
+}
+
+fn main() {
+	var x = helper(1, 2);
+	if (x > 2) {
+		x = x - 1;
+	} else if (x == 0) {
+		x = 99;
+	} else {
+		x = 0;
+	}
+	while (x > 0) {
+		x = x - 1;
+	}
+	for (var i = 0; i < 10; i = i + 1) {
+		buf[i] = i;
+	}
+	spawn helper(1, 2);
+	return x;
+}
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Globals) != 2 {
+		t.Fatalf("got %d globals, want 2", len(prog.Globals))
+	}
+	if prog.Globals[0].Name != "counter" || prog.Globals[0].IsArray || prog.Globals[0].Init != 5 {
+		t.Errorf("counter = %+v", prog.Globals[0])
+	}
+	if prog.Globals[1].Name != "buf" || !prog.Globals[1].IsArray || prog.Globals[1].Size != 100 {
+		t.Errorf("buf = %+v", prog.Globals[1])
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d funcs, want 2", len(prog.Funcs))
+	}
+	if prog.Funcs[0].Name != "helper" || len(prog.Funcs[0].Params) != 2 {
+		t.Errorf("helper = %+v", prog.Funcs[0])
+	}
+	main := prog.Funcs[1]
+	if len(main.Body.Stmts) != 6 {
+		t.Errorf("main has %d statements, want 6", len(main.Body.Stmts))
+	}
+	if _, ok := main.Body.Stmts[1].(*IfStmt); !ok {
+		t.Errorf("stmt 1 is %T, want *IfStmt", main.Body.Stmts[1])
+	}
+	if _, ok := main.Body.Stmts[4].(*SpawnStmt); !ok {
+		t.Errorf("stmt 4 is %T, want *SpawnStmt", main.Body.Stmts[4])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse(`fn main() { var x = 1 + 2 * 3 == 7 && 1 < 2 || 0; }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	init := prog.Funcs[0].Body.Stmts[0].(*VarStmt).Init
+	// Top must be ||.
+	or, ok := init.(*BinaryExpr)
+	if !ok || or.Op != TokOrOr {
+		t.Fatalf("top = %#v, want ||", init)
+	}
+	and, ok := or.X.(*BinaryExpr)
+	if !ok || and.Op != TokAndAnd {
+		t.Fatalf("or.X = %#v, want &&", or.X)
+	}
+	eq, ok := and.X.(*BinaryExpr)
+	if !ok || eq.Op != TokEq {
+		t.Fatalf("and.X = %#v, want ==", and.X)
+	}
+	add, ok := eq.X.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("eq.X = %#v, want +", eq.X)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("add.Y = %#v, want *", add.Y)
+	}
+}
+
+func TestParseIndexChains(t *testing.T) {
+	prog, err := Parse(`fn main() { var x = a[b[1]][2]; }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	init := prog.Funcs[0].Body.Stmts[0].(*VarStmt).Init
+	outer, ok := init.(*IndexExpr)
+	if !ok {
+		t.Fatalf("init = %#v, want IndexExpr", init)
+	}
+	inner, ok := outer.Base.(*IndexExpr)
+	if !ok {
+		t.Fatalf("outer.Base = %#v, want IndexExpr", outer.Base)
+	}
+	if _, ok := inner.Index.(*IndexExpr); !ok {
+		t.Fatalf("inner.Index = %#v, want IndexExpr", inner.Index)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"top-level junk", `var x = 1;`, "expected 'fn' or 'global'"},
+		{"missing paren", `fn main( { }`, "expected"},
+		{"missing semicolon", `fn main() { var x = 1 }`, "expected ';'"},
+		{"bad assignment target", `fn main() { 1 + 2 = 3; }`, "invalid assignment target"},
+		{"unterminated block", `fn main() { var x = 1;`, "unterminated block"},
+		{"zero array", `global a[0];`, "must be positive"},
+		{"missing expr", `fn main() { var x = ; }`, "expected an expression"},
+		{"spawn non-call", `fn main() { spawn 42; }`, "expected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNegativeGlobalInit(t *testing.T) {
+	prog, err := Parse(`global g = -7; fn main() {}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Globals[0].Init != -7 {
+		t.Errorf("Init = %d, want -7", prog.Globals[0].Init)
+	}
+}

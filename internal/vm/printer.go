@@ -1,0 +1,242 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pretty-printer: renders an AST back to canonical MiniLang source. Parsing
+// the rendered source yields a program with identical semantics (the
+// round-trip tests check that the recompiled bytecode matches), which makes
+// the printer usable as a formatter (gofmt-style) for MiniLang programs and
+// as a debugging aid for generated programs.
+
+// Format parses src and renders it in canonical form.
+func Format(src string) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return prog.String(), nil
+}
+
+// String renders the program as canonical MiniLang source.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		switch {
+		case g.IsArray:
+			fmt.Fprintf(&sb, "global %s[%d];\n", g.Name, g.Size)
+		case g.Init != 0:
+			fmt.Fprintf(&sb, "global %s = %d;\n", g.Name, g.Init)
+		default:
+			fmt.Fprintf(&sb, "global %s = 0;\n", g.Name)
+		}
+	}
+	if len(p.Globals) > 0 {
+		sb.WriteByte('\n')
+	}
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "fn %s(%s) ", fn.Name, strings.Join(fn.Params, ", "))
+		printBlock(&sb, fn.Body, 0)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteByte('\t')
+	}
+}
+
+func printBlock(sb *strings.Builder, b *Block, depth int) {
+	sb.WriteString("{\n")
+	for _, s := range b.Stmts {
+		printStmt(sb, s, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}")
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	indent(sb, depth)
+	switch s := s.(type) {
+	case *Block:
+		printBlock(sb, s, depth)
+		sb.WriteByte('\n')
+	case *VarStmt:
+		fmt.Fprintf(sb, "var %s = %s;\n", s.Name, exprString(s.Init))
+	case *AssignStmt:
+		fmt.Fprintf(sb, "%s = %s;\n", exprString(s.Target), exprString(s.Value))
+	case *IfStmt:
+		printIf(sb, s, depth)
+		sb.WriteByte('\n')
+	case *WhileStmt:
+		fmt.Fprintf(sb, "while (%s) ", exprString(s.Cond))
+		printBlock(sb, s.Body, depth)
+		sb.WriteByte('\n')
+	case *ForStmt:
+		sb.WriteString("for (")
+		if s.Init != nil {
+			sb.WriteString(simpleStmtString(s.Init))
+		}
+		sb.WriteString("; ")
+		if s.Cond != nil {
+			sb.WriteString(exprString(s.Cond))
+		}
+		sb.WriteString("; ")
+		if s.Post != nil {
+			sb.WriteString(simpleStmtString(s.Post))
+		}
+		sb.WriteString(") ")
+		printBlock(sb, s.Body, depth)
+		sb.WriteByte('\n')
+	case *ReturnStmt:
+		if s.Value != nil {
+			fmt.Fprintf(sb, "return %s;\n", exprString(s.Value))
+		} else {
+			sb.WriteString("return;\n")
+		}
+	case *SpawnStmt:
+		fmt.Fprintf(sb, "spawn %s;\n", exprString(s.Call))
+	case *BreakStmt:
+		sb.WriteString("break;\n")
+	case *ContinueStmt:
+		sb.WriteString("continue;\n")
+	case *ExprStmt:
+		fmt.Fprintf(sb, "%s;\n", exprString(s.X))
+	default:
+		fmt.Fprintf(sb, "/* unhandled %T */\n", s)
+	}
+}
+
+// printIf renders else-if chains flat.
+func printIf(sb *strings.Builder, s *IfStmt, depth int) {
+	fmt.Fprintf(sb, "if (%s) ", exprString(s.Cond))
+	printBlock(sb, s.Then, depth)
+	switch e := s.Else.(type) {
+	case nil:
+	case *IfStmt:
+		sb.WriteString(" else ")
+		printIf(sb, e, depth)
+	case *Block:
+		sb.WriteString(" else ")
+		printBlock(sb, e, depth)
+	}
+}
+
+// simpleStmtString renders a statement without the trailing semicolon and
+// newline (for-loop headers).
+func simpleStmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *VarStmt:
+		return fmt.Sprintf("var %s = %s", s.Name, exprString(s.Init))
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", exprString(s.Target), exprString(s.Value))
+	case *ExprStmt:
+		return exprString(s.X)
+	default:
+		return fmt.Sprintf("/* unhandled %T */", s)
+	}
+}
+
+// operator precedence levels, mirroring the parser: higher binds tighter.
+func precedence(op TokenKind) int {
+	switch op {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		return 3
+	case TokPlus, TokMinus:
+		return 4
+	case TokStar, TokSlash, TokPercent:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func opString(op TokenKind) string {
+	switch op {
+	case TokOrOr:
+		return "||"
+	case TokAndAnd:
+		return "&&"
+	case TokEq:
+		return "=="
+	case TokNe:
+		return "!="
+	case TokLt:
+		return "<"
+	case TokLe:
+		return "<="
+	case TokGt:
+		return ">"
+	case TokGe:
+		return ">="
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokSlash:
+		return "/"
+	case TokPercent:
+		return "%"
+	case TokBang:
+		return "!"
+	default:
+		return "?"
+	}
+}
+
+// exprString renders an expression with minimal parentheses.
+func exprString(e Expr) string {
+	return exprPrec(e, 0)
+}
+
+// exprPrec renders e, parenthesizing when its top-level operator binds
+// looser than the context.
+func exprPrec(e Expr, ctx int) string {
+	switch e := e.(type) {
+	case *NumberLit:
+		return fmt.Sprint(e.Value)
+	case *StringLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *Ident:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", exprPrec(e.Base, 6), exprString(e.Index))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case *UnaryExpr:
+		inner := exprPrec(e.X, 6)
+		if e.Op == TokMinus {
+			return "-" + inner
+		}
+		return "!" + inner
+	case *BinaryExpr:
+		prec := precedence(e.Op)
+		// Operators are left-associative: the right operand needs parens at
+		// equal precedence.
+		out := fmt.Sprintf("%s %s %s",
+			exprPrec(e.X, prec), opString(e.Op), exprPrec(e.Y, prec+1))
+		if prec < ctx {
+			return "(" + out + ")"
+		}
+		return out
+	default:
+		return fmt.Sprintf("/* unhandled %T */", e)
+	}
+}

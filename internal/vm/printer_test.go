@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// formatterPrograms are sources whose formatted output must round-trip: the
+// formatted source parses, formats to a fixpoint, and compiles to bytecode
+// identical to the original's.
+var formatterPrograms = []string{
+	`
+global g = 7;
+global neg = -3;
+global arr[16];
+fn helper(a, b) { return a * (b + 2) - a / b; }
+fn main() {
+	var x = helper(3, 4);
+	if (x > 2 && x < 100 || !(x == 5)) { x = x - 1; } else if (x == 0) { x = 9; } else { x = 0; }
+	while (x > 0) { x = x - 1; if (x == 3) { break; } }
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		arr[i] = i * i;
+	}
+	g = arr[3] + arr[2 + 1];
+	print("done:", g, x);
+}`,
+	`
+fn rec(n) {
+	if (n < 2) { return n; }
+	return rec(n - 1) + rec(n - 2);
+}
+fn main() { print(rec(10)); }`,
+	`
+global cell = 0;
+fn w(n, s) {
+	for (var i = 0; i < n; i = i + 1) { wait(s); cell = cell + 1; signal(s); }
+}
+fn main() {
+	var s = sem(1);
+	spawn w(5, s);
+	w(5, s);
+	while (cell < 10) {}
+	print(cell);
+	var b = alloc(4);
+	sysread(b, 4);
+	syswrite(b, 2);
+	assert(cell == 10);
+	print(rand(3) >= 0);
+}`,
+}
+
+// disasmAll renders every function's bytecode (ignoring line numbers, which
+// legitimately shift under reformatting).
+func disasmAll(cp *CompiledProgram) string {
+	var sb strings.Builder
+	for _, fn := range cp.Funcs {
+		sb.WriteString(fn.Name)
+		sb.WriteByte('\n')
+		for _, ins := range fn.Code {
+			ins.Line = 0
+			sb.WriteString(ins.Op.String())
+			if ins.A != 0 || ins.B != 0 {
+				sb.WriteByte(' ')
+				sb.WriteString(string(rune('0' + ins.A%10)))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for i, src := range formatterPrograms {
+		formatted, err := Format(src)
+		if err != nil {
+			t.Fatalf("program %d: Format: %v", i, err)
+		}
+		// Fixpoint: formatting the formatted source is the identity.
+		again, err := Format(formatted)
+		if err != nil {
+			t.Fatalf("program %d: reformat failed: %v\n%s", i, err, formatted)
+		}
+		if formatted != again {
+			t.Errorf("program %d: formatter not a fixpoint:\n--- first\n%s\n--- second\n%s", i, formatted, again)
+		}
+		// Semantics: identical bytecode.
+		orig, err := Compile(src)
+		if err != nil {
+			t.Fatalf("program %d: compile original: %v", i, err)
+		}
+		re, err := Compile(formatted)
+		if err != nil {
+			t.Fatalf("program %d: compile formatted: %v\n%s", i, err, formatted)
+		}
+		if disasmAll(orig) != disasmAll(re) {
+			t.Errorf("program %d: bytecode changed after formatting:\n%s", i, formatted)
+		}
+		if !reflect.DeepEqual(orig.Constants, re.Constants) {
+			t.Errorf("program %d: constant pool changed", i)
+		}
+	}
+}
+
+func TestFormatBehaviourPreserved(t *testing.T) {
+	for i, src := range formatterPrograms {
+		formatted, err := Format(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := RunSource(src, Options{})
+		if err != nil {
+			t.Fatalf("program %d: run original: %v", i, err)
+		}
+		b, err := RunSource(formatted, Options{})
+		if err != nil {
+			t.Fatalf("program %d: run formatted: %v", i, err)
+		}
+		if !reflect.DeepEqual(a.Output, b.Output) {
+			t.Errorf("program %d: output changed: %v vs %v", i, a.Output, b.Output)
+		}
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`fn main() { var x = (1 + 2) * 3; }`, "var x = (1 + 2) * 3;"},
+		{`fn main() { var x = 1 + 2 * 3; }`, "var x = 1 + 2 * 3;"},
+		{`fn main() { var x = 1 - (2 - 3); }`, "var x = 1 - (2 - 3);"},
+		{`fn main() { var x = 1 - 2 - 3; }`, "var x = 1 - 2 - 3;"},
+		{`fn main() { var x = (1 + 2) % 5; }`, "var x = (1 + 2) % 5;"},
+		{`fn main() { var x = -(3 - 5); }`, "var x = -(3 - 5);"},
+		{`fn main() { var x = 1 + 2 == 3 && 1 < 2; }`, "var x = 1 + 2 == 3 && 1 < 2;"},
+	}
+	for _, tc := range cases {
+		out, err := Format(tc.src)
+		if err != nil {
+			t.Fatalf("Format(%q): %v", tc.src, err)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("Format(%q) = %q, missing %q", tc.src, out, tc.want)
+		}
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	if _, err := Format(`fn main( {`); err == nil {
+		t.Error("Format accepted malformed source")
+	}
+}

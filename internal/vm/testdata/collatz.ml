@@ -1,0 +1,12 @@
+// expect: steps: 111
+fn collatz(n) {
+	var steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		steps = steps + 1;
+	}
+	return steps;
+}
+fn main() {
+	print("steps:", collatz(27));
+}

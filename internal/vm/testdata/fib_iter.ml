@@ -1,0 +1,11 @@
+// expect: 832040
+fn main() {
+	var a = 0;
+	var b = 1;
+	for (var i = 0; i < 30; i = i + 1) {
+		var t = a + b;
+		a = b;
+		b = t;
+	}
+	print(a);
+}

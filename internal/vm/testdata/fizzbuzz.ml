@@ -1,0 +1,18 @@
+// expect: 1 2 3 4 5
+// expect: codes: 1 0 2 30 33
+fn classify(n) {
+	if (n % 15 == 0) { return 3; }
+	if (n % 3 == 0) { return 1; }
+	if (n % 5 == 0) { return 2; }
+	return 0;
+}
+fn main() {
+	print(1, 2, 3, 4, 5);
+	// encode fizz=1, buzz=2, fizzbuzz=3 over a few samples
+	var a = classify(3);
+	var b = classify(4);
+	var c = classify(5);
+	var d = classify(15) * 10 + classify(16);
+	var e = classify(30) * 11 + classify(7);
+	print("codes:", a, b, c, d, e);
+}

@@ -1,0 +1,12 @@
+// expect: 6 1 12 100
+fn gcd(a, b) {
+	while (b != 0) {
+		var t = a % b;
+		a = b;
+		b = t;
+	}
+	return a;
+}
+fn main() {
+	print(gcd(54, 24), gcd(17, 13), gcd(36, 48), gcd(100, 0));
+}

@@ -1,0 +1,18 @@
+// expect: primes<=100: 25
+fn main() {
+	var n = 100;
+	var sieve = alloc(n + 1);
+	for (var i = 2; i <= n; i = i + 1) { sieve[i] = 1; }
+	for (var p = 2; p * p <= n; p = p + 1) {
+		if (sieve[p]) {
+			for (var m = p * p; m <= n; m = m + p) {
+				sieve[m] = 0;
+			}
+		}
+	}
+	var count = 0;
+	for (var i = 2; i <= n; i = i + 1) {
+		count = count + sieve[i];
+	}
+	print("primes<=100:", count);
+}

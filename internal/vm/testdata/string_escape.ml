@@ -1,0 +1,4 @@
+// expect: quote " and backslash \ ok: 1
+fn main() {
+	print("quote \" and backslash \\ ok:", 1);
+}

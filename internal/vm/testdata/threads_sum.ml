@@ -1,0 +1,22 @@
+// expect: 4950
+global acc = 0;
+fn add_range(lo, hi, mutex, done) {
+	var local = 0;
+	for (var i = lo; i < hi; i = i + 1) {
+		local = local + i;
+	}
+	wait(mutex);
+	acc = acc + local;
+	signal(mutex);
+	signal(done);
+}
+fn main() {
+	var mutex = sem(1);
+	var done = sem(0);
+	spawn add_range(0, 25, mutex, done);
+	spawn add_range(25, 50, mutex, done);
+	spawn add_range(50, 75, mutex, done);
+	add_range(75, 100, mutex, done);
+	for (var k = 0; k < 4; k = k + 1) { wait(done); }
+	print(acc);
+}

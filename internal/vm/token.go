@@ -1,0 +1,163 @@
+// Package vm implements MiniLang, a small imperative language with threads,
+// semaphores and system calls, together with a bytecode compiler and an
+// instrumented interpreter. The interpreter is this repository's substitute
+// for dynamic binary instrumentation: it executes programs under a
+// deterministic round-robin scheduler (threads are serialized, as under
+// Valgrind), counts executed basic blocks as the cost metric, and emits the
+// exact event vocabulary the profiler consumes — call, return, read, write,
+// userToKernel, kernelToUser and switchThread — for every heap access,
+// function call and system call the program performs.
+//
+// Only heap cells (created by alloc, global declarations and global arrays)
+// are traced memory; locals and parameters live in virtual registers,
+// mirroring how register-allocated values escape memory tracing under real
+// instrumentation.
+package vm
+
+import "fmt"
+
+// TokenKind enumerates MiniLang token types.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// Keywords.
+	TokFn
+	TokVar
+	TokGlobal
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokSpawn
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemicolon
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:       "end of file",
+	TokIdent:     "identifier",
+	TokNumber:    "number",
+	TokString:    "string",
+	TokFn:        "'fn'",
+	TokVar:       "'var'",
+	TokGlobal:    "'global'",
+	TokIf:        "'if'",
+	TokElse:      "'else'",
+	TokWhile:     "'while'",
+	TokFor:       "'for'",
+	TokReturn:    "'return'",
+	TokSpawn:     "'spawn'",
+	TokBreak:     "'break'",
+	TokContinue:  "'continue'",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokLBrace:    "'{'",
+	TokRBrace:    "'}'",
+	TokLBracket:  "'['",
+	TokRBracket:  "']'",
+	TokComma:     "','",
+	TokSemicolon: "';'",
+	TokAssign:    "'='",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokPercent:   "'%'",
+	TokEq:        "'=='",
+	TokNe:        "'!='",
+	TokLt:        "'<'",
+	TokLe:        "'<='",
+	TokGt:        "'>'",
+	TokGe:        "'>='",
+	TokAndAnd:    "'&&'",
+	TokOrOr:      "'||'",
+	TokBang:      "'!'",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]TokenKind{
+	"fn":       TokFn,
+	"var":      TokVar,
+	"global":   TokGlobal,
+	"if":       TokIf,
+	"else":     TokElse,
+	"while":    TokWhile,
+	"for":      TokFor,
+	"return":   TokReturn,
+	"spawn":    TokSpawn,
+	"break":    TokBreak,
+	"continue": TokContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	// Text is the raw source text of identifiers, numbers and strings.
+	Text string
+	// Value is the parsed value of number tokens.
+	Value int64
+	Pos   Pos
+}
+
+// SyntaxError is a lexing or parsing error with a source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minilang: %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

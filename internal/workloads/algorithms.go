@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+)
+
+// Algorithm is a MiniLang implementation of a classic algorithm together
+// with its expected asymptotic class. The collection validates the whole
+// pipeline the way algorithmic-profiling work does (Zaparanuks & Hauswirth,
+// the paper's [23]): run each algorithm on a sweep of input sizes under the
+// instrumented VM, profile the trace, fit the (input size, cost) points, and
+// require the fitted model to be the algorithm's true complexity.
+type Algorithm struct {
+	// Name is the profiled routine's name.
+	Name string
+	// Source is the MiniLang program; it must define a `driver(n)` function
+	// that builds an input of size n and invokes the algorithm once.
+	Source string
+	// ComplexityVsN is the expected best-fit model of cost against the
+	// *nominal* input parameter n ("log n", "n", "n log n", "n^2", "n^3").
+	ComplexityVsN string
+	// ExponentVsRMS is the expected power-law exponent of cost against the
+	// *measured* input size (rms). For algorithms that read their whole
+	// input the two views coincide (exponent ≈ model degree); for binary
+	// search the rms itself is log n, so cost is linear in the rms
+	// (exponent 1) even though it is logarithmic in n — the distinction
+	// input-sensitive profiling is built on.
+	ExponentVsRMS float64
+	// Sizes is the input-size sweep.
+	Sizes []int
+}
+
+// Algorithms returns the validation collection.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		{
+			Name:          "binary_search",
+			ComplexityVsN: "log n",
+			ExponentVsRMS: 1.0,
+			Sizes:         sweep(64, 16, 2.0),
+			Source: `
+fn binary_search(a, n, key) {
+	var lo = 0;
+	var hi = n - 1;
+	while (lo <= hi) {
+		var mid = (lo + hi) / 2;
+		var v = a[mid];
+		if (v == key) { return mid; }
+		if (v < key) { lo = mid + 1; } else { hi = mid - 1; }
+	}
+	return 0 - 1;
+}
+fn driver(n) {
+	var a = alloc(n);
+	for (var i = 0; i < n; i = i + 1) { a[i] = 2 * i; }
+	var r = binary_search(a, n, 2 * n - 1); // missing key: full descent
+	if (r != 0 - 1) { return 1; }
+	return 0;
+}`,
+		},
+		{
+			Name:          "linear_scan",
+			ComplexityVsN: "n",
+			ExponentVsRMS: 1.0,
+			Sizes:         sweep(64, 12, 1.7),
+			Source: `
+fn linear_scan(a, n) {
+	var best = a[0];
+	for (var i = 1; i < n; i = i + 1) {
+		if (a[i] > best) { best = a[i]; }
+	}
+	return best;
+}
+fn driver(n) {
+	var a = alloc(n);
+	for (var i = 0; i < n; i = i + 1) { a[i] = i * 13 % 101; }
+	var best = linear_scan(a, n);
+	if (best < 0 || best > 100) { return 1; }
+	return 0;
+}`,
+		},
+		{
+			Name:          "insertion_sort",
+			ComplexityVsN: "n^2",
+			ExponentVsRMS: 2.0,
+			Sizes:         sweep(32, 8, 1.6),
+			Source: `
+fn insertion_sort(a, n) {
+	for (var i = 1; i < n; i = i + 1) {
+		var key = a[i];
+		var j = i - 1;
+		while (j >= 0 && a[j] > key) {
+			a[j + 1] = a[j];
+			j = j - 1;
+		}
+		a[j + 1] = key;
+	}
+	return 0;
+}
+fn driver(n) {
+	var a = alloc(n);
+	for (var i = 0; i < n; i = i + 1) { a[i] = n - i; } // reverse: worst case
+	insertion_sort(a, n);
+	for (var i = 1; i < n; i = i + 1) {
+		if (a[i - 1] > a[i]) { print("unsorted"); return 1; }
+	}
+	return 0;
+}`,
+		},
+		{
+			Name:          "merge_sort",
+			ComplexityVsN: "n log n",
+			ExponentVsRMS: 1.1,
+			Sizes:         sweep(64, 10, 1.9),
+			Source: `
+fn merge(a, tmp, lo, mid, hi) {
+	var i = lo;
+	var j = mid;
+	var k = lo;
+	while (k < hi) {
+		if (i < mid && (j >= hi || a[i] <= a[j])) {
+			tmp[k] = a[i];
+			i = i + 1;
+		} else {
+			tmp[k] = a[j];
+			j = j + 1;
+		}
+		k = k + 1;
+	}
+	for (var c = lo; c < hi; c = c + 1) {
+		a[c] = tmp[c];
+	}
+	return 0;
+}
+fn msort(a, tmp, lo, hi) {
+	if (hi - lo < 2) { return 0; }
+	var mid = (lo + hi) / 2;
+	msort(a, tmp, lo, mid);
+	msort(a, tmp, mid, hi);
+	merge(a, tmp, lo, mid, hi);
+	return 0;
+}
+fn merge_sort(a, tmp, n) {
+	return msort(a, tmp, 0, n);
+}
+fn driver(n) {
+	var a = alloc(n);
+	var tmp = alloc(n);
+	for (var i = 0; i < n; i = i + 1) { a[i] = (i * 37 + 11) % n; }
+	merge_sort(a, tmp, n);
+	for (var i = 1; i < n; i = i + 1) {
+		if (a[i - 1] > a[i]) { print("unsorted"); return 1; }
+	}
+	return 0;
+}`,
+		},
+		{
+			Name:          "matmul",
+			ComplexityVsN: "n^3",
+			ExponentVsRMS: 1.5,
+			Sizes:         sweep(4, 7, 1.6),
+			Source: `
+fn matmul(a, b, c, n) {
+	for (var i = 0; i < n; i = i + 1) {
+		for (var j = 0; j < n; j = j + 1) {
+			var sum = 0;
+			for (var k = 0; k < n; k = k + 1) {
+				sum = sum + a[i * n + k] * b[k * n + j];
+			}
+			c[i * n + j] = sum;
+		}
+	}
+	return 0;
+}
+fn driver(n) {
+	var a = alloc(n * n);
+	var b = alloc(n * n);
+	var c = alloc(n * n);
+	for (var i = 0; i < n * n; i = i + 1) {
+		a[i] = i % 7;
+		b[i] = i % 5;
+	}
+	matmul(a, b, c, n);
+	if (c[0] < 0) { return 1; }
+	return 0;
+}`,
+		},
+		{
+			Name:          "count_bits",
+			ComplexityVsN: "n log n",
+			ExponentVsRMS: 1.1,
+			Sizes:         sweep(64, 10, 1.8),
+			Source: `
+fn count_bits(a, n) {
+	var total = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var v = a[i];
+		while (v > 0) {
+			total = total + v % 2;
+			v = v / 2;
+		}
+	}
+	return total;
+}
+fn driver(n) {
+	var a = alloc(n);
+	for (var i = 0; i < n; i = i + 1) { a[i] = i; }
+	var total = count_bits(a, n);
+	if (total <= 0) { return 1; }
+	return 0;
+}`,
+		},
+	}
+}
+
+// sweep returns a geometric size sweep: count sizes starting at base with
+// the given growth factor.
+func sweep(base, count int, factor float64) []int {
+	sizes := make([]int, 0, count)
+	x := float64(base)
+	for i := 0; i < count; i++ {
+		sizes = append(sizes, int(x))
+		x *= factor
+	}
+	return sizes
+}
+
+// BuildTrace runs the algorithm's driver over its size sweep in the
+// instrumented VM and returns the merged trace.
+func (a Algorithm) BuildTrace() (*trace.Trace, error) {
+	var calls strings.Builder
+	for _, n := range a.Sizes {
+		fmt.Fprintf(&calls, "\tbad = bad + driver(%d);\n", n)
+	}
+	src := a.Source + fmt.Sprintf(`
+fn main() {
+	var bad = 0;
+%s	if (bad > 0) { print("FAILED", bad); } else { print("ok"); }
+}
+`, calls.String())
+	res, err := vm.RunSource(src, vm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", a.Name, err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != "ok" {
+		return nil, fmt.Errorf("workloads: %s: self-check failed: %v", a.Name, res.Output)
+	}
+	return res.Trace, nil
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/fit"
+)
+
+// TestAlgorithmicProfiling validates the end-to-end pipeline on the classic
+// algorithm collection: the fitted empirical cost function of each profiled
+// routine must recover the algorithm's true complexity class. (This is the
+// algorithmic-profiling validation of the paper's [23], run through our VM,
+// profiler and fitting stack.)
+func TestAlgorithmicProfiling(t *testing.T) {
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.Name, func(t *testing.T) {
+			tr, err := alg.BuildTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := core.Run(tr, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := ps.Routine(alg.Name)
+			if p == nil {
+				t.Fatalf("no profile for %s", alg.Name)
+			}
+			if int(p.Calls) < len(alg.Sizes) {
+				t.Fatalf("calls = %d, want >= %d", p.Calls, len(alg.Sizes))
+			}
+			plot := p.WorstCasePlot(core.MetricRMS)
+			if len(plot) != len(alg.Sizes) {
+				t.Fatalf("%d plot points, want %d", len(plot), len(alg.Sizes))
+			}
+			// Cost against the nominal input parameter: the algorithm's
+			// textbook complexity. rms grows monotonically with n, so the
+			// rms-sorted plot pairs with the sorted size sweep.
+			var vsN, vsRMS []fit.Point
+			for i, pp := range plot {
+				vsN = append(vsN, fit.Point{N: float64(alg.Sizes[i]), Cost: float64(pp.Cost)})
+				vsRMS = append(vsRMS, fit.Point{N: float64(pp.N), Cost: float64(pp.Cost)})
+			}
+			best, err := fit.BestFit(vsN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best.Model.Name != alg.ComplexityVsN {
+				t.Errorf("best fit vs n = %q (R2=%.4f), want %q\npoints: %v",
+					best.Model.Name, best.R2, alg.ComplexityVsN, vsN)
+			}
+			// Cost against the measured input size (rms): the power-law
+			// exponent input-sensitive profiling reports.
+			exp, r2, err := fit.PowerLaw(vsRMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exp < alg.ExponentVsRMS-0.15 || exp > alg.ExponentVsRMS+0.15 {
+				t.Errorf("power-law exponent vs rms = %.2f (R2=%.3f), want %.2f±0.15",
+					exp, r2, alg.ExponentVsRMS)
+			}
+			// Private-memory algorithms: drms must equal rms.
+			if p.SumDRMS != p.SumRMS {
+				t.Errorf("drms %d != rms %d for a private-memory algorithm", p.SumDRMS, p.SumRMS)
+			}
+		})
+	}
+}
+
+// TestAlgorithmRMSTracksInputSize checks the input-size estimates
+// themselves: each activation's rms must be within a constant factor of the
+// driver's nominal n (cells actually touched).
+func TestAlgorithmRMSTracksInputSize(t *testing.T) {
+	for _, alg := range Algorithms() {
+		if alg.Name != "linear_scan" && alg.Name != "insertion_sort" {
+			continue
+		}
+		tr, err := alg.BuildTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := core.Run(tr, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plot := ps.Routine(alg.Name).WorstCasePlot(core.MetricRMS)
+		if len(plot) != len(alg.Sizes) {
+			t.Fatalf("%s: %d plot points, want %d", alg.Name, len(plot), len(alg.Sizes))
+		}
+		for i, pp := range plot {
+			n := uint64(alg.Sizes[i])
+			if pp.N < n || pp.N > n+8 {
+				t.Errorf("%s: point %d: rms = %d, want ~%d", alg.Name, i, pp.N, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import "aprof/internal/trace"
+
+// DBScanConfig parameterizes the MySQL case study of §2.1 (Fig. 4): a query
+// that selects all tuples of a table, processed by routine mysql_select.
+// Tuples are partitioned into groups; each group is loaded into a fixed
+// kernel buffer through a system call and then read by mysql_select.
+type DBScanConfig struct {
+	// BufRows is the number of rows the kernel buffer holds (the paper's
+	// observation is that the rms roughly coincides with the buffer size
+	// regardless of the table size).
+	BufRows int
+	// RowCells is the number of memory cells per row.
+	RowCells int
+	// IndexFraction controls the per-query B-tree/index metadata scanned
+	// outside the buffer: indexCells = rows/IndexFraction. This is what
+	// makes the rms grow slightly with the table (14→17×10^6 in the paper)
+	// while the cost grows linearly — the source of the false superlinear
+	// rms trend.
+	IndexFraction int
+	// WorkPerRow is the basic-block cost of processing one row.
+	WorkPerRow int
+}
+
+// DefaultDBScanConfig mirrors the shape of the paper's experiment.
+func DefaultDBScanConfig() DBScanConfig {
+	return DBScanConfig{
+		BufRows:       64,
+		RowCells:      4,
+		IndexFraction: 24,
+		WorkPerRow:    6,
+	}
+}
+
+// DBScan builds the trace of one server run executing a full-table scan for
+// each table size in tableRows. Every query activates mysql_select, which
+// repeatedly refills the kernel buffer (kernelToUser events) and reads the
+// buffered rows; the buffer cells are reused across groups, so the rms of an
+// activation stays near the buffer size while the drms counts every buffered
+// row — exactly the Fig. 4 scenario.
+func DBScan(tableRows []int, cfg DBScanConfig) *trace.Trace {
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+
+	// Address layout: the kernel buffer, the query structure, then a
+	// per-run index region large enough for the biggest table.
+	bufCells := cfg.BufRows * cfg.RowCells
+	const bufBase = trace.Addr(1 << 16)
+	indexBase := bufBase + trace.Addr(bufCells)
+
+	tb.Call("mysqld")
+	for _, rows := range tableRows {
+		tb.Call("mysql_select")
+
+		// Scan the table index: private (thread-local) metadata reads that
+		// count toward both rms and drms.
+		indexCells := rows / cfg.IndexFraction
+		for c := 0; c < indexCells; c++ {
+			tb.Read1(indexBase + trace.Addr(c))
+		}
+		tb.Work(uint64(indexCells))
+
+		// Scan the table in buffer-sized groups.
+		for done := 0; done < rows; done += cfg.BufRows {
+			group := min(cfg.BufRows, rows-done)
+			groupCells := group * cfg.RowCells
+			tb.SysRead(bufBase, uint32(groupCells))
+			for r := 0; r < group; r++ {
+				rowAddr := bufBase + trace.Addr(r*cfg.RowCells)
+				tb.Read(rowAddr, uint32(cfg.RowCells))
+				tb.Work(uint64(cfg.WorkPerRow))
+			}
+		}
+		tb.Ret()
+	}
+	tb.Ret()
+	return b.Trace()
+}

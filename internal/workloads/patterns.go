@@ -1,0 +1,72 @@
+// Package workloads builds the execution traces of the paper's case studies
+// and benchmarks: the producer-consumer and data-streaming patterns of §2,
+// the MySQL and vips case studies of §2.1 (Figs. 4-6), the selection sort of
+// Fig. 10, and a parameterized suite of synthetic benchmark applications
+// standing in for PARSEC 2.1 / SPEC OMP2012 / mysqlslap in the aggregate
+// experiments (Figs. 11-16 and Table 1).
+//
+// Programmatic generators use trace.Builder directly (one operation = one
+// basic block); the selection-sort and pattern programs are additionally
+// available as MiniLang sources executed by the instrumented VM.
+package workloads
+
+import "aprof/internal/trace"
+
+// ProducerConsumer builds the semaphore-based producer-consumer execution of
+// Fig. 2: the producer writes location x, the consumer reads it, n times.
+// After the run, rms(consumer) = 1 and drms(consumer) = n.
+func ProducerConsumer(n int) *trace.Trace {
+	const (
+		x         = trace.Addr(100)
+		semEmpty  = trace.Addr(0)
+		semFull   = trace.Addr(1)
+		semMutex  = trace.Addr(2)
+		workUnits = 3
+	)
+	b := trace.NewBuilder()
+	prod := b.Thread(1)
+	cons := b.Thread(2)
+	prod.Call("producer")
+	cons.Call("consumer")
+	for i := 0; i < n; i++ {
+		prod.Acquire(semEmpty)
+		prod.Acquire(semMutex)
+		prod.Call("produceData")
+		prod.Work(workUnits)
+		prod.Write1(x)
+		prod.Ret()
+		prod.Release(semMutex)
+		prod.Release(semFull)
+
+		cons.Acquire(semFull)
+		cons.Acquire(semMutex)
+		cons.Call("consumeData")
+		cons.Work(workUnits)
+		cons.Read1(x)
+		cons.Ret()
+		cons.Release(semMutex)
+		cons.Release(semEmpty)
+	}
+	prod.Ret()
+	cons.Ret()
+	return b.Trace()
+}
+
+// StreamReader builds the buffered data-stream execution of Fig. 3: the OS
+// fills a buffer of bufSize cells n times; only b[0] is consumed. After the
+// run, rms(streamReader) = 1 and drms(streamReader) = n.
+func StreamReader(n, bufSize int) *trace.Trace {
+	const buf = trace.Addr(500)
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("streamReader")
+	for i := 0; i < n; i++ {
+		tb.SysRead(buf, uint32(bufSize))
+		tb.Call("consumeData")
+		tb.Work(2)
+		tb.Read1(buf)
+		tb.Ret()
+	}
+	tb.Ret()
+	return b.Trace()
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/metrics"
+)
+
+// TestVMPrograms runs each multithreaded MiniLang application end to end:
+// VM execution (output check), profiling, and the expected dynamic-workload
+// characterization.
+func TestVMPrograms(t *testing.T) {
+	for _, prog := range VMPrograms() {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			tr, err := prog.BuildTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trace invalid: %v", err)
+			}
+			ps, err := core.Run(tr, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := metrics.Summarize(ps)
+			if s.ThreadInputPct < prog.MinThreadInputPct {
+				t.Errorf("thread input = %.1f%%, want >= %.1f%%", s.ThreadInputPct, prog.MinThreadInputPct)
+			}
+			if s.ExternalInputPct < prog.MinExternalInputPct {
+				t.Errorf("external input = %.1f%%, want >= %.1f%%", s.ExternalInputPct, prog.MinExternalInputPct)
+			}
+			hot := ps.Routine(prog.HotRoutine)
+			if hot == nil {
+				t.Fatalf("no profile for %s", prog.HotRoutine)
+			}
+			if hot.SumRMS == 0 {
+				t.Fatalf("%s has rms 0", prog.HotRoutine)
+			}
+			factor := float64(hot.SumDRMS) / float64(hot.SumRMS)
+			if factor < prog.DynamicFactor {
+				t.Errorf("%s: drms/rms = %.1f, want >= %.1f (the dynamic workload the rms misses)",
+					prog.HotRoutine, factor, prog.DynamicFactor)
+			}
+		})
+	}
+}
+
+// TestVMProgramsDeterministic ensures the interpreted applications produce
+// identical traces across runs (the scheduler is deterministic).
+func TestVMProgramsDeterministic(t *testing.T) {
+	prog := VMPrograms()[0]
+	a, err := prog.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("traces diverge at event %d", i)
+		}
+	}
+}
+
+// TestVMProgramContextView profiles the pipeline application
+// context-sensitively and checks the hot path is attributed correctly.
+func TestVMProgramContextView(t *testing.T) {
+	tr, err := VMPrograms()[0].BuildTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ContextSensitive = true
+	ps, err := core.Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := ps.HotContexts(10)
+	if len(hot) == 0 {
+		t.Fatal("no contexts")
+	}
+	found := false
+	for _, cp := range hot {
+		if cp.Path == "main > consume" {
+			found = true
+			if cp.Profile.SumDRMS < 300 {
+				t.Errorf("main > consume drms = %d, want >= 300", cp.Profile.SumDRMS)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("main > consume not among hot contexts: %+v", hot)
+	}
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+)
+
+// SelectionSortProgram is the MiniLang selection sort of Fig. 10, run by the
+// instrumented VM. Each invocation of selection_sort receives an array of a
+// different size, so the profiler observes one performance point per size
+// and the cost plot exposes the quadratic trend.
+const SelectionSortProgram = `
+// Selection sort under the instrumented VM (Fig. 10).
+global sizes[%d];
+
+fn selection_sort(a, n) {
+	for (var i = 0; i < n - 1; i = i + 1) {
+		var best = i;
+		for (var j = i + 1; j < n; j = j + 1) {
+			if (a[j] < a[best]) {
+				best = j;
+			}
+		}
+		var tmp = a[i];
+		a[i] = a[best];
+		a[best] = tmp;
+	}
+	return 0;
+}
+
+fn fill_reverse(a, n) {
+	for (var i = 0; i < n; i = i + 1) {
+		a[i] = n - i;
+	}
+	return 0;
+}
+
+fn check_sorted(a, n) {
+	for (var i = 1; i < n; i = i + 1) {
+		if (a[i - 1] > a[i]) {
+			print("unsorted at", i);
+			return 1;
+		}
+	}
+	return 0;
+}
+
+fn main() {
+%s
+	var bad = 0;
+	for (var k = 0; k < %d; k = k + 1) {
+		var n = sizes[k];
+		var a = alloc(n);
+		fill_reverse(a, n);
+		selection_sort(a, n);
+		bad = bad + check_sorted(a, n);
+	}
+	print("bad:", bad);
+}
+`
+
+// SelectionSortVM runs selection sort over the given input sizes in the
+// instrumented VM and returns the merged trace (cost measured in executed
+// basic blocks — the left plot of Fig. 10).
+func SelectionSortVM(sizes []int) (*trace.Trace, error) {
+	var fills string
+	for i, n := range sizes {
+		fills += fmt.Sprintf("\tsizes[%d] = %d;\n", i, n)
+	}
+	src := fmt.Sprintf(SelectionSortProgram, len(sizes), fills, len(sizes))
+	res, err := vm.RunSource(src, vm.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("workloads: selection sort VM run: %w", err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != "bad: 0" {
+		return nil, fmt.Errorf("workloads: selection sort produced unsorted output: %v", res.Output)
+	}
+	return res.Trace, nil
+}
+
+// TimedPoint is one wall-clock measurement of a native selection sort run:
+// the input size and the observed duration in nanoseconds (the right plot of
+// Fig. 10, where timing noise blurs the trend that basic-block counting
+// shows cleanly).
+type TimedPoint struct {
+	N  int
+	NS int64
+}
+
+// SelectionSortTimed runs a native Go selection sort over each input size,
+// repeats times, and returns every wall-clock measurement.
+func SelectionSortTimed(sizes []int, repeats int) []TimedPoint {
+	rng := rand.New(rand.NewSource(42))
+	var out []TimedPoint
+	for _, n := range sizes {
+		for r := 0; r < repeats; r++ {
+			a := make([]int, n)
+			for i := range a {
+				a[i] = rng.Int()
+			}
+			start := time.Now()
+			selectionSort(a)
+			out = append(out, TimedPoint{N: n, NS: time.Since(start).Nanoseconds()})
+		}
+	}
+	return out
+}
+
+func selectionSort(a []int) {
+	for i := 0; i < len(a)-1; i++ {
+		best := i
+		for j := i + 1; j < len(a); j++ {
+			if a[j] < a[best] {
+				best = j
+			}
+		}
+		a[i], a[best] = a[best], a[i]
+	}
+}

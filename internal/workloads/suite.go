@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aprof/internal/trace"
+)
+
+// Benchmark describes one synthetic application of the evaluation suite. The
+// named benchmarks stand in for the PARSEC 2.1 / SPEC OMP2012 / mysqlslap
+// programs of §4.1: each has a characteristic mix of private computation,
+// shared-memory communication and kernel I/O, so that the suite reproduces
+// the qualitative spread of Figs. 11-15 (OMP codes dominated by thread
+// input, MySQL by external input, a small fraction of routines carrying
+// almost all dynamic input).
+type Benchmark struct {
+	Name  string
+	Suite string
+	// Threads is the number of application threads.
+	Threads int
+	// ComputeRoutines, CommRoutines and IORoutines are the numbers of
+	// private-computation, thread-communication and kernel-I/O routines.
+	ComputeRoutines int
+	CommRoutines    int
+	IORoutines      int
+	// CommVolume and IOVolume scale the per-call number of thread-induced
+	// and external-induced reads; their ratio steers the benchmark's
+	// thread/external input split (Fig. 15).
+	CommVolume int
+	IOVolume   int
+	// Rounds is the number of scheduling rounds; each round every thread
+	// performs one task.
+	Rounds int
+	// RacyComm drops the semaphore protocol from the communication
+	// routines: handoffs become benign races, as in loosely coupled
+	// pipeline applications. Such benchmarks are the source of the large
+	// thread-input fluctuations across scheduler configurations that the
+	// paper reports as peaks (§4.2).
+	RacyComm bool
+	// Seed makes the generated trace reproducible.
+	Seed int64
+}
+
+// SuiteOMP returns the SPEC OMP2012-like benchmarks: data-parallel codes
+// whose induced first-reads come almost entirely from thread
+// intercommunication (the paper observes >= 69% thread input for all of
+// them).
+func SuiteOMP() []Benchmark {
+	return []Benchmark{
+		{Name: "nab", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 24, CommRoutines: 3, IORoutines: 1, CommVolume: 600, IOVolume: 12, Rounds: 60, Seed: 101},
+		{Name: "swim", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 14, CommRoutines: 2, IORoutines: 1, CommVolume: 500, IOVolume: 18, Rounds: 70, Seed: 102},
+		{Name: "mgrid331", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 16, CommRoutines: 2, IORoutines: 1, CommVolume: 450, IOVolume: 25, Rounds: 60, Seed: 103},
+		{Name: "applu331", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 18, CommRoutines: 3, IORoutines: 1, CommVolume: 420, IOVolume: 30, Rounds: 55, Seed: 104},
+		{Name: "smithwa", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 20, CommRoutines: 3, IORoutines: 1, CommVolume: 380, IOVolume: 35, Rounds: 60, Seed: 105},
+		{Name: "imagick", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 30, CommRoutines: 3, IORoutines: 2, CommVolume: 300, IOVolume: 60, Rounds: 50, Seed: 106},
+		{Name: "kdtree", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 22, CommRoutines: 2, IORoutines: 1, CommVolume: 350, IOVolume: 70, Rounds: 55, Seed: 107},
+		{Name: "botsalgn", Suite: "SPEC OMP2012", Threads: 4, ComputeRoutines: 18, CommRoutines: 2, IORoutines: 2, CommVolume: 260, IOVolume: 110, Rounds: 55, Seed: 108},
+	}
+}
+
+// SuitePARSEC returns the PARSEC 2.1-like benchmarks: mixed thread and
+// external input, with dedup and x264 showing heavy I/O alongside pipeline
+// parallelism.
+func SuitePARSEC() []Benchmark {
+	return []Benchmark{
+		{Name: "fluidanimate", Suite: "PARSEC 2.1", Threads: 4, ComputeRoutines: 20, CommRoutines: 3, IORoutines: 1, CommVolume: 420, IOVolume: 60, Rounds: 55, Seed: 201},
+		{Name: "swaptions", Suite: "PARSEC 2.1", Threads: 4, ComputeRoutines: 16, CommRoutines: 2, IORoutines: 1, CommVolume: 300, IOVolume: 90, Rounds: 60, Seed: 202},
+		{Name: "vips", Suite: "PARSEC 2.1", Threads: 4, ComputeRoutines: 34, CommRoutines: 4, IORoutines: 2, CommVolume: 320, IOVolume: 120, Rounds: 50, Seed: 203},
+		{Name: "bodytrack", Suite: "PARSEC 2.1", Threads: 4, ComputeRoutines: 26, CommRoutines: 3, IORoutines: 2, CommVolume: 250, IOVolume: 140, Rounds: 50, Seed: 204},
+		{Name: "x264", Suite: "PARSEC 2.1", Threads: 4, ComputeRoutines: 28, CommRoutines: 3, IORoutines: 3, CommVolume: 220, IOVolume: 170, Rounds: 50, Seed: 205, RacyComm: true},
+		{Name: "dedup", Suite: "PARSEC 2.1", Threads: 4, ComputeRoutines: 22, CommRoutines: 4, IORoutines: 4, CommVolume: 200, IOVolume: 200, Rounds: 50, Seed: 206, RacyComm: true},
+	}
+}
+
+// SuiteMySQL returns the mysqlslap-like load: a server whose induced
+// first-reads are dominated by network and disk I/O.
+func SuiteMySQL() []Benchmark {
+	return []Benchmark{
+		{Name: "mysqlslap", Suite: "MySQL", Threads: 4, ComputeRoutines: 30, CommRoutines: 2, IORoutines: 6, CommVolume: 60, IOVolume: 420, Rounds: 50, Seed: 301},
+	}
+}
+
+// FullSuite returns every benchmark.
+func FullSuite() []Benchmark {
+	out := append(SuiteOMP(), SuitePARSEC()...)
+	return append(out, SuiteMySQL()...)
+}
+
+// Scaled returns a copy of b with its rounds multiplied by k, for
+// experiments that need enough work per trace to dwarf fixed overheads
+// (Fig. 16's parallel native baseline).
+func (b Benchmark) Scaled(k int) Benchmark {
+	c := b
+	if k > 1 {
+		c.Rounds = b.Rounds * k
+	}
+	return c
+}
+
+// WithThreads returns a copy of b running with the given thread count,
+// keeping total work roughly constant (rounds are divided among threads) —
+// the Fig. 16 scaling configuration.
+func (b Benchmark) WithThreads(threads int) Benchmark {
+	c := b
+	c.Rounds = b.Rounds * b.Threads / threads
+	if c.Rounds == 0 {
+		c.Rounds = 1
+	}
+	c.Threads = threads
+	return c
+}
+
+// Build generates the benchmark's merged execution trace.
+func (b Benchmark) Build() *trace.Trace {
+	rng := rand.New(rand.NewSource(b.Seed))
+	tb := trace.NewBuilder()
+	threads := make([]*trace.ThreadBuilder, b.Threads)
+	for i := range threads {
+		threads[i] = tb.Thread(trace.ThreadID(i + 1))
+		threads[i].Call("thread_main")
+	}
+
+	// Address layout: per-thread private regions, one shared region per
+	// communication routine, one staging region per I/O routine.
+	const (
+		privateBase = trace.Addr(1 << 20)
+		privateSpan = trace.Addr(1 << 16)
+		sharedBase  = trace.Addr(1 << 28)
+		sharedSpan  = trace.Addr(1 << 12)
+		stageBase   = trace.Addr(1 << 30)
+		stageSpan   = trace.Addr(1 << 12)
+	)
+
+	// Task bodies. Every routine takes a per-call size so that repeated
+	// calls produce many distinct input-size values (the input-sensitive
+	// behaviour aprof relies on).
+	compute := func(t int, rtn int, size int) {
+		th := threads[t]
+		th.Call(fmt.Sprintf("compute_%02d", rtn))
+		base := privateBase + trace.Addr(t)*privateSpan + trace.Addr(rtn*2048)
+		th.Read(base, uint32(size))
+		th.Work(uint64(3 * size))
+		th.Write(base, uint32(size/2+1))
+		th.Ret()
+	}
+	// A single benchmark-wide progress cell that producers update and
+	// consumers poll without synchronization — the kind of benign race real
+	// applications contain, and the source of the (small) thread-input
+	// fluctuation across scheduler configurations (§4.2).
+	const progressFlag = sharedBase - 1
+
+	communicate := func(t int, rtn int, size int) {
+		size = max(size, 1)
+		th := threads[t]
+		peer := threads[(t+1)%b.Threads]
+		// Each (routine, consumer thread) pair owns a region and a
+		// semaphore pair, so the handoffs themselves are properly
+		// synchronized: alternative schedules cannot reorder them.
+		slot := rtn*b.Threads + t
+		region := sharedBase + trace.Addr(slot)*sharedSpan
+		semFull := trace.Addr(2*slot + 1)
+		semEmpty := trace.Addr(2*slot + 2)
+		th.Call(fmt.Sprintf("comm_%02d", rtn))
+		// Initialize the buffer (a write, invisible to the rms), then
+		// consume peer-produced chunks through it under the full
+		// two-semaphore protocol of Fig. 2 — the producer writes only on
+		// request, so no schedule can reorder a production against the
+		// consumer's initialization or reads.
+		chunk := uint32(min(size, int(sharedSpan)))
+		rounds := 1 + size/int(chunk)
+		th.Write(region, chunk)
+		if !b.RacyComm {
+			th.Release(semEmpty) // request the first chunk
+		}
+		for r := 0; r < rounds; r++ {
+			if !b.RacyComm {
+				peer.Acquire(semEmpty)
+			}
+			peer.Call("produce_chunk")
+			peer.Work(uint64(chunk / 4))
+			peer.Write(region, chunk)
+			peer.Write1(progressFlag) // racy progress update
+			peer.Ret()
+			if !b.RacyComm {
+				peer.Release(semFull)
+				th.Acquire(semFull)
+			}
+			// Racy double-read poll of the global progress cell: whether
+			// the second read is an induced first-read depends on whether
+			// some other pipeline's producer wrote the cell in between —
+			// i.e., on the schedule.
+			th.Read1(progressFlag)
+			th.Read1(progressFlag)
+			th.Read(region, chunk)
+			th.Work(uint64(chunk / 2))
+			if !b.RacyComm && r+1 < rounds {
+				th.Release(semEmpty) // request the next chunk
+			}
+		}
+		th.Ret()
+	}
+	inputOutput := func(t int, rtn int, size int) {
+		size = max(size, 1)
+		th := threads[t]
+		// Per-thread staging buffers: kernel I/O into a buffer shared with
+		// other threads would be a race, which real programs avoid.
+		region := stageBase + trace.Addr(rtn*b.Threads+t)*stageSpan
+		th.Call(fmt.Sprintf("io_%02d", rtn))
+		chunk := uint32(min(size, int(stageSpan)))
+		th.Write(region, chunk)
+		rounds := 1 + size/int(chunk)
+		for r := 0; r < rounds; r++ {
+			th.SysRead(region, chunk)
+			th.Read(region, chunk)
+			th.Work(uint64(chunk / 2))
+		}
+		// Send a result out (kernel reads our memory).
+		th.SysWrite(region, chunk/2+1)
+		th.Ret()
+	}
+
+	totalTasks := b.ComputeRoutines*4 + b.CommRoutines + b.IORoutines
+	for round := 0; round < b.Rounds; round++ {
+		for t := 0; t < b.Threads; t++ {
+			// Every thread polls the racy progress cell between tasks;
+			// whether the poll observes a fresh foreign write — and thus
+			// counts as an induced first-read — depends on the schedule.
+			threads[t].Read1(progressFlag)
+			pick := rng.Intn(totalTasks)
+			switch {
+			case pick < b.ComputeRoutines*4:
+				rtn := pick % b.ComputeRoutines
+				size := 8 + rng.Intn(120)*(1+rtn%5)
+				compute(t, rtn, size)
+			case pick < b.ComputeRoutines*4+b.CommRoutines:
+				rtn := pick - b.ComputeRoutines*4
+				// A communication task performs several activations with
+				// varying per-activation volumes: the total volume follows
+				// CommVolume, but every activation observes a distinct
+				// drms. This per-activation variety is what gives the
+				// communication and I/O routines their high profile
+				// richness (Fig. 11: a few routines collect orders of
+				// magnitude more drms points than rms points).
+				sizeTotal := b.CommVolume/2 + rng.Intn(b.CommVolume+1)
+				reps := 4 + rng.Intn(4)
+				for k := 0; k < reps; k++ {
+					size := sizeTotal/reps + rng.Intn(sizeTotal/reps+2)
+					communicate(t, rtn, size)
+				}
+			default:
+				rtn := pick - b.ComputeRoutines*4 - b.CommRoutines
+				sizeTotal := b.IOVolume/2 + rng.Intn(b.IOVolume+1)
+				reps := 4 + rng.Intn(4)
+				for k := 0; k < reps; k++ {
+					size := sizeTotal/reps + rng.Intn(sizeTotal/reps+2)
+					inputOutput(t, rtn, size)
+				}
+			}
+		}
+	}
+	for _, th := range threads {
+		th.Ret()
+	}
+	return tb.Trace()
+}

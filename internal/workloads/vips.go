@@ -1,0 +1,180 @@
+package workloads
+
+import "aprof/internal/trace"
+
+// VipsImGenerateConfig parameterizes the im_generate case study (Fig. 5):
+// the vips demand-driven image pipeline evaluates an image region per call,
+// with worker threads producing tiles into a shared buffer that im_generate
+// consumes. Tile buffer cells are reused across tiles, so each activation's
+// rms stays near one tile while its drms counts every produced tile.
+type VipsImGenerateConfig struct {
+	// TileCells is the size of the shared tile buffer in cells.
+	TileCells int
+	// SetupFraction controls per-activation private bookkeeping reads:
+	// setupCells = tiles/SetupFraction. It gives the rms its slight growth
+	// (the 0-7×1000 range of Fig. 5) against a linearly growing cost.
+	SetupFraction int
+	// WorkPerTile is the basic-block cost of processing one tile.
+	WorkPerTile int
+	// Workers is the number of producer threads that fill tiles.
+	Workers int
+}
+
+// DefaultVipsImGenerateConfig mirrors the shape of the paper's experiment.
+func DefaultVipsImGenerateConfig() VipsImGenerateConfig {
+	return VipsImGenerateConfig{
+		TileCells:     64,
+		SetupFraction: 10,
+		WorkPerTile:   40,
+		Workers:       3,
+	}
+}
+
+// VipsImGenerate builds a trace with one im_generate activation per entry of
+// tileCounts; the i-th activation consumes tileCounts[i] tiles produced by
+// worker threads through the shared tile buffer.
+func VipsImGenerate(tileCounts []int, cfg VipsImGenerateConfig) *trace.Trace {
+	b := trace.NewBuilder()
+	gen := b.Thread(1)
+	workers := make([]*trace.ThreadBuilder, cfg.Workers)
+	for i := range workers {
+		workers[i] = b.Thread(trace.ThreadID(2 + i))
+		workers[i].Call("vips_worker")
+	}
+
+	const tileBuf = trace.Addr(1 << 20)
+	setupBase := tileBuf + trace.Addr(cfg.TileCells)
+
+	gen.Call("vips_main")
+	for _, tiles := range tileCounts {
+		gen.Call("im_generate")
+
+		// Private per-activation bookkeeping (region descriptors).
+		setupCells := tiles / cfg.SetupFraction
+		for c := 0; c < setupCells; c++ {
+			gen.Read1(setupBase + trace.Addr(c))
+		}
+		gen.Work(uint64(setupCells))
+
+		for tile := 0; tile < tiles; tile++ {
+			w := workers[tile%cfg.Workers]
+			w.Call("wbuffer_work_fn")
+			w.Work(uint64(cfg.WorkPerTile))
+			w.Write(tileBuf, uint32(cfg.TileCells))
+			w.Ret()
+
+			gen.Read(tileBuf, uint32(cfg.TileCells))
+			gen.Work(uint64(cfg.WorkPerTile))
+		}
+		gen.Ret()
+	}
+	gen.Ret()
+	for _, w := range workers {
+		w.Ret()
+	}
+	return b.Trace()
+}
+
+// VipsWbufferConfig parameterizes the wbuffer_write_thread case study
+// (Fig. 6): the vips output thread that flushes write buffers to disk. Each
+// activation reads a small control structure (67 or 69 cells depending on
+// the buffer branch — the only variation the rms sees), initializes its
+// staging buffers itself, and then consumes data that arrives from disk
+// (external input) and from peer threads (thread input) into those reused
+// buffers.
+type VipsWbufferConfig struct {
+	// Calls is the number of wbuffer_write_thread activations (110 in the
+	// paper).
+	Calls int
+	// ControlSmall and ControlLarge are the two control-structure sizes; the
+	// paper observed 65 calls with rms 67 and 45 with rms 69.
+	ControlSmall, ControlLarge int
+	// SmallCalls is how many calls read the small control structure.
+	SmallCalls int
+	// ExternalUnit is the number of cells one disk refill delivers;
+	// externalGroups(i) refills happen in call i.
+	ExternalUnit int
+	// ExternalGroupSize controls how coarsely external input varies across
+	// calls: call i performs (i/ExternalGroupSize + 1) refills, so calls in
+	// the same group share a drms value in external-only mode.
+	ExternalGroupSize int
+	// ThreadUnit is the number of peer-thread-produced cells consumed per
+	// call step; call i consumes i+1 steps, all distinct across calls.
+	ThreadUnit int
+	// BaseWork is a fixed per-call cost floor, bounding the relative cost
+	// variance within an rms group as in Fig. 6a.
+	BaseWork int
+}
+
+// DefaultVipsWbufferConfig reproduces the 110-call experiment.
+func DefaultVipsWbufferConfig() VipsWbufferConfig {
+	return VipsWbufferConfig{
+		Calls:             110,
+		ControlSmall:      67,
+		ControlLarge:      69,
+		SmallCalls:        65,
+		ExternalUnit:      500,
+		ExternalGroupSize: 8,
+		ThreadUnit:        900,
+		BaseWork:          30000,
+	}
+}
+
+// VipsWbuffer builds the wbuffer_write_thread trace. The key property is
+// that both dynamic input sources flow through buffers the activation writes
+// first: the rms sees only the control structure (two distinct values
+// across all calls), external-only drms varies in coarse groups, and full
+// drms is distinct for every call.
+func VipsWbuffer(cfg VipsWbufferConfig) *trace.Trace {
+	b := trace.NewBuilder()
+	wb := b.Thread(1)
+	peer := b.Thread(2)
+	peer.Call("vips_peer")
+
+	const (
+		controlBase = trace.Addr(1 << 18)
+		stageBase   = trace.Addr(1 << 19)
+		shareBase   = trace.Addr(1 << 21)
+	)
+
+	wb.Call("vips_output")
+	for i := 0; i < cfg.Calls; i++ {
+		wb.Call("wbuffer_write_thread")
+		wb.Work(uint64(cfg.BaseWork))
+
+		// Control structure: the only first-reads of the activation.
+		control := cfg.ControlLarge
+		if i < cfg.SmallCalls {
+			control = cfg.ControlSmall
+		}
+		wb.Read(controlBase, uint32(control))
+		wb.Work(uint64(control))
+
+		// External input: initialize the staging buffer (a write, so the
+		// cells never count toward rms), then repeatedly let the disk
+		// refill it and consume it.
+		refills := i/cfg.ExternalGroupSize + 1
+		wb.Write(stageBase, uint32(cfg.ExternalUnit))
+		for r := 0; r < refills; r++ {
+			wb.SysRead(stageBase, uint32(cfg.ExternalUnit))
+			wb.Read(stageBase, uint32(cfg.ExternalUnit))
+			wb.Work(uint64(cfg.ExternalUnit / 4))
+		}
+
+		// Thread input: same discipline against a peer thread, with a
+		// distinct volume per call.
+		steps := i + 1
+		wb.Write(shareBase, uint32(cfg.ThreadUnit))
+		for s := 0; s < steps; s++ {
+			peer.Call("wbuffer_fill")
+			peer.Write(shareBase, uint32(cfg.ThreadUnit))
+			peer.Ret()
+			wb.Read(shareBase, uint32(cfg.ThreadUnit))
+			wb.Work(uint64(cfg.ThreadUnit / 8))
+		}
+		wb.Ret()
+	}
+	wb.Ret()
+	peer.Ret()
+	return b.Trace()
+}

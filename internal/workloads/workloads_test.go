@@ -1,0 +1,332 @@
+package workloads
+
+import (
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/fit"
+	"aprof/internal/metrics"
+	"aprof/internal/trace"
+)
+
+func profile(t *testing.T, tr *trace.Trace) *core.Profiles {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("workload trace invalid: %v", err)
+	}
+	ps, err := core.Run(tr, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("profiling failed: %v", err)
+	}
+	return ps
+}
+
+func TestProducerConsumerMetric(t *testing.T) {
+	const n = 30
+	ps := profile(t, ProducerConsumer(n))
+	consumer := ps.Routine("consumer")
+	if consumer == nil {
+		t.Fatal("no consumer profile")
+	}
+	if consumer.SumRMS != 1 {
+		t.Errorf("rms(consumer) = %d, want 1", consumer.SumRMS)
+	}
+	if consumer.SumDRMS != n {
+		t.Errorf("drms(consumer) = %d, want %d", consumer.SumDRMS, n)
+	}
+	// consumeData is called n times, each with drms 1.
+	cd := ps.Routine("consumeData")
+	if cd.Calls != n || cd.SumDRMS != n {
+		t.Errorf("consumeData: calls=%d sumDRMS=%d, want %d and %d", cd.Calls, cd.SumDRMS, n, n)
+	}
+}
+
+func TestStreamReaderMetric(t *testing.T) {
+	const n = 25
+	ps := profile(t, StreamReader(n, 2))
+	sr := ps.Routine("streamReader")
+	if sr.SumRMS != 1 {
+		t.Errorf("rms(streamReader) = %d, want 1", sr.SumRMS)
+	}
+	if sr.SumDRMS != n {
+		t.Errorf("drms(streamReader) = %d, want %d", sr.SumDRMS, n)
+	}
+	if sr.InducedExternal != n {
+		t.Errorf("external induced = %d, want %d", sr.InducedExternal, n)
+	}
+}
+
+// TestDBScanShape verifies the Fig. 4 property: across growing tables, the
+// rms of mysql_select stays near the buffer size while the drms tracks the
+// table size, so the drms plot is linear and the rms plot looks superlinear.
+func TestDBScanShape(t *testing.T) {
+	sizes := []int{512, 1024, 2048, 4096, 8192}
+	cfg := DefaultDBScanConfig()
+	ps := profile(t, DBScan(sizes, cfg))
+	sel := ps.Routine("mysql_select")
+	if sel == nil {
+		t.Fatal("no mysql_select profile")
+	}
+	if got := int(sel.Calls); got != len(sizes) {
+		t.Fatalf("calls = %d, want %d", got, len(sizes))
+	}
+
+	var rmsPts, drmsPts []fit.Point
+	for _, p := range sel.WorstCasePlot(core.MetricRMS) {
+		rmsPts = append(rmsPts, fit.Point{N: float64(p.N), Cost: float64(p.Cost)})
+	}
+	for _, p := range sel.WorstCasePlot(core.MetricDRMS) {
+		drmsPts = append(drmsPts, fit.Point{N: float64(p.N), Cost: float64(p.Cost)})
+	}
+	if len(drmsPts) != len(sizes) {
+		t.Fatalf("drms plot has %d points, want %d", len(drmsPts), len(sizes))
+	}
+
+	// The rms varies much less than the drms across the same activations.
+	rmsSpread := rmsPts[len(rmsPts)-1].N / rmsPts[0].N
+	drmsSpread := drmsPts[len(drmsPts)-1].N / drmsPts[0].N
+	if rmsSpread > 3 {
+		t.Errorf("rms spread = %.2f, want <= 3 (buffer-bounded)", rmsSpread)
+	}
+	if drmsSpread < 10 {
+		t.Errorf("drms spread = %.2f, want >= 10 (tracks table size)", drmsSpread)
+	}
+
+	// drms cost plot: linear. rms cost plot: apparent superlinear growth.
+	drmsExp, r2, err := fit.PowerLaw(drmsPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drmsExp < 0.9 || drmsExp > 1.15 || r2 < 0.98 {
+		t.Errorf("drms power-law exponent = %.3f (R2=%.3f), want ~1", drmsExp, r2)
+	}
+	rmsExp, _, err := fit.PowerLaw(rmsPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmsExp < 2 {
+		t.Errorf("rms power-law exponent = %.3f, want >= 2 (false superlinear trend)", rmsExp)
+	}
+	best, err := fit.BestFit(drmsPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model.Name != "n" {
+		t.Errorf("drms best fit = %s, want n", best.Model.Name)
+	}
+}
+
+// TestVipsImGenerateShape verifies the Fig. 5 analogue: thread-induced input
+// makes the drms track the consumed tiles while the rms is tile-buffer
+// bounded.
+func TestVipsImGenerateShape(t *testing.T) {
+	tiles := []int{40, 80, 160, 320, 640}
+	ps := profile(t, VipsImGenerate(tiles, DefaultVipsImGenerateConfig()))
+	gen := ps.Routine("im_generate")
+	if gen == nil {
+		t.Fatal("no im_generate profile")
+	}
+	var drmsPts []fit.Point
+	for _, p := range gen.WorstCasePlot(core.MetricDRMS) {
+		drmsPts = append(drmsPts, fit.Point{N: float64(p.N), Cost: float64(p.Cost)})
+	}
+	exp, r2, err := fit.PowerLaw(drmsPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp < 0.9 || exp > 1.15 || r2 < 0.98 {
+		t.Errorf("drms exponent = %.3f (R2=%.3f), want ~1", exp, r2)
+	}
+	if gen.InducedThread == 0 || gen.InducedExternal != 0 {
+		t.Errorf("induced = (thread=%d, external=%d), want thread-only", gen.InducedThread, gen.InducedExternal)
+	}
+	// rms bounded by tile buffer + setup.
+	rmsPlot := gen.WorstCasePlot(core.MetricRMS)
+	maxRMS := rmsPlot[len(rmsPlot)-1].N
+	if maxRMS > 200 {
+		t.Errorf("max rms = %d, want small (buffer-bounded)", maxRMS)
+	}
+}
+
+// TestVipsWbufferPointCounts verifies the Fig. 6 point-count progression:
+// rms collapses 110 calls onto 2 plot points; drms with external input only
+// yields more; full drms yields one point per call.
+func TestVipsWbufferPointCounts(t *testing.T) {
+	cfg := DefaultVipsWbufferConfig()
+	build := func() *trace.Trace { return VipsWbuffer(cfg) }
+
+	runWith := func(pcfg core.Config) *core.Profile {
+		ps, err := core.Run(build(), pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := ps.Routine("wbuffer_write_thread")
+		if p == nil {
+			t.Fatal("no wbuffer_write_thread profile")
+		}
+		return p
+	}
+
+	rmsP := runWith(core.DefaultConfig())
+	if got := len(rmsP.RMSPoints); got != 2 {
+		t.Errorf("rms points = %d, want 2", got)
+	}
+	// The two rms values are the control-structure sizes.
+	for _, want := range []uint64{uint64(cfg.ControlSmall), uint64(cfg.ControlLarge)} {
+		if _, ok := rmsP.RMSPoints[want]; !ok {
+			t.Errorf("rms plot missing point at %d", want)
+		}
+	}
+	if rmsP.RMSPoints[uint64(cfg.ControlSmall)].Count != uint64(cfg.SmallCalls) {
+		t.Errorf("rms %d has %d calls, want %d", cfg.ControlSmall,
+			rmsP.RMSPoints[uint64(cfg.ControlSmall)].Count, cfg.SmallCalls)
+	}
+
+	extOnly := runWith(core.Config{ExternalInput: true})
+	extPoints := len(extOnly.DRMSPoints)
+	if extPoints <= 2 {
+		t.Errorf("external-only drms points = %d, want > 2", extPoints)
+	}
+	if extPoints >= cfg.Calls {
+		t.Errorf("external-only drms points = %d, want < %d (grouped refills)", extPoints, cfg.Calls)
+	}
+
+	full := runWith(core.DefaultConfig())
+	if got := len(full.DRMSPoints); got != cfg.Calls {
+		t.Errorf("full drms points = %d, want %d (every call distinct)", got, cfg.Calls)
+	}
+	if full.Calls != uint64(cfg.Calls) {
+		t.Errorf("calls = %d, want %d", full.Calls, cfg.Calls)
+	}
+}
+
+// TestSelectionSortVM verifies the Fig. 10 workload: the profiler sees one
+// performance point per input size and the basic-block cost plot is cleanly
+// quadratic in the rms.
+func TestSelectionSortVM(t *testing.T) {
+	sizes := []int{25, 50, 75, 100, 125, 150, 175, 200}
+	tr, err := SelectionSortVM(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.Run(tr, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort := ps.Routine("selection_sort")
+	if sort == nil {
+		t.Fatal("no selection_sort profile")
+	}
+	if int(sort.Calls) != len(sizes) {
+		t.Fatalf("calls = %d, want %d", sort.Calls, len(sizes))
+	}
+	plot := sort.WorstCasePlot(core.MetricRMS)
+	if len(plot) != len(sizes) {
+		t.Fatalf("plot has %d points, want %d", len(plot), len(sizes))
+	}
+	// rms of a sort activation is the array size (plus O(1)).
+	for i, p := range plot {
+		if p.N < uint64(sizes[i]) || p.N > uint64(sizes[i])+4 {
+			t.Errorf("point %d: rms = %d, want ~%d", i, p.N, sizes[i])
+		}
+	}
+	var pts []fit.Point
+	for _, p := range plot {
+		pts = append(pts, fit.Point{N: float64(p.N), Cost: float64(p.Cost)})
+	}
+	best, err := fit.BestFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Model.Name != "n^2" {
+		t.Errorf("best fit = %s (R2=%.4f), want n^2", best.Model.Name, best.R2)
+	}
+	// No dynamic input: drms == rms for the sort.
+	if sort.SumDRMS != sort.SumRMS {
+		t.Errorf("drms %d != rms %d for a private-memory sort", sort.SumDRMS, sort.SumRMS)
+	}
+}
+
+func TestSelectionSortTimed(t *testing.T) {
+	pts := SelectionSortTimed([]int{50, 100, 200}, 3)
+	if len(pts) != 9 {
+		t.Fatalf("got %d points, want 9", len(pts))
+	}
+	for _, p := range pts {
+		if p.NS <= 0 {
+			t.Errorf("non-positive duration for n=%d", p.N)
+		}
+	}
+}
+
+// TestSuiteCharacterization verifies the Fig. 15 clustering: every OMP-like
+// benchmark has thread input >= 69%, and mysqlslap is dominated by external
+// input.
+func TestSuiteCharacterization(t *testing.T) {
+	for _, b := range SuiteOMP() {
+		ps := profile(t, b.Build())
+		s := metrics.Summarize(ps)
+		if s.ThreadInputPct < 69 {
+			t.Errorf("%s: thread input = %.1f%%, want >= 69%%", b.Name, s.ThreadInputPct)
+		}
+	}
+	for _, b := range SuiteMySQL() {
+		ps := profile(t, b.Build())
+		s := metrics.Summarize(ps)
+		if s.ExternalInputPct < 60 {
+			t.Errorf("%s: external input = %.1f%%, want >= 60%%", b.Name, s.ExternalInputPct)
+		}
+	}
+}
+
+// TestSuiteDeterminism ensures benchmark traces are reproducible.
+func TestSuiteDeterminism(t *testing.T) {
+	b := SuitePARSEC()[0]
+	b.Rounds = 5
+	t1 := b.Build()
+	t2 := b.Build()
+	if len(t1.Events) != len(t2.Events) {
+		t.Fatalf("non-deterministic trace: %d vs %d events", len(t1.Events), len(t2.Events))
+	}
+	for i := range t1.Events {
+		if t1.Events[i] != t2.Events[i] {
+			t.Fatalf("trace diverges at event %d", i)
+		}
+	}
+}
+
+// TestSuiteThreadScaling checks WithThreads keeps total work roughly stable.
+func TestSuiteThreadScaling(t *testing.T) {
+	b := SuiteOMP()[0]
+	b.Rounds = 16
+	base := b.Build().Len()
+	for _, threads := range []int{1, 2, 8} {
+		scaled := b.WithThreads(threads).Build().Len()
+		ratio := float64(scaled) / float64(base)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("threads=%d: event count ratio %.2f, want near 1", threads, ratio)
+		}
+	}
+}
+
+// TestSuiteRichnessSpread checks the Fig. 11/12 property on one benchmark:
+// a small fraction of routines carries dynamic input (positive richness or
+// input volume), most do not.
+func TestSuiteRichnessSpread(t *testing.T) {
+	b := SuitePARSEC()[2] // vips-like
+	ps := profile(t, b.Build())
+	rs := metrics.Compute(ps)
+	withDynamic := 0
+	for _, r := range rs {
+		if r.InputVolume > 0.5 {
+			withDynamic++
+		}
+	}
+	if withDynamic == 0 {
+		t.Fatal("no routine with dominant dynamic input")
+	}
+	frac := float64(withDynamic) / float64(len(rs))
+	if frac > 0.5 {
+		t.Errorf("%.0f%% of routines have dominant dynamic input, want a small fraction", frac*100)
+	}
+}

@@ -1,0 +1,113 @@
+package aprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aprof/internal/core"
+)
+
+// ReportOptions controls Report rendering.
+type ReportOptions struct {
+	// TopN limits the report to the N routines with the highest total cost
+	// (0 = all).
+	TopN int
+	// Metric selects the input-size estimate of the plots column and of the
+	// fitted model. Defaults to DRMS.
+	Metric Metric
+	// Fit adds a fitted empirical cost function per routine when the
+	// routine has at least MinFitPoints distinct input sizes.
+	Fit bool
+	// MinFitPoints is the minimum number of distinct input sizes required
+	// to attempt a fit (default 5).
+	MinFitPoints int
+	// Plots appends the worst-case cost plot points of every reported
+	// routine.
+	Plots bool
+	// Contexts appends the hottest calling contexts (requires a run with
+	// ContextSensitiveConfig); 0 disables the section.
+	Contexts int
+}
+
+func (o ReportOptions) withDefaults() ReportOptions {
+	if o.MinFitPoints == 0 {
+		o.MinFitPoints = 5
+	}
+	return o
+}
+
+// Report renders a human-readable profile: one row per routine (merged
+// across threads) with call counts, cost, input-size statistics, the
+// dynamic-input split, and optionally a fitted cost model and the plot
+// points.
+func Report(ps *Profiles, opts ReportOptions) string {
+	opts = opts.withDefaults()
+
+	type row struct {
+		name string
+		p    *core.Profile
+	}
+	var rows []row
+	for id, p := range ps.MergeThreads() {
+		rows = append(rows, row{name: ps.Symbols.Name(id), p: p})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p.TotalCost != rows[j].p.TotalCost {
+			return rows[i].p.TotalCost > rows[j].p.TotalCost
+		}
+		return rows[i].name < rows[j].name
+	})
+	if opts.TopN > 0 && len(rows) > opts.TopN {
+		rows = rows[:opts.TopN]
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %9s %12s %9s %9s %9s %8s %8s\n",
+		"routine", "calls", "cost", "rms.pts", "drms.pts", "drms.sum", "thr.in%", "ext.in%")
+	sb.WriteString(strings.Repeat("-", 100))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		p := r.p
+		thr, ext := 0.0, 0.0
+		if reads := p.ReadOps(); reads > 0 {
+			thr = 100 * float64(p.InducedThread) / float64(reads)
+			ext = 100 * float64(p.InducedExternal) / float64(reads)
+		}
+		fmt.Fprintf(&sb, "%-28s %9d %12d %9d %9d %9d %8.1f %8.1f\n",
+			r.name, p.Calls, p.TotalCost, len(p.RMSPoints), len(p.DRMSPoints), p.SumDRMS, thr, ext)
+	}
+
+	if opts.Fit || opts.Plots {
+		for _, r := range rows {
+			plot := r.p.WorstCasePlot(opts.Metric)
+			if opts.Fit && len(plot) >= opts.MinFitPoints {
+				if model, err := FitCost(ps, r.name, opts.Metric); err == nil {
+					fmt.Fprintf(&sb, "\nfit %s [%s]: %s (exponent %.2f)\n",
+						r.name, opts.Metric, model.Formula, model.Exponent)
+				}
+			}
+			if opts.Plots && len(plot) > 0 {
+				fmt.Fprintf(&sb, "\nplot %s [%s]: n -> max cost\n", r.name, opts.Metric)
+				for _, pt := range plot {
+					fmt.Fprintf(&sb, "  %d\t%d\t(%d calls)\n", pt.N, pt.Cost, pt.Calls)
+				}
+			}
+		}
+	}
+
+	if opts.Contexts > 0 {
+		if hot := ps.HotContexts(opts.Contexts); len(hot) > 0 {
+			fmt.Fprintf(&sb, "\nhot calling contexts (top %d by inclusive cost):\n", opts.Contexts)
+			for _, cp := range hot {
+				fmt.Fprintf(&sb, "  %12d  %6d calls  %5d drms pts  %s\n",
+					cp.Profile.TotalCost, cp.Profile.Calls, len(cp.Profile.DRMSPoints), cp.Path)
+			}
+		}
+	}
+
+	s := Summarize(ps)
+	fmt.Fprintf(&sb, "\nroutines: %d   dynamic input volume: %.3f   induced first-reads: %d (thread %.1f%%, external %.1f%%)\n",
+		s.Routines, s.DynamicInputVolume, s.InducedReads, s.ThreadInputPct, s.ExternalInputPct)
+	return sb.String()
+}
