@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments examples clean
+.PHONY: all build test vet race fuzz bench cover experiments examples clean
 
 all: build test
 
@@ -14,6 +14,21 @@ vet:
 
 test: vet
 	$(GO) test ./...
+
+# Full suite under the race detector: the concurrent pipeline (profio
+# streaming, RunConcurrent, MergeRunsParallel, experiment pool) must be
+# data-race free.
+race: vet
+	$(GO) test -race ./...
+
+# Short smoke run of every native fuzz target (seed corpora live in
+# testdata/fuzz/). Lengthen FUZZTIME for a real fuzzing session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/vm
+	$(GO) test -run xxx -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run xxx -fuzz FuzzReadText -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run xxx -fuzz FuzzReadProfiles -fuzztime $(FUZZTIME) ./internal/profio
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -25,6 +25,7 @@
 package aprof
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -229,31 +230,65 @@ func WriteHTMLReport(w io.Writer, ps *Profiles, opts HTMLReportOptions) error {
 // input-size range, improving the cost-function fits.
 func MergeRuns(runs ...*Profiles) *Profiles { return core.MergeRuns(runs...) }
 
-// ProfileTraceStream profiles a binary trace incrementally from r: events
-// are decoded and fed to the profiler one at a time, so trace files far
-// larger than memory can be profiled (the profiler's own state is bounded by
-// the traced program's footprint, not by the trace length — especially with
-// Config.MaxPointsPerProfile set).
-func ProfileTraceStream(r io.Reader, cfg Config) (*Profiles, error) {
-	br, err := trace.NewBinaryReader(r)
-	if err != nil {
-		return nil, err
-	}
-	p := core.NewProfiler(br.Symbols(), cfg)
-	var ev Event
-	for {
-		ok, err := br.Next(&ev)
+// MergeRunsParallel is MergeRuns executed as a tree reduction by a pool of
+// workers (<= 0 uses GOMAXPROCS): O(log n) merge depth instead of a left
+// fold, for merging the profiles of many runs on multi-core hosts. The
+// result is equivalent to MergeRuns (profile merging is associative).
+func MergeRunsParallel(workers int, runs ...*Profiles) *Profiles {
+	return core.MergeRunsParallel(workers, runs...)
+}
+
+// Job produces one trace for RunConcurrent. Use TraceJob and ProgramJob for
+// the common cases, or write a Job that decodes a trace file.
+type Job = core.Job
+
+// TraceJob wraps an already-built trace as a Job.
+func TraceJob(tr *Trace) Job {
+	return func(context.Context) (*Trace, error) { return tr, nil }
+}
+
+// ProgramJob compiles and executes a MiniLang program under the
+// instrumented VM when the job is scheduled, yielding its trace.
+func ProgramJob(src string, vmOpts VMOptions) Job {
+	return func(context.Context) (*Trace, error) {
+		res, err := vm.RunSource(src, vmOpts)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			break
-		}
-		if err := p.HandleEvent(&ev); err != nil {
-			return nil, err
-		}
+		return res.Trace, nil
 	}
-	return p.Finish()
+}
+
+// RunConcurrent profiles N independent traces or VM programs in parallel
+// with a worker pool (workers <= 0 uses GOMAXPROCS) and merges the per-run
+// profiles with a parallel tree reduction. Every trace is profiled by the
+// exact sequential algorithm, so per-trace results are identical to
+// ProfileTrace; only orchestration is parallel. The first error (lowest job
+// index) cancels outstanding work and is returned.
+func RunConcurrent(ctx context.Context, jobs []Job, cfg Config, workers int) (*Profiles, error) {
+	return core.RunConcurrent(ctx, jobs, cfg, workers)
+}
+
+// StreamOptions tunes the staged pipeline behind ProfileTraceStream: batch
+// size and channel depth of the decoder stage.
+type StreamOptions = profio.StreamOptions
+
+// ProfileTraceStream profiles a binary trace incrementally from r through a
+// two-stage pipeline: a decoder goroutine parses and validates events into
+// reusable batches handed to the (serial) profiler over a bounded channel,
+// overlapping decode with profiling. Events are handled in exact trace
+// order, so the result is identical to profiling the decoded trace with
+// ProfileTrace; trace files far larger than memory can be profiled (the
+// profiler's own state is bounded by the traced program's footprint, not by
+// the trace length — especially with Config.MaxPointsPerProfile set).
+func ProfileTraceStream(r io.Reader, cfg Config) (*Profiles, error) {
+	return profio.ProfileStream(context.Background(), r, cfg, profio.StreamOptions{})
+}
+
+// ProfileTraceStreamContext is ProfileTraceStream with cancellation and
+// pipeline tuning: cancelling ctx aborts the run between batches.
+func ProfileTraceStreamContext(ctx context.Context, r io.Reader, cfg Config, opts StreamOptions) (*Profiles, error) {
+	return profio.ProfileStream(ctx, r, cfg, opts)
 }
 
 // PlotOptions controls PlotASCII rendering.

@@ -8,6 +8,8 @@ package aprof
 // Table 1).
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"aprof/internal/core"
@@ -157,5 +159,127 @@ func BenchmarkVMInterpreter(b *testing.B) {
 		if tr.Len() == 0 {
 			b.Fatal("empty trace")
 		}
+	}
+}
+
+// --- Concurrent pipeline benchmarks (BENCH_pipeline.json) ---------------
+
+// benchStreamBytes encodes the shared micro-trace once; the stream
+// benchmarks replay it from memory so only decode+profile cost is measured.
+func benchStreamBytes(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, benchTrace()); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkStreamSequential is the pre-pipeline baseline: decode the whole
+// trace into memory, then profile it.
+func BenchmarkStreamSequential(b *testing.B) {
+	data := benchStreamBytes(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Run(tr, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamPipelined measures the staged pipeline: a decoder goroutine
+// overlaps event parsing with the profiler consuming batches, holding only
+// O(BatchSize·Depth) events in memory.
+func BenchmarkStreamPipelined(b *testing.B) {
+	data := benchStreamBytes(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileTraceStream(bytes.NewReader(data), DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMergeRuns profiles n independent random traces once, for the merge
+// benchmarks.
+func benchMergeRuns(b *testing.B, n int) []*Profiles {
+	b.Helper()
+	runs := make([]*Profiles, n)
+	for i := range runs {
+		tr := trace.Random(trace.RandomConfig{Seed: int64(i + 1), Ops: 2000})
+		ps, err := core.Run(tr, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs[i] = ps
+	}
+	return runs
+}
+
+// BenchmarkMergeRunsFold is the sequential left-fold merge baseline.
+func BenchmarkMergeRunsFold(b *testing.B) {
+	runs := benchMergeRuns(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := MergeRuns(runs...); ps.Events == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// BenchmarkMergeRunsParallel is the pairwise tree reduction on the worker
+// pool; byte-identical output to the fold (verified by pipeline_test.go).
+func BenchmarkMergeRunsParallel(b *testing.B) {
+	runs := benchMergeRuns(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps := MergeRunsParallel(0, runs...); ps.Events == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// BenchmarkRunConcurrent profiles 8 independent random traces with varying
+// pool widths; workers=1 is the sequential baseline, workers=0 uses
+// GOMAXPROCS. The speedup column of BENCH_pipeline.json is the ratio of the
+// two (on a multi-core host; on a single core they coincide).
+func BenchmarkRunConcurrent(b *testing.B) {
+	const jobsN = 8
+	traces := make([]*Trace, jobsN)
+	for i := range traces {
+		traces[i] = trace.Random(trace.RandomConfig{Seed: int64(i + 1), Ops: 4000})
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=gomaxprocs"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			jobs := make([]Job, jobsN)
+			for i, tr := range traces {
+				jobs[i] = TraceJob(tr)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps, err := RunConcurrent(context.Background(), jobs, DefaultConfig(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ps.Events == 0 {
+					b.Fatal("empty profiles")
+				}
+			}
+		})
 	}
 }

@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-out DIR] [-list] [name ...]
+//	experiments [-scale quick|full] [-out DIR] [-parallel N] [-list] [name ...]
 //
 // With no names (or "all"), every experiment runs. With -out, each
 // experiment's rendering is written to DIR/<name>.txt instead of stdout.
+// Experiments run concurrently on a worker pool (-parallel, default
+// GOMAXPROCS); outputs are still emitted in the order the experiments were
+// named, and parallel execution never changes any table or figure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +28,7 @@ func main() {
 		outDir    = flag.String("out", "", "write each experiment to DIR/<name>.txt")
 		asJSON    = flag.Bool("json", false, "emit JSON instead of text")
 		list      = flag.Bool("list", false, "list available experiments and exit")
+		parallel  = flag.Int("parallel", 0, "experiments run concurrently (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -58,18 +63,21 @@ func main() {
 		}
 	}
 	for _, name := range names {
-		d, ok := experiments.DriverByName(name)
-		if !ok {
+		if _, ok := experiments.DriverByName(name); !ok {
 			fatal(fmt.Errorf("unknown experiment %q (use -list)", name))
 		}
-		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", d.Name, d.Description)
-		res, err := d.Run(scale)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
+	}
+	fmt.Fprintf(os.Stderr, "running %d experiments...\n", len(names))
+	results, err := experiments.RunDrivers(context.Background(), names, scale, *parallel)
+	if err != nil {
+		fatal(err)
+	}
+	for i, name := range names {
+		res := results[i]
 		var payload []byte
 		ext := ".txt"
 		if *asJSON {
+			var err error
 			payload, err = res.JSON()
 			if err != nil {
 				fatal(err)

@@ -1,6 +1,10 @@
 package core
 
-import "aprof/internal/trace"
+import (
+	"sort"
+
+	"aprof/internal/trace"
+)
 
 // MergeRuns combines the profiles of several profiling runs into one, the
 // multi-run mode the paper's introduction describes (input-sensitive
@@ -26,7 +30,11 @@ func MergeRuns(runs ...*Profiles) *Profiles {
 	for _, run := range runs {
 		out.Events += run.Events
 		out.Renumberings += run.Renumberings
-		for key, p := range run.ByKey {
+		// Fold profiles in canonical (name, thread) order so interned
+		// routine ids — and with them the in-memory result — are
+		// deterministic rather than following map iteration order.
+		for _, key := range sortedKeys(run) {
+			p := run.ByKey[key]
 			id := out.Symbols.Intern(run.Symbols.Name(key.Routine))
 			newKey := Key{Routine: id, Thread: key.Thread}
 			dst := out.ByKey[newKey]
@@ -72,7 +80,20 @@ func MergeRuns(runs ...*Profiles) *Profiles {
 			mapped[id] = n
 			return n
 		}
-		for key, p := range run.ByContext {
+		ckeys := make([]ContextKey, 0, len(run.ByContext))
+		for key := range run.ByContext {
+			ckeys = append(ckeys, key)
+		}
+		// Context ids are assigned deterministically by the serial
+		// profiler, so ordering by (context, thread) is canonical.
+		sort.Slice(ckeys, func(i, j int) bool {
+			if ckeys[i].Context != ckeys[j].Context {
+				return ckeys[i].Context < ckeys[j].Context
+			}
+			return ckeys[i].Thread < ckeys[j].Thread
+		})
+		for _, key := range ckeys {
+			p := run.ByContext[key]
 			node := resolve(key.Context)
 			newKey := ContextKey{Context: node.id, Thread: key.Thread}
 			dst := out.ByContext[newKey]

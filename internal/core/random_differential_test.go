@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// TestDifferentialRenumberingRandom cross-checks the optimized profiler
+// against the set-based oracle on randomized traces under aggressive
+// counter limits, forcing the §3.2 renumbering machinery to fire constantly
+// (down to a limit barely above the deepest possible live-timestamp set).
+// The oracle has no counter at all, so agreement shows renumbering is
+// invisible to the computed metrics.
+func TestDifferentialRenumberingRandom(t *testing.T) {
+	// The lowest limit sits just above the largest live-timestamp set a
+	// 4-thread/16-cell trace can hold (per-thread shadow cells + global
+	// write timestamps + stack frames), so renumbering fires continuously.
+	limits := []uint64{192, 257, 1 << 12}
+	for _, limit := range limits {
+		for seed := int64(0); seed < 12; seed++ {
+			tr := trace.Random(trace.RandomConfig{Seed: seed, Ops: 800, Threads: 4, Cells: 16})
+			cfg := DefaultConfig()
+			cfg.CounterLimit = limit
+			fast, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatalf("limit=%d seed=%d: Run: %v", limit, seed, err)
+			}
+			if limit <= 257 && fast.Renumberings == 0 {
+				t.Fatalf("limit=%d seed=%d: expected renumberings, got none", limit, seed)
+			}
+			slow, err := RunNaive(tr, cfg)
+			if err != nil {
+				t.Fatalf("limit=%d seed=%d: RunNaive: %v", limit, seed, err)
+			}
+			if !reflect.DeepEqual(summarize(fast), summarize(slow)) {
+				t.Errorf("limit=%d seed=%d: renumbering profiler diverges from oracle", limit, seed)
+			}
+		}
+	}
+}
+
+// TestPipelineDifferentialRenumbering drives the randomized traces through
+// Run under renumbering pressure for every input-source configuration.
+func TestPipelineDifferentialRenumbering(t *testing.T) {
+	for _, tc := range allConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.CounterLimit = 128
+			for seed := int64(20); seed < 26; seed++ {
+				tr := trace.Random(trace.RandomConfig{Seed: seed, Ops: 600})
+				fast, err := Run(tr, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				slow, err := RunNaive(tr, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !reflect.DeepEqual(summarize(fast), summarize(slow)) {
+					t.Errorf("seed %d: divergence under CounterLimit=128", seed)
+				}
+			}
+		})
+	}
+}

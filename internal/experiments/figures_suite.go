@@ -33,17 +33,27 @@ type benchMetrics struct {
 }
 
 func runSuite(scale Scale) ([]benchMetrics, error) {
-	var out []benchMetrics
-	for _, b := range suiteSelection(scale) {
+	// Each benchmark is an independent build-trace-then-profile run, so the
+	// suite fans out over the worker pool; results land at their benchmark's
+	// index, keeping the output order (and thus every figure) identical to
+	// the sequential loop.
+	benches := suiteSelection(scale)
+	out := make([]benchMetrics, len(benches))
+	err := forEach(len(benches), 0, func(i int) error {
+		b := benches[i]
 		ps, err := profileTrace(b.Build())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+			return fmt.Errorf("experiments: %s: %w", b.Name, err)
 		}
-		out = append(out, benchMetrics{
+		out[i] = benchMetrics{
 			bench:    b,
 			routines: metrics.Compute(ps),
 			summary:  metrics.Summarize(ps),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

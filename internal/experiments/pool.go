@@ -1,0 +1,92 @@
+package experiments
+
+// Worker-pool plumbing for the experiment suite: the drivers themselves are
+// independent (each regenerates one table or figure), and inside several
+// drivers the per-benchmark profiling runs are independent too — the same
+// embarrassing parallelism RunConcurrent exploits in the core. forEach is
+// the shared pool primitive; RunDrivers runs whole experiments in parallel
+// for cmd/experiments.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach invokes fn(i) for i in [0, n) with up to workers goroutines
+// (workers <= 0 uses GOMAXPROCS), returning the lowest-indexed error. On
+// error the remaining indices are skipped (fn is never called for them),
+// mirroring a sequential loop's early return.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunDrivers runs the named experiments concurrently with a pool of workers
+// and returns their results in input order. Driver results are independent,
+// so parallel execution never changes any table or figure; it only overlaps
+// the workload generation and profiling wall-clock. Unknown names and
+// driver errors abort the run; ctx cancellation is checked between
+// driver starts.
+func RunDrivers(ctx context.Context, names []string, scale Scale, workers int) ([]*Result, error) {
+	drivers := make([]Driver, len(names))
+	for i, name := range names {
+		d, ok := DriverByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+		}
+		drivers[i] = d
+	}
+	results := make([]*Result, len(drivers))
+	err := forEach(len(drivers), workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := drivers[i].Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", drivers[i].Name, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -21,14 +21,20 @@ func VMSuite(scale Scale) (*Result, error) {
 		Title:  "interpreted multithreaded applications: dynamic workload characterization",
 		Header: []string{"program", "routine", "rms", "drms", "drms/rms", "thread %", "external %"},
 	}
-	for _, prog := range workloads.VMPrograms() {
+	// Each program is an independent VM execution and profiling run: fan
+	// out over the pool, collecting rows at their program's index so the
+	// table matches the sequential order.
+	progs := workloads.VMPrograms()
+	appRows := make([][]string, len(progs))
+	err := forEach(len(progs), 0, func(i int) error {
+		prog := progs[i]
 		tr, err := prog.BuildTrace()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ps, err := core.Run(tr, core.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := metrics.Summarize(ps)
 		hot := ps.Routine(prog.HotRoutine)
@@ -36,7 +42,7 @@ func VMSuite(scale Scale) (*Result, error) {
 		if hot.SumRMS > 0 {
 			ratio = float64(hot.SumDRMS) / float64(hot.SumRMS)
 		}
-		apps.Rows = append(apps.Rows, []string{
+		appRows[i] = []string{
 			prog.Name,
 			prog.HotRoutine,
 			fmt.Sprint(hot.SumRMS),
@@ -44,8 +50,13 @@ func VMSuite(scale Scale) (*Result, error) {
 			fmt.Sprintf("%.1fx", ratio),
 			fmt.Sprintf("%.1f", s.ThreadInputPct),
 			fmt.Sprintf("%.1f", s.ExternalInputPct),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	apps.Rows = appRows
 	apps.Notes = append(apps.Notes,
 		"pipeline/mapreduce take their dynamic input from peer threads; the server from the network — the application classes of §2's patterns, run as real interpreted programs")
 

@@ -1,0 +1,40 @@
+package profio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// FuzzReadProfiles fuzzes the profile-file decoder: arbitrary bytes must be
+// decoded or rejected with an error — never a panic — and any document that
+// decodes must re-encode cleanly (Read's output is always writable).
+func FuzzReadProfiles(f *testing.F) {
+	for _, seed := range []int64{1, 2} {
+		tr := trace.Random(trace.RandomConfig{Seed: seed, Ops: 150})
+		ps, err := core.Run(tr, core.DefaultConfig())
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ps); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"format":1,"generator":"aprof-drms","events":0,"renumberings":0,"profiles":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := Write(io.Discard, ps); err != nil {
+			t.Fatalf("decoded profiles failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package profio
+
+// Pipelined trace ingestion. Profiling a binary trace is a two-stage job:
+// decoding and validating events (pure, per-event independent work) and the
+// timestamping algorithm itself (inherently serial — it consumes a totally
+// ordered trace, Figs. 8/9 of the paper). The stages are connected by a
+// bounded channel of reusable event batches, so decoding the next batch
+// overlaps with profiling the current one and the steady state allocates
+// nothing: the same Depth+1 batch buffers circulate between a free list and
+// the full queue for the whole run. Because the profiler still handles every
+// event in exact trace order, the resulting Profiles are identical — byte
+// for byte under Write — to the sequential path.
+
+import (
+	"context"
+	"io"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// DefaultBatchSize is the default number of events per pipeline batch:
+// large enough to amortize channel synchronization over thousands of
+// events, small enough that two buffers stay cache-resident.
+const DefaultBatchSize = 4096
+
+// StreamOptions tunes the staged pipeline of ProfileStream.
+type StreamOptions struct {
+	// BatchSize is the number of decoded events handed to the profiler at a
+	// time (default DefaultBatchSize).
+	BatchSize int
+	// Depth is the capacity of the batch channel between the decoder and
+	// the profiler (default 2: one batch being profiled, one in flight,
+	// one being filled — double buffering with a one-batch cushion).
+	Depth int
+}
+
+// ProfileStream profiles a binary trace incrementally from r through a
+// staged pipeline: a decoder goroutine parses and validates events into
+// reusable batches and hands them to the (serial) profiler stage over a
+// bounded channel. Trace files far larger than memory can be profiled; the
+// profiler's state is bounded by the traced program's footprint, not the
+// trace length.
+//
+// Cancelling ctx aborts the run between batches (a decoder blocked inside
+// r.Read is not interrupted). The first error wins: a profiler error is
+// reported even when the decoder subsequently fails or is cancelled, and
+// vice versa.
+func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts StreamOptions) (*core.Profiles, error) {
+	br, err := trace.NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewProfiler(br.Symbols(), cfg)
+
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	depth := opts.Depth
+	if depth <= 0 {
+		depth = 2
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// full carries decoded batches to the profiler; free returns consumed
+	// buffers to the decoder. depth+1 buffers circulate, so the free send
+	// below never blocks and the decoder only ever waits on full.
+	full := make(chan []trace.Event, depth)
+	free := make(chan []trace.Event, depth+1)
+	for i := 0; i < depth+1; i++ {
+		free <- make([]trace.Event, 0, batchSize)
+	}
+	// decodeDone carries the decoder stage's terminal status (nil on clean
+	// EOF); buffered so the decoder never blocks on it.
+	decodeDone := make(chan error, 1)
+
+	go func() {
+		defer close(full)
+		for {
+			var batch []trace.Event
+			select {
+			case batch = <-free:
+			case <-ctx.Done():
+				decodeDone <- ctx.Err()
+				return
+			}
+			batch = batch[:0]
+			var decodeErr error
+			for len(batch) < batchSize {
+				batch = batch[:len(batch)+1]
+				ok, err := br.Next(&batch[len(batch)-1])
+				if err != nil || !ok {
+					batch = batch[:len(batch)-1]
+					decodeErr = err
+					break
+				}
+			}
+			if len(batch) > 0 {
+				select {
+				case full <- batch:
+				case <-ctx.Done():
+					decodeDone <- ctx.Err()
+					return
+				}
+			}
+			if decodeErr != nil || len(batch) < batchSize {
+				// Error or end of trace (a short batch means br.Next
+				// reported !ok).
+				decodeDone <- decodeErr
+				return
+			}
+		}
+	}()
+
+	var profileErr error
+	for batch := range full {
+		if profileErr == nil {
+			for i := range batch {
+				if err := p.HandleEvent(&batch[i]); err != nil {
+					profileErr = err
+					cancel() // stop the decoder; keep draining full
+					break
+				}
+			}
+		}
+		free <- batch
+	}
+	decodeErr := <-decodeDone
+	if profileErr != nil {
+		return nil, profileErr
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Finish()
+}

@@ -1,0 +1,129 @@
+package profio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func writeBytes(t *testing.T, ps *core.Profiles) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestProfileStreamMatchesSequential checks the pipeline's determinism
+// guarantee on random traces across batch sizes that exercise every batch
+// boundary case (mid-batch EOF, exact multiple, single-event batches).
+func TestProfileStreamMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr := trace.Random(trace.RandomConfig{Seed: seed, Ops: 700})
+		want, err := core.Run(tr, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := writeBytes(t, want)
+		enc := encodeTrace(t, tr)
+		for _, opts := range []StreamOptions{
+			{},
+			{BatchSize: 1},
+			{BatchSize: 7, Depth: 1},
+			{BatchSize: tr.Len()},
+			{BatchSize: 64, Depth: 8},
+		} {
+			got, err := ProfileStream(context.Background(), bytes.NewReader(enc), core.DefaultConfig(), opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			if !bytes.Equal(writeBytes(t, got), wantBytes) {
+				t.Errorf("seed %d opts %+v: pipelined profiles differ from sequential", seed, opts)
+			}
+		}
+	}
+}
+
+// TestProfileStreamDecodeError checks that a truncated trace surfaces the
+// decoder's error.
+func TestProfileStreamDecodeError(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 1, Ops: 500})
+	enc := encodeTrace(t, tr)
+	_, err := ProfileStream(context.Background(), bytes.NewReader(enc[:len(enc)/2]), core.DefaultConfig(), StreamOptions{BatchSize: 16})
+	if err == nil {
+		t.Fatal("truncated trace profiled without error")
+	}
+}
+
+// TestProfileStreamProfilerErrorWins checks first-error propagation: when
+// the profiler fails on an early batch the pipeline reports that error even
+// though the decoder would also fail later (the stream is truncated).
+func TestProfileStreamProfilerErrorWins(t *testing.T) {
+	// An unbalanced return makes the profiler fail on the first event.
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Ret()
+	for i := 0; i < 32; i++ {
+		tb.Read1(trace.Addr(i))
+	}
+	tr := b.Trace()
+	// Drop the call, forging a bare return followed by reads.
+	tr.Events = tr.Events[1:]
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	_, err := ProfileStream(context.Background(), bytes.NewReader(enc[:len(enc)-1]), core.DefaultConfig(), StreamOptions{BatchSize: 1})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errContains(err, "empty shadow stack") {
+		t.Errorf("got decoder error %v, want the profiler's (first) error", err)
+	}
+}
+
+func errContains(err error, substr string) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte(substr))
+}
+
+// TestProfileStreamCancellation checks that cancelling the context aborts
+// the run with ctx's error.
+func TestProfileStreamCancellation(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 2, Ops: 4000})
+	enc := encodeTrace(t, tr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ProfileStream(ctx, bytes.NewReader(enc), core.DefaultConfig(), StreamOptions{BatchSize: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestProfileStreamBadHeader checks header errors surface synchronously.
+func TestProfileStreamBadHeader(t *testing.T) {
+	_, err := ProfileStream(context.Background(), bytes.NewReader([]byte("nope")), core.DefaultConfig(), StreamOptions{})
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	_, err = ProfileStream(context.Background(), bytes.NewReader(nil), core.DefaultConfig(), StreamOptions{})
+	if err == nil || !errors.Is(err, io.EOF) {
+		t.Fatalf("empty input: got %v, want EOF", err)
+	}
+}

@@ -90,9 +90,15 @@ func Write(w io.Writer, ps *core.Profiles) error {
 	for k := range ps.ByKey {
 		keys = append(keys, k)
 	}
+	// Canonical order: by routine name, then thread. Sorting by name rather
+	// than interned id makes the serialized form independent of interning
+	// order, so profiles that are semantically equal — e.g. a MergeRuns
+	// left fold vs a MergeRunsParallel tree reduction — encode to identical
+	// bytes.
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Routine != keys[j].Routine {
-			return keys[i].Routine < keys[j].Routine
+		ni, nj := ps.Symbols.Name(keys[i].Routine), ps.Symbols.Name(keys[j].Routine)
+		if ni != nj {
+			return ni < nj
 		}
 		return keys[i].Thread < keys[j].Thread
 	})

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedTraces builds a few small valid traces used to seed the decoder
+// fuzzers with structurally interesting inputs.
+func fuzzSeedTraces() []*Trace {
+	var out []*Trace
+
+	b := NewBuilder()
+	t1 := b.Thread(1)
+	t1.Call("main")
+	t1.Read(0x100, 8)
+	t1.Ret()
+	out = append(out, b.Trace())
+
+	b = NewBuilder()
+	t1, t2 := b.Thread(1), b.Thread(2)
+	t1.Call("producer")
+	t2.Call("consumer")
+	t1.Write1(7)
+	t2.Read1(7)
+	t1.SysRead(40, 4)
+	t2.SysWrite(40, 4)
+	t1.Acquire(1)
+	t1.Release(1)
+	out = append(out, b.Trace())
+
+	out = append(out, Random(RandomConfig{Seed: 9, Ops: 60}))
+	return out
+}
+
+// FuzzReadTrace fuzzes the binary trace decoder: arbitrary bytes must
+// decode or fail with an error — never panic — and whatever decodes must
+// pass structural validation well enough to re-encode.
+func FuzzReadTrace(f *testing.F) {
+	for _, tr := range fuzzSeedTraces() {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("APT1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// The decoder validates kinds and routine ids; Validate and the
+		// encoder must cope with anything else it lets through.
+		_ = tr.Validate()
+		_ = WriteBinary(&bytes.Buffer{}, tr)
+	})
+}
+
+// FuzzReadText fuzzes the line-oriented text decoder the same way.
+func FuzzReadText(f *testing.F) {
+	for _, tr := range fuzzSeedTraces() {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+	f.Add("routine 0 main\nt1@1 c1 call r0\nt1@2 c2 read 100+4\nt1@3 c3 return\n")
+	f.Add("# comment\n\nt0@1 c1 write 5+1\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ReadText(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return
+		}
+		_ = tr.Validate()
+		_ = WriteText(&bytes.Buffer{}, tr)
+	})
+}

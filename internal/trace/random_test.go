@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRandomTracesValid checks that every generated trace passes the
+// structural validation the profiler relies on, across a spread of sizes
+// and seeds.
+func TestRandomTracesValid(t *testing.T) {
+	cases := []RandomConfig{
+		{},
+		{Seed: 1, Ops: 10},
+		{Seed: 2, Threads: 1, Ops: 100},
+		{Seed: 3, Threads: 8, Ops: 2000, Cells: 4},
+		{Seed: 4, Routines: 1, MaxDepth: 1, Ops: 300},
+		{Seed: 5, Threads: 2, Ops: 1500, Cells: 2, MaxDepth: 12},
+	}
+	for _, cfg := range cases {
+		tr := Random(cfg)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Random(%+v): invalid trace: %v", cfg, err)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("Random(%+v): empty trace", cfg)
+		}
+	}
+}
+
+// TestRandomDeterministic checks that equal configs produce identical
+// traces — the property every seeded regression test depends on.
+func TestRandomDeterministic(t *testing.T) {
+	cfg := RandomConfig{Seed: 42, Threads: 4, Ops: 800}
+	var a, b bytes.Buffer
+	if err := WriteBinary(&a, Random(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&b, Random(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same config produced different traces")
+	}
+	b.Reset()
+	if err := WriteBinary(&b, Random(RandomConfig{Seed: 43, Threads: 4, Ops: 800})); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("different seeds produced identical traces")
+	}
+}

@@ -1,0 +1,43 @@
+package vm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse fuzzes the MiniLang front end: lexing and parsing arbitrary
+// input must either succeed or return an error — never panic — and a
+// program that parses must also print and re-parse (the printer emits valid
+// MiniLang), and compile without panicking.
+func FuzzParse(f *testing.F) {
+	corpus, err := filepath.Glob(filepath.Join("testdata", "*.ml"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range corpus {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("fn main() { }")
+	f.Add("global g = 1; fn main() { let x = g + 1; print(x); }")
+	f.Add(`fn main() { let s = "a\nb"; }`)
+	f.Add("fn f(a, b) { if a < b { return a; } return b; }")
+	f.Add("fn main() { spawn f(); } fn f() { }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := prog.String()
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printer emitted unparsable MiniLang: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		// Compilation may reject the program (unknown names, arity
+		// errors...) but must not panic.
+		_, _ = CompileProgram(prog)
+	})
+}

@@ -151,10 +151,24 @@ func (lx *lexer) next() (Token, error) {
 					sb.WriteByte('\n')
 				case 't':
 					sb.WriteByte('\t')
+				case 'r':
+					sb.WriteByte('\r')
 				case '"':
 					sb.WriteByte('"')
 				case '\\':
 					sb.WriteByte('\\')
+				case 'x':
+					// \xNN: an arbitrary byte, the escape the printer uses
+					// for non-printable characters.
+					if lx.off+2 > len(lx.src) {
+						return Token{}, errAt(pos, "unterminated \\x escape")
+					}
+					hi := unhex(lx.advance())
+					lo := unhex(lx.advance())
+					if hi < 0 || lo < 0 {
+						return Token{}, errAt(pos, "malformed \\x escape")
+					}
+					sb.WriteByte(byte(hi<<4 | lo))
 				default:
 					return Token{}, errAt(pos, "unknown escape \\%c", esc)
 				}
@@ -222,4 +236,17 @@ func (lx *lexer) next() (Token, error) {
 		return Token{}, errAt(pos, "unexpected character '|'")
 	}
 	return Token{}, errAt(pos, "unexpected character %q", string(c))
+}
+
+// unhex decodes one hex digit, returning -1 on a non-hex byte.
+func unhex(c byte) int {
+	switch {
+	case '0' <= c && c <= '9':
+		return int(c - '0')
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10
+	case 'A' <= c && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
 }

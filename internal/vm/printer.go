@@ -209,7 +209,7 @@ func exprPrec(e Expr, ctx int) string {
 	case *NumberLit:
 		return fmt.Sprint(e.Value)
 	case *StringLit:
-		return fmt.Sprintf("%q", e.Value)
+		return quoteString(e.Value)
 	case *Ident:
 		return e.Name
 	case *IndexExpr:
@@ -239,4 +239,34 @@ func exprPrec(e Expr, ctx int) string {
 	default:
 		return fmt.Sprintf("/* unhandled %T */", e)
 	}
+}
+
+// quoteString renders a string literal using exactly the escape vocabulary
+// the lexer accepts (\n \t \r \" \\ \xNN), so printed programs always
+// re-parse to the same string byte for byte. Go's %q is unsuitable: it
+// emits \u and \a-style escapes MiniLang does not define.
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			sb.WriteString(`\"`)
+		case c == '\\':
+			sb.WriteString(`\\`)
+		case c == '\n':
+			sb.WriteString(`\n`)
+		case c == '\t':
+			sb.WriteString(`\t`)
+		case c == '\r':
+			sb.WriteString(`\r`)
+		case c < 0x20 || c >= 0x7f:
+			fmt.Fprintf(&sb, `\x%02x`, c)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
 }
