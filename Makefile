@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench cover experiments examples clean
+.PHONY: all build test vet race fuzz faults bench cover experiments examples clean
 
 all: build test
 
@@ -29,6 +29,14 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzReadText -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzReadProfiles -fuzztime $(FUZZTIME) ./internal/profio
+
+# Robustness suite: fault-injection seed sweeps, corrupt-frame recovery
+# with exact loss accounting, and kill-at-every-batch checkpoint/resume
+# determinism.
+faults:
+	$(GO) test ./internal/faultio/
+	$(GO) test -run 'Fault|Retry|Resume|Kill|Lenient|Corrupt|Checkpoint' \
+		./internal/trace ./internal/core ./internal/profio ./cmd/aprof
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

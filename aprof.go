@@ -68,11 +68,39 @@ type (
 	ActivationRecord = core.ActivationRecord
 	// Metric selects between the rms and drms input-size estimates.
 	Metric = core.Metric
+	// FaultPolicy selects how the profiler reacts to semantically malformed
+	// events (strict | skip | count).
+	FaultPolicy = core.FaultPolicy
+	// DropStats counts events shed by a non-strict FaultPolicy or by
+	// Limits, per category.
+	DropStats = core.DropStats
+	// Limits bounds the profiler's resource usage, degrading to sampling
+	// instead of failing when exceeded.
+	Limits = core.Limits
+	// CorruptionError describes one corrupt region of a binary trace
+	// stream.
+	CorruptionError = trace.CorruptionError
+	// CorruptionStats aggregates what a lenient trace reader skipped.
+	CorruptionStats = trace.CorruptionStats
 	// VMOptions configures MiniLang execution.
 	VMOptions = vm.Options
 	// VMResult is the outcome of a MiniLang run.
 	VMResult = vm.Result
 )
+
+// FaultPolicy values.
+const (
+	// FaultStrict aborts the run on the first malformed event (default).
+	FaultStrict = core.FaultStrict
+	// FaultSkip drops malformed events silently.
+	FaultSkip = core.FaultSkip
+	// FaultCount drops malformed events and counts them in Profiles.Drops.
+	FaultCount = core.FaultCount
+)
+
+// ParseFaultPolicy parses a policy name (strict, skip, count), as accepted
+// by the -fault-policy flag of cmd/aprof.
+func ParseFaultPolicy(s string) (FaultPolicy, error) { return core.ParseFaultPolicy(s) }
 
 // Metric values.
 const (
@@ -286,10 +314,28 @@ func ProfileTraceStream(r io.Reader, cfg Config) (*Profiles, error) {
 }
 
 // ProfileTraceStreamContext is ProfileTraceStream with cancellation and
-// pipeline tuning: cancelling ctx aborts the run between batches.
+// pipeline tuning: cancelling ctx aborts the run between batches. With
+// StreamOptions.Lenient the trace is decoded fault-tolerantly (corrupt APT2
+// frames are skipped and accounted in Profiles.Corruption); with
+// StreamOptions.CheckpointPath the run is durable and resumable via
+// ResumeTraceStream.
 func ProfileTraceStreamContext(ctx context.Context, r io.Reader, cfg Config, opts StreamOptions) (*Profiles, error) {
 	return profio.ProfileStream(ctx, r, cfg, opts)
 }
+
+// ResumeTraceStream restarts an interrupted checkpointed streaming run: r
+// must stream the same trace as the original run, checkpointPath the
+// checkpoint it wrote, and cfg the configuration it ran under. The output
+// is byte-identical (under WriteProfiles) to an uninterrupted run.
+func ResumeTraceStream(ctx context.Context, r io.Reader, checkpointPath string, cfg Config, opts StreamOptions) (*Profiles, error) {
+	return profio.ResumeStream(ctx, r, checkpointPath, cfg, opts)
+}
+
+// WriteTraceBinary2 encodes a trace in the APT2 framed format: length-
+// prefixed, CRC-32-checksummed event frames that a lenient reader can
+// resynchronize over after corruption. The binary trace decoders and the
+// streaming entry points accept both APT1 and APT2 transparently.
+func WriteTraceBinary2(w io.Writer, tr *Trace) error { return trace.WriteBinary2(w, tr) }
 
 // PlotOptions controls PlotASCII rendering.
 type PlotOptions struct {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,12 @@ func main() {
 		optimize = flag.Bool("optimize", false, "optimize the program's bytecode before execution")
 		contexts = flag.Int("contexts", 0, "report the N hottest calling contexts (enables context-sensitive profiling)")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML report to this file")
+
+		lenient     = flag.Bool("lenient", false, "with -trace: skip corrupt APT2 frames instead of aborting, reporting what was lost")
+		faultPolicy = flag.String("fault-policy", "strict", "malformed-event handling: strict, skip, or count")
+		checkpoint  = flag.String("checkpoint", "", "with -trace: periodically write a resumable checkpoint to this file")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "batches between checkpoints (default 16)")
+		resume      = flag.String("resume", "", "with -trace: resume an interrupted run from this checkpoint file")
 	)
 	flag.Parse()
 
@@ -46,6 +53,10 @@ func main() {
 	}
 	if *contexts > 0 {
 		cfg.ContextSensitive = true
+	}
+	cfg.FaultPolicy, err = aprof.ParseFaultPolicy(*faultPolicy)
+	if err != nil {
+		fatal(err)
 	}
 
 	var tr *aprof.Trace
@@ -65,10 +76,25 @@ func main() {
 		} else {
 			// Binary traces are profiled in streaming mode: the file is
 			// never materialized in memory.
-			ps, err = aprof.ProfileTraceStream(f, cfg)
+			opts := aprof.StreamOptions{
+				Lenient:         *lenient,
+				CheckpointPath:  *checkpoint,
+				CheckpointEvery: *ckptEvery,
+			}
+			if *resume != "" {
+				if opts.CheckpointPath == "" {
+					// Keep checkpointing where we resumed from, so repeated
+					// crashes keep making progress.
+					opts.CheckpointPath = *resume
+				}
+				ps, err = aprof.ResumeTraceStream(context.Background(), f, *resume, cfg, opts)
+			} else {
+				ps, err = aprof.ProfileTraceStreamContext(context.Background(), f, cfg, opts)
+			}
 			if err != nil {
 				fatal(err)
 			}
+			reportLoss(ps)
 		}
 	case flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
@@ -165,6 +191,25 @@ func configFor(metric string) (aprof.Config, aprof.Metric, error) {
 		return aprof.ExternalOnlyConfig(), aprof.DRMS, nil
 	default:
 		return aprof.Config{}, 0, fmt.Errorf("unknown metric %q (want drms, rms, or external-only)", metric)
+	}
+}
+
+// reportLoss prints to stderr what a lenient or non-strict run lost, so
+// degraded results are never mistaken for complete ones.
+func reportLoss(ps *aprof.Profiles) {
+	if c := ps.Corruption; c.FramesDropped > 0 || c.EventsDropped > 0 || c.Truncated {
+		fmt.Fprintf(os.Stderr, "aprof: trace corruption: %d frames / %d events dropped, %d bytes skipped",
+			c.FramesDropped, c.EventsDropped, c.BytesSkipped)
+		if c.Truncated {
+			fmt.Fprint(os.Stderr, " (trace truncated)")
+		}
+		fmt.Fprintln(os.Stderr)
+		for _, e := range c.Errors {
+			fmt.Fprintln(os.Stderr, "aprof:   ", e)
+		}
+	}
+	if !ps.Drops.IsZero() {
+		fmt.Fprintf(os.Stderr, "aprof: %d malformed events dropped (policy count): %+v\n", ps.Drops.Total(), ps.Drops)
 	}
 }
 

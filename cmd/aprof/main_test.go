@@ -1,10 +1,45 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"aprof"
+	"aprof/internal/trace"
 )
+
+// TestLenientStreamEntry exercises the library path behind -trace -lenient:
+// a corrupt APT2 trace must profile with loss reported instead of aborting.
+func TestLenientStreamEntry(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 30, Ops: 400})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary2Opts(&buf, tr, trace.V2Options{EventsPerFrame: 64}); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	enc[len(enc)/2] ^= 0x08
+
+	cfg := aprof.DefaultConfig()
+	cfg.FaultPolicy = aprof.FaultCount
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	opts := aprof.StreamOptions{Lenient: true, CheckpointPath: ckpt, CheckpointEvery: 1, BatchSize: 64}
+	ps, err := aprof.ProfileTraceStreamContext(context.Background(), bytes.NewReader(enc), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Corruption.FramesDropped == 0 {
+		t.Error("corruption not reported")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Errorf("checkpoint not written: %v", err)
+	}
+	// reportLoss must not panic on either a lossy or a clean result.
+	reportLoss(ps)
+	reportLoss(&aprof.Profiles{})
+}
 
 func TestConfigFor(t *testing.T) {
 	cases := []struct {

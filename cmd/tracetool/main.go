@@ -67,7 +67,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tracetool stats FILE
   tracetool cat FILE
-  tracetool convert [-to binary|text] IN OUT
+  tracetool convert [-to binary|binary2|text] IN OUT
   tracetool reinterleave [-seed N] [-window N] [-sync] IN OUT
   tracetool slice [-threads 1,2] [-routine NAME] [-from T] [-to T] IN OUT
   tracetool validate FILE`)
@@ -79,7 +79,7 @@ func readTrace(path string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if bytes.HasPrefix(data, []byte("APT1")) {
+	if bytes.HasPrefix(data, []byte("APT1")) || bytes.HasPrefix(data, []byte("APT2")) {
 		return trace.ReadBinary(bytes.NewReader(data))
 	}
 	return trace.ReadText(bytes.NewReader(data))
@@ -95,10 +95,12 @@ func writeTrace(path, format string, tr *trace.Trace) error {
 	switch format {
 	case "binary":
 		err = trace.WriteBinary(w, tr)
+	case "binary2":
+		err = trace.WriteBinary2(w, tr)
 	case "text":
 		err = trace.WriteText(w, tr)
 	default:
-		return fmt.Errorf("unknown format %q (want binary or text)", format)
+		return fmt.Errorf("unknown format %q (want binary, binary2, or text)", format)
 	}
 	if err != nil {
 		return err
@@ -187,7 +189,7 @@ func cmdCat(args []string, w io.Writer) error {
 
 func cmdConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
-	to := fs.String("to", "binary", "output format: binary or text")
+	to := fs.String("to", "binary", "output format: binary, binary2 (checksummed APT2), or text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,7 +208,7 @@ func cmdReinterleave(args []string) error {
 	seed := fs.Int64("seed", 1, "perturbation seed")
 	window := fs.Int("window", 8, "perturbation window (events)")
 	sync := fs.Bool("sync", true, "respect semaphore synchronization")
-	format := fs.String("to", "binary", "output format: binary or text")
+	format := fs.String("to", "binary", "output format: binary, binary2 (checksummed APT2), or text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -232,7 +234,7 @@ func cmdSlice(args []string) error {
 	routine := fs.String("routine", "", "keep only activations of this routine")
 	from := fs.Uint64("from", 0, "window start time")
 	to := fs.Uint64("to", math.MaxUint64, "window end time")
-	format := fs.String("to-format", "binary", "output format: binary or text")
+	format := fs.String("to-format", "binary", "output format: binary, binary2 (checksummed APT2), or text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

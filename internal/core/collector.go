@@ -249,6 +249,12 @@ type Profiles struct {
 	Renumberings int
 	// Events counts processed trace events.
 	Events int
+	// Drops counts events shed by a non-strict FaultPolicy or by the Limits
+	// degradation machinery, per category (all zero on a clean strict run).
+	Drops DropStats
+	// Corruption summarizes decode-layer loss when the profiles came from a
+	// lenient stream reader (zero on clean input or non-streaming runs).
+	Corruption trace.CorruptionStats
 }
 
 // Get returns the profile for (routine, thread), or nil.

@@ -30,6 +30,8 @@ func MergeRuns(runs ...*Profiles) *Profiles {
 	for _, run := range runs {
 		out.Events += run.Events
 		out.Renumberings += run.Renumberings
+		out.Drops.Merge(&run.Drops)
+		out.Corruption.Merge(run.Corruption)
 		// Fold profiles in canonical (name, thread) order so interned
 		// routine ids — and with them the in-memory result — are
 		// deterministic rather than following map iteration order.

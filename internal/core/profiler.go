@@ -36,6 +36,12 @@ type Config struct {
 	// in completion order, before aggregation. It supports streaming
 	// consumers and the differential tests.
 	OnActivation func(ActivationRecord)
+	// FaultPolicy selects how semantically malformed events are handled
+	// (see fault.go). The zero value is FaultStrict: fail on the first one.
+	FaultPolicy FaultPolicy
+	// Limits bounds the profiler's resource usage; zero values are
+	// unlimited (see fault.go).
+	Limits Limits
 }
 
 // ActivationRecord reports one completed routine activation.
@@ -128,6 +134,10 @@ type threadState struct {
 	ts    *shadow.Table[uint64]
 	stack []frame
 	cost  uint64 // last observed cumulative cost
+	// overflow counts calls dropped because the stack hit Limits.MaxDepth;
+	// matching returns decrement it instead of popping, so profiling resumes
+	// exactly when the overflowing subtree unwinds.
+	overflow int
 }
 
 // Profiler implements the read/write timestamping algorithm of Figs. 8 and 9
@@ -153,6 +163,17 @@ type Profiler struct {
 	ctx     *contextTable
 	out     *Profiles
 	err     error
+
+	// finished is set by Finish; later events are AfterFinish faults.
+	finished bool
+	// Memory-event sampling state for the Limits degradation: memory events
+	// are numbered by memSeq and processed only when memSeq is a multiple of
+	// memStride (1 = no sampling). nextEventCheck is the event count at
+	// which MaxEvents next doubles the stride. All three are part of the
+	// checkpointed state, keeping degraded runs deterministic across resume.
+	memSeq         uint64
+	memStride      uint64
+	nextEventCheck uint64
 }
 
 // NewProfiler returns a profiler for traces built against syms.
@@ -176,6 +197,10 @@ func NewProfiler(syms *trace.SymbolTable, cfg Config) *Profiler {
 			Symbols: syms,
 			ByKey:   make(map[Key]*Profile),
 		},
+	}
+	p.memStride = 1
+	if cfg.Limits.MaxEvents > 0 {
+		p.nextEventCheck = uint64(cfg.Limits.MaxEvents)
 	}
 	if cfg.ThreadInput || cfg.ExternalInput {
 		p.wts = shadow.New[uint64]()
@@ -207,12 +232,21 @@ func (p *Profiler) Feed(tr *trace.Trace) error {
 	return nil
 }
 
-// HandleEvent processes one event.
+// HandleEvent processes one event. Malformed events are handled per the
+// configured FaultPolicy; Limits degradation (depth capping, memory-event
+// sampling) applies under every policy.
 func (p *Profiler) HandleEvent(ev *trace.Event) error {
 	if p.err != nil {
 		return p.err
 	}
+	if p.finished {
+		return p.fault(&p.out.Drops.AfterFinish, "event %s fed after Finish", ev.Kind)
+	}
 	p.out.Events++
+	p.checkLimits()
+	if ev.Thread < 0 {
+		return p.fault(&p.out.Drops.BadThread, "negative thread id %d on %s event", ev.Thread, ev.Kind)
+	}
 	switch ev.Kind {
 	case trace.KindCall:
 		return p.onCall(ev)
@@ -223,11 +257,17 @@ func (p *Profiler) HandleEvent(ev *trace.Event) error {
 	case trace.KindRead:
 		t := p.thread(ev.Thread)
 		t.cost = ev.Cost
+		if p.sampledOut() {
+			return nil
+		}
 		ev.Cells(func(a trace.Addr) { p.onRead(t, a) })
 		return nil
 	case trace.KindWrite:
 		t := p.thread(ev.Thread)
 		t.cost = ev.Cost
+		if p.sampledOut() {
+			return nil
+		}
 		ev.Cells(func(a trace.Addr) { p.onWrite(t, a) })
 		return nil
 	case trace.KindUserToKernel:
@@ -236,6 +276,9 @@ func (p *Profiler) HandleEvent(ev *trace.Event) error {
 		// call were a normal subroutine (Fig. 9).
 		t := p.thread(ev.Thread)
 		t.cost = ev.Cost
+		if p.sampledOut() {
+			return nil
+		}
 		ev.Cells(func(a trace.Addr) { p.onRead(t, a) })
 		return nil
 	case trace.KindKernelToUser:
@@ -248,8 +291,57 @@ func (p *Profiler) HandleEvent(ev *trace.Event) error {
 		p.thread(ev.Thread).cost = ev.Cost
 		return nil
 	default:
-		return fmt.Errorf("unhandled event kind %v", ev.Kind)
+		return p.fault(&p.out.Drops.InvalidKind, "unhandled event kind %v", ev.Kind)
 	}
+}
+
+// checkLimits updates the sampling degradation state from the MaxEvents and
+// MaxMemoryBytes limits. Both triggers depend only on the event count and on
+// deterministic size estimates, so a resumed run degrades at exactly the
+// same events as an uninterrupted one.
+func (p *Profiler) checkLimits() {
+	if p.nextEventCheck > 0 && uint64(p.out.Events) > p.nextEventCheck && p.memStride < maxMemStride {
+		p.memStride *= 2
+		p.nextEventCheck *= 2
+	}
+	if p.cfg.Limits.MaxMemoryBytes > 0 && p.out.Events%memCheckInterval == 0 &&
+		p.memStride < maxMemStride && p.liveBytesEstimate() > p.cfg.Limits.MaxMemoryBytes {
+		p.memStride *= 2
+	}
+}
+
+// sampledOut numbers the memory event and reports whether the sampling
+// degradation sheds it. Shed events still updated their thread's cost (the
+// caller does that first), so costs stay exact; only metric values degrade.
+func (p *Profiler) sampledOut() bool {
+	p.memSeq++
+	if p.memStride > 1 && p.memSeq%p.memStride != 0 {
+		p.out.Drops.SampledOut++
+		return true
+	}
+	return false
+}
+
+// liveBytesEstimate is the deterministic variant of SpaceBytes used by the
+// MaxMemoryBytes limit: it sizes stacks by length instead of capacity, so a
+// checkpoint-resumed run (whose slice capacities differ) makes identical
+// sampling decisions.
+func (p *Profiler) liveBytesEstimate() int64 {
+	var total int64
+	if p.wts != nil {
+		total += p.wts.SizeBytes(8)
+		total += p.wkind.SizeBytes(1)
+	}
+	const frameSize = 8 * 8
+	for _, t := range p.threads {
+		total += t.ts.SizeBytes(8)
+		total += int64(len(t.stack)) * frameSize
+	}
+	const statsSize = 5 * 8
+	for _, prof := range p.out.ByKey {
+		total += int64(len(prof.DRMSPoints)+len(prof.RMSPoints)) * (statsSize + 16)
+	}
+	return total
 }
 
 // Finish completes the run: any still-pending activations are collected as
@@ -276,6 +368,7 @@ func (p *Profiler) Finish() (*Profiles, error) {
 	if p.ctx != nil {
 		p.out.Contexts = p.ctx.metas()
 	}
+	p.finished = true
 	return p.out, nil
 }
 
@@ -302,11 +395,21 @@ func (p *Profiler) tick() error {
 }
 
 func (p *Profiler) onCall(ev *trace.Event) error {
+	if ev.Routine >= trace.RoutineID(p.syms.Len()) {
+		return p.fault(&p.out.Drops.UnknownRoutine, "call of unknown routine id %d (symbol table has %d)", ev.Routine, p.syms.Len())
+	}
 	if err := p.tick(); err != nil {
 		return err
 	}
 	t := p.thread(ev.Thread)
 	t.cost = ev.Cost
+	if max := p.cfg.Limits.MaxDepth; max > 0 && (t.overflow > 0 || len(t.stack) >= max) {
+		// Depth limit hit: the frame is not pushed. The overflow counter
+		// pairs the dropped call with its future return.
+		t.overflow++
+		p.out.Drops.DepthOverflow++
+		return nil
+	}
 	f := frame{
 		rtn:       ev.Routine,
 		ts:        p.count,
@@ -326,8 +429,13 @@ func (p *Profiler) onCall(ev *trace.Event) error {
 func (p *Profiler) onReturn(ev *trace.Event) error {
 	t := p.thread(ev.Thread)
 	t.cost = ev.Cost
+	if t.overflow > 0 {
+		// Return of a call dropped by the depth limit.
+		t.overflow--
+		return nil
+	}
 	if len(t.stack) == 0 {
-		return fmt.Errorf("return on thread %d with empty shadow stack", ev.Thread)
+		return p.fault(&p.out.Drops.ReturnWithoutCall, "return on thread %d with empty shadow stack", ev.Thread)
 	}
 	p.popFrame(t, ev.Cost)
 	return p.err
@@ -465,6 +573,11 @@ func (p *Profiler) onKernelToUser(ev *trace.Event) error {
 	if p.wts == nil {
 		return nil
 	}
+	// The counter tick above is kept even when the event is sampled out:
+	// the global count mirrors the event structure, not the metric state.
+	if p.sampledOut() {
+		return nil
+	}
 	ev.Cells(func(a trace.Addr) {
 		p.wts.Store(a, p.count)
 		p.wkind.Store(a, writerKernel)
@@ -509,3 +622,6 @@ func (p *Profiler) SpaceBytes() int64 {
 
 // Count exposes the current global counter value (for tests).
 func (p *Profiler) Count() uint64 { return p.count }
+
+// Symbols returns the symbol table the profiler was built against.
+func (p *Profiler) Symbols() *trace.SymbolTable { return p.syms }

@@ -1,0 +1,168 @@
+// Package faultio provides fault-injecting and fault-absorbing io.Reader
+// wrappers for testing the trace-ingestion stack: a FaultReader that
+// deterministically corrupts a byte stream (bit flips, truncation, short
+// reads, injected transient errors, latency), and a RetryReader that
+// absorbs transient source errors with bounded retry and backoff — the
+// resilience pattern production ingest systems wrap around unreliable
+// backends. Both are deterministic given their configuration, so every
+// failing fault seed is replayable.
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Config deterministically describes the faults a FaultReader injects.
+// The zero value injects nothing.
+type Config struct {
+	// Seed seeds the fault schedule; equal configs inject identical faults.
+	Seed int64
+	// BitFlipRate is the per-byte probability of flipping one random bit
+	// (0 disables). Flips are decided byte-by-byte from the seeded stream,
+	// so the same offsets are hit on every run.
+	BitFlipRate float64
+	// MaxBitFlips caps the number of flipped bytes (0 = unlimited).
+	MaxBitFlips int
+	// TruncateAt, when > 0, ends the stream with io.EOF after this many
+	// bytes, simulating a torn write.
+	TruncateAt int64
+	// ErrAt, when > 0, makes the read covering this byte offset return Err
+	// once; subsequent reads continue normally (a transient fault). The
+	// bytes of the failed read are not lost — they are delivered by the
+	// retry.
+	ErrAt int64
+	// Err is the error returned at ErrAt (default io.ErrUnexpectedEOF).
+	Err error
+	// ShortReads, when set, delivers at most ShortReadMax bytes (default 1)
+	// per Read call, stressing buffering assumptions.
+	ShortReads   bool
+	ShortReadMax int
+	// Latency, when > 0, sleeps this long before every Read — for timeout
+	// and cancellation tests, not correctness sweeps.
+	Latency time.Duration
+}
+
+// FaultReader wraps an io.Reader and injects the configured faults.
+type FaultReader struct {
+	r        io.Reader
+	cfg      Config
+	rng      *rand.Rand
+	off      int64
+	flips    int
+	errFired bool
+}
+
+// NewFaultReader wraps r with the fault schedule described by cfg.
+func NewFaultReader(r io.Reader, cfg Config) *FaultReader {
+	if cfg.Err == nil {
+		cfg.Err = io.ErrUnexpectedEOF
+	}
+	if cfg.ShortReadMax <= 0 {
+		cfg.ShortReadMax = 1
+	}
+	return &FaultReader{r: r, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Flips reports how many bytes were bit-flipped so far.
+func (f *FaultReader) Flips() int { return f.flips }
+
+func (f *FaultReader) Read(p []byte) (int, error) {
+	if f.cfg.Latency > 0 {
+		time.Sleep(f.cfg.Latency)
+	}
+	if f.cfg.TruncateAt > 0 {
+		if f.off >= f.cfg.TruncateAt {
+			return 0, io.EOF
+		}
+		if max := f.cfg.TruncateAt - f.off; int64(len(p)) > max {
+			p = p[:max]
+		}
+	}
+	if f.cfg.ShortReads && len(p) > f.cfg.ShortReadMax {
+		p = p[:f.cfg.ShortReadMax]
+	}
+	if f.cfg.ErrAt > 0 && !f.errFired && f.off <= f.cfg.ErrAt && f.cfg.ErrAt < f.off+int64(len(p)) {
+		f.errFired = true
+		return 0, f.cfg.Err
+	}
+	n, err := f.r.Read(p)
+	if f.cfg.BitFlipRate > 0 {
+		for i := 0; i < n; i++ {
+			if f.cfg.MaxBitFlips > 0 && f.flips >= f.cfg.MaxBitFlips {
+				break
+			}
+			if f.rng.Float64() < f.cfg.BitFlipRate {
+				p[i] ^= 1 << uint(f.rng.Intn(8))
+				f.flips++
+			}
+		}
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// RetryOptions tunes a RetryReader. The zero value retries 3 times with no
+// backoff and treats every non-EOF error as transient.
+type RetryOptions struct {
+	// MaxRetries is the number of consecutive failed attempts tolerated per
+	// Read before the error is surfaced (default 3).
+	MaxRetries int
+	// Backoff is the base delay between attempts; attempt k waits k*Backoff
+	// (linear, bounded — this is a test harness, not a network stack).
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests (nil uses time.Sleep).
+	Sleep func(time.Duration)
+	// Retryable reports whether an error is transient. nil treats every
+	// error except io.EOF as transient.
+	Retryable func(error) bool
+}
+
+// RetryReader wraps an io.Reader whose Read may fail transiently, retrying
+// with bounded linear backoff. io.EOF is never retried.
+type RetryReader struct {
+	r       io.Reader
+	opts    RetryOptions
+	retries int // total retries performed, for observability
+}
+
+// NewRetryReader wraps r with retry/backoff per opts.
+func NewRetryReader(r io.Reader, opts RetryOptions) *RetryReader {
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	if opts.Retryable == nil {
+		opts.Retryable = func(err error) bool { return !errors.Is(err, io.EOF) }
+	}
+	return &RetryReader{r: r, opts: opts}
+}
+
+// Retries reports how many failed attempts were absorbed so far.
+func (r *RetryReader) Retries() int { return r.retries }
+
+func (r *RetryReader) Read(p []byte) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.retries++
+			if r.opts.Backoff > 0 {
+				r.opts.Sleep(time.Duration(attempt) * r.opts.Backoff)
+			}
+		}
+		n, err := r.r.Read(p)
+		if n > 0 || err == nil || errors.Is(err, io.EOF) {
+			return n, err
+		}
+		if !r.opts.Retryable(err) {
+			return n, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("faultio: %d attempts failed: %w", r.opts.MaxRetries+1, lastErr)
+}

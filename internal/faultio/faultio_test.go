@@ -1,0 +1,192 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func payload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i * 7)
+	}
+	return out
+}
+
+// TestFaultReaderClean checks the zero config is a transparent wrapper.
+func TestFaultReaderClean(t *testing.T) {
+	src := payload(10000)
+	got, err := io.ReadAll(NewFaultReader(bytes.NewReader(src), Config{}))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("clean pass-through altered the stream (err %v)", err)
+	}
+}
+
+// TestFaultReaderDeterministic checks equal configs produce identical
+// corrupted streams — the property that makes fault seeds replayable.
+func TestFaultReaderDeterministic(t *testing.T) {
+	src := payload(10000)
+	cfg := Config{Seed: 42, BitFlipRate: 0.01}
+	a, _ := io.ReadAll(NewFaultReader(bytes.NewReader(src), cfg))
+	b, _ := io.ReadAll(NewFaultReader(bytes.NewReader(src), cfg))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, src) {
+		t.Fatal("no corruption injected at 1% flip rate over 10k bytes")
+	}
+}
+
+// TestFaultReaderMaxBitFlips checks the flip cap.
+func TestFaultReaderMaxBitFlips(t *testing.T) {
+	src := payload(10000)
+	f := NewFaultReader(bytes.NewReader(src), Config{Seed: 7, BitFlipRate: 0.5, MaxBitFlips: 3})
+	got, _ := io.ReadAll(f)
+	if f.Flips() != 3 {
+		t.Errorf("Flips = %d, want 3", f.Flips())
+	}
+	diff := 0
+	for i := range src {
+		if got[i] != src[i] {
+			diff++
+		}
+	}
+	if diff != 3 {
+		t.Errorf("%d bytes differ, want 3", diff)
+	}
+}
+
+// TestFaultReaderTruncate checks the torn-write simulation.
+func TestFaultReaderTruncate(t *testing.T) {
+	src := payload(1000)
+	got, err := io.ReadAll(NewFaultReader(bytes.NewReader(src), Config{TruncateAt: 137}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src[:137]) {
+		t.Fatalf("got %d bytes, want exactly the 137-byte prefix", len(got))
+	}
+}
+
+// TestFaultReaderShortReads checks that short reads deliver the full stream
+// in tiny pieces without corruption.
+func TestFaultReaderShortReads(t *testing.T) {
+	src := payload(300)
+	f := NewFaultReader(bytes.NewReader(src), Config{ShortReads: true, ShortReadMax: 3})
+	buf := make([]byte, 64)
+	var got []byte
+	for {
+		n, err := f.Read(buf)
+		if n > 3 {
+			t.Fatalf("read returned %d bytes, cap is 3", n)
+		}
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("short reads altered the stream")
+	}
+}
+
+// TestFaultReaderTransientErr checks the one-shot injected error: it fires
+// once at the configured offset and the stream is complete afterwards.
+func TestFaultReaderTransientErr(t *testing.T) {
+	src := payload(500)
+	sentinel := errors.New("flaky disk")
+	f := NewFaultReader(bytes.NewReader(src), Config{ErrAt: 100, Err: sentinel})
+	var got []byte
+	buf := make([]byte, 64)
+	sawErr := false
+	for {
+		n, err := f.Read(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !errors.Is(err, sentinel) {
+				t.Fatal(err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected error never fired")
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("transient error lost bytes")
+	}
+}
+
+// TestRetryReaderAbsorbsTransient checks a RetryReader over a FaultReader
+// with an injected transient error: the consumer sees a clean stream.
+func TestRetryReaderAbsorbsTransient(t *testing.T) {
+	src := payload(500)
+	fr := NewFaultReader(bytes.NewReader(src), Config{ErrAt: 200})
+	var slept []time.Duration
+	rr := NewRetryReader(fr, RetryOptions{
+		MaxRetries: 2,
+		Backoff:    time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	})
+	got, err := io.ReadAll(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("retried stream differs from source")
+	}
+	if rr.Retries() != 1 {
+		t.Errorf("Retries = %d, want 1", rr.Retries())
+	}
+	if len(slept) != 1 || slept[0] != time.Millisecond {
+		t.Errorf("backoff schedule = %v, want [1ms]", slept)
+	}
+}
+
+// TestRetryReaderGivesUp checks a permanently failing source surfaces the
+// error after MaxRetries+1 attempts.
+func TestRetryReaderGivesUp(t *testing.T) {
+	sentinel := errors.New("dead disk")
+	attempts := 0
+	rr := NewRetryReader(readerFunc(func([]byte) (int, error) {
+		attempts++
+		return 0, sentinel
+	}), RetryOptions{MaxRetries: 3})
+	_, err := rr.Read(make([]byte, 8))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the source error", err)
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want 4", attempts)
+	}
+}
+
+// TestRetryReaderRespectsRetryable checks non-retryable errors surface
+// immediately.
+func TestRetryReaderRespectsRetryable(t *testing.T) {
+	fatal := errors.New("corrupt")
+	attempts := 0
+	rr := NewRetryReader(readerFunc(func([]byte) (int, error) {
+		attempts++
+		return 0, fatal
+	}), RetryOptions{Retryable: func(err error) bool { return !errors.Is(err, fatal) }})
+	if _, err := rr.Read(make([]byte, 8)); !errors.Is(err, fatal) {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retries of a fatal error)", attempts)
+	}
+}
+
+type readerFunc func([]byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,191 @@
+package profio
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"aprof/internal/core"
+	"aprof/internal/faultio"
+	"aprof/internal/trace"
+)
+
+// encodeV2Framed encodes tr as APT2 with small frames so injected faults hit
+// individual frames rather than the whole trace.
+func encodeV2Framed(t *testing.T, tr *trace.Trace, eventsPerFrame int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary2Opts(&buf, tr, trace.V2Options{EventsPerFrame: eventsPerFrame}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// lenientRun pushes a (possibly corrupted) APT2 byte stream through the
+// lenient streaming pipeline with the count fault policy, so decode-level
+// and event-level damage both degrade instead of aborting.
+func lenientRun(t *testing.T, enc []byte) (*core.Profiles, error) {
+	t.Helper()
+	return lenientRunReader(t, bytes.NewReader(enc))
+}
+
+func lenientRunReader(t *testing.T, r io.Reader) (*core.Profiles, error) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.FaultPolicy = core.FaultCount
+	return ProfileStream(context.Background(), r, cfg,
+		StreamOptions{Lenient: true, BatchSize: 97})
+}
+
+// TestFaultSweepBitFlips sweeps fault seeds over bit-flipped APT2 streams.
+// The pipeline must never panic, and whenever it completes, every event is
+// accounted for: delivered into profiles plus reported dropped equals the
+// trace's event count.
+func TestFaultSweepBitFlips(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 9, Ops: 1200, Threads: 3})
+	enc := encodeV2Framed(t, tr, 64)
+	total := len(tr.Events)
+
+	completed, damaged := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		fr := faultio.NewFaultReader(bytes.NewReader(enc),
+			faultio.Config{Seed: seed, BitFlipRate: 0.0005, MaxBitFlips: 4})
+		cfg := core.DefaultConfig()
+		cfg.FaultPolicy = core.FaultCount
+		ps, err := ProfileStream(context.Background(), fr, cfg,
+			StreamOptions{Lenient: true, BatchSize: 97})
+		if err != nil {
+			// Damage to the magic/header or symbol table is not recoverable;
+			// the only requirement there is a clean error, which we got.
+			continue
+		}
+		completed++
+		if ps.Corruption.FramesDropped > 0 {
+			damaged++
+		}
+		if got := ps.Events + ps.Corruption.EventsDropped; got != total {
+			t.Errorf("seed %d: delivered %d + dropped %d = %d, want %d",
+				seed, ps.Events, ps.Corruption.EventsDropped, got, total)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no seed completed — lenient recovery never engaged")
+	}
+	if damaged == 0 {
+		t.Fatal("no seed damaged an events frame — sweep is vacuous")
+	}
+	t.Logf("sweep: %d/40 completed, %d with frame loss", completed, damaged)
+}
+
+// TestFaultSweepTruncation truncates the stream at every 10% mark. Lenient
+// mode must deliver a prefix and report the tail as truncation loss.
+func TestFaultSweepTruncation(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 11, Ops: 800})
+	enc := encodeV2Framed(t, tr, 64)
+	total := len(tr.Events)
+
+	for i := 1; i < 10; i++ {
+		cut := int64(len(enc) * i / 10)
+		fr := faultio.NewFaultReader(bytes.NewReader(enc), faultio.Config{TruncateAt: cut})
+		ps, err := lenientRunReader(t, fr)
+		if err != nil {
+			// Cutting inside the header/symbol table cannot be recovered.
+			continue
+		}
+		if !ps.Corruption.Truncated {
+			t.Errorf("cut at %d bytes: truncation not flagged", cut)
+		}
+		if got := ps.Events + ps.Corruption.EventsDropped; got != total {
+			t.Errorf("cut at %d: delivered %d + dropped %d = %d, want %d",
+				cut, ps.Events, ps.Corruption.EventsDropped, got, total)
+		}
+	}
+}
+
+// TestFaultExactFrameLoss corrupts exactly k=3 chosen frames and checks the
+// report says exactly 3 frames dropped — the acceptance criterion, driven
+// end-to-end through the pipeline rather than the decoder alone.
+func TestFaultExactFrameLoss(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 13, Ops: 1500})
+	enc := append([]byte(nil), encodeV2Framed(t, tr, 64)...)
+
+	// Find events frames structurally: marker | kind | len | crc | payload.
+	marker := []byte{0xF5, 0xA9, 0x1E, 0x4B}
+	var eventFrameOffsets []int
+	for off := 4; off+13 <= len(enc); {
+		if !bytes.Equal(enc[off:off+4], marker) {
+			t.Fatalf("lost frame sync at offset %d", off)
+		}
+		kind := enc[off+4]
+		payloadLen := int(uint32(enc[off+5]) | uint32(enc[off+6])<<8 | uint32(enc[off+7])<<16 | uint32(enc[off+8])<<24)
+		if kind == 2 {
+			eventFrameOffsets = append(eventFrameOffsets, off)
+		}
+		off += 13 + payloadLen
+	}
+	if len(eventFrameOffsets) < 6 {
+		t.Fatalf("only %d events frames, need ≥6", len(eventFrameOffsets))
+	}
+	for _, idx := range []int{1, 3, 5} {
+		off := eventFrameOffsets[idx]
+		enc[off+20] ^= 0x40 // flip a payload byte; CRC catches it
+	}
+
+	ps, err := lenientRun(t, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Corruption.FramesDropped != 3 {
+		t.Errorf("FramesDropped = %d, want exactly 3", ps.Corruption.FramesDropped)
+	}
+	if got := ps.Events + ps.Corruption.EventsDropped; got != len(tr.Events) {
+		t.Errorf("delivered %d + dropped %d != total %d", ps.Events, ps.Corruption.EventsDropped, len(tr.Events))
+	}
+}
+
+// TestRetryReaderHealsTransientFault wraps a flaky source in a RetryReader:
+// the profile must be byte-identical to a clean run, with zero loss reported.
+func TestRetryReaderHealsTransientFault(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 17, Ops: 900})
+	enc := encodeV2Framed(t, tr, 64)
+
+	clean, err := lenientRun(t, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fr := faultio.NewFaultReader(bytes.NewReader(enc), faultio.Config{ErrAt: int64(len(enc) / 2)})
+	rr := faultio.NewRetryReader(fr, faultio.RetryOptions{Sleep: func(d time.Duration) {}})
+	cfg := core.DefaultConfig()
+	cfg.FaultPolicy = core.FaultCount
+	healed, err := ProfileStream(context.Background(), rr, cfg,
+		StreamOptions{Lenient: true, BatchSize: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Retries() == 0 {
+		t.Fatal("fault never fired — test is vacuous")
+	}
+	if healed.Corruption.FramesDropped != 0 || healed.Corruption.EventsDropped != 0 {
+		t.Errorf("retried run reported loss: %+v", healed.Corruption)
+	}
+	if !bytes.Equal(writeBytes(t, healed), writeBytes(t, clean)) {
+		t.Error("retried run differs from clean run")
+	}
+}
+
+// TestFaultWithoutRetryStrictAborts shows the counterpart: the same
+// transient fault without a RetryReader aborts a strict run — degraded
+// input never silently produces a strict-mode profile.
+func TestFaultWithoutRetryStrictAborts(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 17, Ops: 900})
+	enc := encodeV2Framed(t, tr, 64)
+	fr := faultio.NewFaultReader(bytes.NewReader(enc), faultio.Config{ErrAt: int64(len(enc) / 2)})
+	_, err := ProfileStream(context.Background(), fr, core.DefaultConfig(),
+		StreamOptions{BatchSize: 97})
+	if err == nil {
+		t.Fatal("strict run completed despite a transient I/O error")
+	}
+}

@@ -10,10 +10,24 @@ package profio
 // the full queue for the whole run. Because the profiler still handles every
 // event in exact trace order, the resulting Profiles are identical — byte
 // for byte under Write — to the sequential path.
+//
+// The pipeline is also the unit of fault tolerance. Each batch carries a
+// snapshot of the decoder's position and corruption accounting taken at
+// batch-fill time; because the decoder is single-threaded and runs ahead of
+// the profiler, only these snapshots — never the reader's live state — may
+// be combined with profiler state. A checkpoint pairs the profiler state
+// with the snapshot of the batch just profiled, so resuming re-reads the
+// trace, skips exactly the delivered prefix, and re-detects exactly the
+// corruption the snapshot already accounted for (which ResetStats then
+// discards). Interrupting after any batch therefore yields final profiles —
+// and corruption totals — byte-identical to an uninterrupted run.
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
+	"os"
 
 	"aprof/internal/core"
 	"aprof/internal/trace"
@@ -24,6 +38,9 @@ import (
 // events, small enough that two buffers stay cache-resident.
 const DefaultBatchSize = 4096
 
+// DefaultCheckpointEvery is the default checkpoint cadence in batches.
+const DefaultCheckpointEvery = 16
+
 // StreamOptions tunes the staged pipeline of ProfileStream.
 type StreamOptions struct {
 	// BatchSize is the number of decoded events handed to the profiler at a
@@ -33,6 +50,34 @@ type StreamOptions struct {
 	// the profiler (default 2: one batch being profiled, one in flight,
 	// one being filled — double buffering with a one-batch cushion).
 	Depth int
+	// Lenient opens the trace in lenient mode: corrupt APT2 frames are
+	// skipped and accounted in the output's Corruption stats instead of
+	// aborting the run.
+	Lenient bool
+	// CheckpointPath, when non-empty, makes the run durable: the complete
+	// profiler state is written there (atomically, via rename) every
+	// CheckpointEvery batches.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in batches (default
+	// DefaultCheckpointEvery). Only meaningful with CheckpointPath.
+	CheckpointEvery int
+	// OnBatch, when non-nil, is called after each batch is profiled (and
+	// after any checkpoint for it was written), with the 1-based batch
+	// index and the cumulative delivered event count. Returning a non-nil
+	// error aborts the run with that error — the crash-injection hook of
+	// the resume tests.
+	OnBatch func(batch int, delivered uint64) error
+}
+
+// eventBatch is the unit of work handed from the decoder to the profiler.
+type eventBatch struct {
+	events []trace.Event
+	// delivered is the cumulative event count through this batch, and stats
+	// the reader's corruption accounting, both snapshotted when the batch
+	// was filled. They describe exactly the delivered prefix: the decoder
+	// has not read past the frame holding this batch's last event.
+	delivered uint64
+	stats     trace.CorruptionStats
 }
 
 // ProfileStream profiles a binary trace incrementally from r through a
@@ -47,12 +92,59 @@ type StreamOptions struct {
 // reported even when the decoder subsequently fails or is cancelled, and
 // vice versa.
 func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts StreamOptions) (*core.Profiles, error) {
-	br, err := trace.NewBinaryReader(r)
+	br, err := trace.NewBinaryReaderOpts(r, trace.ReaderOptions{Lenient: opts.Lenient})
 	if err != nil {
 		return nil, err
 	}
 	p := core.NewProfiler(br.Symbols(), cfg)
+	return runPipeline(ctx, br, p, opts, core.StreamState{})
+}
 
+// ResumeStream restarts an interrupted ProfileStream run from its last
+// checkpoint. r must stream the same trace bytes as the original run; cfg
+// must match the checkpointed configuration. The run keeps checkpointing
+// per opts, so a run can crash and resume repeatedly.
+func ResumeStream(ctx context.Context, r io.Reader, checkpointPath string, cfg core.Config, opts StreamOptions) (*core.Profiles, error) {
+	ckf, err := os.Open(checkpointPath)
+	if err != nil {
+		return nil, fmt.Errorf("profio: opening checkpoint: %w", err)
+	}
+	p, state, err := core.ResumeProfiler(ckf, cfg)
+	ckf.Close()
+	if err != nil {
+		return nil, err
+	}
+	br, err := trace.NewBinaryReaderOpts(r, trace.ReaderOptions{Lenient: opts.Lenient})
+	if err != nil {
+		return nil, err
+	}
+	if !sameNames(br.Symbols().Names(), p.Symbols().Names()) {
+		return nil, errors.New("profio: trace does not match checkpoint (different symbol tables)")
+	}
+	if err := br.Skip(state.EventsDelivered); err != nil {
+		return nil, fmt.Errorf("profio: repositioning trace at event %d: %w", state.EventsDelivered, err)
+	}
+	// The skip re-detected exactly the corruption already accounted in the
+	// checkpointed stats; discard it so the totals are not double counted.
+	br.ResetStats()
+	return runPipeline(ctx, br, p, opts, state)
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runPipeline drives the decode/profile pipeline to completion, starting
+// from base (zero for a fresh run, the checkpointed state for a resume).
+func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, opts StreamOptions, base core.StreamState) (*core.Profiles, error) {
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
@@ -61,6 +153,10 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 	if depth <= 0 {
 		depth = 2
 	}
+	ckptEvery := opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = DefaultCheckpointEvery
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -68,10 +164,10 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 	// full carries decoded batches to the profiler; free returns consumed
 	// buffers to the decoder. depth+1 buffers circulate, so the free send
 	// below never blocks and the decoder only ever waits on full.
-	full := make(chan []trace.Event, depth)
-	free := make(chan []trace.Event, depth+1)
+	full := make(chan *eventBatch, depth)
+	free := make(chan *eventBatch, depth+1)
 	for i := 0; i < depth+1; i++ {
-		free <- make([]trace.Event, 0, batchSize)
+		free <- &eventBatch{events: make([]trace.Event, 0, batchSize)}
 	}
 	// decodeDone carries the decoder stage's terminal status (nil on clean
 	// EOF); buffered so the decoder never blocks on it.
@@ -79,15 +175,16 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 
 	go func() {
 		defer close(full)
+		delivered := base.EventsDelivered
 		for {
-			var batch []trace.Event
+			var b *eventBatch
 			select {
-			case batch = <-free:
+			case b = <-free:
 			case <-ctx.Done():
 				decodeDone <- ctx.Err()
 				return
 			}
-			batch = batch[:0]
+			batch := b.events[:0]
 			var decodeErr error
 			for len(batch) < batchSize {
 				batch = batch[:len(batch)+1]
@@ -98,9 +195,13 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 					break
 				}
 			}
+			delivered += uint64(len(batch))
+			b.events = batch
+			b.delivered = delivered
+			b.stats = br.Stats()
 			if len(batch) > 0 {
 				select {
-				case full <- batch:
+				case full <- b:
 				case <-ctx.Done():
 					decodeDone <- ctx.Err()
 					return
@@ -116,17 +217,35 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 	}()
 
 	var profileErr error
-	for batch := range full {
+	batchIndex := 0
+	for b := range full {
 		if profileErr == nil {
-			for i := range batch {
-				if err := p.HandleEvent(&batch[i]); err != nil {
+			for i := range b.events {
+				if err := p.HandleEvent(&b.events[i]); err != nil {
 					profileErr = err
 					cancel() // stop the decoder; keep draining full
 					break
 				}
 			}
+			if profileErr == nil {
+				batchIndex++
+				if opts.CheckpointPath != "" && batchIndex%ckptEvery == 0 {
+					state := core.StreamState{EventsDelivered: b.delivered, Corruption: base.Corruption}
+					state.Corruption.Merge(b.stats)
+					if err := writeCheckpointFile(p, opts.CheckpointPath, state); err != nil {
+						profileErr = err
+						cancel()
+					}
+				}
+			}
+			if profileErr == nil && opts.OnBatch != nil {
+				if err := opts.OnBatch(batchIndex, b.delivered); err != nil {
+					profileErr = err
+					cancel()
+				}
+			}
 		}
-		free <- batch
+		free <- b
 	}
 	decodeErr := <-decodeDone
 	if profileErr != nil {
@@ -138,5 +257,39 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return p.Finish()
+	ps, err := p.Finish()
+	if err != nil {
+		return nil, err
+	}
+	// Total corruption accounting: the (possibly checkpointed) prefix plus
+	// everything this run's reader saw. The decoder goroutine has exited
+	// (decodeDone received), so reading its final stats is race-free.
+	final := base.Corruption
+	final.Merge(br.Stats())
+	ps.Corruption = final
+	return ps, nil
+}
+
+// writeCheckpointFile writes the checkpoint atomically: a torn write leaves
+// either the previous complete checkpoint or a temp file, never a partial
+// file under the real name (and the CRC in the format catches the rest).
+func writeCheckpointFile(p *core.Profiler, path string, state core.StreamState) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("profio: creating checkpoint: %w", err)
+	}
+	if err := p.WriteCheckpoint(f, state); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("profio: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("profio: installing checkpoint: %w", err)
+	}
+	return nil
 }

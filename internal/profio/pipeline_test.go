@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"aprof/internal/core"
 	"aprof/internal/trace"
@@ -125,5 +127,72 @@ func TestProfileStreamBadHeader(t *testing.T) {
 	_, err = ProfileStream(context.Background(), bytes.NewReader(nil), core.DefaultConfig(), StreamOptions{})
 	if err == nil || !errors.Is(err, io.EOF) {
 		t.Fatalf("empty input: got %v, want EOF", err)
+	}
+}
+
+// TestProfileStreamNoGoroutineLeak audits every pipeline exit path —
+// success, decode error, profiler error, and cancellation — across batch
+// sizes, checking the decoder goroutine is always joined. A leak here
+// would accumulate across the many ProfileStream calls a long-lived
+// ingestion service makes.
+func TestProfileStreamNoGoroutineLeak(t *testing.T) {
+	good := encodeTrace(t, trace.Random(trace.RandomConfig{Seed: 3, Ops: 2000}))
+
+	// Profiler-error input: a bare return under the strict policy.
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Ret()
+	tr := b.Trace()
+	tr.Events = tr.Events[1:]
+	var bad bytes.Buffer
+	if err := trace.WriteBinary(&bad, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := []struct {
+		name string
+		run  func(opts StreamOptions)
+	}{
+		{"success", func(opts StreamOptions) {
+			if _, err := ProfileStream(context.Background(), bytes.NewReader(good), core.DefaultConfig(), opts); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"decode error", func(opts StreamOptions) {
+			if _, err := ProfileStream(context.Background(), bytes.NewReader(good[:len(good)/3]), core.DefaultConfig(), opts); err == nil {
+				t.Fatal("truncated trace accepted")
+			}
+		}},
+		{"profiler error", func(opts StreamOptions) {
+			if _, err := ProfileStream(context.Background(), bytes.NewReader(bad.Bytes()), core.DefaultConfig(), opts); err == nil {
+				t.Fatal("bare return accepted")
+			}
+		}},
+		{"cancellation", func(opts StreamOptions) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := ProfileStream(ctx, bytes.NewReader(good), core.DefaultConfig(), opts); !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+		}},
+	}
+
+	before := runtime.NumGoroutine()
+	for _, tc := range runs {
+		for _, bs := range []int{1, 7, 64, 4096} {
+			tc.run(StreamOptions{BatchSize: bs})
+		}
+	}
+	// The pipeline joins its decoder before returning, so no settling time
+	// should be needed; a short grace period keeps the test robust against
+	// unrelated runtime goroutines winding down.
+	for i := 0; ; i++ {
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		} else if i >= 50 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -45,13 +45,28 @@ type profileJSON struct {
 	RMSPoints       []pointJSON `json:"rms_points"`
 }
 
-// fileJSON is the on-disk document.
+// corruptionJSON summarizes decode-layer loss of a lenient streaming run.
+// The structured CorruptionError log is diagnostic output, not part of the
+// exchange format, so only the counters are serialized.
+type corruptionJSON struct {
+	FramesDropped int   `json:"frames_dropped,omitempty"`
+	EventsDropped int   `json:"events_dropped,omitempty"`
+	BytesSkipped  int64 `json:"bytes_skipped,omitempty"`
+	Truncated     bool  `json:"truncated,omitempty"`
+}
+
+// fileJSON is the on-disk document. The drops and corruption objects are
+// omitted entirely on clean runs, so documents written before the
+// fault-tolerance layer and documents of strict runs are byte-identical to
+// the previous schema (the format number stays 1).
 type fileJSON struct {
-	Format       int           `json:"format"`
-	Generator    string        `json:"generator"`
-	Events       int           `json:"events"`
-	Renumberings int           `json:"renumberings"`
-	Profiles     []profileJSON `json:"profiles"`
+	Format       int             `json:"format"`
+	Generator    string          `json:"generator"`
+	Events       int             `json:"events"`
+	Renumberings int             `json:"renumberings"`
+	Drops        *core.DropStats `json:"drops,omitempty"`
+	Corruption   *corruptionJSON `json:"corruption,omitempty"`
+	Profiles     []profileJSON   `json:"profiles"`
 }
 
 func pointsToJSON(points map[uint64]*core.CostStats) []pointJSON {
@@ -85,6 +100,18 @@ func Write(w io.Writer, ps *core.Profiles) error {
 		Generator:    "aprof-drms",
 		Events:       ps.Events,
 		Renumberings: ps.Renumberings,
+	}
+	if !ps.Drops.IsZero() {
+		drops := ps.Drops
+		doc.Drops = &drops
+	}
+	if c := ps.Corruption; c.FramesDropped != 0 || c.EventsDropped != 0 || c.BytesSkipped != 0 || c.Truncated {
+		doc.Corruption = &corruptionJSON{
+			FramesDropped: c.FramesDropped,
+			EventsDropped: c.EventsDropped,
+			BytesSkipped:  c.BytesSkipped,
+			Truncated:     c.Truncated,
+		}
 	}
 	keys := make([]core.Key, 0, len(ps.ByKey))
 	for k := range ps.ByKey {
@@ -139,6 +166,17 @@ func Read(r io.Reader) (*core.Profiles, error) {
 		ByKey:        make(map[core.Key]*core.Profile, len(doc.Profiles)),
 		Events:       doc.Events,
 		Renumberings: doc.Renumberings,
+	}
+	if doc.Drops != nil {
+		ps.Drops = *doc.Drops
+	}
+	if doc.Corruption != nil {
+		ps.Corruption = trace.CorruptionStats{
+			FramesDropped: doc.Corruption.FramesDropped,
+			EventsDropped: doc.Corruption.EventsDropped,
+			BytesSkipped:  doc.Corruption.BytesSkipped,
+			Truncated:     doc.Corruption.Truncated,
+		}
 	}
 	for i, pj := range doc.Profiles {
 		id := ps.Symbols.Intern(pj.Routine)

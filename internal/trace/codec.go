@@ -101,26 +101,94 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 // BinaryReader decodes a binary trace incrementally: the header (magic and
 // symbol table) is parsed on construction and events are delivered one at a
 // time, so arbitrarily large trace files can be profiled without
-// materializing them (see the -trace mode of cmd/aprof).
+// materializing them (see the -trace mode of cmd/aprof). The reader accepts
+// both the APT1 varint stream and the checksummed, framed APT2 format (see
+// codec2.go), sniffing the magic.
 type BinaryReader struct {
 	br        *bufio.Reader
 	syms      *SymbolTable
-	remaining uint64
+	remaining uint64 // APT1: events left per the header count
 	prevTime  uint64
-	index     uint64
-	total     uint64
+	index     uint64 // position in the original event sequence
+	total     uint64 // declared event count
+	version   int    // 1 or 2
+	lenient   bool
+	done      bool
+	stats     CorruptionStats
+
+	// APT2 framing state (see codec2.go).
+	off       int64   // bytes consumed from the logical stream
+	pending   []byte  // replay buffer used during resynchronization
+	frame     []Event // decoded events of the current frame
+	framePos  int
+	frameSeq  int    // frames observed so far (error reporting)
+	expectSeq uint64 // next expected declared frame sequence number
 }
 
-// NewBinaryReader parses the header of a binary trace.
+// ReaderOptions tunes binary trace decoding.
+type ReaderOptions struct {
+	// Lenient enables skip-and-resync recovery: a corrupt APT2 frame is
+	// recorded in Stats and decoding resumes at the next frame marker
+	// instead of failing. For APT1 streams — which have no frame boundaries
+	// to resync at — a mid-stream decode error ends the trace early and is
+	// recorded as a truncation. Without Lenient any integrity failure is
+	// returned as a *CorruptionError.
+	Lenient bool
+}
+
+// NewBinaryReader parses the header of a binary trace (APT1 or APT2).
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	return NewBinaryReaderOpts(r, ReaderOptions{})
+}
+
+// NewBinaryReaderOpts is NewBinaryReader with decoding options. Corruption
+// of the stream header (magic or symbol table) is unrecoverable even in
+// lenient mode: without the symbol table no event is interpretable.
+func NewBinaryReaderOpts(r io.Reader, opts ReaderOptions) (*BinaryReader, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != binaryMagic {
+	rd := &BinaryReader{br: br, lenient: opts.Lenient, off: int64(len(magic))}
+	switch string(magic) {
+	case binaryMagic:
+		rd.version = 1
+		if err := rd.readHeaderV1(); err != nil {
+			return nil, err
+		}
+	case binaryMagicV2:
+		rd.version = 2
+		if err := rd.readHeaderV2(); err != nil {
+			return nil, err
+		}
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
+	return rd, nil
+}
+
+func (r *BinaryReader) readHeaderV1() error {
+	syms, err := readSymbolTable(r.br)
+	if err != nil {
+		return err
+	}
+	numEvents, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("trace: event count: %w", err)
+	}
+	r.syms = syms
+	r.remaining = numEvents
+	r.total = numEvents
+	return nil
+}
+
+// readSymbolTable decodes the symbol-table section shared by both formats:
+// uvarint count, then each name as uvarint length + bytes.
+func readSymbolTable(br interface {
+	io.ByteReader
+	io.Reader
+}) (*SymbolTable, error) {
 	syms := NewSymbolTable()
 	numRoutines, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -147,11 +215,7 @@ func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
 		}
 		syms.Intern(string(nameBuf))
 	}
-	numEvents, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: event count: %w", err)
-	}
-	return &BinaryReader{br: br, syms: syms, remaining: numEvents, total: numEvents}, nil
+	return syms, nil
 }
 
 // Symbols returns the trace's symbol table.
@@ -160,70 +224,128 @@ func (r *BinaryReader) Symbols() *SymbolTable { return r.syms }
 // Len returns the total number of events declared by the header.
 func (r *BinaryReader) Len() int { return int(r.total) }
 
-// Next decodes the next event into ev, returning false at the end of the
-// trace.
-func (r *BinaryReader) Next(ev *Event) (bool, error) {
-	if r.remaining == 0 {
-		return false, nil
-	}
-	i := r.index
-	r.index++
-	r.remaining--
+// Stats returns a snapshot of the corruption encountered so far. It is only
+// populated in lenient mode (strict readers fail on first corruption).
+func (r *BinaryReader) Stats() CorruptionStats { return r.stats }
 
-	kindByte, err := r.br.ReadByte()
+// ResetStats clears the accumulated corruption statistics. Checkpoint-based
+// resumption uses it after skipping the already-profiled prefix so damage in
+// that prefix — already accounted for by the checkpoint — is not counted
+// twice.
+func (r *BinaryReader) ResetStats() { r.stats = CorruptionStats{} }
+
+// eofUnexpected converts a bare io.EOF into io.ErrUnexpectedEOF: the caller
+// only invokes it mid-event or mid-frame, where the stream ending is a
+// truncation, not a clean end.
+func eofUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// decodeEventBody decodes one event — kind byte through kind-dependent
+// payload — from br into ev. i is the event's index in the original
+// sequence, included in every error; truncation errors wrap
+// io.ErrUnexpectedEOF so callers can errors.Is them.
+func decodeEventBody(br io.ByteReader, syms *SymbolTable, prevTime *uint64, i uint64, ev *Event) error {
+	kindByte, err := br.ReadByte()
 	if err != nil {
-		return false, fmt.Errorf("trace: event %d kind: %w", i, err)
+		return fmt.Errorf("trace: event %d kind: %w", i, eofUnexpected(err))
 	}
 	*ev = Event{Kind: Kind(kindByte)}
 	if !ev.Kind.Valid() {
-		return false, fmt.Errorf("trace: event %d: invalid kind %d", i, kindByte)
+		return fmt.Errorf("trace: event %d: invalid kind %d", i, kindByte)
 	}
-	thread, err := binary.ReadVarint(r.br)
+	thread, err := binary.ReadVarint(br)
 	if err != nil {
-		return false, fmt.Errorf("trace: event %d thread: %w", i, err)
+		return fmt.Errorf("trace: event %d thread: %w", i, eofUnexpected(err))
 	}
 	ev.Thread = ThreadID(thread)
-	dt, err := binary.ReadUvarint(r.br)
+	dt, err := binary.ReadUvarint(br)
 	if err != nil {
-		return false, fmt.Errorf("trace: event %d time: %w", i, err)
+		return fmt.Errorf("trace: event %d time: %w", i, eofUnexpected(err))
 	}
-	r.prevTime += dt
-	ev.Time = r.prevTime
-	if ev.Cost, err = binary.ReadUvarint(r.br); err != nil {
-		return false, fmt.Errorf("trace: event %d cost: %w", i, err)
+	*prevTime += dt
+	ev.Time = *prevTime
+	if ev.Cost, err = binary.ReadUvarint(br); err != nil {
+		return fmt.Errorf("trace: event %d cost: %w", i, eofUnexpected(err))
 	}
 	switch ev.Kind {
 	case KindCall:
-		rtn, err := binary.ReadUvarint(r.br)
+		rtn, err := binary.ReadUvarint(br)
 		if err != nil {
-			return false, fmt.Errorf("trace: event %d routine: %w", i, err)
+			return fmt.Errorf("trace: event %d routine: %w", i, eofUnexpected(err))
 		}
-		if int(rtn) >= r.syms.Len() {
-			return false, fmt.Errorf("trace: event %d: routine id %d out of range", i, rtn)
+		if int(rtn) >= syms.Len() {
+			return fmt.Errorf("trace: event %d: routine id %d out of range", i, rtn)
 		}
 		ev.Routine = RoutineID(rtn)
 	case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
-		addr, err := binary.ReadUvarint(r.br)
+		addr, err := binary.ReadUvarint(br)
 		if err != nil {
-			return false, fmt.Errorf("trace: event %d addr: %w", i, err)
+			return fmt.Errorf("trace: event %d addr: %w", i, eofUnexpected(err))
 		}
 		ev.Addr = Addr(addr)
-		size, err := binary.ReadUvarint(r.br)
+		size, err := binary.ReadUvarint(br)
 		if err != nil {
-			return false, fmt.Errorf("trace: event %d size: %w", i, err)
+			return fmt.Errorf("trace: event %d size: %w", i, eofUnexpected(err))
 		}
 		if size > 1<<32-1 {
-			return false, fmt.Errorf("trace: event %d: size %d overflows", i, size)
+			return fmt.Errorf("trace: event %d: size %d overflows", i, size)
 		}
 		ev.Size = uint32(size)
 	case KindAcquire, KindRelease:
-		addr, err := binary.ReadUvarint(r.br)
+		addr, err := binary.ReadUvarint(br)
 		if err != nil {
-			return false, fmt.Errorf("trace: event %d addr: %w", i, err)
+			return fmt.Errorf("trace: event %d addr: %w", i, eofUnexpected(err))
 		}
 		ev.Addr = Addr(addr)
 	}
+	return nil
+}
+
+// Next decodes the next event into ev, returning false at the end of the
+// trace. Mid-event truncation surfaces as an error wrapping
+// io.ErrUnexpectedEOF and naming the event index.
+func (r *BinaryReader) Next(ev *Event) (bool, error) {
+	if r.version == 2 {
+		return r.nextV2(ev)
+	}
+	if r.remaining == 0 {
+		return false, nil
+	}
+	if err := decodeEventBody(r.br, r.syms, &r.prevTime, r.index, ev); err != nil {
+		if r.lenient {
+			// APT1 has no frame boundaries to resync at: treat the
+			// remainder as lost and end the stream.
+			r.stats.record(&CorruptionError{Offset: -1, Frame: 0, Reason: err.Error()})
+			r.stats.Truncated = true
+			r.stats.EventsDropped += int(r.remaining)
+			r.remaining = 0
+			return false, nil
+		}
+		return false, err
+	}
+	r.index++
+	r.remaining--
 	return true, nil
+}
+
+// Skip discards the next n events, failing if the stream ends first. In
+// lenient mode corrupt regions are skipped and counted exactly as Next would.
+func (r *BinaryReader) Skip(n uint64) error {
+	var ev Event
+	for i := uint64(0); i < n; i++ {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			return fmt.Errorf("trace: skipping %d events: %w", n, err)
+		}
+		if !ok {
+			return fmt.Errorf("trace: skipping %d events: stream ended after %d", n, i)
+		}
+	}
+	return nil
 }
 
 // ReadBinary decodes a whole trace previously written by WriteBinary.

@@ -1,0 +1,531 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The APT2 format wraps the APT1 event encoding in checksummed, framed
+// records so that a flipped bit or a truncated write damages one frame, not
+// the whole trace (the same reasoning behind restic's checksummed pack
+// files). Layout:
+//
+//	magic "APT2"
+//	frame*
+//
+//	frame := marker(4) kind(1) payloadLen(uint32 LE) crc32(uint32 LE) payload
+//
+// The CRC (IEEE) covers kind, payloadLen and payload. Every payload begins
+// with a uvarint frame sequence number (0, 1, 2, ...), which lets a lenient
+// reader count exactly how many frames a corrupt region destroyed — even
+// when the damage hit the frame marker itself — as the gap between the
+// sequence numbers of the surrounding intact frames.
+//
+// Frame kinds:
+//
+//	header (1): seq, symbol table (as in APT1), uvarint total event count
+//	events (2): seq, uvarint firstIndex, uvarint count, uvarint baseTime,
+//	            then count events in the APT1 per-event encoding with time
+//	            deltas relative to baseTime — frames are self-contained, so
+//	            dropping one does not derail the time decoding of the next
+//	end    (3): seq — distinguishes a clean end of trace from truncation
+//
+// Unknown frame kinds with a valid CRC are skipped, giving future writers a
+// compatible extension point.
+
+const binaryMagicV2 = "APT2"
+
+// frameMarker starts every frame. The resync scan looks for this sequence;
+// it can legitimately appear inside a payload, in which case the scan syncs
+// there, fails the CRC, and keeps scanning — convergence, not correctness,
+// depends on its rarity.
+var frameMarker = [4]byte{0xF5, 0xA9, 0x1E, 0x4B}
+
+const (
+	frameHeader byte = 1
+	frameEvents byte = 2
+	frameEnd    byte = 3
+)
+
+const (
+	// maxFramePayload bounds a frame's declared payload length; larger
+	// values are treated as corruption of the length field.
+	maxFramePayload = 1 << 24
+	// maxFrameEventCount bounds an events frame's declared event count.
+	maxFrameEventCount = 1 << 21
+	// DefaultEventsPerFrame is the events-per-frame granularity of
+	// WriteBinary2: small enough that one corrupt frame loses little, large
+	// enough that the 13-byte frame overhead is noise.
+	DefaultEventsPerFrame = 1024
+)
+
+// V2Options tunes WriteBinary2Opts.
+type V2Options struct {
+	// EventsPerFrame is the number of events per frame (default
+	// DefaultEventsPerFrame). Smaller frames lose fewer events per corrupt
+	// frame at slightly higher overhead.
+	EventsPerFrame int
+}
+
+// WriteBinary2 encodes tr in the checksummed, framed APT2 format.
+// NewBinaryReader and ReadBinary accept both formats transparently.
+func WriteBinary2(w io.Writer, tr *Trace) error {
+	return WriteBinary2Opts(w, tr, V2Options{})
+}
+
+// WriteBinary2Opts is WriteBinary2 with explicit framing options.
+func WriteBinary2Opts(w io.Writer, tr *Trace, opts V2Options) error {
+	per := opts.EventsPerFrame
+	if per <= 0 {
+		per = DefaultEventsPerFrame
+	}
+	if per > maxFrameEventCount {
+		per = maxFrameEventCount
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagicV2); err != nil {
+		return err
+	}
+	seq := uint64(0)
+	var payload []byte
+
+	// Header frame: seq, symbol table, total event count.
+	payload = binary.AppendUvarint(payload, seq)
+	names := tr.Symbols.Names()
+	payload = binary.AppendUvarint(payload, uint64(len(names)))
+	for _, name := range names {
+		payload = binary.AppendUvarint(payload, uint64(len(name)))
+		payload = append(payload, name...)
+	}
+	payload = binary.AppendUvarint(payload, uint64(len(tr.Events)))
+	if err := writeFrame(bw, frameHeader, payload); err != nil {
+		return err
+	}
+	seq++
+
+	var prevTime uint64
+	for start := 0; start < len(tr.Events); start += per {
+		end := start + per
+		if end > len(tr.Events) {
+			end = len(tr.Events)
+		}
+		payload = payload[:0]
+		payload = binary.AppendUvarint(payload, seq)
+		payload = binary.AppendUvarint(payload, uint64(start))
+		payload = binary.AppendUvarint(payload, uint64(end-start))
+		payload = binary.AppendUvarint(payload, prevTime)
+		for i := start; i < end; i++ {
+			ev := &tr.Events[i]
+			if ev.Time < prevTime {
+				return fmt.Errorf("trace: event %d: non-monotonic time", i)
+			}
+			payload = appendEventBody(payload, ev, &prevTime)
+		}
+		if err := writeFrame(bw, frameEvents, payload); err != nil {
+			return err
+		}
+		seq++
+	}
+
+	payload = binary.AppendUvarint(payload[:0], seq)
+	if err := writeFrame(bw, frameEnd, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeFrame emits marker | kind | len | crc | payload.
+func writeFrame(bw *bufio.Writer, kind byte, payload []byte) error {
+	if _, err := bw.Write(frameMarker[:]); err != nil {
+		return err
+	}
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	sum := crc32.ChecksumIEEE(hdr[0:5])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], sum)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
+}
+
+// appendEventBody appends one event in the APT1 per-event encoding.
+func appendEventBody(dst []byte, ev *Event, prevTime *uint64) []byte {
+	dst = append(dst, byte(ev.Kind))
+	dst = binary.AppendVarint(dst, int64(ev.Thread))
+	dst = binary.AppendUvarint(dst, ev.Time-*prevTime)
+	*prevTime = ev.Time
+	dst = binary.AppendUvarint(dst, ev.Cost)
+	switch ev.Kind {
+	case KindCall:
+		dst = binary.AppendUvarint(dst, uint64(ev.Routine))
+	case KindRead, KindWrite, KindUserToKernel, KindKernelToUser:
+		dst = binary.AppendUvarint(dst, uint64(ev.Addr))
+		dst = binary.AppendUvarint(dst, uint64(ev.Size))
+	case KindAcquire, KindRelease:
+		dst = binary.AppendUvarint(dst, uint64(ev.Addr))
+	}
+	return dst
+}
+
+// --- APT2 reading ---
+
+// readByte consumes one byte from the logical stream: the resync replay
+// buffer first, then the underlying reader.
+func (r *BinaryReader) readByte() (byte, error) {
+	if len(r.pending) > 0 {
+		b := r.pending[0]
+		r.pending = r.pending[1:]
+		r.off++
+		return b, nil
+	}
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.off++
+	}
+	return b, err
+}
+
+// readFull fills p from the logical stream.
+func (r *BinaryReader) readFull(p []byte) error {
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
+	r.off += int64(n)
+	m, err := io.ReadFull(r.br, p[n:])
+	r.off += int64(m)
+	if err == io.EOF && n > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// pushBack returns b to the front of the logical stream so the resync scan
+// can look for frame markers inside bytes a corrupt length field swallowed.
+func (r *BinaryReader) pushBack(b []byte) {
+	r.off -= int64(len(b))
+	if len(r.pending) == 0 {
+		r.pending = append([]byte(nil), b...)
+		return
+	}
+	np := make([]byte, 0, len(b)+len(r.pending))
+	np = append(np, b...)
+	np = append(np, r.pending...)
+	r.pending = np
+}
+
+// syncMarker consumes the stream up to and including the next frame marker,
+// returning how many bytes were discarded before it. io.EOF means the
+// stream ended first (discarded bytes are still reported).
+func (r *BinaryReader) syncMarker() (int64, error) {
+	var w [4]byte
+	n := 0
+	var skipped int64
+	for {
+		b, err := r.readByte()
+		if err != nil {
+			return skipped + int64(n), err
+		}
+		if n == 4 {
+			skipped++
+			w[0], w[1], w[2], w[3] = w[1], w[2], w[3], b
+		} else {
+			w[n] = b
+			n++
+		}
+		if n == 4 && w == frameMarker {
+			return skipped, nil
+		}
+	}
+}
+
+// readFrameRaw parses one frame after its marker has been consumed. On an
+// integrity failure it returns a *CorruptionError; when the failure could
+// have swallowed later frames (a corrupt length field), the consumed bytes
+// are pushed back for the resync scan.
+func (r *BinaryReader) readFrameRaw() (byte, []byte, error) {
+	frameOff := r.off - int64(len(frameMarker))
+	var hdr [9]byte
+	if err := r.readFull(hdr[:]); err != nil {
+		return 0, nil, &CorruptionError{Offset: frameOff, Frame: r.frameSeq,
+			Reason: "frame truncated in header"}
+	}
+	kind := hdr[0]
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	wantCRC := binary.LittleEndian.Uint32(hdr[5:9])
+	if length > maxFramePayload {
+		r.pushBack(hdr[:])
+		return 0, nil, &CorruptionError{Offset: frameOff, Frame: r.frameSeq,
+			Reason: fmt.Sprintf("implausible frame length %d", length)}
+	}
+	payload := make([]byte, length)
+	if err := r.readFull(payload); err != nil {
+		return 0, nil, &CorruptionError{Offset: frameOff, Frame: r.frameSeq,
+			Reason: fmt.Sprintf("frame truncated: %v", err)}
+	}
+	sum := crc32.ChecksumIEEE(hdr[0:5])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	if sum != wantCRC {
+		// The length field itself may be corrupt: rescan everything after
+		// the marker for swallowed frames.
+		r.pushBack(payload)
+		r.pushBack(hdr[:])
+		return 0, nil, &CorruptionError{Offset: frameOff, Frame: r.frameSeq,
+			Reason: fmt.Sprintf("crc mismatch: computed %08x, stored %08x", sum, wantCRC)}
+	}
+	return kind, payload, nil
+}
+
+// readHeaderV2 parses the mandatory header frame. Header corruption is
+// unrecoverable regardless of leniency: without the symbol table no call
+// event can be resolved.
+func (r *BinaryReader) readHeaderV2() error {
+	skipped, err := r.syncMarker()
+	if err != nil {
+		return fmt.Errorf("trace: reading header frame: %w", eofUnexpected(err))
+	}
+	if skipped > 0 {
+		return &CorruptionError{Offset: int64(len(binaryMagicV2)), Frame: 0,
+			Reason: fmt.Sprintf("%d stray bytes before header frame", skipped)}
+	}
+	kind, payload, err := r.readFrameRaw()
+	if err != nil {
+		return err
+	}
+	if kind != frameHeader {
+		return &CorruptionError{Offset: int64(len(binaryMagicV2)), Frame: 0,
+			Reason: fmt.Sprintf("first frame has kind %d, want header", kind)}
+	}
+	cur := bytes.NewReader(payload)
+	seq, err := binary.ReadUvarint(cur)
+	if err != nil || seq != 0 {
+		return &CorruptionError{Offset: int64(len(binaryMagicV2)), Frame: 0,
+			Reason: "malformed header frame sequence number"}
+	}
+	syms, err := readSymbolTable(cur)
+	if err != nil {
+		return err
+	}
+	total, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return fmt.Errorf("trace: event count: %w", eofUnexpected(err))
+	}
+	r.syms = syms
+	r.total = total
+	r.frameSeq = 1
+	r.expectSeq = 1
+	return nil
+}
+
+// corrupt records or returns a corruption, per mode. The returned error is
+// nil in lenient mode (the caller should resync and continue).
+func (r *BinaryReader) corrupt(e *CorruptionError) error {
+	if !r.lenient {
+		return e
+	}
+	r.stats.record(e)
+	return nil
+}
+
+// terminate ends the stream, accounting for any events the header promised
+// but the stream never delivered.
+func (r *BinaryReader) terminate(truncated bool) {
+	r.done = true
+	if truncated {
+		r.stats.Truncated = true
+	}
+	if r.lenient && r.total > r.index {
+		r.stats.EventsDropped += int(r.total - r.index)
+		r.index = r.total
+	}
+}
+
+// nextFrame advances to the next events frame, handling resync, frame
+// accounting and the end-of-trace frame. It returns false when the stream
+// is exhausted.
+func (r *BinaryReader) nextFrame() (bool, error) {
+	for {
+		skipped, err := r.syncMarker()
+		if skipped > 0 {
+			r.stats.BytesSkipped += skipped
+			if cerr := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+				Reason: fmt.Sprintf("skipped %d bytes to next frame marker", skipped)}); cerr != nil {
+				return false, cerr
+			}
+		}
+		if err != nil { // io.EOF: stream ended without an end frame
+			if !r.lenient {
+				r.done = true
+				return false, &CorruptionError{Offset: r.off, Frame: r.frameSeq,
+					Reason: "stream ends without end-of-trace frame"}
+			}
+			r.stats.record(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+				Reason: "stream ends without end-of-trace frame"})
+			r.terminate(true)
+			return false, nil
+		}
+		r.frameSeq++
+		kind, payload, rerr := r.readFrameRaw()
+		if rerr != nil {
+			cerr := rerr.(*CorruptionError)
+			truncated := r.atEOF()
+			if err := r.corrupt(cerr); err != nil {
+				r.done = true
+				return false, err
+			}
+			if truncated {
+				// Nothing follows: the partially present frame is lost.
+				r.stats.FramesDropped++
+				r.terminate(true)
+				return false, nil
+			}
+			continue
+		}
+		cur := bytes.NewReader(payload)
+		seq, serr := binary.ReadUvarint(cur)
+		if serr != nil {
+			if err := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+				Reason: "malformed frame sequence number"}); err != nil {
+				return false, err
+			}
+			r.stats.FramesDropped++
+			continue
+		}
+		switch {
+		case seq > r.expectSeq:
+			// Frames between expectSeq and seq were destroyed; the gap is
+			// the exact count, whatever the damage hit.
+			gap := int(seq - r.expectSeq)
+			r.stats.FramesDropped += gap
+			if err := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+				Reason: fmt.Sprintf("%d frames missing before sequence %d", gap, seq)}); err != nil {
+				return false, err
+			}
+		case seq < r.expectSeq:
+			// A stale or duplicated frame (e.g. resync landed on a marker
+			// inside an already-consumed region): ignore it.
+			if err := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+				Reason: fmt.Sprintf("out-of-order frame sequence %d (expected %d)", seq, r.expectSeq)}); err != nil {
+				return false, err
+			}
+			continue
+		}
+		r.expectSeq = seq + 1
+
+		switch kind {
+		case frameEnd:
+			r.terminate(false)
+			return false, nil
+		case frameEvents:
+			ok, err := r.decodeEventsFrame(cur)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			return true, nil
+		case frameHeader:
+			if err := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+				Reason: "unexpected header frame mid-stream"}); err != nil {
+				return false, err
+			}
+			continue
+		default:
+			// Unknown kind with a valid CRC: a future extension — skip.
+			continue
+		}
+	}
+}
+
+// atEOF reports whether the logical stream is exhausted (replay buffer
+// empty and the underlying reader at EOF).
+func (r *BinaryReader) atEOF() bool {
+	if len(r.pending) > 0 {
+		return false
+	}
+	_, err := r.br.Peek(1)
+	return err != nil
+}
+
+// decodeEventsFrame decodes an events frame payload (cursor positioned
+// after the sequence number) into r.frame. A decode failure inside a
+// CRC-valid frame indicates a malformed writer; the whole frame is dropped
+// in lenient mode.
+func (r *BinaryReader) decodeEventsFrame(cur *bytes.Reader) (bool, error) {
+	fail := func(reason string) (bool, error) {
+		err := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq, Reason: reason})
+		if err != nil {
+			return false, err
+		}
+		r.stats.FramesDropped++
+		return false, nil
+	}
+	firstIndex, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return fail("malformed events frame: first index")
+	}
+	count, err := binary.ReadUvarint(cur)
+	if err != nil || count > maxFrameEventCount {
+		return fail("malformed events frame: event count")
+	}
+	baseTime, err := binary.ReadUvarint(cur)
+	if err != nil {
+		return fail("malformed events frame: base time")
+	}
+	if firstIndex < r.index {
+		return fail(fmt.Sprintf("events frame rewinds to index %d (at %d)", firstIndex, r.index))
+	}
+	events := r.frame[:0]
+	if cap(events) < int(count) {
+		events = make([]Event, 0, count)
+	}
+	prev := baseTime
+	var ev Event
+	for j := uint64(0); j < count; j++ {
+		if err := decodeEventBody(cur, r.syms, &prev, firstIndex+j, &ev); err != nil {
+			return fail(fmt.Sprintf("event decode inside checksummed frame: %v", err))
+		}
+		events = append(events, ev)
+	}
+	if cur.Len() != 0 {
+		return fail(fmt.Sprintf("%d trailing bytes in events frame", cur.Len()))
+	}
+	if firstIndex > r.index {
+		// Events between r.index and firstIndex were inside dropped frames.
+		if cerr := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
+			Reason: fmt.Sprintf("%d events missing before index %d", firstIndex-r.index, firstIndex)}); cerr != nil {
+			return false, cerr
+		}
+		r.stats.EventsDropped += int(firstIndex - r.index)
+		r.index = firstIndex
+	}
+	r.frame = events
+	r.framePos = 0
+	return true, nil
+}
+
+func (r *BinaryReader) nextV2(ev *Event) (bool, error) {
+	for r.framePos >= len(r.frame) {
+		if r.done {
+			return false, nil
+		}
+		more, err := r.nextFrame()
+		if err != nil {
+			return false, err
+		}
+		if !more {
+			return false, nil
+		}
+	}
+	*ev = r.frame[r.framePos]
+	r.framePos++
+	r.index++
+	return true, nil
+}

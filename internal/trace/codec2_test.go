@@ -1,0 +1,389 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frameInfo locates one frame inside an encoded APT2 stream, for targeted
+// corruption in tests.
+type frameInfo struct {
+	kind       byte
+	off        int64 // offset of the marker
+	payloadOff int64
+	payloadLen int
+}
+
+// parseFrames walks the frame structure of an intact APT2 stream.
+func parseFrames(t *testing.T, data []byte) []frameInfo {
+	t.Helper()
+	if string(data[:4]) != binaryMagicV2 {
+		t.Fatalf("not an APT2 stream")
+	}
+	var out []frameInfo
+	off := int64(4)
+	for int(off) < len(data) {
+		if !bytes.Equal(data[off:off+4], frameMarker[:]) {
+			t.Fatalf("no frame marker at offset %d", off)
+		}
+		kind := data[off+4]
+		length := binary.LittleEndian.Uint32(data[off+5 : off+9])
+		out = append(out, frameInfo{
+			kind:       kind,
+			off:        off,
+			payloadOff: off + 13,
+			payloadLen: int(length),
+		})
+		off += 13 + int64(length)
+	}
+	return out
+}
+
+func eventFrames(frames []frameInfo) []frameInfo {
+	var out []frameInfo
+	for _, f := range frames {
+		if f.kind == frameEvents {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func encodeV2(t *testing.T, tr *Trace, perFrame int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary2Opts(&buf, tr, V2Options{EventsPerFrame: perFrame}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinary2RoundTrip checks that ReadBinary transparently decodes APT2 at
+// several framing granularities, including frames smaller than the trace
+// and a frame size larger than the whole trace.
+func TestBinary2RoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tr := Random(RandomConfig{Seed: seed, Ops: 400})
+		for _, per := range []int{1, 7, 64, 100000} {
+			got, err := ReadBinary(bytes.NewReader(encodeV2(t, tr, per)))
+			if err != nil {
+				t.Fatalf("seed %d per %d: %v", seed, per, err)
+			}
+			if !tracesEqual(tr, got) {
+				t.Errorf("seed %d per %d: round trip mismatch", seed, per)
+			}
+		}
+	}
+}
+
+// TestBinary2EmptyTrace checks the degenerate header+end stream.
+func TestBinary2EmptyTrace(t *testing.T) {
+	tr := NewTrace()
+	tr.Symbols.Intern("lonely")
+	got, err := ReadBinary(bytes.NewReader(encodeV2(t, tr, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Symbols.Len() != 1 {
+		t.Errorf("got %d events, %d symbols", got.Len(), got.Symbols.Len())
+	}
+}
+
+// readLenient drains an APT2 stream in lenient mode, returning the events
+// delivered and the final corruption stats.
+func readLenient(t *testing.T, data []byte) ([]Event, CorruptionStats, *SymbolTable) {
+	t.Helper()
+	r, err := NewBinaryReaderOpts(bytes.NewReader(data), ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient header: %v", err)
+	}
+	var out []Event
+	var ev Event
+	for {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			t.Fatalf("lenient Next: %v", err)
+		}
+		if !ok {
+			return out, r.Stats(), r.Symbols()
+		}
+		out = append(out, ev)
+	}
+}
+
+// TestBinary2LenientBitFlip corrupts k distinct event frames with single
+// bit flips; the lenient reader must recover every other frame and report
+// exactly k frames dropped, with the event loss equal to the sum of the
+// corrupted frames' event counts.
+func TestBinary2LenientBitFlip(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 4, Ops: 600})
+	const per = 32
+	data := encodeV2(t, tr, per)
+	evFrames := eventFrames(parseFrames(t, data))
+	if len(evFrames) < 6 {
+		t.Fatalf("want >= 6 event frames, got %d", len(evFrames))
+	}
+	corruptIdx := []int{1, 3, 5}
+	mut := append([]byte(nil), data...)
+	wantLost := 0
+	for _, fi := range corruptIdx {
+		f := evFrames[fi]
+		// Flip a bit in the middle of the payload.
+		mut[f.payloadOff+int64(f.payloadLen/2)] ^= 0x10
+		wantLost += frameEventCount(t, data, f)
+	}
+	events, stats, _ := readLenient(t, mut)
+	if stats.FramesDropped != len(corruptIdx) {
+		t.Errorf("FramesDropped = %d, want %d", stats.FramesDropped, len(corruptIdx))
+	}
+	if stats.EventsDropped != wantLost {
+		t.Errorf("EventsDropped = %d, want %d", stats.EventsDropped, wantLost)
+	}
+	if len(events)+stats.EventsDropped != tr.Len() {
+		t.Errorf("delivered %d + dropped %d != total %d", len(events), stats.EventsDropped, tr.Len())
+	}
+	if len(stats.Errors) == 0 {
+		t.Error("no CorruptionError recorded")
+	}
+	// Every surviving event must match the original at its index.
+	checkSurvivors(t, tr, events)
+}
+
+// frameEventCount parses an intact events frame's declared count.
+func frameEventCount(t *testing.T, data []byte, f frameInfo) int {
+	t.Helper()
+	cur := bytes.NewReader(data[f.payloadOff : f.payloadOff+int64(f.payloadLen)])
+	for i := 0; i < 2; i++ { // seq, firstIndex
+		if _, err := binary.ReadUvarint(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count, err := binary.ReadUvarint(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(count)
+}
+
+// checkSurvivors verifies delivered events appear in the original trace in
+// order (the lenient reader drops whole frames, never reorders).
+func checkSurvivors(t *testing.T, tr *Trace, events []Event) {
+	t.Helper()
+	j := 0
+	for i := range events {
+		for j < len(tr.Events) && tr.Events[j] != events[i] {
+			j++
+		}
+		if j == len(tr.Events) {
+			t.Fatalf("delivered event %d (%s) not found in original order", i, events[i])
+		}
+		j++
+	}
+}
+
+// TestBinary2LenientMarkerDamage destroys a frame's marker itself; the
+// sequence-number gap must still count the lost frame exactly.
+func TestBinary2LenientMarkerDamage(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 5, Ops: 400})
+	data := encodeV2(t, tr, 32)
+	evFrames := eventFrames(parseFrames(t, data))
+	f := evFrames[2]
+	mut := append([]byte(nil), data...)
+	mut[f.off] ^= 0xFF // marker byte
+	events, stats, _ := readLenient(t, mut)
+	if stats.FramesDropped != 1 {
+		t.Errorf("FramesDropped = %d, want 1", stats.FramesDropped)
+	}
+	want := frameEventCount(t, data, f)
+	if stats.EventsDropped != want {
+		t.Errorf("EventsDropped = %d, want %d", stats.EventsDropped, want)
+	}
+	if len(events)+stats.EventsDropped != tr.Len() {
+		t.Errorf("delivered %d + dropped %d != total %d", len(events), stats.EventsDropped, tr.Len())
+	}
+	if stats.BytesSkipped == 0 {
+		t.Error("expected skipped bytes from the resync scan")
+	}
+}
+
+// TestBinary2LenientTruncation cuts the stream inside the last events
+// frame: the partial frame is dropped, the tail loss is computed from the
+// declared total, and Truncated is reported.
+func TestBinary2LenientTruncation(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 6, Ops: 400})
+	data := encodeV2(t, tr, 32)
+	evFrames := eventFrames(parseFrames(t, data))
+	last := evFrames[len(evFrames)-1]
+	cut := last.payloadOff + int64(last.payloadLen/2)
+	events, stats, _ := readLenient(t, data[:cut])
+	if !stats.Truncated {
+		t.Error("Truncated not reported")
+	}
+	if stats.FramesDropped != 1 {
+		t.Errorf("FramesDropped = %d, want 1", stats.FramesDropped)
+	}
+	want := frameEventCount(t, data, last)
+	if stats.EventsDropped != want {
+		t.Errorf("EventsDropped = %d, want %d", stats.EventsDropped, want)
+	}
+	if len(events)+stats.EventsDropped != tr.Len() {
+		t.Errorf("delivered %d + dropped %d != total %d", len(events), stats.EventsDropped, tr.Len())
+	}
+}
+
+// TestBinary2StrictCorruption checks that without Lenient the same damage
+// is a terminal *CorruptionError.
+func TestBinary2StrictCorruption(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 7, Ops: 200})
+	data := encodeV2(t, tr, 32)
+	f := eventFrames(parseFrames(t, data))[1]
+	mut := append([]byte(nil), data...)
+	mut[f.payloadOff] ^= 0x01
+	r, err := NewBinaryReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	for {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			var cerr *CorruptionError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("error %v is not a *CorruptionError", err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatal("corrupt stream decoded without error in strict mode")
+		}
+	}
+}
+
+// TestBinary2Skip checks Skip positioning, including across a corrupt
+// region in lenient mode.
+func TestBinary2Skip(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 8, Ops: 300})
+	data := encodeV2(t, tr, 16)
+	r, err := NewBinaryReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Skip(10); err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	ok, err := r.Next(&ev)
+	if err != nil || !ok {
+		t.Fatalf("Next after Skip: ok=%v err=%v", ok, err)
+	}
+	if ev != tr.Events[10] {
+		t.Errorf("after Skip(10), got %s want %s", ev, tr.Events[10])
+	}
+	if err := r.Skip(uint64(tr.Len())); err == nil {
+		t.Error("Skip past the end succeeded")
+	}
+}
+
+// TestBinaryReaderUnexpectedEOF checks the truncation-error contract of the
+// APT1 reader: a mid-event cut surfaces io.ErrUnexpectedEOF with the event
+// index in the message.
+func TestBinaryReaderUnexpectedEOF(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 9, Ops: 100})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	// Cut a few bytes before the end: mid-event with events remaining.
+	r, err := NewBinaryReader(bytes.NewReader(enc[:len(enc)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	var lastErr error
+	delivered := 0
+	for {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		if !ok {
+			t.Fatal("truncated APT1 stream ended cleanly")
+		}
+		delivered++
+	}
+	if !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+		t.Errorf("truncation error %v does not wrap io.ErrUnexpectedEOF", lastErr)
+	}
+	if want := []byte("event"); !bytes.Contains([]byte(lastErr.Error()), want) {
+		t.Errorf("error %q lacks event index context", lastErr)
+	}
+}
+
+// TestRegenerateV2Corpus rewrites the checked-in APT2 fuzz seed corpora
+// (valid, corrupt-CRC, truncated-frame). Run with APROF_REGEN_CORPUS=1
+// after changing the frame layout.
+func TestRegenerateV2Corpus(t *testing.T) {
+	if os.Getenv("APROF_REGEN_CORPUS") == "" {
+		t.Skip("set APROF_REGEN_CORPUS=1 to regenerate")
+	}
+	tr := Random(RandomConfig{Seed: 11, Ops: 40})
+	valid := encodeV2(t, tr, 8)
+	corrupt := append([]byte(nil), valid...)
+	f := eventFrames(parseFrames(t, valid))[0]
+	corrupt[f.payloadOff] ^= 0x20
+	truncated := valid[:f.payloadOff+int64(f.payloadLen/2)]
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadTrace")
+	for name, data := range map[string][]byte{
+		"seed_v2_valid":       valid,
+		"seed_v2_corrupt_crc": corrupt,
+		"seed_v2_truncated":   truncated,
+	} {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBinary1LenientTruncation checks the APT1 degradation contract: no
+// resync is possible, so a lenient reader keeps the decoded prefix and
+// reports the remainder as truncated.
+func TestBinary1LenientTruncation(t *testing.T) {
+	tr := Random(RandomConfig{Seed: 10, Ops: 200})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	r, err := NewBinaryReaderOpts(bytes.NewReader(enc[:len(enc)*3/4]), ReaderOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	delivered := 0
+	for {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			t.Fatalf("lenient APT1 Next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		delivered++
+	}
+	stats := r.Stats()
+	if !stats.Truncated {
+		t.Error("Truncated not reported")
+	}
+	if delivered+stats.EventsDropped != tr.Len() {
+		t.Errorf("delivered %d + dropped %d != total %d", delivered, stats.EventsDropped, tr.Len())
+	}
+}

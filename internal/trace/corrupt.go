@@ -1,0 +1,74 @@
+package trace
+
+import "fmt"
+
+// Corruption reporting for the fault-tolerant decode path. A BinaryReader in
+// lenient mode (ReaderOptions.Lenient) does not abort on a damaged APT2
+// frame: it records a CorruptionError, resynchronizes at the next frame
+// marker, and keeps delivering the surviving events. Strict readers return
+// the same *CorruptionError as the terminal error, so callers can
+// errors.As() it in either mode.
+
+// CorruptionError describes one corrupt region of a binary trace stream.
+type CorruptionError struct {
+	// Offset is the byte offset (from the start of the stream) at which the
+	// corruption was detected.
+	Offset int64
+	// Frame is the sequence number of the frame being parsed when the
+	// corruption was detected, counted over frames observed by the reader
+	// (the frame's own declared sequence number may be unreadable).
+	Frame int
+	// Reason describes the failed integrity check.
+	Reason string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("trace: corrupt frame %d at offset %d: %s", e.Frame, e.Offset, e.Reason)
+}
+
+// CorruptionStats aggregates what a lenient reader skipped. All counters are
+// exact for mid-stream damage: dropped frames are inferred from the gap in
+// frame sequence numbers between intact frames, and dropped events from the
+// gap in event indices, so even a frame whose marker itself was destroyed is
+// accounted for.
+type CorruptionStats struct {
+	// FramesDropped counts event-carrying frames whose payload was lost.
+	FramesDropped int
+	// EventsDropped counts events lost inside dropped frames. For a
+	// truncated stream the tail loss is included when the header declared a
+	// total event count.
+	EventsDropped int
+	// BytesSkipped counts raw bytes discarded while resynchronizing.
+	BytesSkipped int64
+	// Truncated reports that the stream ended without a clean end-of-trace
+	// frame (APT2) or before the declared event count (APT1).
+	Truncated bool
+	// Errors holds the first maxCorruptionErrors structured errors, in
+	// detection order; later corruptions are counted but not retained.
+	Errors []*CorruptionError
+}
+
+// maxCorruptionErrors caps CorruptionStats.Errors so a pathologically
+// damaged stream cannot make the error log itself unbounded.
+const maxCorruptionErrors = 16
+
+// record notes a corruption incident (the error log side; frame/event loss
+// accounting is done separately from sequence-number gaps).
+func (s *CorruptionStats) record(e *CorruptionError) {
+	if len(s.Errors) < maxCorruptionErrors {
+		s.Errors = append(s.Errors, e)
+	}
+}
+
+// Merge folds other into s. Used by checkpoint/resume, where the total
+// accounting of a run is the checkpointed prefix plus the post-resume
+// reader's own stats.
+func (s *CorruptionStats) Merge(other CorruptionStats) {
+	s.FramesDropped += other.FramesDropped
+	s.EventsDropped += other.EventsDropped
+	s.BytesSkipped += other.BytesSkipped
+	s.Truncated = s.Truncated || other.Truncated
+	for _, e := range other.Errors {
+		s.record(e)
+	}
+}

@@ -35,7 +35,9 @@ func fuzzSeedTraces() []*Trace {
 
 // FuzzReadTrace fuzzes the binary trace decoder: arbitrary bytes must
 // decode or fail with an error — never panic — and whatever decodes must
-// pass structural validation well enough to re-encode.
+// pass structural validation well enough to re-encode. The same bytes are
+// also fed through the lenient APT2 path, which must terminate cleanly on
+// any input.
 func FuzzReadTrace(f *testing.F) {
 	for _, tr := range fuzzSeedTraces() {
 		var buf bytes.Buffer
@@ -43,18 +45,45 @@ func FuzzReadTrace(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		buf.Reset()
+		if err := WriteBinary2Opts(&buf, tr, V2Options{EventsPerFrame: 4}); err != nil {
+			f.Fatal(err)
+		}
+		enc := buf.Bytes()
+		f.Add(append([]byte(nil), enc...))
+		// Corrupt-CRC and truncated-frame variants of the framed stream.
+		if len(enc) > 20 {
+			bad := append([]byte(nil), enc...)
+			bad[len(bad)/2] ^= 0x40
+			f.Add(bad)
+			f.Add(append([]byte(nil), enc[:len(enc)*2/3]...))
+		}
 	}
 	f.Add([]byte("APT1"))
+	f.Add([]byte("APT2"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			// The decoder validates kinds and routine ids; Validate and the
+			// encoder must cope with anything else it lets through.
+			_ = tr.Validate()
+			_ = WriteBinary(&bytes.Buffer{}, tr)
+		}
+		// Lenient mode must never panic or loop: it either yields a header
+		// error or drains to EOF with corruption accounted in Stats.
+		r, err := NewBinaryReaderOpts(bytes.NewReader(data), ReaderOptions{Lenient: true})
 		if err != nil {
 			return
 		}
-		// The decoder validates kinds and routine ids; Validate and the
-		// encoder must cope with anything else it lets through.
-		_ = tr.Validate()
-		_ = WriteBinary(&bytes.Buffer{}, tr)
+		var ev Event
+		for {
+			ok, err := r.Next(&ev)
+			if err != nil || !ok {
+				break
+			}
+		}
+		_ = r.Stats()
 	})
 }
 
