@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz faults bench cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults bench cover experiments examples clean
 
 all: build test
 
@@ -10,6 +10,15 @@ build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+# Repo-wide lint gate: gofmt must be clean and go vet must pass. Fails
+# with the offending file list when any source file is unformatted.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test: vet

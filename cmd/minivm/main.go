@@ -5,18 +5,30 @@
 // Usage:
 //
 //	minivm [-quantum N] [-max-steps N] [-trace FILE] [-trace-format binary|text] [-stats|-fmt|-disasm] program.ml
+//	minivm vet program.ml...
+//
+// The vet subcommand runs the static-analysis pipeline (parse, lint,
+// compile, bytecode verification, optimize, re-verification) without
+// executing the program, printing positioned file:line:col diagnostics. It
+// exits 1 when any file has findings. Importing the analysis package also
+// wires the bytecode verifier into every compile the run mode performs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"aprof/internal/trace"
 	"aprof/internal/vm"
+	"aprof/internal/vm/analysis"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(vet(os.Args[2:], os.Stdout))
+	}
 	var (
 		quantum  = flag.Int("quantum", 0, "basic blocks per scheduling slice (0 = default)")
 		maxSteps = flag.Uint64("max-steps", 0, "instruction limit (0 = default)")
@@ -30,6 +42,7 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: minivm [flags] program.ml")
+		fmt.Fprintln(os.Stderr, "       minivm vet program.ml...")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -51,7 +64,9 @@ func main() {
 			fatal(err)
 		}
 		if *optimize {
-			cp.Optimize()
+			if _, err := cp.Optimize(); err != nil {
+				fatal(err)
+			}
 		}
 		for _, fn := range cp.Funcs {
 			fmt.Print(fn.Disassemble(cp))
@@ -94,4 +109,39 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "minivm:", err)
 	os.Exit(1)
+}
+
+// vet statically checks each file and prints positioned diagnostics. The
+// exit status is 0 when every file is clean, 1 when any file has findings
+// or hard errors, 2 on usage errors.
+func vet(files []string, out io.Writer) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: minivm vet program.ml...")
+		return 2
+	}
+	exit := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minivm: vet:", err)
+			return 2
+		}
+		diags, err := analysis.Check(string(src))
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s:%s\n", file, d)
+			exit = 1
+		}
+		if err != nil {
+			// Hard failures (syntax, compile, verifier) with the file
+			// prepended to the position where one is known.
+			switch e := err.(type) {
+			case *vm.SyntaxError:
+				fmt.Fprintf(out, "%s:%s: error: %s\n", file, e.Pos, e.Msg)
+			default:
+				fmt.Fprintf(out, "%s: error: %v\n", file, err)
+			}
+			exit = 1
+		}
+	}
+	return exit
 }

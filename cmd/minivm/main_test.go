@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProgram(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVetCleanProgram(t *testing.T) {
+	path := writeProgram(t, "clean.ml", `
+fn main() {
+	var n = 3;
+	print(n);
+}
+`)
+	var out strings.Builder
+	if code := vet([]string{path}, &out); code != 0 {
+		t.Fatalf("exit %d on clean program, output:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output for clean program:\n%s", out.String())
+	}
+}
+
+func TestVetReportsDiagnostics(t *testing.T) {
+	path := writeProgram(t, "dirty.ml", `
+fn main() {
+	var unused = 1;
+	if (1 < 0) {
+		print(9);
+	}
+	print(0);
+}
+`)
+	var out strings.Builder
+	if code := vet([]string{path}, &out); code != 1 {
+		t.Fatalf("exit %d on program with findings, output:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{path + ":", "V002", "V005"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestVetReportsSyntaxErrorWithPosition(t *testing.T) {
+	path := writeProgram(t, "broken.ml", "fn main( {\n")
+	var out strings.Builder
+	if code := vet([]string{path}, &out); code != 1 {
+		t.Fatalf("exit %d on unparsable program, output:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, path+":1:") || !strings.Contains(got, "error:") {
+		t.Errorf("syntax error not reported with file:line position:\n%s", got)
+	}
+}
+
+func TestVetMissingFile(t *testing.T) {
+	var out strings.Builder
+	if code := vet([]string{filepath.Join(t.TempDir(), "absent.ml")}, &out); code != 2 {
+		t.Fatalf("exit %d for missing file, want 2", code)
+	}
+}
+
+func TestVetNoArgs(t *testing.T) {
+	var out strings.Builder
+	if code := vet(nil, &out); code != 2 {
+		t.Fatalf("exit %d for no arguments, want 2", code)
+	}
+}

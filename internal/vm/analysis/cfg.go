@@ -1,0 +1,139 @@
+// Package analysis provides static analysis over MiniLang programs and
+// their compiled bytecode: a control-flow-graph builder over function
+// bytecode, a bytecode verifier that proves stack balance, operand validity
+// and guaranteed termination-by-return along every path, and a vet-style
+// AST lint pass with positioned diagnostics.
+//
+// Importing this package installs the verifier into the vm package (see
+// vm.SetVerifier), so every vm.Compile and Optimize in the same binary is
+// independently re-checked — the profiler's observation substrate never
+// runs unverified bytecode.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"aprof/internal/vm"
+)
+
+// BasicBlock is a maximal straight-line bytecode sequence: instructions
+// [Start, End) execute in order, and only the last one may transfer
+// control. Succs and Preds are block indices.
+type BasicBlock struct {
+	Index      int
+	Start, End int
+	Succs      []int
+	Preds      []int
+}
+
+// CFG is the control-flow graph of one compiled function. Blocks[0] is the
+// entry block (it starts at pc 0).
+type CFG struct {
+	Fn      *vm.Func
+	Blocks  []*BasicBlock
+	blockAt []int // pc → index of the block containing it
+}
+
+// BuildCFG discovers the basic blocks of fn and links successor and
+// predecessor edges. It fails when a jump targets a pc outside the function
+// or when a block can fall off the end of the code, both of which the
+// interpreter would turn into an index-out-of-range panic.
+func BuildCFG(fn *vm.Func) (*CFG, error) {
+	code := fn.Code
+	if len(code) == 0 {
+		return nil, &VerifyError{Func: fn.Name, PC: -1, Msg: "empty function body"}
+	}
+	// Leaders: the entry point, every jump target, and every instruction
+	// after a control transfer.
+	leader := make([]bool, len(code))
+	leader[0] = true
+	for pc, ins := range code {
+		switch ins.Op {
+		case vm.OpJump, vm.OpJumpIfZero, vm.OpJumpIfNonZero:
+			if ins.A < 0 || int(ins.A) >= len(code) {
+				return nil, &VerifyError{Func: fn.Name, PC: pc, Msg: fmt.Sprintf("%s target %d out of range [0, %d)", ins.Op, ins.A, len(code))}
+			}
+			leader[ins.A] = true
+			if pc+1 < len(code) {
+				leader[pc+1] = true
+			}
+		case vm.OpReturn:
+			if pc+1 < len(code) {
+				leader[pc+1] = true
+			}
+		}
+	}
+
+	g := &CFG{Fn: fn, blockAt: make([]int, len(code))}
+	for pc := 0; pc < len(code); pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, &BasicBlock{Index: len(g.Blocks), Start: pc})
+		}
+		b := g.Blocks[len(g.Blocks)-1]
+		b.End = pc + 1
+		g.blockAt[pc] = b.Index
+	}
+
+	for _, b := range g.Blocks {
+		last := code[b.End-1]
+		switch last.Op {
+		case vm.OpJump:
+			g.addEdge(b.Index, g.blockAt[last.A])
+		case vm.OpJumpIfZero, vm.OpJumpIfNonZero:
+			if b.End == len(code) {
+				return nil, &VerifyError{Func: fn.Name, PC: b.End - 1, Msg: fmt.Sprintf("conditional %s can fall off the end of the function", last.Op)}
+			}
+			g.addEdge(b.Index, g.blockAt[last.A])
+			g.addEdge(b.Index, g.blockAt[b.End])
+		case vm.OpReturn:
+			// No successors.
+		default:
+			if b.End == len(code) {
+				return nil, &VerifyError{Func: fn.Name, PC: b.End - 1, Msg: fmt.Sprintf("execution falls off the end of the function after %s (missing return)", last.Op)}
+			}
+			g.addEdge(b.Index, g.blockAt[b.End])
+		}
+	}
+	return g, nil
+}
+
+func (g *CFG) addEdge(from, to int) {
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+}
+
+// BlockAt returns the basic block containing pc.
+func (g *CFG) BlockAt(pc int) *BasicBlock { return g.Blocks[g.blockAt[pc]] }
+
+// Reachable reports, per block, whether any control path from the entry
+// block reaches it.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		work = append(work, g.Blocks[i].Succs...)
+	}
+	return seen
+}
+
+// String renders the graph for debugging and tests.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	reach := g.Reachable()
+	fmt.Fprintf(&sb, "cfg %s: %d blocks\n", g.Fn.Name, len(g.Blocks))
+	for _, b := range g.Blocks {
+		mark := " "
+		if !reach[b.Index] {
+			mark = "x"
+		}
+		fmt.Fprintf(&sb, "%s b%d [%d,%d) -> %v\n", mark, b.Index, b.Start, b.End, b.Succs)
+	}
+	return sb.String()
+}

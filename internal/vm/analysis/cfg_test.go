@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"aprof/internal/vm"
+)
+
+func compileFn(t *testing.T, src, name string) (*vm.CompiledProgram, *vm.Func) {
+	t.Helper()
+	cp, err := vm.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := cp.FuncByName[name]
+	if !ok {
+		t.Fatalf("no function %q", name)
+	}
+	return cp, cp.Funcs[idx]
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, fn := compileFn(t, `fn main() { var x = 1; print(x); }`, "main")
+	g, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 1 {
+		t.Fatalf("straight-line code has %d blocks, want 1\n%s", len(g.Blocks), g)
+	}
+	b := g.Blocks[0]
+	if b.Start != 0 || b.End != len(fn.Code) || len(b.Succs) != 0 || len(b.Preds) != 0 {
+		t.Errorf("entry block malformed: %+v", b)
+	}
+}
+
+func TestCFGBranchAndJoin(t *testing.T) {
+	_, fn := compileFn(t, `fn main() { var x = 1; if (x) { x = 2; } else { x = 3; } print(x); }`, "main")
+	g, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("branch block has %d successors, want 2\n%s", len(entry.Succs), g)
+	}
+	// Both arms must reconverge on a single join block.
+	a, b := g.Blocks[entry.Succs[0]], g.Blocks[entry.Succs[1]]
+	join := func(bb *BasicBlock) int {
+		if len(bb.Succs) != 1 {
+			t.Fatalf("arm b%d has %d successors\n%s", bb.Index, len(bb.Succs), g)
+		}
+		return bb.Succs[0]
+	}
+	ja, jb := join(a), join(b)
+	// One arm may reach the join through the jump-over-else block.
+	for ja != jb {
+		if len(g.Blocks[ja].Succs) != 1 {
+			t.Fatalf("arms do not reconverge: b%d vs b%d\n%s", ja, jb, g)
+		}
+		ja = g.Blocks[ja].Succs[0]
+	}
+	if got := len(g.Blocks[ja].Preds); got < 2 {
+		t.Errorf("join block b%d has %d predecessors, want >= 2\n%s", ja, got, g)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	_, fn := compileFn(t, `fn main() { var i = 0; while (i < 3) { i = i + 1; } print(i); }`, "main")
+	g, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A while loop has a back edge: some block's successor list contains a
+	// block with a smaller start pc.
+	back := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if g.Blocks[s].Start <= b.Start {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Errorf("no back edge found in loop CFG\n%s", g)
+	}
+	for i, r := range g.Reachable() {
+		if !r {
+			t.Errorf("block b%d unexpectedly unreachable\n%s", i, g)
+		}
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	// The explicit return makes the compiler's implicit trailing return
+	// unreachable (it is only removed by the optimizer).
+	_, fn := compileFn(t, `fn main() { return 7; }`, "main")
+	g, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := g.Reachable()
+	unreachable := 0
+	for _, r := range reach {
+		if !r {
+			unreachable++
+		}
+	}
+	if unreachable == 0 {
+		t.Errorf("expected an unreachable implicit-return block\n%s", g)
+	}
+	if !reach[0] {
+		t.Error("entry block must always be reachable")
+	}
+	if !strings.Contains(g.String(), "x b") {
+		t.Errorf("String() does not mark unreachable blocks:\n%s", g)
+	}
+}
+
+func TestCFGBlockAt(t *testing.T) {
+	_, fn := compileFn(t, `fn main() { var i = 0; while (i < 3) { i = i + 1; } }`, "main")
+	g, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc := range fn.Code {
+		b := g.BlockAt(pc)
+		if pc < b.Start || pc >= b.End {
+			t.Fatalf("BlockAt(%d) = [%d,%d)", pc, b.Start, b.End)
+		}
+	}
+}
+
+func TestCFGRejectsWildJump(t *testing.T) {
+	fn := &vm.Func{Name: "bad", Code: []vm.Instr{ins(vm.OpJump, 42, 0)}}
+	if _, err := BuildCFG(fn); err == nil {
+		t.Fatal("BuildCFG accepted an out-of-range jump")
+	}
+}

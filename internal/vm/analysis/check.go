@@ -1,0 +1,34 @@
+package analysis
+
+import "aprof/internal/vm"
+
+// Check runs the full static-analysis pipeline over MiniLang source:
+// parse → lint → compile → verify → optimize → verify (the differential
+// step: bytecode that verified before optimization must verify after it).
+//
+// The returned diagnostics are advisory lint findings; the error is a hard
+// failure (syntax error, compile error, or a verifier rejection — the
+// latter meaning a compiler or optimizer bug, since source programs cannot
+// express invalid bytecode). Fuzz harnesses use a nil error as an oracle: a
+// checked program must never panic the interpreter.
+func Check(src string) ([]Diagnostic, error) {
+	prog, err := vm.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	diags := Lint(prog)
+	cp, err := vm.CompileProgram(prog)
+	if err != nil {
+		return diags, err
+	}
+	if err := VerifyProgram(cp); err != nil {
+		return diags, err
+	}
+	if _, err := cp.Optimize(); err != nil {
+		return diags, err
+	}
+	if err := VerifyProgram(cp); err != nil {
+		return diags, err
+	}
+	return diags, nil
+}

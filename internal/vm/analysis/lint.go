@@ -1,0 +1,447 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"aprof/internal/vm"
+)
+
+// Diagnostic is one positioned lint finding. Diagnostics are advisory: the
+// program still compiles and runs (unlike verifier errors).
+type Diagnostic struct {
+	Pos  vm.Pos
+	Code string
+	Msg  string
+}
+
+// String renders "line:col: CODE: message"; callers prepend the file name.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Code, d.Msg)
+}
+
+// The lint catalog. Codes are stable: golden tests and downstream tooling
+// match on them.
+const (
+	// CodeUseBeforeDecl: an identifier is read or assigned at a point where
+	// its declaration is not (yet) in scope — use before assignment.
+	CodeUseBeforeDecl = "V001"
+	// CodeUnusedVar: a local variable is declared (and possibly assigned)
+	// but its value is never read.
+	CodeUnusedVar = "V002"
+	// CodeUnusedFunc: a function other than main is never called or
+	// spawned.
+	CodeUnusedFunc = "V003"
+	// CodeUnreachable: statements that no control path reaches.
+	CodeUnreachable = "V004"
+	// CodeConstCond: an if/while/for condition that always evaluates to the
+	// same value.
+	CodeConstCond = "V005"
+	// CodeWrongArity: a call or spawn whose argument count does not match
+	// the callee.
+	CodeWrongArity = "V006"
+)
+
+// Lint analyzes a parsed program and returns its diagnostics sorted by
+// source position. It never fails: unparseable programs cannot reach it,
+// and programs the compiler would reject (unknown names, string literals
+// outside print) simply produce fewer lint findings — the compiler error is
+// the authoritative report for those.
+func Lint(prog *vm.Program) []Diagnostic {
+	l := &linter{
+		funcs:   make(map[string]*vm.FuncDecl),
+		globals: make(map[string]bool),
+		called:  make(map[string]bool),
+	}
+	for _, g := range prog.Globals {
+		l.globals[g.Name] = true
+	}
+	for _, fn := range prog.Funcs {
+		l.funcs[fn.Name] = fn
+	}
+	for _, fn := range prog.Funcs {
+		l.checkFunc(fn)
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Name != "main" && !l.called[fn.Name] {
+			l.report(fn.Pos, CodeUnusedFunc, "function %q is never called or spawned", fn.Name)
+		}
+	}
+	sort.SliceStable(l.diags, func(i, j int) bool {
+		a, b := l.diags[i], l.diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Code < b.Code
+	})
+	return l.diags
+}
+
+type varInfo struct {
+	name string
+	pos  vm.Pos
+	read bool
+}
+
+type linter struct {
+	diags   []Diagnostic
+	funcs   map[string]*vm.FuncDecl
+	globals map[string]bool
+	called  map[string]bool
+	// Per-function state: the scope stack and the declaration positions of
+	// every local in the function (for use-before-declaration reports).
+	scopes   []([]*varInfo)
+	declPos  map[string]vm.Pos
+	declared map[string]bool
+	// declaring is the name of the var whose initializer is being walked,
+	// so "var x = x + 1;" gets a self-reference diagnostic.
+	declaring string
+}
+
+func (l *linter) report(pos vm.Pos, code, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{Pos: pos, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *linter) checkFunc(fn *vm.FuncDecl) {
+	l.scopes = nil
+	l.declPos = make(map[string]vm.Pos)
+	l.declared = make(map[string]bool)
+	collectDecls(fn.Body, l.declPos)
+	l.pushScope()
+	for _, p := range fn.Params {
+		// Parameters are part of the signature; an unused one is not
+		// flagged, so mark it read from the start.
+		l.scopes[0] = append(l.scopes[0], &varInfo{name: p, pos: fn.Pos, read: true})
+		l.declared[p] = true
+	}
+	l.checkBlock(fn.Body)
+	l.popScope()
+}
+
+// collectDecls records the first declaration position of every var in the
+// statement tree.
+func collectDecls(s vm.Stmt, out map[string]vm.Pos) {
+	switch s := s.(type) {
+	case *vm.Block:
+		for _, st := range s.Stmts {
+			collectDecls(st, out)
+		}
+	case *vm.VarStmt:
+		if _, seen := out[s.Name]; !seen {
+			out[s.Name] = s.Pos
+		}
+	case *vm.IfStmt:
+		collectDecls(s.Then, out)
+		if s.Else != nil {
+			collectDecls(s.Else, out)
+		}
+	case *vm.WhileStmt:
+		collectDecls(s.Body, out)
+	case *vm.ForStmt:
+		if s.Init != nil {
+			collectDecls(s.Init, out)
+		}
+		collectDecls(s.Body, out)
+	}
+}
+
+func (l *linter) pushScope() { l.scopes = append(l.scopes, nil) }
+
+func (l *linter) popScope() {
+	top := l.scopes[len(l.scopes)-1]
+	l.scopes = l.scopes[:len(l.scopes)-1]
+	for _, v := range top {
+		if !v.read {
+			l.report(v.pos, CodeUnusedVar, "variable %q declared but never used", v.name)
+		}
+	}
+}
+
+func (l *linter) declare(name string, pos vm.Pos) {
+	l.scopes[len(l.scopes)-1] = append(l.scopes[len(l.scopes)-1], &varInfo{name: name, pos: pos})
+	l.declared[name] = true
+}
+
+func (l *linter) lookup(name string) *varInfo {
+	for i := len(l.scopes) - 1; i >= 0; i-- {
+		for j := len(l.scopes[i]) - 1; j >= 0; j-- {
+			if l.scopes[i][j].name == name {
+				return l.scopes[i][j]
+			}
+		}
+	}
+	return nil
+}
+
+// resolve handles an identifier occurrence. A name that is not in scope,
+// not a global, but declared by some var statement of the function is a
+// definite use-before-assignment.
+func (l *linter) resolve(name string, pos vm.Pos, read bool) {
+	if v := l.lookup(name); v != nil {
+		if read {
+			v.read = true
+		}
+		return
+	}
+	if l.globals[name] {
+		return
+	}
+	if declPos, ok := l.declPos[name]; ok {
+		if name == l.declaring {
+			l.report(pos, CodeUseBeforeDecl, "variable %q used in its own initializer", name)
+		} else if pos.Line < declPos.Line || (pos.Line == declPos.Line && pos.Col < declPos.Col) {
+			l.report(pos, CodeUseBeforeDecl, "variable %q used before its declaration at %s", name, declPos)
+		} else {
+			l.report(pos, CodeUseBeforeDecl, "variable %q used outside the scope of its declaration at %s", name, declPos)
+		}
+		return
+	}
+	// Entirely undeclared: the compiler reports it as a hard error.
+}
+
+func (l *linter) checkBlock(b *vm.Block) {
+	l.pushScope()
+	terminated := false
+	reported := false
+	for _, s := range b.Stmts {
+		if terminated && !reported {
+			l.report(stmtPos(s), CodeUnreachable, "unreachable code")
+			reported = true
+		}
+		l.checkStmt(s)
+		if !terminated && terminates(s) {
+			terminated = true
+		}
+	}
+	l.popScope()
+}
+
+func (l *linter) checkStmt(s vm.Stmt) {
+	switch s := s.(type) {
+	case *vm.Block:
+		l.checkBlock(s)
+	case *vm.VarStmt:
+		outer := l.declaring
+		l.declaring = s.Name
+		l.checkExpr(s.Init)
+		l.declaring = outer
+		l.declare(s.Name, s.Pos)
+	case *vm.AssignStmt:
+		l.checkExpr(s.Value)
+		switch t := s.Target.(type) {
+		case *vm.Ident:
+			// A plain assignment writes the variable without reading it.
+			l.resolve(t.Name, t.Pos, false)
+		case *vm.IndexExpr:
+			l.checkExpr(t.Base)
+			l.checkExpr(t.Index)
+		}
+	case *vm.IfStmt:
+		l.checkCond(s.Cond, "if")
+		l.checkExpr(s.Cond)
+		l.checkBlock(s.Then)
+		if s.Else != nil {
+			l.checkStmt(s.Else)
+		}
+	case *vm.WhileStmt:
+		l.checkCond(s.Cond, "while")
+		l.checkExpr(s.Cond)
+		l.checkBlock(s.Body)
+	case *vm.ForStmt:
+		l.pushScope()
+		if s.Init != nil {
+			l.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			l.checkCond(s.Cond, "for")
+			l.checkExpr(s.Cond)
+		}
+		l.checkBlock(s.Body)
+		if s.Post != nil {
+			l.checkStmt(s.Post)
+		}
+		l.popScope()
+	case *vm.ReturnStmt:
+		if s.Value != nil {
+			l.checkExpr(s.Value)
+		}
+	case *vm.SpawnStmt:
+		l.checkCall(s.Call, "spawn")
+	case *vm.ExprStmt:
+		l.checkExpr(s.X)
+	}
+}
+
+func (l *linter) checkExpr(e vm.Expr) {
+	switch e := e.(type) {
+	case *vm.Ident:
+		l.resolve(e.Name, e.Pos, true)
+	case *vm.IndexExpr:
+		l.checkExpr(e.Base)
+		l.checkExpr(e.Index)
+	case *vm.CallExpr:
+		l.checkCall(e, "call")
+	case *vm.UnaryExpr:
+		l.checkExpr(e.X)
+	case *vm.BinaryExpr:
+		l.checkExpr(e.X)
+		l.checkExpr(e.Y)
+	}
+}
+
+func (l *linter) checkCall(e *vm.CallExpr, how string) {
+	l.called[e.Name] = true
+	if fd, ok := l.funcs[e.Name]; ok {
+		if len(e.Args) != len(fd.Params) {
+			l.report(e.Pos, CodeWrongArity, "%s of %q with %d arguments, want %d", how, e.Name, len(e.Args), len(fd.Params))
+		}
+	} else if want, ok := vm.BuiltinArity(e.Name); ok {
+		if len(e.Args) != want {
+			l.report(e.Pos, CodeWrongArity, "%s of builtin %q with %d arguments, want %d", how, e.Name, len(e.Args), want)
+		}
+	}
+	// print is variadic; unknown names are the compiler's hard error.
+	for _, arg := range e.Args {
+		l.checkExpr(arg)
+	}
+}
+
+func (l *linter) checkCond(cond vm.Expr, what string) {
+	if v, ok := evalConst(cond); ok {
+		truth := "false"
+		if v != 0 {
+			truth = "true"
+		}
+		l.report(cond.Position(), CodeConstCond, "%s condition is always %s", what, truth)
+	}
+}
+
+// terminates reports whether control cannot flow past s.
+func terminates(s vm.Stmt) bool {
+	switch s := s.(type) {
+	case *vm.ReturnStmt, *vm.BreakStmt, *vm.ContinueStmt:
+		return true
+	case *vm.Block:
+		for _, st := range s.Stmts {
+			if terminates(st) {
+				return true
+			}
+		}
+		return false
+	case *vm.IfStmt:
+		return s.Else != nil && terminates(s.Then) && terminates(s.Else)
+	default:
+		return false
+	}
+}
+
+func stmtPos(s vm.Stmt) vm.Pos {
+	switch s := s.(type) {
+	case *vm.Block:
+		return s.Pos
+	case *vm.VarStmt:
+		return s.Pos
+	case *vm.AssignStmt:
+		return s.Pos
+	case *vm.IfStmt:
+		return s.Pos
+	case *vm.WhileStmt:
+		return s.Pos
+	case *vm.ForStmt:
+		return s.Pos
+	case *vm.ReturnStmt:
+		return s.Pos
+	case *vm.SpawnStmt:
+		return s.Pos
+	case *vm.BreakStmt:
+		return s.Pos
+	case *vm.ContinueStmt:
+		return s.Pos
+	case *vm.ExprStmt:
+		return s.Pos
+	}
+	return vm.Pos{}
+}
+
+// evalConst evaluates a side-effect-free constant expression with the
+// language's C-like semantics. Division and modulo by zero are not
+// constant: the runtime error must survive. Short-circuit operators are
+// constant when their outcome is decided without the unevaluated side.
+func evalConst(e vm.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *vm.NumberLit:
+		return e.Value, true
+	case *vm.UnaryExpr:
+		x, ok := evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case vm.TokMinus:
+			return -x, true
+		case vm.TokBang:
+			return b2i(x == 0), true
+		}
+		return 0, false
+	case *vm.BinaryExpr:
+		x, okX := evalConst(e.X)
+		// Short-circuit: "0 && anything" and "1 || anything" are decided by
+		// the left side alone (the right side is never evaluated at run
+		// time, so its side effects cannot matter).
+		if okX && e.Op == vm.TokAndAnd && x == 0 {
+			return 0, true
+		}
+		if okX && e.Op == vm.TokOrOr && x != 0 {
+			return 1, true
+		}
+		y, okY := evalConst(e.Y)
+		if !okX || !okY {
+			return 0, false
+		}
+		switch e.Op {
+		case vm.TokAndAnd:
+			return b2i(x != 0 && y != 0), true
+		case vm.TokOrOr:
+			return b2i(x != 0 || y != 0), true
+		case vm.TokPlus:
+			return x + y, true
+		case vm.TokMinus:
+			return x - y, true
+		case vm.TokStar:
+			return x * y, true
+		case vm.TokSlash:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case vm.TokPercent:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case vm.TokEq:
+			return b2i(x == y), true
+		case vm.TokNe:
+			return b2i(x != y), true
+		case vm.TokLt:
+			return b2i(x < y), true
+		case vm.TokLe:
+			return b2i(x <= y), true
+		case vm.TokGt:
+			return b2i(x > y), true
+		case vm.TokGe:
+			return b2i(x >= y), true
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

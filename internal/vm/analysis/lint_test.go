@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"aprof/internal/vm"
+)
+
+func lintSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	prog, err := vm.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Lint(prog)
+}
+
+func codes(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func wantCodes(t *testing.T, diags []Diagnostic, want ...string) {
+	t.Helper()
+	got := codes(diags)
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics %v, want codes %v", diags, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostics %v, want codes %v", diags, want)
+		}
+	}
+}
+
+func TestLintUseBeforeDeclaration(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\tprint(x);\n\tvar x = 1;\n\tprint(x);\n}\n")
+	wantCodes(t, diags, CodeUseBeforeDecl)
+	d := diags[0]
+	if d.Pos.Line != 2 {
+		t.Errorf("diagnostic at %s, want line 2", d.Pos)
+	}
+	if !strings.Contains(d.Msg, "before its declaration at 3:") {
+		t.Errorf("message %q does not point at the declaration", d.Msg)
+	}
+}
+
+func TestLintSelfReferentialInitializer(t *testing.T) {
+	diags := lintSrc(t, "fn main() { var x = x + 1; print(x); }")
+	wantCodes(t, diags, CodeUseBeforeDecl)
+}
+
+func TestLintUseOutsideScope(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\tvar c = 1;\n\tif (c) { var x = 1; print(x); }\n\tx = 2;\n}\n")
+	wantCodes(t, diags, CodeUseBeforeDecl)
+	if !strings.Contains(diags[0].Msg, "outside the scope") {
+		t.Errorf("message %q should mention scope", diags[0].Msg)
+	}
+}
+
+func TestLintUnusedVariable(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\tvar used = 1;\n\tvar dead = 2;\n\tvar written = 3;\n\twritten = used;\n}\n")
+	// dead is never touched again; written is assigned but never read.
+	wantCodes(t, diags, CodeUnusedVar, CodeUnusedVar)
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 4 {
+		t.Errorf("diagnostics at %s and %s, want lines 3 and 4", diags[0].Pos, diags[1].Pos)
+	}
+}
+
+func TestLintUnusedParamNotFlagged(t *testing.T) {
+	diags := lintSrc(t, "fn f(unused) { return 1; }\nfn main() { print(f(1)); }\n")
+	wantCodes(t, diags)
+}
+
+func TestLintUnusedFunction(t *testing.T) {
+	diags := lintSrc(t, "fn main() { }\nfn orphan() { return 1; }\n")
+	wantCodes(t, diags, CodeUnusedFunc)
+	if !strings.Contains(diags[0].Msg, `"orphan"`) {
+		t.Errorf("message %q does not name the function", diags[0].Msg)
+	}
+}
+
+func TestLintSpawnCountsAsUse(t *testing.T) {
+	diags := lintSrc(t, "fn worker() { return 0; }\nfn main() { spawn worker(); }\n")
+	wantCodes(t, diags)
+}
+
+func TestLintUnreachable(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\treturn 0;\n\tprint(1);\n\tprint(2);\n}\n")
+	// One report per block, at the first dead statement.
+	wantCodes(t, diags, CodeUnreachable)
+	if diags[0].Pos.Line != 3 {
+		t.Errorf("diagnostic at %s, want line 3", diags[0].Pos)
+	}
+}
+
+func TestLintUnreachableAfterIfElse(t *testing.T) {
+	diags := lintSrc(t, `fn f(x) {
+	if (x) { return 1; } else { return 2; }
+	return 3;
+}
+fn main() { print(f(1)); }
+`)
+	wantCodes(t, diags, CodeUnreachable)
+}
+
+func TestLintUnreachableAfterBreak(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\tvar i = 0;\n\twhile (i < 9) {\n\t\tbreak;\n\t\ti = i + 1;\n\t}\n\tprint(i);\n}\n")
+	wantCodes(t, diags, CodeUnreachable)
+}
+
+func TestLintConstCond(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\tif (1 + 1 == 2) { print(1); }\n\twhile (0) { print(2); }\n\tvar x = 3;\n\tif (x > 0) { print(x); }\n}\n")
+	wantCodes(t, diags, CodeConstCond, CodeConstCond)
+	if !strings.Contains(diags[0].Msg, "always true") || !strings.Contains(diags[1].Msg, "always false") {
+		t.Errorf("messages %q / %q", diags[0].Msg, diags[1].Msg)
+	}
+}
+
+func TestLintConstCondShortCircuit(t *testing.T) {
+	// "0 && f()" is decided without evaluating f(); "x || 1" is not
+	// constant (x is evaluated first and the result depends on reaching the
+	// right side... the left side is unknown).
+	diags := lintSrc(t, "fn f() { return 1; }\nfn main() {\n\tvar x = f();\n\tif (0 && f()) { print(1); }\n\tif (x || 1) { print(2); }\n}\n")
+	wantCodes(t, diags, CodeConstCond)
+	if diags[0].Pos.Line != 4 {
+		t.Errorf("diagnostic at %s, want line 4", diags[0].Pos)
+	}
+}
+
+func TestLintWrongArity(t *testing.T) {
+	diags := lintSrc(t, "fn f(a, b) { return a + b; }\nfn main() {\n\tprint(f(1));\n\tspawn f(1, 2, 3);\n\tvar a = alloc(1, 2);\n\tprint(a);\n}\n")
+	wantCodes(t, diags, CodeWrongArity, CodeWrongArity, CodeWrongArity)
+	if !strings.Contains(diags[0].Msg, "with 1 arguments, want 2") {
+		t.Errorf("message %q", diags[0].Msg)
+	}
+	if !strings.Contains(diags[2].Msg, `builtin "alloc"`) {
+		t.Errorf("message %q should name the builtin", diags[2].Msg)
+	}
+}
+
+func TestLintPrintVariadicNotFlagged(t *testing.T) {
+	diags := lintSrc(t, `fn main() { print(); print(1); print("x", 1, 2, 3); }`)
+	wantCodes(t, diags)
+}
+
+func TestLintGlobalsAreAlwaysInScope(t *testing.T) {
+	diags := lintSrc(t, "global g = 1;\nglobal arr[4];\nfn main() { g = g + 1; arr[0] = g; print(arr[0]); }\n")
+	wantCodes(t, diags)
+}
+
+func TestLintDiagnosticsSortedByPosition(t *testing.T) {
+	diags := lintSrc(t, "fn main() {\n\tvar dead = 1;\n\tif (1) { print(2); }\n\tvar dead2 = 3;\n}\n")
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
+			t.Fatalf("diagnostics out of order: %v", diags)
+		}
+	}
+}
+
+func TestCheckCleanProgram(t *testing.T) {
+	diags, err := Check("fn main() { var x = 1; print(x); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestCheckReportsCompileErrorWithDiagnostics(t *testing.T) {
+	// The program lints (unused var) and also fails to compile (unknown
+	// function): Check must return both.
+	diags, err := Check("fn main() { var dead = 1; nosuch(); }")
+	if err == nil {
+		t.Fatal("Check accepted a program calling an unknown function")
+	}
+	wantCodes(t, diags, CodeUnusedVar)
+}
+
+func TestEvalConstDivByZeroNotConst(t *testing.T) {
+	prog, err := vm.Parse("fn main() { if (1 / 0) { print(1); } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Lint(prog); len(diags) != 0 {
+		t.Errorf("division by zero folded by lint: %v", diags)
+	}
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+
+	"aprof/internal/vm"
+)
+
+// VerifyError reports a bytecode invariant violation. PC is -1 for
+// program- or function-level violations with no single offending
+// instruction.
+type VerifyError struct {
+	Func string
+	PC   int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	if e.Func == "" {
+		return fmt.Sprintf("minilang: verify: %s", e.Msg)
+	}
+	if e.PC < 0 {
+		return fmt.Sprintf("minilang: verify %s: %s", e.Func, e.Msg)
+	}
+	return fmt.Sprintf("minilang: verify %s: pc %d: %s", e.Func, e.PC, e.Msg)
+}
+
+func init() {
+	// Every vm.Compile/Optimize in a binary that links this package is
+	// re-checked automatically; see the hook's doc in internal/vm.
+	vm.SetVerifier(VerifyProgram)
+}
+
+// VerifyProgram checks program-level tables and then verifies every
+// function's bytecode. A nil error proves that interpreting the program
+// cannot underflow an evaluation stack, access an out-of-range constant,
+// local, string, or function slot, jump outside its code, or run off the
+// end of a function — i.e. none of the interpreter's slice accesses that
+// depend on compiler output can panic.
+func VerifyProgram(cp *vm.CompiledProgram) error {
+	if len(cp.Funcs) != len(cp.FuncByName) {
+		return &VerifyError{PC: -1, Msg: fmt.Sprintf("%d functions but %d FuncByName entries", len(cp.Funcs), len(cp.FuncByName))}
+	}
+	for name, idx := range cp.FuncByName {
+		if idx < 0 || idx >= len(cp.Funcs) {
+			return &VerifyError{PC: -1, Msg: fmt.Sprintf("FuncByName[%q] = %d out of range", name, idx)}
+		}
+		if cp.Funcs[idx].Name != name {
+			return &VerifyError{PC: -1, Msg: fmt.Sprintf("FuncByName[%q] = %d names %q", name, idx, cp.Funcs[idx].Name)}
+		}
+	}
+	mainIdx, ok := cp.FuncByName["main"]
+	if !ok {
+		return &VerifyError{PC: -1, Msg: "program has no 'main' function"}
+	}
+	if cp.Funcs[mainIdx].NumParams != 0 {
+		return &VerifyError{Func: "main", PC: -1, Msg: fmt.Sprintf("'main' takes %d parameters, want 0", cp.Funcs[mainIdx].NumParams)}
+	}
+	// Address 0 is the reserved null cell; globals live in [1, GlobalEnd).
+	if cp.GlobalEnd < 1 {
+		return &VerifyError{PC: -1, Msg: fmt.Sprintf("GlobalEnd %d below the heap base", cp.GlobalEnd)}
+	}
+	for _, init := range cp.GlobalInit {
+		if init[0] < 1 || init[0] >= cp.GlobalEnd {
+			return &VerifyError{PC: -1, Msg: fmt.Sprintf("global initializer targets address %d outside [1, %d)", init[0], cp.GlobalEnd)}
+		}
+	}
+	for _, fn := range cp.Funcs {
+		if err := VerifyFunc(cp, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stackEffect returns how many values ins pops and pushes. The table is an
+// independent model of the interpreter's stack discipline — the whole point
+// of the verifier is that it does not share code with interp.step.
+func stackEffect(ins vm.Instr) (pops, pushes int, ok bool) {
+	switch ins.Op {
+	case vm.OpConst, vm.OpLoadLocal:
+		return 0, 1, true
+	case vm.OpStoreLocal, vm.OpPop, vm.OpJumpIfZero, vm.OpJumpIfNonZero, vm.OpReturn:
+		return 1, 0, true
+	case vm.OpLoadMem, vm.OpNeg, vm.OpNot, vm.OpAlloc, vm.OpSemNew,
+		vm.OpSemWait, vm.OpSemSignal, vm.OpAssert, vm.OpRand:
+		return 1, 1, true
+	case vm.OpStoreMem:
+		return 2, 0, true
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMod,
+		vm.OpEq, vm.OpNe, vm.OpLt, vm.OpLe, vm.OpGt, vm.OpGe:
+		return 2, 1, true
+	case vm.OpSysRead, vm.OpSysWrite:
+		return 2, 1, true
+	case vm.OpJump:
+		return 0, 0, true
+	case vm.OpCall:
+		return int(ins.B), 1, true
+	case vm.OpSpawn:
+		return int(ins.B), 0, true
+	case vm.OpPrint:
+		return int(ins.A), 1, true
+	}
+	return 0, 0, false
+}
+
+// VerifyFunc verifies one function: operand validity for every instruction,
+// then — along every reachable control path — stack-height balance, no
+// underflow, a consistent height at every join point, exactly one value on
+// the stack at each return, and no way to fall off the end of the code.
+func VerifyFunc(cp *vm.CompiledProgram, fn *vm.Func) error {
+	errAt := func(pc int, format string, args ...any) error {
+		return &VerifyError{Func: fn.Name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(fn.Code) == 0 {
+		return errAt(-1, "empty function body")
+	}
+	if len(fn.BlockStart) != len(fn.Code) {
+		return errAt(-1, "BlockStart has %d entries for %d instructions", len(fn.BlockStart), len(fn.Code))
+	}
+	if fn.NumParams < 0 || fn.NumLocals < fn.NumParams {
+		return errAt(-1, "%d locals cannot hold %d parameters", fn.NumLocals, fn.NumParams)
+	}
+
+	// Operand checks cover every instruction, reachable or not: the
+	// interpreter never executes unreachable code, but dead instructions
+	// with wild operands are still evidence of a broken rewrite.
+	for pc, ins := range fn.Code {
+		switch ins.Op {
+		case vm.OpConst:
+			if ins.A < 0 || int(ins.A) >= len(cp.Constants) {
+				return errAt(pc, "constant index %d out of range [0, %d)", ins.A, len(cp.Constants))
+			}
+		case vm.OpLoadLocal, vm.OpStoreLocal:
+			if ins.A < 0 || int(ins.A) >= fn.NumLocals {
+				return errAt(pc, "%s slot %d out of range [0, %d)", ins.Op, ins.A, fn.NumLocals)
+			}
+		case vm.OpCall, vm.OpSpawn:
+			if ins.A < 0 || int(ins.A) >= len(cp.Funcs) {
+				return errAt(pc, "%s of function index %d out of range [0, %d)", ins.Op, ins.A, len(cp.Funcs))
+			}
+			if callee := cp.Funcs[ins.A]; int(ins.B) != callee.NumParams {
+				return errAt(pc, "%s %s with %d arguments, want %d", ins.Op, callee.Name, ins.B, callee.NumParams)
+			}
+		case vm.OpPrint:
+			if ins.A < 0 {
+				return errAt(pc, "print with negative argument count %d", ins.A)
+			}
+			if ins.B < -1 || int(ins.B) >= len(cp.Strings) {
+				return errAt(pc, "print format index %d out of range [-1, %d)", ins.B, len(cp.Strings))
+			}
+		default:
+			if ins.Op > vm.OpRand {
+				return errAt(pc, "unknown opcode %s", ins.Op)
+			}
+		}
+	}
+
+	// BuildCFG additionally rejects out-of-range jump targets and blocks
+	// that can fall off the end of the code.
+	g, err := BuildCFG(fn)
+	if err != nil {
+		return err
+	}
+
+	// Abstract interpretation of stack heights over the CFG: propagate the
+	// entry height of each block through its instructions and require every
+	// join point to agree.
+	const unvisited = -1
+	entryH := make([]int, len(g.Blocks))
+	for i := range entryH {
+		entryH[i] = unvisited
+	}
+	entryH[0] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := g.Blocks[bi]
+		h := entryH[bi]
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := fn.Code[pc]
+			pops, pushes, ok := stackEffect(ins)
+			if !ok {
+				return errAt(pc, "unknown opcode %s", ins.Op)
+			}
+			if h < pops {
+				return errAt(pc, "stack underflow: %s needs %d operands, stack has %d", ins.Op, pops, h)
+			}
+			h += pushes - pops
+			if ins.Op == vm.OpReturn && h != 0 {
+				return errAt(pc, "return leaves %d extra values on the stack", h)
+			}
+		}
+		for _, si := range b.Succs {
+			if entryH[si] == unvisited {
+				entryH[si] = h
+				work = append(work, si)
+			} else if entryH[si] != h {
+				return errAt(g.Blocks[si].Start, "inconsistent stack height at join: %d from block %d vs %d", h, bi, entryH[si])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aprof/internal/vm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/vet golden files")
+
+// TestVetGolden compares the lint diagnostics of every program under
+// internal/vm/testdata/vet against its .golden file, byte for byte. Each
+// line is "file:line:col: CODE: message". Regenerate with
+//
+//	go test ./internal/vm/analysis -run TestVetGolden -update
+func TestVetGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "vet")
+	files, err := filepath.Glob(filepath.Join(dir, "*.ml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 7 {
+		t.Fatalf("vet corpus unexpectedly small: %d programs", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := vm.Parse(string(src))
+			if err != nil {
+				t.Fatalf("vet corpus programs must parse: %v", err)
+			}
+			var sb strings.Builder
+			for _, d := range Lint(prog) {
+				fmt.Fprintf(&sb, "%s:%s\n", filepath.Base(file), d)
+			}
+			got := sb.String()
+			goldenPath := strings.TrimSuffix(file, ".ml") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

@@ -75,6 +75,12 @@ func CompileProgram(prog *Program) (*CompiledProgram, error) {
 			return nil, err
 		}
 	}
+	// Independent correctness check of the emitted bytecode (stack balance,
+	// jump targets, slot indices, guaranteed returns) when the analysis
+	// package is linked in.
+	if err := runVerifier(cp); err != nil {
+		return nil, err
+	}
 	return cp, nil
 }
 

@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"os"
@@ -6,6 +6,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"aprof/internal/vm"
+	"aprof/internal/vm/analysis"
 )
 
 // loadCorpus reads testdata/*.ml; each file declares its expected output in
@@ -58,20 +61,20 @@ func TestCorpus(t *testing.T) {
 	for name, prog := range loadCorpus(t) {
 		name, prog := name, prog
 		t.Run(name, func(t *testing.T) {
-			variants := map[string]func() (*Result, error){
-				"plain": func() (*Result, error) { return RunSource(prog.src, Options{}) },
-				"optimized": func() (*Result, error) {
-					return RunSource(prog.src, Options{Optimize: true})
+			variants := map[string]func() (*vm.Result, error){
+				"plain": func() (*vm.Result, error) { return vm.RunSource(prog.src, vm.Options{}) },
+				"optimized": func() (*vm.Result, error) {
+					return vm.RunSource(prog.src, vm.Options{Optimize: true})
 				},
-				"formatted": func() (*Result, error) {
-					formatted, err := Format(prog.src)
+				"formatted": func() (*vm.Result, error) {
+					formatted, err := vm.Format(prog.src)
 					if err != nil {
 						return nil, err
 					}
-					return RunSource(formatted, Options{})
+					return vm.RunSource(formatted, vm.Options{})
 				},
-				"quantum1": func() (*Result, error) {
-					return RunSource(prog.src, Options{Quantum: 1})
+				"quantum1": func() (*vm.Result, error) {
+					return vm.RunSource(prog.src, vm.Options{Quantum: 1})
 				},
 			}
 			for vname, run := range variants {
@@ -90,11 +93,52 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
+// TestCorpusVerifies is the static-analysis invariant over the corpus:
+// compile → verify → optimize → verify → run. Every corpus program must
+// pass the bytecode verifier both before and after optimization, lint
+// clean, and still run to its expected output from the explicitly
+// re-verified program.
+func TestCorpusVerifies(t *testing.T) {
+	for name, prog := range loadCorpus(t) {
+		name, prog := name, prog
+		t.Run(name, func(t *testing.T) {
+			cp, err := vm.Compile(prog.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := analysis.VerifyProgram(cp); err != nil {
+				t.Fatalf("verify after compile: %v", err)
+			}
+			if _, err := cp.Optimize(); err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			if err := analysis.VerifyProgram(cp); err != nil {
+				t.Fatalf("verify after optimize: %v", err)
+			}
+			res, err := vm.RunProgram(cp, vm.Options{})
+			if err != nil {
+				t.Fatalf("run verified program: %v", err)
+			}
+			if !reflect.DeepEqual(res.Output, prog.want) {
+				t.Errorf("output %q, want %q", res.Output, prog.want)
+			}
+			// The curated corpus is also expected to lint clean.
+			parsed, err := vm.Parse(prog.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diags := analysis.Lint(parsed); len(diags) != 0 {
+				t.Errorf("lint findings on curated corpus: %v", diags)
+			}
+		})
+	}
+}
+
 // TestCorpusDisassembles ensures every corpus program has a printable
 // disassembly (exercises the Disassemble path over real programs).
 func TestCorpusDisassembles(t *testing.T) {
 	for name, prog := range loadCorpus(t) {
-		cp, err := Compile(prog.src)
+		cp, err := vm.Compile(prog.src)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -78,7 +78,9 @@ func RunSource(src string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if opts.Optimize {
-		cp.Optimize()
+		if _, err := cp.Optimize(); err != nil {
+			return nil, err
+		}
 	}
 	return RunProgram(cp, opts)
 }

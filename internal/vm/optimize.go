@@ -1,5 +1,7 @@
 package vm
 
+import "fmt"
+
 // Optimizer: classical bytecode cleanups applied per function, to a
 // fixpoint:
 //
@@ -25,12 +27,25 @@ const opNop = Op(0xff)
 
 // Optimize rewrites every function of the program. It returns the total
 // number of instructions removed.
-func (cp *CompiledProgram) Optimize() int {
+//
+// When a bytecode verifier is installed (see SetVerifier), Optimize checks
+// the differential invariant that optimization preserves verifiability:
+// bytecode that verified before the passes ran must still verify after
+// them. A violation is an optimizer bug and is returned as a non-nil error;
+// input that already failed verification is rewritten best-effort with no
+// claim about the result.
+func (cp *CompiledProgram) Optimize() (int, error) {
+	verifiedIn := runVerifier(cp) == nil
 	removed := 0
 	for _, fn := range cp.Funcs {
 		removed += cp.optimizeFunc(fn)
 	}
-	return removed
+	if verifiedIn {
+		if err := runVerifier(cp); err != nil {
+			return removed, fmt.Errorf("minilang: optimizer produced invalid bytecode: %w", err)
+		}
+	}
+	return removed, nil
 }
 
 func (cp *CompiledProgram) optimizeFunc(fn *Func) int {

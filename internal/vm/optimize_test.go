@@ -117,7 +117,10 @@ func TestOptimizeFoldsConstants(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := len(cp.Funcs[cp.FuncByName["main"]].Code)
-	removed := cp.Optimize()
+	removed, err := cp.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed == 0 {
 		t.Fatal("optimizer removed nothing")
 	}
@@ -151,7 +154,9 @@ fn main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp.Optimize()
+	if _, err := cp.Optimize(); err != nil {
+		t.Fatal(err)
+	}
 	main := cp.Funcs[cp.FuncByName["main"]]
 	prints := 0
 	for _, ins := range main.Code {
@@ -186,7 +191,9 @@ fn main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp.Optimize()
+	if _, err := cp.Optimize(); err != nil {
+		t.Fatal(err)
+	}
 	main := cp.Funcs[cp.FuncByName["main"]]
 	// No jump may target an unconditional jump after threading.
 	for pc, ins := range main.Code {
@@ -231,11 +238,13 @@ func TestOptimizeIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp.Optimize()
+	if _, err := cp.Optimize(); err != nil {
+		t.Fatal(err)
+	}
 	snapshot := make([]Instr, len(cp.Funcs[0].Code))
 	copy(snapshot, cp.Funcs[0].Code)
-	if removed := cp.Optimize(); removed != 0 {
-		t.Errorf("second Optimize removed %d instructions", removed)
+	if removed, err := cp.Optimize(); err != nil || removed != 0 {
+		t.Errorf("second Optimize removed %d instructions (err %v)", removed, err)
 	}
 	if !reflect.DeepEqual(snapshot, cp.Funcs[0].Code) {
 		t.Error("second Optimize changed code")

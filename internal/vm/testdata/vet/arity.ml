@@ -1,0 +1,12 @@
+// V006: calls and spawns whose argument counts do not match the callee.
+fn add(a, b) {
+	return a + b;
+}
+fn main() {
+	print(add(1));
+	print(add(1, 2, 3));
+	spawn add(7);
+	var m = alloc(1, 2);
+	var s = sem();
+	print(m, s);
+}

@@ -1,0 +1,15 @@
+// A program the linter has nothing to say about.
+global total = 0;
+fn accumulate(n, mutex) {
+	wait(mutex);
+	total = total + n;
+	signal(mutex);
+	return total;
+}
+fn main() {
+	var mutex = sem(1);
+	for (var i = 1; i <= 4; i = i + 1) {
+		accumulate(i, mutex);
+	}
+	print(total);
+}

@@ -1,0 +1,19 @@
+// V005: conditions that always evaluate the same way.
+fn main() {
+	var x = 5;
+	if (1 + 1 == 2) {
+		print(x);
+	}
+	while (0) {
+		x = x - 1;
+	}
+	if (0 && x) {
+		print(99);
+	}
+	for (var i = 0; 2 > 1; i = i + 1) {
+		if (i > x) {
+			break;
+		}
+	}
+	print(x);
+}

@@ -1,0 +1,14 @@
+// Several diagnostic kinds in one program, reported in source order.
+fn ghost() {
+	return 0;
+}
+fn main() {
+	var unused = 1;
+	print(missing);
+	var missing = 2;
+	if (3 > 4) {
+		print(1);
+	}
+	return 0;
+	print(2);
+}

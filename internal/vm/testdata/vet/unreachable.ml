@@ -1,0 +1,18 @@
+// V004: statements after a return, break, or continue.
+fn f(x) {
+	if (x > 0) {
+		return 1;
+	} else {
+		return 2;
+	}
+	return 3;
+}
+fn main() {
+	var i = 0;
+	while (i < 10) {
+		i = i + 1;
+		break;
+		i = i + 100;
+	}
+	print(f(i), i);
+}

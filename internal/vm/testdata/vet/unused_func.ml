@@ -1,0 +1,10 @@
+// V003: functions that are never called or spawned.
+fn helper(n) {
+	return n * 2;
+}
+fn orphan() {
+	return 1;
+}
+fn main() {
+	print(helper(21));
+}

@@ -1,0 +1,8 @@
+// V002: locals that are declared (or assigned) but never read.
+fn main() {
+	var used = 1;
+	var dead = 2;
+	var writeonly = 3;
+	writeonly = used + 1;
+	print(used);
+}

@@ -1,0 +1,12 @@
+// V001: reads and writes before or outside the declaration's scope.
+fn main() {
+	print(x);
+	var x = 1;
+	var y = y + 1;
+	print(x, y);
+	if (x) {
+		var z = 2;
+		print(z);
+	}
+	z = 3;
+}

@@ -1,0 +1,31 @@
+package vm
+
+// The bytecode verifier lives in internal/vm/analysis, which imports this
+// package for the bytecode types; a direct call from Compile/Optimize would
+// therefore be an import cycle. Instead the analysis package installs its
+// verifier here from an init function, so any binary that links it (the
+// minivm CLI, the fuzz harnesses, the vm test binary) gets every
+// CompiledProgram re-checked automatically after compilation and after
+// optimization. Binaries that never import the analysis package skip
+// verification and behave exactly as before.
+
+var verifyHook func(*CompiledProgram) error
+
+// SetVerifier installs fn as the whole-program bytecode verifier that
+// CompileProgram and Optimize run automatically. Passing nil uninstalls it.
+func SetVerifier(fn func(*CompiledProgram) error) { verifyHook = fn }
+
+// runVerifier applies the installed verifier, if any.
+func runVerifier(cp *CompiledProgram) error {
+	if verifyHook == nil {
+		return nil
+	}
+	return verifyHook(cp)
+}
+
+// BuiltinArity returns the parameter count of the named builtin function.
+// The variadic print builtin is not included.
+func BuiltinArity(name string) (int, bool) {
+	n, ok := builtins[name]
+	return n, ok
+}
