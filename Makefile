@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults bench cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -47,7 +47,22 @@ faults:
 	$(GO) test -run 'Fault|Retry|Resume|Kill|Lenient|Corrupt|Checkpoint' \
 		./internal/trace ./internal/core ./internal/profio ./cmd/aprof
 
+# Benchmark-regression harness: run the hot-path benchmarks (core, shadow,
+# profio, obs) with -benchmem and diff ns/op against the committed
+# BENCH_core.json baseline (±15%). Reports only — benchdiff exits 0 even on
+# regressions (add -exit-code for a hard local gate).
+BENCH_PKGS = ./internal/core ./internal/shadow ./internal/profio ./internal/obs
 bench:
+	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | tee bench_output.txt
+	$(GO) run ./internal/tools/benchdiff bench_output.txt
+
+# Refresh the baseline after an intentional perf change (idle machine!).
+bench-baseline:
+	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | tee bench_output.txt
+	$(GO) run ./internal/tools/benchdiff -update bench_output.txt
+
+# Every benchmark in the repo, including the end-to-end experiment ones.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 cover:

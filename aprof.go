@@ -34,6 +34,7 @@ import (
 	"aprof/internal/fit"
 	"aprof/internal/htmlreport"
 	"aprof/internal/metrics"
+	"aprof/internal/obs"
 	"aprof/internal/profio"
 	"aprof/internal/trace"
 	"aprof/internal/vm"
@@ -300,6 +301,28 @@ func RunConcurrent(ctx context.Context, jobs []Job, cfg Config, workers int) (*P
 // StreamOptions tunes the staged pipeline behind ProfileTraceStream: batch
 // size and channel depth of the decoder stage.
 type StreamOptions = profio.StreamOptions
+
+// Observability re-exports. Attach a registry via Config.Obs to have the
+// profiler and streaming pipeline publish metrics into it; a nil registry
+// disables the layer entirely (the per-event cost is a single branch).
+type (
+	// ObsRegistry collects the profiler's runtime metrics, grouped into
+	// named scopes ("core", "shadow", "profio", "experiments").
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a deterministic point-in-time copy of a registry.
+	ObsSnapshot = obs.Snapshot
+	// ObsRunSummary is the JSON document aprof writes next to profiles:
+	// the final metrics snapshot plus the run's wall time.
+	ObsRunSummary = obs.RunSummary
+)
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsRunSummary builds the observability run summary for a finished run.
+func NewObsRunSummary(r *ObsRegistry, wallMS int64) ObsRunSummary {
+	return obs.NewRunSummary(r, wallMS)
+}
 
 // ProfileTraceStream profiles a binary trace incrementally from r through a
 // two-stage pipeline: a decoder goroutine parses and validates events into

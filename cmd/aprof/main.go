@@ -10,6 +10,12 @@
 // The metric flag selects which dynamic input sources the profiler
 // recognizes: "drms" (thread and kernel input, the paper's metric), "rms"
 // (plain aprof), or "external-only" (kernel input only).
+//
+// Observability: -progress prints a periodic progress line to stderr (never
+// stdout, so piped profiles stay clean); -debug-addr serves live metrics,
+// expvar and net/http/pprof over HTTP; -obs-summary writes a JSON metrics
+// run summary, and with -json one is written next to the profile by default
+// (<json>.obs.json).
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"aprof"
+	"aprof/internal/obs"
 	"aprof/internal/trace"
 )
 
@@ -44,8 +52,43 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "with -trace: periodically write a resumable checkpoint to this file")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "batches between checkpoints (default 16)")
 		resume      = flag.String("resume", "", "with -trace: resume an interrupted run from this checkpoint file")
+
+		progress  = flag.Bool("progress", false, "print a periodic progress line to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve live metrics, expvar and pprof on this address (e.g. localhost:6060)")
+		obsOut    = flag.String("obs-summary", "", "write a JSON metrics run summary to this path (default <json>.obs.json when -json is set)")
 	)
 	flag.Parse()
+
+	// The observability registry is created only when some surface will
+	// consume it; a nil registry compiles the instrumentation to no-ops.
+	summaryPath := *obsOut
+	if summaryPath == "" && *jsonOut != "" {
+		summaryPath = *jsonOut + ".obs.json"
+	}
+	var reg *obs.Registry
+	if *progress || *debugAddr != "" || summaryPath != "" {
+		reg = obs.NewRegistry()
+	}
+	start := time.Now()
+
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "aprof: debug server on http://%s/debug/obs\n", srv.Addr())
+	}
+	if *progress {
+		stop := obs.StartProgress(context.Background(), os.Stderr, 0, func() string {
+			snap := reg.Snapshot()
+			core := snap.Scope("core")
+			return fmt.Sprintf("aprof: %s elapsed, %d events (%d dropped)",
+				time.Since(start).Round(time.Millisecond),
+				core.CounterSum("events_"), core.CounterSum("drops_"))
+		})
+		defer stop()
+	}
 
 	cfg, plotMetric, err := configFor(*metric)
 	if err != nil {
@@ -58,6 +101,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.Obs = reg
 
 	var tr *aprof.Trace
 	var ps *aprof.Profiles
@@ -144,6 +188,13 @@ func main() {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if reg != nil && summaryPath != "" {
+		summary := obs.NewRunSummary(reg, time.Since(start).Milliseconds())
+		if err := summary.WriteFile(summaryPath); err != nil {
 			fatal(err)
 		}
 	}

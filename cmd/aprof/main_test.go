@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"aprof"
@@ -74,5 +77,80 @@ func TestConfigFor(t *testing.T) {
 		if metric != tc.wantMetric {
 			t.Errorf("configFor(%q) metric = %v, want %v", tc.in, metric, tc.wantMetric)
 		}
+	}
+}
+
+// buildAprof compiles the aprof binary once per test run.
+func buildAprof(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aprof")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestProgressStderrOnly runs the real binary and checks the -progress
+// contract: the progress line goes to stderr only, stdout is byte-identical
+// to a run without -progress, and the run summary lands next to the JSON
+// profile.
+func TestProgressStderrOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aprof binary")
+	}
+	bin := buildAprof(t)
+	dir := t.TempDir()
+
+	tr := trace.Random(trace.RandomConfig{Seed: 31, Ops: 2000})
+	tracePath := filepath.Join(dir, "trace.bin")
+	var buf bytes.Buffer
+	if err := trace.WriteBinary2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) (stdout, stderr string) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("aprof %v: %v\nstderr: %s", args, err, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+
+	jsonPath := filepath.Join(dir, "profiles.json")
+	plainOut, _ := run("-trace", tracePath)
+	progOut, progErr := run("-trace", tracePath, "-progress", "-json", jsonPath)
+
+	if progOut != plainOut {
+		t.Errorf("-progress changed stdout:\n--- without ---\n%s\n--- with ---\n%s", plainOut, progOut)
+	}
+	if !strings.Contains(progErr, "events") {
+		t.Errorf("no progress line on stderr: %q", progErr)
+	}
+
+	data, err := os.ReadFile(jsonPath + ".obs.json")
+	if err != nil {
+		t.Fatalf("run summary not written: %v", err)
+	}
+	var summary aprof.ObsRunSummary
+	if err := json.Unmarshal(data, &summary); err != nil {
+		t.Fatalf("run summary unparseable: %v", err)
+	}
+	if summary.Schema != 1 {
+		t.Errorf("summary schema = %d, want 1", summary.Schema)
+	}
+	core := summary.Metrics.Scope("core")
+	if core == nil {
+		t.Fatal("summary has no core scope")
+	}
+	if got := core.CounterSum("events_"); got == 0 {
+		t.Error("summary reports zero events")
 	}
 }

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"aprof/internal/experiments"
+	"aprof/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit JSON instead of text")
 		list      = flag.Bool("list", false, "list available experiments and exit")
 		parallel  = flag.Int("parallel", 0, "experiments run concurrently (0 = GOMAXPROCS)")
+		obsOut    = flag.String("obs-summary", "", "write a JSON run summary (per-experiment wall time) to this path")
 	)
 	flag.Parse()
 
@@ -67,10 +70,22 @@ func main() {
 			fatal(fmt.Errorf("unknown experiment %q (use -list)", name))
 		}
 	}
+	var reg *obs.Registry
+	if *obsOut != "" {
+		reg = obs.NewRegistry()
+	}
 	fmt.Fprintf(os.Stderr, "running %d experiments...\n", len(names))
-	results, err := experiments.RunDrivers(context.Background(), names, scale, *parallel)
+	start := time.Now()
+	results, err := experiments.RunDriversObs(context.Background(), names, scale, *parallel, reg)
 	if err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		summary := obs.NewRunSummary(reg, time.Since(start).Milliseconds())
+		if err := summary.WriteFile(*obsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *obsOut)
 	}
 	for i, name := range names {
 		res := results[i]

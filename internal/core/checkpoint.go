@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"time"
 
 	"aprof/internal/shadow"
 	"aprof/internal/trace"
@@ -191,6 +192,12 @@ func loadPoints(points []ckptPoint) map[uint64]*CostStats {
 // finished). Context-sensitive runs are refused: the calling-context tree is
 // pointer-linked and not yet serializable.
 func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
+	if p.obs != nil {
+		start := time.Now()
+		defer func() {
+			p.obs.ckptWrite.Observe(uint64(time.Since(start).Microseconds()))
+		}()
+	}
 	if p.err != nil {
 		return fmt.Errorf("core: cannot checkpoint a failed profiler: %w", p.err)
 	}
@@ -284,6 +291,7 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 // are taken from cfg). The returned StreamState tells the caller where to
 // reposition the trace stream.
 func ResumeProfiler(r io.Reader, cfg Config) (*Profiler, StreamState, error) {
+	start := time.Now()
 	var none StreamState
 	hdr := make([]byte, len(checkpointMagic)+1+8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -365,6 +373,16 @@ func ResumeProfiler(r io.Reader, cfg Config) (*Profiler, StreamState, error) {
 		prof.DRMSPoints = loadPoints(cp.DRMS)
 		prof.RMSPoints = loadPoints(cp.RMS)
 		p.out.ByKey[key] = prof
+	}
+	// Restart the depth high-water mark from the restored stacks, and record
+	// how long the rebuild took.
+	for _, t := range p.threads {
+		if len(t.stack) > p.depthHWM {
+			p.depthHWM = len(t.stack)
+		}
+	}
+	if p.obs != nil {
+		p.obs.ckptResume.Observe(uint64(time.Since(start).Microseconds()))
 	}
 	return p, data.Stream, nil
 }

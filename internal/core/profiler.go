@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aprof/internal/obs"
 	"aprof/internal/shadow"
 	"aprof/internal/trace"
 )
@@ -42,6 +43,14 @@ type Config struct {
 	// Limits bounds the profiler's resource usage; zero values are
 	// unlimited (see fault.go).
 	Limits Limits
+	// Obs, when non-nil, receives the profiler's observability metrics
+	// (events by kind, drops, shadow-memory and stack high-water marks,
+	// checkpoint latencies — see obs.go for the catalogue). The registry is
+	// write-only for the profiler: enabling it never changes profile output.
+	// Nil (the default) compiles the instrumentation down to one predictable
+	// branch per event. A single registry may be shared by concurrent
+	// profilers (RunConcurrent); counters then aggregate across them.
+	Obs *obs.Registry
 }
 
 // ActivationRecord reports one completed routine activation.
@@ -174,6 +183,14 @@ type Profiler struct {
 	memSeq         uint64
 	memStride      uint64
 	nextEventCheck uint64
+
+	// depthHWM is the deepest shadow stack observed across all threads —
+	// maintained unconditionally (one compare per call event) and published
+	// through obs. Not checkpointed: a resumed run restarts the high-water
+	// mark from its restored stacks.
+	depthHWM int
+	// obs holds the pre-resolved metric handles, nil when Config.Obs is nil.
+	obs *profilerObs
 }
 
 // NewProfiler returns a profiler for traces built against syms.
@@ -198,6 +215,7 @@ func NewProfiler(syms *trace.SymbolTable, cfg Config) *Profiler {
 			ByKey:   make(map[Key]*Profile),
 		},
 	}
+	p.obs = newProfilerObs(cfg.Obs)
 	p.memStride = 1
 	if cfg.Limits.MaxEvents > 0 {
 		p.nextEventCheck = uint64(cfg.Limits.MaxEvents)
@@ -243,6 +261,9 @@ func (p *Profiler) HandleEvent(ev *trace.Event) error {
 		return p.fault(&p.out.Drops.AfterFinish, "event %s fed after Finish", ev.Kind)
 	}
 	p.out.Events++
+	if p.obs != nil {
+		p.obs.countEvent(ev.Kind)
+	}
 	p.checkLimits()
 	if ev.Thread < 0 {
 		return p.fault(&p.out.Drops.BadThread, "negative thread id %d on %s event", ev.Thread, ev.Kind)
@@ -369,6 +390,7 @@ func (p *Profiler) Finish() (*Profiles, error) {
 		p.out.Contexts = p.ctx.metas()
 	}
 	p.finished = true
+	p.PublishObs()
 	return p.out, nil
 }
 
@@ -423,6 +445,9 @@ func (p *Profiler) onCall(ev *trace.Event) error {
 		f.ctx = p.ctx.child(parent, ev.Routine)
 	}
 	t.stack = append(t.stack, f)
+	if len(t.stack) > p.depthHWM {
+		p.depthHWM = len(t.stack)
+	}
 	return nil
 }
 

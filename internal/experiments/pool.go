@@ -13,7 +13,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"aprof/internal/obs"
 )
+
+// ObsScopeExperiments carries the experiment-suite metrics: the run_ms
+// histogram of per-driver wall time, the runs counter, and one
+// wall_ms_<name> gauge per driver.
+const ObsScopeExperiments = "experiments"
 
 // forEach invokes fn(i) for i in [0, n) with up to workers goroutines
 // (workers <= 0 uses GOMAXPROCS), returning the lowest-indexed error. On
@@ -65,6 +73,16 @@ func forEach(n, workers int, fn func(i int) error) error {
 // driver errors abort the run; ctx cancellation is checked between
 // driver starts.
 func RunDrivers(ctx context.Context, names []string, scale Scale, workers int) ([]*Result, error) {
+	return RunDriversObs(ctx, names, scale, workers, nil)
+}
+
+// RunDriversObs is RunDrivers with optional observability: when reg is
+// non-nil, every driver's wall time is recorded under the "experiments"
+// scope — into the run_ms histogram and a per-driver wall_ms_<name> gauge —
+// and the runs counter tracks completed drivers. Timing is reported only
+// for drivers that complete (successfully or not) and never alters any
+// result. A nil registry makes it identical to RunDrivers.
+func RunDriversObs(ctx context.Context, names []string, scale Scale, workers int, reg *obs.Registry) ([]*Result, error) {
 	drivers := make([]Driver, len(names))
 	for i, name := range names {
 		d, ok := DriverByName(name)
@@ -73,12 +91,20 @@ func RunDrivers(ctx context.Context, names []string, scale Scale, workers int) (
 		}
 		drivers[i] = d
 	}
+	scope := reg.Scope(ObsScopeExperiments)
 	results := make([]*Result, len(drivers))
 	err := forEach(len(drivers), workers, func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		start := time.Now()
 		res, err := drivers[i].Run(scale)
+		if reg != nil {
+			ms := time.Since(start).Milliseconds()
+			scope.Histogram("run_ms").Observe(uint64(ms))
+			scope.Gauge("wall_ms_" + drivers[i].Name).Set(ms)
+			scope.Counter("runs").Inc()
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", drivers[i].Name, err)
 		}

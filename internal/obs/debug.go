@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry currently served through expvar. expvar.Publish is
+// process-global and panics on duplicate names, so the expvar variable is
+// registered once and indirects through this pointer; a later ServeDebug
+// call (tests start several servers) simply swaps the registry behind it.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("aprof_obs", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// DebugServer is the live self-profiling endpoint behind aprof -debug-addr:
+// the registry's snapshot at /debug/obs, the process expvar page (including
+// aprof_obs) at /debug/vars, and net/http/pprof CPU/heap self-profiling
+// under /debug/pprof/.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeDebug starts the debug HTTP server on addr (e.g. "localhost:0") and
+// returns once it is listening. The caller must Close it; Close joins the
+// serve goroutine, so the server cannot leak past the run that started it.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return d, nil
+}
+
+// Addr returns the server's bound address ("127.0.0.1:41234"), useful with
+// ":0" listen addresses.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down, closing the listener and any active
+// connections, and joins the serve goroutine.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry exercising every metric type with fixed
+// values, mirroring the scopes the instrumented pipeline populates. The
+// snapshot of this registry is fully deterministic, so its JSON form is the
+// schema contract the run-summary files are written against.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	core := reg.Scope("core")
+	core.Counter("events_call").Add(128)
+	core.Counter("events_read").Add(4096)
+	core.Counter("events_return").Add(128)
+	core.Counter("drops_return_without_call").Add(2)
+	core.Gauge("stack_depth_hwm").SetMax(17)
+	core.Gauge("tuple_points").Set(342)
+	ck := core.Histogram("checkpoint_write_us")
+	ck.Observe(0)
+	ck.Observe(1)
+	ck.Observe(900)
+	ck.Observe(1024)
+
+	shadow := reg.Scope("shadow")
+	shadow.Counter("leaf_chunks").Add(12)
+	shadow.Counter("hint_hits").Add(9000)
+	shadow.Counter("hint_lookups").Add(10000)
+
+	profio := reg.Scope("profio")
+	profio.Counter("batches").Add(7)
+	profio.Histogram("batch_profile_us").Observe(250)
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s changed.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSnapshotGolden pins the snapshot JSON schema byte for byte: scope and
+// metric ordering, field names, bucket encoding. A diff here is a schema
+// change and must be deliberate (bump snapshotSchema for breaking changes).
+// Regenerate with
+//
+//	go test ./internal/obs -run TestSnapshotGolden -update
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.golden", buf.Bytes())
+}
+
+// TestRunSummaryGolden pins the run-summary document aprof writes next to
+// every -json profile. Regenerate with
+//
+//	go test ./internal/obs -run TestRunSummaryGolden -update
+func TestRunSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRunSummary(goldenRegistry(), 1234).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "runsummary.golden", buf.Bytes())
+}
+
+// TestSnapshotDeterministic double-checks the golden premise: two
+// identically-populated registries must marshal to identical bytes even
+// though their maps were populated in different orders.
+func TestSnapshotDeterministic(t *testing.T) {
+	a := goldenRegistry()
+	b := NewRegistry()
+	// Populate b in reverse scope/metric order.
+	b.Scope("profio").Histogram("batch_profile_us").Observe(250)
+	b.Scope("profio").Counter("batches").Add(7)
+	sh := b.Scope("shadow")
+	sh.Counter("hint_lookups").Add(10000)
+	sh.Counter("hint_hits").Add(9000)
+	sh.Counter("leaf_chunks").Add(12)
+	core := b.Scope("core")
+	ck := core.Histogram("checkpoint_write_us")
+	ck.Observe(1024)
+	ck.Observe(900)
+	ck.Observe(1)
+	ck.Observe(0)
+	core.Gauge("tuple_points").Set(342)
+	core.Gauge("stack_depth_hwm").SetMax(17)
+	core.Counter("drops_return_without_call").Add(2)
+	core.Counter("events_return").Add(128)
+	core.Counter("events_read").Add(4096)
+	core.Counter("events_call").Add(128)
+
+	var ba, bb bytes.Buffer
+	if err := a.Snapshot().WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Errorf("snapshot depends on population order.\n--- a ---\n%s--- b ---\n%s", ba.String(), bb.String())
+	}
+}

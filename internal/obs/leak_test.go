@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitNoLeak polls until the goroutine count falls back to the baseline,
+// matching the PR 2 leak-test style: no settling time should be needed when
+// shutdown joins properly, but a short grace period keeps the test robust
+// against unrelated runtime goroutines winding down.
+func waitNoLeak(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if i >= 100 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestProgressNoGoroutineLeak audits every exit path of the progress
+// ticker: explicit stop, context cancellation, cancel-then-stop, and
+// double-stop. The ticker goroutine must always be joined.
+func TestProgressNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Explicit stop: emits a final line and joins.
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lockedWrite := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	stop := StartProgress(context.Background(), lockedWrite, time.Hour, func() string { return "line" })
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	got := buf.String()
+	mu.Unlock()
+	if got != "line\n" {
+		t.Errorf("explicit stop output = %q, want one final line", got)
+	}
+
+	// Context cancellation: exits without a final line; stop still joins.
+	ctx, cancel := context.WithCancel(context.Background())
+	var buf2 bytes.Buffer
+	stop2 := StartProgress(ctx, &buf2, time.Hour, func() string { return "x" })
+	cancel()
+	stop2()
+	if buf2.Len() != 0 {
+		t.Errorf("cancelled ticker wrote %q", buf2.String())
+	}
+
+	// Short interval: ticks happen, then stop joins cleanly mid-stream.
+	var mu3 sync.Mutex
+	var lines int
+	stop3 := StartProgress(context.Background(), io.Discard, time.Millisecond, func() string {
+		mu3.Lock()
+		lines++
+		mu3.Unlock()
+		return "tick"
+	})
+	time.Sleep(10 * time.Millisecond)
+	stop3()
+	mu3.Lock()
+	n := lines
+	mu3.Unlock()
+	if n == 0 {
+		t.Error("ticker never fired")
+	}
+
+	waitNoLeak(t, before)
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestDebugServerEndpoints starts the -debug-addr server, fetches the obs
+// snapshot and the expvar page, and verifies clean shutdown leaves no
+// goroutines behind (server loop and per-connection handlers both joined or
+// wound down).
+func TestDebugServerEndpoints(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	reg.Scope("core").Counter("events_call").Add(42)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	// /debug/obs serves the registry snapshot.
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/obs"), &snap); err != nil {
+		t.Fatalf("decoding /debug/obs: %v", err)
+	}
+	if got := snap.Scope("core").Counter("events_call"); got != 42 {
+		t.Errorf("/debug/obs events_call = %d, want 42", got)
+	}
+
+	// /debug/vars carries the published aprof_obs expvar.
+	if vars := string(get("/debug/vars")); !strings.Contains(vars, "aprof_obs") {
+		t.Error("/debug/vars does not publish aprof_obs")
+	}
+
+	// /debug/pprof/ index responds (the CPU/heap self-profiling surface).
+	if idx := string(get("/debug/pprof/")); !strings.Contains(idx, "profile") {
+		t.Error("/debug/pprof/ index missing profile links")
+	}
+
+	// The keep-alive client connection would hold a server-side goroutine
+	// past Close; drop it before auditing.
+	http.DefaultClient.CloseIdleConnections()
+	if err := d.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("Close: %v", err)
+	}
+	waitNoLeak(t, before)
+}
+
+// TestDebugServerImmediateClose covers the degenerate lifecycle: start and
+// close with no traffic. The serve goroutine must still be joined.
+func TestDebugServerImmediateClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		d, err := ServeDebug("127.0.0.1:0", NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil && err != http.ErrServerClosed {
+			t.Errorf("Close: %v", err)
+		}
+	}
+	waitNoLeak(t, before)
+}

@@ -1,0 +1,253 @@
+// Package obs is the profiler's observability layer: a dependency-free,
+// atomics-based metrics subsystem the hot paths of the pipeline report into.
+//
+// The paper's contribution is measurement with O(1) per-event handling, so
+// the measurement infrastructure itself must be observable without changing
+// what it measures. Three properties follow:
+//
+//   - Nil is off. Every metric handle (*Counter, *Gauge, *Histogram) and the
+//     Registry/Scope accessors are nil-receiver safe: with a nil Registry the
+//     whole instrumentation chain resolves to nil handles whose methods are
+//     single-branch no-ops, so uninstrumented runs pay one predictable branch
+//     per site and allocate nothing.
+//   - Zero allocation on the per-event path. Handles are resolved once at
+//     setup (Scope/Counter do lock a mutex — never in steady state); updates
+//     are single atomic operations on pre-allocated cells.
+//   - Metrics never feed back. Nothing in this package is read by the
+//     profiling algorithm; enabling a registry cannot change profile output
+//     (the metamorphic differential tests in internal/profio prove byte
+//     identity).
+//
+// All operations are safe for concurrent use: a single Registry may be
+// shared by every profiler of a RunConcurrent pool.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — a concurrent high-water
+// mark. No-op on a nil receiver.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed log-scale bucket count: bucket i holds values
+// whose binary length is i, i.e. bucket 0 is exactly 0 and bucket i>0 covers
+// [2^(i-1), 2^i). 65 buckets cover the full uint64 range with no
+// configuration and no allocation on Observe.
+const histBuckets = 65
+
+// Histogram aggregates a distribution into fixed powers-of-two buckets.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Scope is a named group of metrics within a Registry (one per instrumented
+// subsystem: "core", "shadow", "profio", "experiments").
+type Scope struct {
+	name string
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a no-op handle) on a nil receiver. Resolve handles at setup time, not on
+// the hot path: this takes the scope mutex.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil receiver.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil on a nil receiver.
+func (s *Scope) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		s.histograms[name] = h
+	}
+	return h
+}
+
+// Registry is a process-wide collection of metric scopes. The zero value is
+// not usable; call NewRegistry. A nil *Registry is the disabled state: every
+// accessor chained off it returns nil handles whose operations are no-ops.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scopes: make(map[string]*Scope)}
+}
+
+// Scope returns the named scope, creating it on first use. Returns nil on a
+// nil receiver, which propagates the disabled state through Scope's own
+// accessors.
+func (r *Registry) Scope(name string) *Scope {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.scopes[name]
+	if s == nil {
+		s = &Scope{
+			name:       name,
+			counters:   make(map[string]*Counter),
+			gauges:     make(map[string]*Gauge),
+			histograms: make(map[string]*Histogram),
+		}
+		r.scopes[name] = s
+	}
+	return s
+}
+
+// sortedKeys returns the keys of m in lexical order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

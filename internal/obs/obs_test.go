@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every accessor and mutator through a nil registry:
+// the disabled state must be a chain of no-ops, never a panic. This is the
+// contract that lets the hot paths instrument unconditionally.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	s := reg.Scope("core")
+	if s != nil {
+		t.Fatal("nil registry returned a live scope")
+	}
+	c := s.Counter("x")
+	g := s.Gauge("y")
+	h := s.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil scope returned live handles")
+	}
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	g.SetMax(100)
+	h.Observe(42)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Scopes) != 0 || snap.Schema != snapshotSchema {
+		t.Fatalf("nil registry snapshot: %+v", snap)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Scope("core")
+	c := s.Counter("events")
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	if s.Counter("events") != c {
+		t.Fatal("Counter did not return the same handle on re-lookup")
+	}
+
+	g := s.Gauge("depth")
+	g.Set(4)
+	g.SetMax(2)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("SetMax lowered the gauge: %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", got)
+	}
+	g.Add(-3)
+	if got := g.Load(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+// TestHistogramBuckets checks the log2 bucketing invariant: a value v lands
+// in the bucket whose range [2^(i-1), 2^i) contains it.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Scope("s").Histogram("lat")
+	values := []uint64{0, 1, 2, 3, 4, 127, 128, 1 << 20, math.MaxUint64}
+	var sum uint64
+	for _, v := range values {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(values)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(values))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+	}
+	hv := reg.Snapshot().Scope("s").Histogram("lat")
+	if hv == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Every value must be covered by a bucket whose Le bound is >= v, and
+	// bucket counts must add up to the observation count.
+	var bucketTotal uint64
+	for _, b := range hv.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != uint64(len(values)) {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketTotal, len(values))
+	}
+	for _, v := range values {
+		covered := false
+		for _, b := range hv.Buckets {
+			if v <= b.Le {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("value %d not covered by any bucket", v)
+		}
+	}
+	// 0 and MaxUint64 must land in the extreme buckets.
+	if hv.Buckets[0].Le != 0 {
+		t.Errorf("first bucket Le = %d, want 0", hv.Buckets[0].Le)
+	}
+	if last := hv.Buckets[len(hv.Buckets)-1]; last.Le != math.MaxUint64 {
+		t.Errorf("last bucket Le = %d, want MaxUint64", last.Le)
+	}
+}
+
+// TestSnapshotHelpers covers the lookup helpers the progress line and the
+// tests themselves rely on.
+func TestSnapshotHelpers(t *testing.T) {
+	reg := NewRegistry()
+	core := reg.Scope("core")
+	core.Counter("events_call").Add(3)
+	core.Counter("events_read").Add(4)
+	core.Counter("other").Add(100)
+	core.Gauge("depth").Set(-2)
+
+	snap := reg.Snapshot()
+	cs := snap.Scope("core")
+	if cs == nil {
+		t.Fatal("core scope missing")
+	}
+	if got := cs.Counter("events_call"); got != 3 {
+		t.Errorf("Counter lookup = %d, want 3", got)
+	}
+	if got := cs.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+	if got := cs.CounterSum("events_"); got != 7 {
+		t.Errorf("CounterSum(events_) = %d, want 7", got)
+	}
+	if got := cs.Gauge("depth"); got != -2 {
+		t.Errorf("Gauge lookup = %d, want -2", got)
+	}
+	if snap.Scope("nope") != nil {
+		t.Error("phantom scope found")
+	}
+	var nilScope *ScopeSnapshot
+	if nilScope.Counter("x") != 0 || nilScope.Gauge("x") != 0 || nilScope.Histogram("x") != nil || nilScope.CounterSum("x") != 0 {
+		t.Error("nil ScopeSnapshot helpers not zero-valued")
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines; run
+// under -race this is the direct data-race audit of the metric kernel.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := reg.Scope("core") // same scope from every goroutine
+			c := s.Counter("events")
+			g := s.Gauge("hwm")
+			h := s.Histogram("lat")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.SetMax(int64(w*iters + i))
+				h.Observe(uint64(i))
+				if i%500 == 0 {
+					reg.Snapshot() // concurrent readers are legal
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	cs := snap.Scope("core")
+	if got := cs.Counter("events"); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := cs.Gauge("hwm"); got != (workers-1)*iters+iters-1 {
+		t.Errorf("hwm = %d, want %d", got, (workers-1)*iters+iters-1)
+	}
+	if got := cs.Histogram("lat").Count; got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// BenchmarkCounterAdd measures the per-event cost of one enabled counter
+// update — the unit the overhead budget of DESIGN.md is accounted in.
+func BenchmarkCounterAdd(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Scope("core").Counter("events")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterAddDisabled measures the disabled (nil-handle) path: a
+// single predictable branch.
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures one enabled histogram observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Scope("core").Histogram("lat")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

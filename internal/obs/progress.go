@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultProgressInterval is the default cadence of StartProgress.
+const DefaultProgressInterval = 2 * time.Second
+
+// StartProgress emits one line() per interval to w — the periodic stderr
+// progress line of aprof -progress. The returned stop function halts the
+// ticker, emits one final line (so short runs still report), and joins the
+// goroutine before returning; it is idempotent. Cancelling ctx also stops
+// the ticker (without the final line, since the run was abandoned); stop
+// still joins and may be called afterwards.
+func StartProgress(ctx context.Context, w io.Writer, interval time.Duration, line func() string) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, line())
+			case <-ctx.Done():
+				return
+			case <-done:
+				// Final line on a clean stop only: if the run was abandoned
+				// via ctx, stop() must not resurrect output.
+				if ctx.Err() == nil {
+					fmt.Fprintln(w, line())
+				}
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

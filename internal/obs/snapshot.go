@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// snapshotSchema is bumped on breaking changes to the snapshot JSON layout.
+// The run-summary files aprof writes next to profiles carry this number so
+// downstream tooling can detect incompatible documents.
+const snapshotSchema = 1
+
+// Snapshot is a point-in-time copy of every metric in a registry, ordered
+// deterministically (scopes and metrics sorted by name) so that two
+// registries holding the same values marshal to identical bytes.
+type Snapshot struct {
+	Schema int             `json:"schema"`
+	Scopes []ScopeSnapshot `json:"scopes"`
+}
+
+// ScopeSnapshot holds one scope's metrics.
+type ScopeSnapshot struct {
+	Name       string           `json:"name"`
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// CounterValue is one counter reading.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge reading.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram reading. Only materially non-empty
+// buckets are serialized; Le is the inclusive upper bound of a bucket's
+// power-of-two value range.
+type HistogramValue struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot copies the current value of every metric. Safe to call
+// concurrently with updates; individual metric reads are atomic (the
+// snapshot as a whole is not a consistent cut, which is fine for monitoring
+// monotonic counters). A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Schema: snapshotSchema}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	scopes := make([]*Scope, 0, len(r.scopes))
+	for _, name := range sortedKeys(r.scopes) {
+		scopes = append(scopes, r.scopes[name])
+	}
+	r.mu.Unlock()
+
+	for _, s := range scopes {
+		snap.Scopes = append(snap.Scopes, s.snapshot())
+	}
+	return snap
+}
+
+func (s *Scope) snapshot() ScopeSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ScopeSnapshot{Name: s.name}
+	for _, name := range sortedKeys(s.counters) {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: s.counters[name].Load()})
+	}
+	for _, name := range sortedKeys(s.gauges) {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: s.gauges[name].Load()})
+	}
+	for _, name := range sortedKeys(s.histograms) {
+		h := s.histograms[name]
+		hv := HistogramValue{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hv.Buckets = append(hv.Buckets, Bucket{Le: bucketUpper(i), Count: n})
+			}
+		}
+		out.Histograms = append(out.Histograms, hv)
+	}
+	return out
+}
+
+// Scope returns the named scope's snapshot, or nil.
+func (s Snapshot) Scope(name string) *ScopeSnapshot {
+	for i := range s.Scopes {
+		if s.Scopes[i].Name == name {
+			return &s.Scopes[i]
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter's value (0 if absent or nil receiver).
+func (s *ScopeSnapshot) Counter(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value (0 if absent or nil receiver).
+func (s *ScopeSnapshot) Gauge(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram reading, or nil.
+func (s *ScopeSnapshot) Histogram(name string) *HistogramValue {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// CounterSum sums every counter in the scope whose name starts with prefix
+// (e.g. "events_" for the total event throughput of the core scope).
+func (s *ScopeSnapshot) CounterSum(prefix string) uint64 {
+	if s == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range s.Counters {
+		if len(c.Name) >= len(prefix) && c.Name[:len(prefix)] == prefix {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// RunSummary is the run-level observability document aprof writes next to
+// every profile: the final metrics snapshot plus the run's wall time.
+type RunSummary struct {
+	Schema int `json:"schema"`
+	// WallMS is the end-to-end wall time of the run in milliseconds.
+	WallMS int64 `json:"wall_ms"`
+	// Metrics is the final snapshot of the run's registry.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewRunSummary builds the run summary for a finished run.
+func NewRunSummary(r *Registry, wallMS int64) RunSummary {
+	return RunSummary{Schema: snapshotSchema, WallMS: wallMS, Metrics: r.Snapshot()}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON writes the run summary as indented JSON.
+func (s RunSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile writes the run summary as indented JSON to path.
+func (s RunSummary) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

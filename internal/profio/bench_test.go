@@ -1,0 +1,70 @@
+package profio
+
+// Streaming-pipeline benchmarks for the BENCH_core.json regression baseline
+// (`make bench`), including the instrumented-vs-bare pair behind the ≤5%
+// observability overhead bound (obs_overhead_test.go).
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/obs"
+	"aprof/internal/trace"
+)
+
+// benchStream encodes one synthetic multithreaded trace per format, shared
+// by every benchmark in this file.
+func benchStream(b *testing.B, v2 bool) []byte {
+	b.Helper()
+	tr := trace.Random(trace.RandomConfig{Seed: 1, Ops: 20000})
+	var buf bytes.Buffer
+	var err error
+	if v2 {
+		err = trace.WriteBinary2(&buf, tr)
+	} else {
+		err = trace.WriteBinary(&buf, tr)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func benchProfileStream(b *testing.B, data []byte, cfg core.Config) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := ProfileStream(context.Background(), bytes.NewReader(data), cfg, StreamOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ps.Events == 0 {
+			b.Fatal("empty profiles")
+		}
+	}
+}
+
+// BenchmarkProfileStream is the bare pipeline: no registry, so the
+// observability layer compiles down to one nil check per event.
+func BenchmarkProfileStream(b *testing.B) {
+	benchProfileStream(b, benchStream(b, false), core.DefaultConfig())
+}
+
+// BenchmarkProfileStreamObs is the same run with a live registry: per-kind
+// event counters on the hot path plus batch-boundary publication. The gap to
+// BenchmarkProfileStream is the observability overhead, bounded at 5% by
+// TestObsOverheadBound.
+func BenchmarkProfileStreamObs(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Obs = obs.NewRegistry()
+	benchProfileStream(b, benchStream(b, false), cfg)
+}
+
+// BenchmarkProfileStreamV2 streams the framed APT2 encoding, adding CRC
+// verification and frame accounting to the decode stage.
+func BenchmarkProfileStreamV2(b *testing.B) {
+	benchProfileStream(b, benchStream(b, true), core.DefaultConfig())
+}

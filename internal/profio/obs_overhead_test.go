@@ -1,0 +1,77 @@
+package profio
+
+// Benchmark-driven bound on the observability layer's cost: ProfileStream
+// with a live registry must stay within 5% ns/op of the uninstrumented run
+// (ISSUE 4 acceptance criterion). The hot path pays one nil check plus one
+// uncontended atomic add per event; everything state-derived is published at
+// batch boundaries, so the bound holds with a wide margin — the 5% band
+// mostly absorbs scheduler noise.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"aprof/internal/core"
+	"aprof/internal/obs"
+	"aprof/internal/trace"
+)
+
+func TestObsOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("race detector instruments every atomic op; timing bound not meaningful")
+	}
+	tr := trace.Random(trace.RandomConfig{Seed: 2, Ops: 20000})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	run := func(cfg core.Config) time.Duration {
+		start := time.Now()
+		ps, err := ProfileStream(context.Background(), bytes.NewReader(data), cfg, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.Events == 0 {
+			t.Fatal("empty profiles")
+		}
+		return time.Since(start)
+	}
+
+	instrCfg := core.DefaultConfig()
+	instrCfg.Obs = obs.NewRegistry()
+
+	// Noise-robust estimator: one ProfileStream run takes ~4ms, so instead
+	// of a few long testing.Benchmark passes (where one load spike poisons a
+	// whole pass) we take the minimum over many short strictly-alternating
+	// runs — each configuration gets ~150 chances to hit a quiet scheduler
+	// window, and alternation spreads any sustained machine load evenly
+	// across both.
+	const rounds = 150
+	for i := 0; i < 5; i++ { // warmup
+		run(core.DefaultConfig())
+		run(instrCfg)
+	}
+	bare, instr := time.Duration(-1), time.Duration(-1)
+	for i := 0; i < rounds; i++ {
+		if d := run(core.DefaultConfig()); bare < 0 || d < bare {
+			bare = d
+		}
+		if d := run(instrCfg); instr < 0 || d < instr {
+			instr = d
+		}
+	}
+
+	overhead := (float64(instr) - float64(bare)) / float64(bare) * 100
+	t.Logf("ProfileStream min over %d runs: bare=%v instrumented=%v overhead=%+.2f%%", rounds, bare, instr, overhead)
+	if overhead > 5 {
+		t.Errorf("observability overhead %.2f%% exceeds the 5%% bound (bare %v, instrumented %v)",
+			overhead, bare, instr)
+	}
+}

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"aprof/internal/core"
+	"aprof/internal/obs"
 	"aprof/internal/trace"
 )
 
@@ -78,6 +80,71 @@ type eventBatch struct {
 	// has not read past the frame holding this batch's last event.
 	delivered uint64
 	stats     trace.CorruptionStats
+	// frames/resyncs snapshot the reader's cumulative frame accounting at
+	// fill time, for the observability layer. The reader itself belongs to
+	// the decoder goroutine; only these snapshots may cross to the profiler
+	// stage.
+	frames  uint64
+	resyncs uint64
+}
+
+// streamObs holds the pipeline's pre-resolved metric handles (scope
+// "profio") plus the last-published values of the cumulative quantities it
+// delta-reports. It lives on the profiler (consumer) side of the channel;
+// the decoder goroutine only touches the decode-latency histogram, which is
+// safe to share (atomics).
+type streamObs struct {
+	batches         *obs.Counter
+	eventsDelivered *obs.Counter
+	framesDecoded   *obs.Counter
+	framesResynced  *obs.Counter
+	framesDropped   *obs.Counter
+	checkpoints     *obs.Counter
+	decodeUS        *obs.Histogram
+	profileUS       *obs.Histogram
+
+	lastDelivered     uint64
+	lastFrames        uint64
+	lastResyncs       uint64
+	lastFramesDropped int
+}
+
+// ObsScopeProfio is the metric scope of the streaming pipeline.
+const ObsScopeProfio = "profio"
+
+func newStreamObs(reg *obs.Registry, base core.StreamState) *streamObs {
+	if reg == nil {
+		return nil
+	}
+	s := reg.Scope(ObsScopeProfio)
+	return &streamObs{
+		batches:         s.Counter("batches"),
+		eventsDelivered: s.Counter("events_delivered"),
+		framesDecoded:   s.Counter("frames_decoded"),
+		framesResynced:  s.Counter("frames_resynced"),
+		framesDropped:   s.Counter("frames_dropped"),
+		checkpoints:     s.Counter("checkpoints"),
+		decodeUS:        s.Histogram("batch_decode_us"),
+		profileUS:       s.Histogram("batch_profile_us"),
+		// A resumed run reports only its own deliveries, not the
+		// checkpointed prefix it skipped.
+		lastDelivered: base.EventsDelivered,
+	}
+}
+
+// publishBatch folds one profiled batch into the pipeline counters.
+func (so *streamObs) publishBatch(b *eventBatch) {
+	so.batches.Inc()
+	so.eventsDelivered.Add(b.delivered - so.lastDelivered)
+	so.lastDelivered = b.delivered
+	so.framesDecoded.Add(b.frames - so.lastFrames)
+	so.lastFrames = b.frames
+	so.framesResynced.Add(b.resyncs - so.lastResyncs)
+	so.lastResyncs = b.resyncs
+	if d := b.stats.FramesDropped - so.lastFramesDropped; d > 0 {
+		so.framesDropped.Add(uint64(d))
+	}
+	so.lastFramesDropped = b.stats.FramesDropped
 }
 
 // ProfileStream profiles a binary trace incrementally from r through a
@@ -97,7 +164,7 @@ func ProfileStream(ctx context.Context, r io.Reader, cfg core.Config, opts Strea
 		return nil, err
 	}
 	p := core.NewProfiler(br.Symbols(), cfg)
-	return runPipeline(ctx, br, p, opts, core.StreamState{})
+	return runPipeline(ctx, br, p, opts, core.StreamState{}, cfg.Obs)
 }
 
 // ResumeStream restarts an interrupted ProfileStream run from its last
@@ -127,7 +194,7 @@ func ResumeStream(ctx context.Context, r io.Reader, checkpointPath string, cfg c
 	// The skip re-detected exactly the corruption already accounted in the
 	// checkpointed stats; discard it so the totals are not double counted.
 	br.ResetStats()
-	return runPipeline(ctx, br, p, opts, state)
+	return runPipeline(ctx, br, p, opts, state, cfg.Obs)
 }
 
 func sameNames(a, b []string) bool {
@@ -144,7 +211,12 @@ func sameNames(a, b []string) bool {
 
 // runPipeline drives the decode/profile pipeline to completion, starting
 // from base (zero for a fresh run, the checkpointed state for a resume).
-func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, opts StreamOptions, base core.StreamState) (*core.Profiles, error) {
+// With a non-nil registry the pipeline reports its own health (batch
+// decode/profile latency, frames decoded/resynced/dropped, delivered
+// events) and republishes the profiler's state-derived gauges after every
+// batch — all at batch granularity, never per event, so the registry cannot
+// perturb the hot path it observes.
+func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, opts StreamOptions, base core.StreamState, reg *obs.Registry) (*core.Profiles, error) {
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
@@ -157,6 +229,8 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 	if ckptEvery <= 0 {
 		ckptEvery = DefaultCheckpointEvery
 	}
+
+	so := newStreamObs(reg, base)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -184,6 +258,10 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 				decodeDone <- ctx.Err()
 				return
 			}
+			var fillStart time.Time
+			if so != nil {
+				fillStart = time.Now()
+			}
 			batch := b.events[:0]
 			var decodeErr error
 			for len(batch) < batchSize {
@@ -199,6 +277,10 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 			b.events = batch
 			b.delivered = delivered
 			b.stats = br.Stats()
+			b.frames, b.resyncs = br.FrameStats()
+			if so != nil {
+				so.decodeUS.Observe(uint64(time.Since(fillStart).Microseconds()))
+			}
 			if len(batch) > 0 {
 				select {
 				case full <- b:
@@ -220,11 +302,22 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 	batchIndex := 0
 	for b := range full {
 		if profileErr == nil {
+			var profStart time.Time
+			if so != nil {
+				profStart = time.Now()
+			}
 			for i := range b.events {
 				if err := p.HandleEvent(&b.events[i]); err != nil {
 					profileErr = err
 					cancel() // stop the decoder; keep draining full
 					break
+				}
+			}
+			if so != nil {
+				so.profileUS.Observe(uint64(time.Since(profStart).Microseconds()))
+				if profileErr == nil {
+					so.publishBatch(b)
+					p.PublishObs()
 				}
 			}
 			if profileErr == nil {
@@ -235,6 +328,8 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 					if err := writeCheckpointFile(p, opts.CheckpointPath, state); err != nil {
 						profileErr = err
 						cancel()
+					} else if so != nil {
+						so.checkpoints.Inc()
 					}
 				}
 			}

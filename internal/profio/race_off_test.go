@@ -1,0 +1,5 @@
+//go:build !race
+
+package profio
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package profio
+
+// raceEnabled reports that this build runs under the race detector, whose
+// per-atomic-op instrumentation invalidates timing assertions.
+const raceEnabled = true

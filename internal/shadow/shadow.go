@@ -44,6 +44,13 @@ type Table[T any] struct {
 	// hint caches the most recently touched node to exploit locality.
 	hintKey  uint64
 	hintNode *node[T]
+	// hintHits/hintLookups count node lookups served by the hint vs total,
+	// for the observability layer. Plain (non-atomic) fields: a Table is
+	// single-goroutine by contract (see Slot), and keeping the hot path free
+	// of atomics means the counters cost two register increments whether or
+	// not a metrics registry is attached.
+	hintHits    uint64
+	hintLookups uint64
 }
 
 // New returns an empty table.
@@ -97,7 +104,9 @@ func (t *Table[T]) slot(addr trace.Addr) *T {
 }
 
 func (t *Table[T]) lookupNode(key uint64) *node[T] {
+	t.hintLookups++
 	if t.hintNode != nil && t.hintKey == key {
+		t.hintHits++
 		return t.hintNode
 	}
 	n := t.top[key]
@@ -109,6 +118,12 @@ func (t *Table[T]) lookupNode(key uint64) *node[T] {
 
 // LeafChunks returns the number of materialized level-3 chunks.
 func (t *Table[T]) LeafChunks() int { return t.leafCount }
+
+// HintStats returns how many node lookups were served by the locality hint
+// and how many happened in total, for the observability layer's hint hit
+// rate. Both counters are monotonic over the table's lifetime (Reset clears
+// them with the rest of the state).
+func (t *Table[T]) HintStats() (hits, lookups uint64) { return t.hintHits, t.hintLookups }
 
 // SizeBytes estimates the memory held by the table: materialized leaves plus
 // level-2 pointer arrays, with elemSize the size of T in bytes.
@@ -161,4 +176,6 @@ func (t *Table[T]) Reset() {
 	t.leafCount = 0
 	t.hintNode = nil
 	t.hintKey = 0
+	t.hintHits = 0
+	t.hintLookups = 0
 }

@@ -194,3 +194,35 @@ func BenchmarkLoadDense(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestHintStats checks the locality-hint accounting feeding the
+// observability layer: same-node accesses hit the hint, a node switch
+// misses it, and Reset clears the counters.
+func TestHintStats(t *testing.T) {
+	m := New[uint64]()
+	if hits, lookups := m.HintStats(); hits != 0 || lookups != 0 {
+		t.Fatalf("fresh table: hits=%d lookups=%d", hits, lookups)
+	}
+	// First access materializes the node (miss); the next two share it.
+	m.Store(1, 1)
+	m.Store(2, 2)
+	m.Load(1)
+	hits, lookups := m.HintStats()
+	if lookups != 3 {
+		t.Errorf("lookups = %d, want 3", lookups)
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (same-node accesses)", hits)
+	}
+	// Jumping to a distant node must miss the hint.
+	far := trace.Addr(1) << 40
+	m.Store(far, 9)
+	if h2, l2 := m.HintStats(); l2 != 4 || h2 != 2 {
+		t.Errorf("after node switch: hits=%d lookups=%d, want 2/4", h2, l2)
+	}
+	// Hits never exceed lookups, and Reset clears both.
+	m.Reset()
+	if h3, l3 := m.HintStats(); h3 != 0 || l3 != 0 {
+		t.Errorf("after Reset: hits=%d lookups=%d", h3, l3)
+	}
+}

@@ -1,0 +1,243 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// JSON baseline and prints a regression table.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./internal/... > bench.txt
+//	go run ./internal/tools/benchdiff [-baseline BENCH_core.json] bench.txt
+//	go run ./internal/tools/benchdiff -update bench.txt   # write new baseline
+//
+// With no file argument the bench output is read from stdin. The comparison
+// is on ns/op with a ±threshold band (default 15%): benchmarks faster than
+// baseline-threshold are reported as improved, slower than
+// baseline+threshold as REGRESSION, everything in between as ok. B/op and
+// allocs/op are carried in the baseline and table for context but do not
+// trigger regressions (allocation counts are stable; timing is the noisy
+// signal the band exists for).
+//
+// The exit code is 0 even when regressions are found, so the CI step is
+// non-blocking (single-core CI runners are too noisy for a hard gate);
+// -exit-code turns regressions into exit 1 for local enforcement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Baseline is the schema of BENCH_core.json.
+type Baseline struct {
+	Description  string  `json:"description"`
+	Date         string  `json:"date"`
+	ThresholdPct float64 `json:"threshold_pct"`
+	Command      string  `json:"command"`
+	Benchmarks   []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark's baseline numbers.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_core.json", "baseline file to compare against (and to write with -update)")
+		update       = flag.Bool("update", false, "write the parsed results as the new baseline instead of comparing")
+		threshold    = flag.Float64("threshold", 0, "ns/op regression threshold in percent (0 = the baseline's own, default 15)")
+		exitCode     = flag.Bool("exit-code", false, "exit 1 when a regression is found (default: report only)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one bench-output file (got %d)", flag.NArg()))
+	}
+
+	results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *update {
+		pct := *threshold
+		if pct == 0 {
+			pct = 15
+		}
+		base := Baseline{
+			Description:  "ns/op baseline for the core/shadow/profio/obs benchmarks, checked by `make bench` via internal/tools/benchdiff (non-blocking in CI).",
+			Date:         time.Now().UTC().Format("2006-01-02"),
+			ThresholdPct: pct,
+			Command:      "make bench-baseline",
+			Benchmarks:   results,
+		}
+		if err := writeBaseline(*baselinePath, base); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", *baselinePath, len(results))
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run with -update to create the baseline)", err))
+	}
+	pct := *threshold
+	if pct == 0 {
+		pct = base.ThresholdPct
+	}
+	if pct == 0 {
+		pct = 15
+	}
+	regressions := diff(os.Stdout, base, results, pct)
+	if regressions > 0 && *exitCode {
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix is the trailing -N the bench runner appends to names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts (name, ns/op, B/op, allocs/op) from bench output.
+// Other per-op metrics (MB/s, custom events/op) are ignored. Duplicate names
+// (e.g. -count>1) keep the minimum ns/op, the standard noise-robust choice.
+func parseBench(r io.Reader) ([]Bench, error) {
+	byName := make(map[string]Bench)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		b := Bench{Name: name, NsPerOp: -1}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if b.NsPerOp < 0 {
+			continue
+		}
+		if prev, ok := byName[name]; !ok || b.NsPerOp < prev.NsPerOp {
+			byName[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Bench, len(names))
+	for i, n := range names {
+		out[i] = byName[n]
+	}
+	return out, nil
+}
+
+// diff prints the comparison table and returns the number of regressions.
+func diff(w io.Writer, base Baseline, results []Bench, thresholdPct float64) int {
+	baseline := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	seen := make(map[string]bool, len(results))
+
+	fmt.Fprintf(w, "benchdiff: ns/op vs %s (±%.0f%%)\n", base.Date, thresholdPct)
+	fmt.Fprintf(w, "%-52s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	regressions := 0
+	for _, r := range results {
+		seen[r.Name] = true
+		old, ok := baseline[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s %14s %14.0f %8s  new (no baseline)\n", r.Name, "-", r.NsPerOp, "-")
+			continue
+		}
+		delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		verdict := "ok"
+		switch {
+		case delta > thresholdPct:
+			verdict = "REGRESSION"
+			regressions++
+		case delta < -thresholdPct:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+7.1f%%  %s\n", r.Name, old.NsPerOp, r.NsPerOp, delta, verdict)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "%-52s %14.0f %14s %8s  missing from run\n", b.Name, b.NsPerOp, "-", "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchdiff: %d regression(s) beyond ±%.0f%% — rerun on an idle machine before trusting, then investigate or refresh the baseline (make bench-baseline)\n", regressions, thresholdPct)
+	} else {
+		fmt.Fprintf(w, "benchdiff: no ns/op regressions beyond ±%.0f%%\n", thresholdPct)
+	}
+	return regressions
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var base Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
+}
+
+func writeBaseline(path string, base Baseline) error {
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: aprof/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkProfilerDeepStacks-1   	     100	  10000000 ns/op	 500000 B/op	    2000 allocs/op
+BenchmarkStoreDense-1           	 2000000	       600 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStoreDense-1           	 2000000	       550 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStream/sub-1           	    1000	   2000000 ns/op	       9.83 MB/s	    1000 B/op	      50 allocs/op
+PASS
+ok  	aprof/internal/core	3.1s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(results), results)
+	}
+	byName := make(map[string]Bench)
+	for _, b := range results {
+		byName[b.Name] = b
+	}
+	// The -1 GOMAXPROCS suffix is stripped; duplicates keep the minimum.
+	if b := byName["BenchmarkStoreDense"]; b.NsPerOp != 550 {
+		t.Errorf("StoreDense ns/op = %v, want 550 (min of duplicates)", b.NsPerOp)
+	}
+	// Sub-benchmark names survive; non-ns metrics (MB/s) are skipped.
+	if b := byName["BenchmarkStream/sub"]; b.NsPerOp != 2000000 || b.AllocsPerOp != 50 {
+		t.Errorf("Stream/sub = %+v", b)
+	}
+	if b := byName["BenchmarkProfilerDeepStacks"]; b.BPerOp != 500000 {
+		t.Errorf("DeepStacks B/op = %v", b.BPerOp)
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	base := Baseline{
+		Date:         "2026-08-06",
+		ThresholdPct: 15,
+		Benchmarks: []Bench{
+			{Name: "BenchmarkSame", NsPerOp: 1000},
+			{Name: "BenchmarkSlower", NsPerOp: 1000},
+			{Name: "BenchmarkFaster", NsPerOp: 1000},
+			{Name: "BenchmarkGone", NsPerOp: 1000},
+		},
+	}
+	results := []Bench{
+		{Name: "BenchmarkSame", NsPerOp: 1100},   // +10%: within band
+		{Name: "BenchmarkSlower", NsPerOp: 1300}, // +30%: regression
+		{Name: "BenchmarkFaster", NsPerOp: 700},  // -30%: improved
+		{Name: "BenchmarkNew", NsPerOp: 42},      // not in baseline
+	}
+	var out bytes.Buffer
+	regressions := diff(&out, base, results, 15)
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	table := out.String()
+	for _, want := range []string{
+		"BenchmarkSame", "ok",
+		"BenchmarkSlower", "REGRESSION",
+		"BenchmarkFaster", "improved",
+		"BenchmarkNew", "new (no baseline)",
+		"BenchmarkGone", "missing from run",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	results, err := parseBench(strings.NewReader("PASS\nok \tpkg\t1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("parsed %d from benchless input", len(results))
+	}
+}

@@ -123,6 +123,20 @@ type BinaryReader struct {
 	framePos  int
 	frameSeq  int    // frames observed so far (error reporting)
 	expectSeq uint64 // next expected declared frame sequence number
+
+	// Frame accounting for the observability layer: events frames decoded
+	// successfully, and resynchronization scans that had to discard bytes.
+	// Unlike stats, these are reader-local diagnostics (not part of the
+	// corruption accounting a checkpoint preserves).
+	framesDecoded uint64
+	resyncs       uint64
+}
+
+// FrameStats reports how many APT2 events frames were decoded and how many
+// resynchronization scans discarded bytes, for the observability layer.
+// Both stay zero on APT1 streams, which have no frames.
+func (r *BinaryReader) FrameStats() (decoded, resyncs uint64) {
+	return r.framesDecoded, r.resyncs
 }
 
 // ReaderOptions tunes binary trace decoding.

@@ -353,6 +353,7 @@ func (r *BinaryReader) nextFrame() (bool, error) {
 	for {
 		skipped, err := r.syncMarker()
 		if skipped > 0 {
+			r.resyncs++
 			r.stats.BytesSkipped += skipped
 			if cerr := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,
 				Reason: fmt.Sprintf("skipped %d bytes to next frame marker", skipped)}); cerr != nil {
@@ -430,6 +431,7 @@ func (r *BinaryReader) nextFrame() (bool, error) {
 			if !ok {
 				continue
 			}
+			r.framesDecoded++
 			return true, nil
 		case frameHeader:
 			if err := r.corrupt(&CorruptionError{Offset: r.off, Frame: r.frameSeq,

@@ -64,6 +64,10 @@ const (
 	KindRelease
 
 	numKinds = int(KindRelease) + 1
+
+	// NumKinds is the number of defined event kinds, for consumers indexing
+	// per-kind tables (e.g. the observability layer's per-kind counters).
+	NumKinds = numKinds
 )
 
 var kindNames = [numKinds]string{
