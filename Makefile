@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults bench bench-baseline bench-all cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults chaos bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -46,6 +46,18 @@ faults:
 	$(GO) test ./internal/faultio/
 	$(GO) test -run 'Fault|Retry|Resume|Kill|Lenient|Corrupt|Checkpoint' \
 		./internal/trace ./internal/core ./internal/profio ./cmd/aprof
+
+# Network chaos suite, under the race detector with a hard timeout (a
+# drain/backpressure deadlock must fail the run, not hang it): chaos-conn
+# reconnect sweeps, randomized daemon kills with checkpoint resume,
+# graceful-drain handover, overload shedding, torn-checkpoint sweeps, and
+# the daemon/client end-to-end binary test.
+chaos:
+	$(GO) test -race -timeout 300s -count=1 \
+		./internal/faultio ./internal/server/... ./cmd/aprofd
+	$(GO) test -race -timeout 300s -count=1 \
+		-run 'Torn|CorruptCheckpoint|TrailingGarbage|Interrupt' \
+		./internal/profio ./cmd/aprof
 
 # Benchmark-regression harness: run the hot-path benchmarks (core, shadow,
 # profio, obs) with -benchmem and diff ns/op against the committed

@@ -23,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"aprof"
@@ -119,7 +121,11 @@ func main() {
 			}
 		} else {
 			// Binary traces are profiled in streaming mode: the file is
-			// never materialized in memory.
+			// never materialized in memory. SIGINT/SIGTERM cancels the
+			// stream; with -checkpoint set, the pipeline writes one final
+			// checkpoint on the way out so the run is resumable.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			defer stop()
 			opts := aprof.StreamOptions{
 				Lenient:         *lenient,
 				CheckpointPath:  *checkpoint,
@@ -131,11 +137,23 @@ func main() {
 					// crashes keep making progress.
 					opts.CheckpointPath = *resume
 				}
-				ps, err = aprof.ResumeTraceStream(context.Background(), f, *resume, cfg, opts)
+				opts.FinalCheckpoint = true
+				ps, err = aprof.ResumeTraceStream(ctx, f, *resume, cfg, opts)
 			} else {
-				ps, err = aprof.ProfileTraceStreamContext(context.Background(), f, cfg, opts)
+				opts.FinalCheckpoint = opts.CheckpointPath != ""
+				ps, err = aprof.ProfileTraceStreamContext(ctx, f, cfg, opts)
 			}
 			if err != nil {
+				if ctx.Err() != nil {
+					stop() // restore default handling: a second ^C kills hard
+					if opts.CheckpointPath != "" {
+						fmt.Fprintf(os.Stderr, "aprof: interrupted; resume with -trace %s -resume %s\n",
+							*traceIn, opts.CheckpointPath)
+					} else {
+						fmt.Fprintln(os.Stderr, "aprof: interrupted")
+					}
+					os.Exit(130)
+				}
 				fatal(err)
 			}
 			reportLoss(ps)

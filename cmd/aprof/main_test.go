@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"aprof"
 	"aprof/internal/trace"
@@ -152,5 +154,94 @@ func TestProgressStderrOnly(t *testing.T) {
 	}
 	if got := core.CounterSum("events_"); got == 0 {
 		t.Error("summary reports zero events")
+	}
+}
+
+// TestInterruptWritesFinalCheckpoint drives the real binary through an
+// interrupted streaming run: the trace arrives over a FIFO that stalls
+// mid-stream, SIGINT lands while the pipeline is blocked, and the binary
+// must exit 130 with a final checkpoint and a resume hint. Resuming from
+// that checkpoint over the complete trace must reproduce the uninterrupted
+// profile byte for byte.
+func TestInterruptWritesFinalCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aprof binary")
+	}
+	bin := buildAprof(t)
+	dir := t.TempDir()
+
+	tr := trace.Random(trace.RandomConfig{Seed: 33, Ops: 3000, Threads: 3})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	tracePath := filepath.Join(dir, "trace.bin")
+	if err := os.WriteFile(tracePath, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: an uninterrupted run over the full trace.
+	wantJSON := filepath.Join(dir, "want.json")
+	if out, err := exec.Command(bin, "-trace", tracePath, "-json", wantJSON).CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(wantJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fifo := filepath.Join(dir, "trace.fifo")
+	if out, err := exec.Command("mkfifo", fifo).CombinedOutput(); err != nil {
+		t.Skipf("mkfifo unavailable: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "run.apck")
+	gotJSON := filepath.Join(dir, "got.json")
+	cmd := exec.Command(bin, "-trace", fifo, "-checkpoint", ckpt, "-checkpoint-every", "1", "-json", gotJSON)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed two thirds of the trace, then stall with the FIFO still open so
+	// the binary cannot finish before the signal arrives.
+	w, err := os.OpenFile(fifo, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(enc[:len(enc)*2/3]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the pipeline drain what arrived
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	w.Close() // unblock the decoder's pending read
+
+	err = cmd.Wait()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 130 {
+		t.Fatalf("interrupted run exited %v (stderr: %s), want exit 130", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-resume "+ckpt) {
+		t.Fatalf("no resume hint on stderr: %q", stderr.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no final checkpoint written: %v", err)
+	}
+
+	// Resume over the complete trace file and compare byte for byte.
+	if out, err := exec.Command(bin, "-trace", tracePath, "-resume", ckpt, "-json", gotJSON).CombinedOutput(); err != nil {
+		t.Fatalf("resume run: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(gotJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed profile differs from the uninterrupted run")
 	}
 }

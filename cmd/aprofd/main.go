@@ -1,0 +1,143 @@
+// Command aprofd is the resilient trace-ingestion daemon: it accepts APT2
+// trace streams over TCP (one profiling session per connection, keyed by a
+// client-chosen session id) and serves the finished profiles over the
+// debug HTTP endpoint.
+//
+// Usage:
+//
+//	aprofd -addr localhost:7071 [-checkpoint-dir DIR] [-result-dir DIR]
+//	       [-debug-addr localhost:6060] [-max-sessions N] [-metric drms|rms|external-only]
+//
+// Sessions are panic-isolated and deadline-guarded; beyond -max-sessions
+// the daemon sheds load with an explicit busy response instead of
+// queueing. With -checkpoint-dir every session is durable: interrupted
+// uploads resume from the last acknowledged batch, and SIGINT/SIGTERM
+// drains gracefully — stop accepting, checkpoint everything in flight,
+// exit — so a restarted daemon loses nothing. A second signal aborts hard.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aprof"
+	"aprof/internal/obs"
+	"aprof/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:7071", "TCP address to accept trace streams on")
+		debugAddr = flag.String("debug-addr", "", "serve metrics, pprof and /profiles/ on this HTTP address")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-session checkpoints (enables resume and drain durability)")
+		resultDir = flag.String("result-dir", "", "directory to write completed profiles to as <session>.json")
+		metric    = flag.String("metric", "drms", "input metric: drms, rms, or external-only")
+
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap; excess connections are shed with a busy response")
+		idle        = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "per-read client deadline; stalled clients are cut off")
+		writeT      = flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write client deadline")
+		maxBytes    = flag.Int64("max-conn-bytes", 0, "per-connection byte cap (0 = unlimited)")
+		maxEvents   = flag.Uint64("max-session-events", 0, "per-session delivered-event cap (0 = unlimited)")
+		batch       = flag.Int("batch", 0, "pipeline batch size (0 = default)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "events between periodic checkpoints (0 = default)")
+		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before in-flight connections are force-closed")
+	)
+	flag.Parse()
+
+	cfg, err := configFor(*metric)
+	if err != nil {
+		fatal(err)
+	}
+	for _, dir := range []string{*ckptDir, *resultDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	reg := obs.NewRegistry()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	s := server.New(server.Options{
+		MaxSessions:      *maxSessions,
+		IdleTimeout:      *idle,
+		WriteTimeout:     *writeT,
+		MaxConnBytes:     *maxBytes,
+		MaxSessionEvents: *maxEvents,
+		CheckpointDir:    *ckptDir,
+		ResultDir:        *resultDir,
+		Config:           cfg,
+		BatchSize:        *batch,
+		CheckpointEvery:  *ckptEvery,
+		Obs:              reg,
+		Logf:             logger.Printf,
+	})
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebugMux(*debugAddr, reg, func(mux *http.ServeMux) {
+			mux.Handle("/profiles/", s.ProfilesHandler())
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		logger.Printf("aprofd: debug server on http://%s/profiles/", dbg.Addr())
+	}
+
+	if err := s.Start(*addr); err != nil {
+		fatal(err)
+	}
+	logger.Printf("aprofd: listening on %s", s.Addr())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	logger.Printf("aprofd: %v: draining (checkpointing in-flight sessions, %v budget; signal again to abort)", sig, *drainT)
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		defer cancel()
+		drainDone <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			logger.Printf("aprofd: drain incomplete, connections force-closed: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("aprofd: drained cleanly")
+	case sig = <-sigs:
+		logger.Printf("aprofd: %v: aborting", sig)
+		s.Abort()
+		s.Wait()
+		os.Exit(1)
+	}
+}
+
+func configFor(metric string) (aprof.Config, error) {
+	switch strings.ToLower(metric) {
+	case "drms":
+		return aprof.DefaultConfig(), nil
+	case "rms":
+		return aprof.RMSOnlyConfig(), nil
+	case "external-only", "external":
+		return aprof.ExternalOnlyConfig(), nil
+	default:
+		return aprof.Config{}, fmt.Errorf("unknown metric %q (want drms, rms, or external-only)", metric)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aprofd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aprof"
+	"aprof/internal/trace"
+)
+
+func buildBinary(t *testing.T, dir, name, srcPkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, srcPkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", srcPkg, err, out)
+	}
+	return bin
+}
+
+// waitLine scans lines until match returns a result, with a deadline.
+func waitLine(t *testing.T, lines <-chan string, what string, match func(string) (string, bool)) string {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("daemon exited before printing %s", what)
+			}
+			if v, ok := match(line); ok {
+				return v
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		}
+	}
+}
+
+// TestDaemonEndToEnd drives the real binaries: aprofd comes up, aprofsend
+// uploads a trace, the profile is fetched over the debug HTTP endpoint and
+// must be byte-identical to the offline pipeline, and SIGTERM drains the
+// daemon to a clean exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aprofd and aprofsend binaries")
+	}
+	dir := t.TempDir()
+	aprofd := buildBinary(t, dir, "aprofd", ".")
+	aprofsend := buildBinary(t, dir, "aprofsend", "../aprofsend")
+
+	tr := trace.Random(trace.RandomConfig{Seed: 40, Ops: 1500, Threads: 3})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	tracePath := filepath.Join(dir, "trace.bin")
+	if err := os.WriteFile(tracePath, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := aprof.ProfileTraceStreamContext(context.Background(), bytes.NewReader(enc), aprof.DefaultConfig(), aprof.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf bytes.Buffer
+	if err := aprof.WriteProfiles(&wantBuf, ps); err != nil {
+		t.Fatal(err)
+	}
+	want := wantBuf.Bytes()
+
+	resultDir := filepath.Join(dir, "results")
+	daemon := exec.Command(aprofd,
+		"-addr", "127.0.0.1:0",
+		"-debug-addr", "127.0.0.1:0",
+		"-checkpoint-dir", filepath.Join(dir, "ckpt"),
+		"-result-dir", resultDir,
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	debugAddr := waitLine(t, lines, "the debug-server line", func(line string) (string, bool) {
+		_, rest, ok := strings.Cut(line, "debug server on http://")
+		if !ok {
+			return "", false
+		}
+		return strings.TrimSuffix(rest, "/profiles/"), true
+	})
+	addr := waitLine(t, lines, "the listening line", func(line string) (string, bool) {
+		_, rest, ok := strings.Cut(line, "listening on ")
+		return rest, ok
+	})
+	go func() { // keep draining so the daemon never blocks on stderr
+		for range lines {
+		}
+	}()
+
+	send := exec.Command(aprofsend, "-addr", addr, "-session", "e2e", tracePath)
+	out, err := send.CombinedOutput()
+	if err != nil {
+		t.Fatalf("aprofsend: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "complete") {
+		t.Fatalf("aprofsend output: %s", out)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/profiles/e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+		t.Fatalf("HTTP profile: status %d, matches offline pipeline: %v", resp.StatusCode, bytes.Equal(body, want))
+	}
+	onDisk, err := os.ReadFile(filepath.Join(resultDir, "e2e.json"))
+	if err != nil || !bytes.Equal(onDisk, want) {
+		t.Fatalf("result-dir profile: %v, matches: %v", err, bytes.Equal(onDisk, want))
+	}
+
+	// SIGTERM with nothing in flight: a prompt, clean drain.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon drain exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

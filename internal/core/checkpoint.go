@@ -52,6 +52,14 @@ type StreamState struct {
 // configuration cannot be checkpointed.
 var ErrCheckpointUnsupported = fmt.Errorf("core: configuration does not support checkpointing")
 
+// ErrCheckpointCorrupt is wrapped by ResumeProfiler (and ReadCheckpointState)
+// when the checkpoint bytes themselves are damaged — torn header, bad magic,
+// truncated payload, CRC mismatch, or an undecodable gob. Callers that keep a
+// service available (the aprofd daemon) test for it to distinguish "this file
+// can never be resumed, fall back to a fresh run" from environmental errors
+// like a missing file or a configuration mismatch.
+var ErrCheckpointCorrupt = fmt.Errorf("core: corrupt checkpoint")
+
 type ckptCell struct {
 	Addr uint64
 	Val  uint64
@@ -285,6 +293,54 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 	return nil
 }
 
+// readCheckpointData reads and integrity-checks one checkpoint document.
+// Every failure mode that means "the bytes are damaged" — a short or torn
+// header, wrong magic, truncated payload, checksum mismatch, undecodable
+// gob — wraps ErrCheckpointCorrupt, so a torn write detected at resume time
+// is diagnosable as such rather than a grab-bag of io errors.
+func readCheckpointData(r io.Reader) (*checkpointData, error) {
+	hdr := make([]byte, len(checkpointMagic)+1+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCheckpointCorrupt, err)
+	}
+	if string(hdr[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: not a checkpoint file (bad magic %q)", ErrCheckpointCorrupt, hdr[:4])
+	}
+	if hdr[4] != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported checkpoint version %d", ErrCheckpointCorrupt, hdr[4])
+	}
+	length := binary.LittleEndian.Uint32(hdr[5:9])
+	sum := binary.LittleEndian.Uint32(hdr[9:13])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: reading payload (%d bytes declared): %v", ErrCheckpointCorrupt, length, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x): torn or corrupt write", ErrCheckpointCorrupt, sum, got)
+	}
+	var data checkpointData
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&data); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCheckpointCorrupt, err)
+	}
+	return &data, nil
+}
+
+// ReadCheckpointState reads just the stream position from a checkpoint,
+// validating integrity and that cfg matches the checkpointed configuration.
+// The aprofd daemon uses it to learn a session's resume offset — and to
+// reject an unusable checkpoint — before committing to a resumed run.
+func ReadCheckpointState(r io.Reader, cfg Config) (StreamState, error) {
+	var none StreamState
+	data, err := readCheckpointData(r)
+	if err != nil {
+		return none, err
+	}
+	if got, want := fingerprint(cfg), data.Cfg; got != want {
+		return none, fmt.Errorf("core: checkpoint was taken under a different configuration (checkpoint %+v, resume %+v)", want, got)
+	}
+	return data.Stream, nil
+}
+
 // ResumeProfiler rebuilds a profiler from a checkpoint written by
 // WriteCheckpoint. cfg must match the checkpointed configuration in every
 // semantically relevant field (callbacks like OnActivation are exempt and
@@ -293,29 +349,11 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 func ResumeProfiler(r io.Reader, cfg Config) (*Profiler, StreamState, error) {
 	start := time.Now()
 	var none StreamState
-	hdr := make([]byte, len(checkpointMagic)+1+8)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, none, fmt.Errorf("core: reading checkpoint header: %w", err)
+	dataPtr, err := readCheckpointData(r)
+	if err != nil {
+		return nil, none, err
 	}
-	if string(hdr[:4]) != checkpointMagic {
-		return nil, none, fmt.Errorf("core: not a checkpoint file (bad magic %q)", hdr[:4])
-	}
-	if hdr[4] != checkpointVersion {
-		return nil, none, fmt.Errorf("core: unsupported checkpoint version %d", hdr[4])
-	}
-	length := binary.LittleEndian.Uint32(hdr[5:9])
-	sum := binary.LittleEndian.Uint32(hdr[9:13])
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, none, fmt.Errorf("core: reading checkpoint payload: %w", err)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, none, fmt.Errorf("core: checkpoint checksum mismatch (file %08x, computed %08x): torn or corrupt write", sum, got)
-	}
-	var data checkpointData
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&data); err != nil {
-		return nil, none, fmt.Errorf("core: decoding checkpoint: %w", err)
-	}
+	data := *dataPtr
 	if cfg.ContextSensitive {
 		return nil, none, fmt.Errorf("%w: context-sensitive profiling", ErrCheckpointUnsupported)
 	}

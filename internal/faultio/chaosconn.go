@@ -1,0 +1,251 @@
+package faultio
+
+// Network chaos. WrapConn turns any net.Conn into a deterministic
+// misbehaving link — fragmented writes, injected latency, slow-loris reads,
+// and a mid-stream connection reset — for exercising the aprofd daemon and
+// its reconnecting client without a real flaky network. ChaosWriter is the
+// plain io.Writer analogue for non-socket plumbing. Both are deterministic
+// given their configuration, so every failing chaos seed is replayable.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a ChaosConn once its byte
+// budget is exhausted — the stand-in for a TCP RST mid-frame.
+var ErrInjectedReset = errors.New("faultio: injected connection reset")
+
+// ConnConfig deterministically describes the chaos a wrapped conn injects.
+// The zero value injects nothing.
+type ConnConfig struct {
+	// Seed seeds the chaos schedule; equal configs misbehave identically.
+	Seed int64
+	// MaxWriteChunk, when > 0, fragments every Write into chunks of
+	// seeded-random size in [1, MaxWriteChunk] written separately to the
+	// underlying conn — the peer sees maximally inconvenient packet
+	// boundaries, never a frame delivered whole.
+	MaxWriteChunk int
+	// MaxReadChunk, when > 0, delivers at most this many bytes per Read —
+	// the receiving half of a slow-loris peer.
+	MaxReadChunk int
+	// WriteLatency/ReadLatency, when > 0, sleep a seeded-random duration in
+	// [0, latency) before each underlying operation.
+	WriteLatency time.Duration
+	ReadLatency  time.Duration
+	// ResetAfterBytes, when > 0, hard-resets the connection once this many
+	// total bytes (reads + writes) have crossed it: the current operation
+	// returns ErrInjectedReset after any partial transfer, the underlying
+	// conn is closed, and every later operation fails the same way. The
+	// budget is deliberately oblivious to frame boundaries, so the reset
+	// lands mid-frame almost always.
+	ResetAfterBytes int64
+}
+
+// ChaosConn wraps a net.Conn with the chaos described by its config. Safe
+// for one concurrent reader plus one concurrent writer, like net.Conn
+// itself.
+type ChaosConn struct {
+	net.Conn
+	cfg ConnConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	budget int64 // remaining bytes before reset; <0 = unlimited
+	reset  bool
+}
+
+// WrapConn wraps conn with the chaos described by cfg.
+func WrapConn(conn net.Conn, cfg ConnConfig) *ChaosConn {
+	budget := cfg.ResetAfterBytes
+	if budget <= 0 {
+		budget = -1
+	}
+	return &ChaosConn{
+		Conn:   conn,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		budget: budget,
+	}
+}
+
+// reserve claims up to want bytes from the reset budget, returning how many
+// may be transferred. A zero return with ok=false means the connection is
+// (now) reset. The claim is provisional: the caller refunds whatever the
+// underlying operation did not actually transfer, so the budget counts
+// bytes on the wire, not bytes requested.
+func (c *ChaosConn) reserve(want int) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return 0, false
+	}
+	if c.budget < 0 {
+		return want, true
+	}
+	if c.budget == 0 {
+		c.reset = true
+		c.Conn.Close()
+		return 0, false
+	}
+	if int64(want) > c.budget {
+		want = int(c.budget)
+	}
+	c.budget -= int64(want)
+	return want, true
+}
+
+// refund returns the unused part of a reservation to the budget.
+func (c *ChaosConn) refund(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.budget >= 0 {
+		c.budget += int64(n)
+	}
+	c.mu.Unlock()
+}
+
+// jitter returns a seeded-random duration in [0, max) and chunk size in
+// [1, maxChunk]; both draws come from the shared locked stream.
+func (c *ChaosConn) draw(max time.Duration, maxChunk, n int) (time.Duration, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var d time.Duration
+	if max > 0 {
+		d = time.Duration(c.rng.Int63n(int64(max)))
+	}
+	if maxChunk > 0 && n > maxChunk {
+		n = 1 + c.rng.Intn(maxChunk)
+	}
+	return d, n
+}
+
+func (c *ChaosConn) Read(p []byte) (int, error) {
+	d, n := c.draw(c.cfg.ReadLatency, c.cfg.MaxReadChunk, len(p))
+	if d > 0 {
+		time.Sleep(d)
+	}
+	n, ok := c.reserve(n)
+	if !ok {
+		return 0, ErrInjectedReset
+	}
+	m, err := c.Conn.Read(p[:n])
+	c.refund(n - m)
+	return m, err
+}
+
+func (c *ChaosConn) Write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		d, n := c.draw(c.cfg.WriteLatency, c.cfg.MaxWriteChunk, len(p)-written)
+		if d > 0 {
+			time.Sleep(d)
+		}
+		n, ok := c.reserve(n)
+		if !ok {
+			return written, ErrInjectedReset
+		}
+		m, err := c.Conn.Write(p[written : written+n])
+		c.refund(n - m)
+		written += m
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// CloseWrite half-closes the write side when the underlying conn supports
+// it (TCP does), so chaos-wrapped clients can still signal end-of-stream.
+func (c *ChaosConn) CloseWrite() error {
+	if cw, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// WasReset reports whether the injected reset has fired.
+func (c *ChaosConn) WasReset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reset
+}
+
+// WriterConfig deterministically describes the chaos a ChaosWriter injects.
+// The zero value injects nothing.
+type WriterConfig struct {
+	// Seed seeds the chaos schedule.
+	Seed int64
+	// MaxChunk, when > 0, fragments every Write into seeded-random chunks
+	// in [1, MaxChunk] written separately downstream.
+	MaxChunk int
+	// Latency, when > 0, sleeps a seeded-random duration in [0, Latency)
+	// before each downstream write.
+	Latency time.Duration
+	// FailAt, when > 0, fails with Err once this many total bytes have been
+	// written, after any partial transfer — a torn write.
+	FailAt int64
+	// Err is the error returned at FailAt (default ErrInjectedReset).
+	Err error
+}
+
+// ChaosWriter wraps an io.Writer with deterministic write fragmentation,
+// latency, and a torn-write failure point. It honors the io.Writer
+// contract: a short count is always paired with a non-nil error.
+type ChaosWriter struct {
+	w       io.Writer
+	cfg     WriterConfig
+	rng     *rand.Rand
+	written int64
+	failed  bool
+}
+
+// NewChaosWriter wraps w with the chaos described by cfg.
+func NewChaosWriter(w io.Writer, cfg WriterConfig) *ChaosWriter {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjectedReset
+	}
+	return &ChaosWriter{w: w, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Written reports the total bytes delivered downstream so far.
+func (c *ChaosWriter) Written() int64 { return c.written }
+
+func (c *ChaosWriter) Write(p []byte) (int, error) {
+	if c.failed {
+		return 0, c.cfg.Err
+	}
+	written := 0
+	for written < len(p) {
+		n := len(p) - written
+		if c.cfg.MaxChunk > 0 && n > c.cfg.MaxChunk {
+			n = 1 + c.rng.Intn(c.cfg.MaxChunk)
+		}
+		if c.cfg.FailAt > 0 {
+			remaining := c.cfg.FailAt - c.written
+			if remaining <= 0 {
+				c.failed = true
+				return written, c.cfg.Err
+			}
+			if int64(n) > remaining {
+				n = int(remaining)
+			}
+		}
+		if c.cfg.Latency > 0 {
+			time.Sleep(time.Duration(c.rng.Int63n(int64(c.cfg.Latency))))
+		}
+		m, err := c.w.Write(p[written : written+n])
+		written += m
+		c.written += int64(m)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,256 @@
+package faultio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chunkRecorder records the size of every write that reaches it.
+type chunkRecorder struct {
+	mu     sync.Mutex
+	chunks []int
+	buf    bytes.Buffer
+}
+
+func (c *chunkRecorder) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chunks = append(c.chunks, len(p))
+	return c.buf.Write(p)
+}
+
+// TestChaosConnFragmentsWritesIntact: fragmentation changes packet
+// boundaries, never bytes. The peer must reassemble the exact payload.
+func TestChaosConnFragmentsWritesIntact(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	cc := WrapConn(a, ConnConfig{Seed: 1, MaxWriteChunk: 7})
+
+	payload := payload(1000)
+	var got []byte
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		got, err = io.ReadAll(b)
+		done <- err
+	}()
+	if n, err := cc.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	cc.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fragmented stream differs from payload")
+	}
+}
+
+// TestChaosConnResetBudget: the reset must fire after exactly
+// ResetAfterBytes bytes, surface ErrInjectedReset with the partial count,
+// and poison every later operation.
+func TestChaosConnResetBudget(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	cc := WrapConn(a, ConnConfig{Seed: 2, ResetAfterBytes: 100})
+
+	go io.Copy(io.Discard, b)
+	n, err := cc.Write(payload(300))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want injected reset", err)
+	}
+	if n != 100 {
+		t.Fatalf("delivered %d bytes before reset, want exactly 100", n)
+	}
+	if !cc.WasReset() {
+		t.Fatal("WasReset = false after reset")
+	}
+	if _, err := cc.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset Read err = %v", err)
+	}
+	if _, err := cc.Write([]byte{1}); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset Write err = %v", err)
+	}
+}
+
+// TestChaosConnReadChunking: MaxReadChunk must cap every delivery — the
+// slow-loris receiving pattern.
+func TestChaosConnReadChunking(t *testing.T) {
+	a, b := net.Pipe()
+	cc := WrapConn(a, ConnConfig{Seed: 3, MaxReadChunk: 3})
+
+	go func() {
+		b.Write(payload(64))
+		b.Close()
+	}()
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := cc.Read(buf)
+		if n > 3 {
+			t.Errorf("Read delivered %d bytes, cap is 3", n)
+		}
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(got, payload(64)) {
+		t.Fatal("chunked reads lost bytes")
+	}
+}
+
+// TestChaosWriterDeterministicSchedule: equal seeds fragment identically;
+// the torn-write failure point lands at exactly FailAt.
+func TestChaosWriterDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []int {
+		rec := &chunkRecorder{}
+		cw := NewChaosWriter(rec, WriterConfig{Seed: seed, MaxChunk: 10})
+		if _, err := cw.Write(payload(500)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.buf.Bytes(), payload(500)) {
+			t.Fatal("fragmented write corrupted payload")
+		}
+		return rec.chunks
+	}
+	a1, a2, b1 := schedule(7), schedule(7), schedule(8)
+	if len(a1) < 2 {
+		t.Fatalf("no fragmentation happened: %v", a1)
+	}
+	if !equalInts(a1, a2) {
+		t.Errorf("same seed, different schedules: %v vs %v", a1, a2)
+	}
+	if equalInts(a1, b1) {
+		t.Errorf("different seeds, same schedule: %v", a1)
+	}
+
+	rec := &chunkRecorder{}
+	cw := NewChaosWriter(rec, WriterConfig{Seed: 7, MaxChunk: 10, FailAt: 123})
+	n, err := cw.Write(payload(500))
+	if !errors.Is(err, ErrInjectedReset) || n != 123 {
+		t.Fatalf("torn write = (%d, %v), want (123, injected reset)", n, err)
+	}
+	if _, err := cw.Write([]byte{1}); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-failure write err = %v", err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRetryReaderExponentialCap: the schedule must double from Backoff and
+// saturate at MaxBackoff.
+func TestRetryReaderExponentialCap(t *testing.T) {
+	var slept []time.Duration
+	rr := NewRetryReader(readerFunc(func([]byte) (int, error) {
+		return 0, errors.New("down")
+	}), RetryOptions{
+		MaxRetries: 6,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	})
+	if _, err := rr.Read(make([]byte, 1)); err == nil {
+		t.Fatal("permanently failing source succeeded")
+	}
+	want := []time.Duration{1, 2, 4, 4, 4, 4}
+	for i := range want {
+		want[i] *= time.Millisecond
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("schedule %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", slept, want)
+		}
+	}
+}
+
+// TestRetryReaderJitterDeterminism: equal seeds produce equal jittered
+// schedules; jitter stays within ±Jitter of nominal.
+func TestRetryReaderJitterDeterminism(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		rr := NewRetryReader(readerFunc(func([]byte) (int, error) {
+			return 0, errors.New("down")
+		}), RetryOptions{
+			MaxRetries: 5,
+			Backoff:    time.Millisecond,
+			MaxBackoff: 8 * time.Millisecond,
+			Jitter:     0.5,
+			Seed:       seed,
+			Sleep:      func(d time.Duration) { slept = append(slept, d) },
+		})
+		rr.Read(make([]byte, 1))
+		return slept
+	}
+	a1, a2 := schedule(11), schedule(11)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a1, a2)
+		}
+	}
+	nominal := []time.Duration{1, 2, 4, 8, 8}
+	for i, d := range a1 {
+		lo := time.Duration(float64(nominal[i]) * float64(time.Millisecond) * 0.5)
+		hi := time.Duration(float64(nominal[i]) * float64(time.Millisecond) * 1.5)
+		if d < lo || d > hi {
+			t.Errorf("attempt %d slept %v, outside [%v, %v]", i+1, d, lo, hi)
+		}
+	}
+}
+
+// TestRetryReaderContextCancellation: a cancelled context must interrupt
+// the backoff wait promptly instead of serving out a long schedule.
+func TestRetryReaderContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rr := NewRetryReader(readerFunc(func([]byte) (int, error) {
+		return 0, errors.New("down")
+	}), RetryOptions{
+		MaxRetries: 3,
+		Backoff:    time.Hour, // would block ~an hour without cancellation
+		Ctx:        ctx,
+	})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := rr.Read(make([]byte, 1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+
+	// Already-cancelled context: no further source attempts at all.
+	attempts := 0
+	rr2 := NewRetryReader(readerFunc(func([]byte) (int, error) {
+		attempts++
+		return 0, errors.New("down")
+	}), RetryOptions{Ctx: ctx})
+	if _, err := rr2.Read(make([]byte, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 0 {
+		t.Errorf("cancelled reader still attempted %d reads", attempts)
+	}
+}

@@ -9,6 +9,7 @@
 package faultio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -111,10 +112,24 @@ type RetryOptions struct {
 	// MaxRetries is the number of consecutive failed attempts tolerated per
 	// Read before the error is surfaced (default 3).
 	MaxRetries int
-	// Backoff is the base delay between attempts; attempt k waits k*Backoff
-	// (linear, bounded — this is a test harness, not a network stack).
+	// Backoff is the base delay of the capped exponential schedule: attempt
+	// k waits Backoff*2^(k-1), capped at MaxBackoff. Zero disables waiting.
 	Backoff time.Duration
-	// Sleep replaces time.Sleep in tests (nil uses time.Sleep).
+	// MaxBackoff caps the exponential delay (default 32*Backoff).
+	MaxBackoff time.Duration
+	// Jitter spreads each delay by ±Jitter (a fraction in [0,1]) of its
+	// nominal value, drawn from a stream seeded by Seed — deterministic, so
+	// a failing schedule replays exactly. Zero disables jitter.
+	Jitter float64
+	// Seed seeds the jitter stream; equal seeds produce equal schedules.
+	Seed int64
+	// Ctx, when non-nil, cancels retrying: a pending backoff wait is
+	// interrupted and Read returns ctx.Err() instead of starting another
+	// attempt. Without it a RetryReader over a dead source blocks for the
+	// whole schedule.
+	Ctx context.Context
+	// Sleep replaces the backoff wait in tests (nil uses a real,
+	// context-interruptible wait).
 	Sleep func(time.Duration)
 	// Retryable reports whether an error is transient. nil treats every
 	// error except io.EOF as transient.
@@ -122,10 +137,12 @@ type RetryOptions struct {
 }
 
 // RetryReader wraps an io.Reader whose Read may fail transiently, retrying
-// with bounded linear backoff. io.EOF is never retried.
+// with capped exponential backoff and deterministic jitter. io.EOF is never
+// retried.
 type RetryReader struct {
 	r       io.Reader
 	opts    RetryOptions
+	rng     *rand.Rand
 	retries int // total retries performed, for observability
 }
 
@@ -134,25 +151,76 @@ func NewRetryReader(r io.Reader, opts RetryOptions) *RetryReader {
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 3
 	}
-	if opts.Sleep == nil {
-		opts.Sleep = time.Sleep
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 32 * opts.Backoff
 	}
 	if opts.Retryable == nil {
 		opts.Retryable = func(err error) bool { return !errors.Is(err, io.EOF) }
 	}
-	return &RetryReader{r: r, opts: opts}
+	return &RetryReader{r: r, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
 }
 
 // Retries reports how many failed attempts were absorbed so far.
 func (r *RetryReader) Retries() int { return r.retries }
+
+// delay returns the jittered, capped exponential delay before retry
+// attempt k (1-based).
+func (r *RetryReader) delay(attempt int) time.Duration {
+	if r.opts.Backoff <= 0 {
+		return 0
+	}
+	d := r.opts.Backoff
+	for i := 1; i < attempt && d < r.opts.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.opts.MaxBackoff {
+		d = r.opts.MaxBackoff
+	}
+	if r.opts.Jitter > 0 {
+		// Uniform in [-Jitter, +Jitter), from the seeded stream.
+		frac := (r.rng.Float64()*2 - 1) * r.opts.Jitter
+		d += time.Duration(float64(d) * frac)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// wait sleeps for d, interruptibly when a context is configured.
+func (r *RetryReader) wait(d time.Duration) error {
+	if r.opts.Sleep != nil {
+		r.opts.Sleep(d)
+		return nil
+	}
+	if r.opts.Ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.opts.Ctx.Done():
+		return r.opts.Ctx.Err()
+	}
+}
 
 func (r *RetryReader) Read(p []byte) (int, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			r.retries++
-			if r.opts.Backoff > 0 {
-				r.opts.Sleep(time.Duration(attempt) * r.opts.Backoff)
+			if d := r.delay(attempt); d > 0 {
+				if err := r.wait(d); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if r.opts.Ctx != nil {
+			if err := r.opts.Ctx.Err(); err != nil {
+				return 0, err
 			}
 		}
 		n, err := r.r.Read(p)

@@ -41,12 +41,22 @@ type DebugServer struct {
 // returns once it is listening. The caller must Close it; Close joins the
 // serve goroutine, so the server cannot leak past the run that started it.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeDebugMux(addr, reg, nil)
+}
+
+// ServeDebugMux is ServeDebug with a hook to mount extra handlers on the
+// same mux before it starts serving — aprofd uses it to expose completed
+// profiles next to the standard debug endpoints.
+func ServeDebugMux(addr string, reg *Registry, register func(mux *http.ServeMux)) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	publishExpvar(reg)
 	mux := http.NewServeMux()
+	if register != nil {
+		register(mux)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

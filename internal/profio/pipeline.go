@@ -69,6 +69,15 @@ type StreamOptions struct {
 	// error aborts the run with that error — the crash-injection hook of
 	// the resume tests.
 	OnBatch func(batch int, delivered uint64) error
+	// FinalCheckpoint, with CheckpointPath set, writes one last checkpoint
+	// when the run is interrupted — context cancellation, a decoder failure
+	// (for a network source: the connection died), or an OnBatch abort —
+	// capturing the last fully profiled batch. The profiler consumes events
+	// only at batch granularity, so this state is always consistent; it is
+	// skipped when the profiler itself failed mid-batch. An interrupted run
+	// therefore loses nothing past the last batch instead of everything
+	// past the last periodic checkpoint.
+	FinalCheckpoint bool
 }
 
 // eventBatch is the unit of work handed from the decoder to the profiler.
@@ -249,6 +258,15 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 
 	go func() {
 		defer close(full)
+		// A panic while decoding must not take down the process hosting the
+		// pipeline (the aprofd daemon runs one pipeline per connection): it
+		// becomes this stage's terminal error, reported like any decode
+		// failure. The profiler stage sees full closed, drains, and returns.
+		defer func() {
+			if v := recover(); v != nil {
+				decodeDone <- fmt.Errorf("profio: decoder panic: %v", v)
+			}
+		}()
 		delivered := base.EventsDelivered
 		for {
 			var b *eventBatch
@@ -299,6 +317,12 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 	}()
 
 	var profileErr error
+	// profilerBroken means the profiler failed mid-batch: its state is not
+	// at a batch boundary and must never be checkpointed. lastState tracks
+	// the stream position of the last fully profiled batch — the state a
+	// final checkpoint captures when the run is interrupted.
+	profilerBroken := false
+	lastState := base
 	batchIndex := 0
 	for b := range full {
 		if profileErr == nil {
@@ -309,6 +333,7 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 			for i := range b.events {
 				if err := p.HandleEvent(&b.events[i]); err != nil {
 					profileErr = err
+					profilerBroken = true
 					cancel() // stop the decoder; keep draining full
 					break
 				}
@@ -321,11 +346,11 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 				}
 			}
 			if profileErr == nil {
+				lastState = core.StreamState{EventsDelivered: b.delivered, Corruption: base.Corruption}
+				lastState.Corruption.Merge(b.stats)
 				batchIndex++
 				if opts.CheckpointPath != "" && batchIndex%ckptEvery == 0 {
-					state := core.StreamState{EventsDelivered: b.delivered, Corruption: base.Corruption}
-					state.Corruption.Merge(b.stats)
-					if err := writeCheckpointFile(p, opts.CheckpointPath, state); err != nil {
+					if err := writeCheckpointFile(p, opts.CheckpointPath, lastState); err != nil {
 						profileErr = err
 						cancel()
 					} else if so != nil {
@@ -343,14 +368,25 @@ func runPipeline(ctx context.Context, br *trace.BinaryReader, p *core.Profiler, 
 		free <- b
 	}
 	decodeErr := <-decodeDone
-	if profileErr != nil {
-		return nil, profileErr
+	runErr := profileErr
+	if runErr == nil {
+		runErr = decodeErr
 	}
-	if decodeErr != nil {
-		return nil, decodeErr
+	if runErr == nil {
+		runErr = ctx.Err()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if runErr != nil {
+		// The run is aborting. If the caller asked for durability across
+		// interruptions, preserve the last batch boundary; a checkpoint-write
+		// failure is reported alongside the abort reason, never silently.
+		if opts.FinalCheckpoint && opts.CheckpointPath != "" && !profilerBroken {
+			if err := writeCheckpointFile(p, opts.CheckpointPath, lastState); err != nil {
+				runErr = errors.Join(runErr, err)
+			} else if so != nil {
+				so.checkpoints.Inc()
+			}
+		}
+		return nil, runErr
 	}
 	ps, err := p.Finish()
 	if err != nil {

@@ -1,0 +1,163 @@
+package profio
+
+// The torn-checkpoint sweep: a crash can tear the checkpoint file at any
+// byte (the atomic tmp+rename write makes this nearly impossible, but
+// "nearly" is not a durability guarantee — disks lie). ResumeStream over
+// every possible prefix, and over every single-bit corruption, must either
+// resume cleanly (the intact file) or fail with a diagnosable
+// ErrCheckpointCorrupt — never panic, hang, or silently profile from a
+// corrupt state.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+)
+
+// makeKilledCheckpoint runs a stream that crashes mid-way, leaving a valid
+// checkpoint file behind, and returns (trace bytes, checkpoint bytes,
+// reference profile bytes).
+func makeKilledCheckpoint(t *testing.T) (enc, ckpt, want []byte) {
+	t.Helper()
+	tr := trace.Random(trace.RandomConfig{Seed: 50, Ops: 600, Threads: 2})
+	enc = encodeTrace(t, tr)
+
+	ref, err := ProfileStream(context.Background(), bytes.NewReader(enc), core.DefaultConfig(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = writeBytes(t, ref)
+
+	path := filepath.Join(t.TempDir(), "torn.apck")
+	_, err = ProfileStream(context.Background(), bytes.NewReader(enc), core.DefaultConfig(), StreamOptions{
+		BatchSize:       32,
+		CheckpointPath:  path,
+		CheckpointEvery: 1,
+		OnBatch: func(batch int, delivered uint64) error {
+			if batch == 4 {
+				return errKill
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, errKill) {
+		t.Fatalf("crash injection failed: %v", err)
+	}
+	ckpt, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, ckpt, want
+}
+
+// resumeWith writes blob as the checkpoint file and attempts a resume.
+func resumeWith(t *testing.T, dir string, enc, blob []byte) ([]byte, error) {
+	t.Helper()
+	path := filepath.Join(dir, "ck.apck")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := ResumeStream(context.Background(), bytes.NewReader(enc), path, core.DefaultConfig(), StreamOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return writeBytes(t, ps), nil
+}
+
+// TestTornCheckpointEveryPrefix truncates the checkpoint at every byte
+// boundary. Every proper prefix must fail with ErrCheckpointCorrupt; the
+// complete file must resume to the byte-identical profile.
+func TestTornCheckpointEveryPrefix(t *testing.T) {
+	enc, ckpt, want := makeKilledCheckpoint(t)
+	dir := t.TempDir()
+
+	for cut := 0; cut < len(ckpt); cut++ {
+		_, err := resumeWith(t, dir, enc, ckpt[:cut])
+		if err == nil {
+			t.Fatalf("resume from a %d/%d-byte prefix succeeded", cut, len(ckpt))
+		}
+		if !errors.Is(err, core.ErrCheckpointCorrupt) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrCheckpointCorrupt", cut, len(ckpt), err)
+		}
+	}
+
+	got, err := resumeWith(t, dir, enc, ckpt)
+	if err != nil {
+		t.Fatalf("resume from the intact checkpoint: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed profile differs from the uninterrupted run")
+	}
+}
+
+// TestCorruptCheckpointEveryBitFlip flips one bit at every byte position.
+// The format's magic, version, length, and CRC checks must catch every
+// one as ErrCheckpointCorrupt — no flip may be profiled from silently.
+func TestCorruptCheckpointEveryBitFlip(t *testing.T) {
+	enc, ckpt, _ := makeKilledCheckpoint(t)
+	dir := t.TempDir()
+
+	for pos := 0; pos < len(ckpt); pos++ {
+		blob := bytes.Clone(ckpt)
+		blob[pos] ^= 1 << (pos % 8)
+		_, err := resumeWith(t, dir, enc, blob)
+		if err == nil {
+			t.Fatalf("resume with bit %d of byte %d flipped succeeded", pos%8, pos)
+		}
+		if !errors.Is(err, core.ErrCheckpointCorrupt) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrCheckpointCorrupt", pos, err)
+		}
+	}
+}
+
+// TestCheckpointTrailingGarbage: extra bytes after a valid checkpoint are
+// tolerated for the prefix-framed format only if the reader never trusts
+// anything past the declared payload; the resume must still succeed.
+func TestCheckpointTrailingGarbage(t *testing.T) {
+	enc, ckpt, want := makeKilledCheckpoint(t)
+	dir := t.TempDir()
+
+	blob := append(bytes.Clone(ckpt), []byte("trailing junk that must be ignored")...)
+	got, err := resumeWith(t, dir, enc, blob)
+	if err != nil {
+		t.Fatalf("resume with trailing garbage: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("trailing garbage changed the resumed profile")
+	}
+}
+
+// TestCorruptCheckpointErrorIsDiagnosable: the error must say what is
+// wrong, not just that something is.
+func TestCorruptCheckpointErrorIsDiagnosable(t *testing.T) {
+	enc, ckpt, _ := makeKilledCheckpoint(t)
+	dir := t.TempDir()
+
+	cases := []struct {
+		name string
+		blob []byte
+		want string
+	}{
+		{"empty", nil, "corrupt checkpoint"},
+		{"bad magic", append([]byte("NOPE"), ckpt[4:]...), "bad magic"},
+		{"truncated payload", ckpt[:len(ckpt)/2], "corrupt checkpoint"},
+	}
+	for _, tc := range cases {
+		_, err := resumeWith(t, dir, enc, tc.blob)
+		if err == nil {
+			t.Fatalf("%s: resume succeeded", tc.name)
+		}
+		if !errContains(err, tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		if !errors.Is(err, core.ErrCheckpointCorrupt) {
+			t.Errorf("%s: err = %v, not ErrCheckpointCorrupt", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,579 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aprof/internal/core"
+	"aprof/internal/obs"
+	"aprof/internal/profio"
+)
+
+// ObsScopeServer is the metric scope of the daemon: session lifecycle,
+// backpressure, and failure counters surfaced through -debug-addr.
+const ObsScopeServer = "server"
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxSessions  = 8
+	DefaultIdleTimeout  = 30 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+)
+
+// errEventLimit aborts a session that exceeded Options.MaxSessionEvents.
+var errEventLimit = errors.New("server: session event limit exceeded")
+
+// Options configures a Server. The zero value is usable: defaults above,
+// no byte/event limits, no durability (no checkpoint dir), results kept
+// in memory only.
+type Options struct {
+	// MaxSessions bounds concurrent sessions. Connection attempts beyond
+	// the cap receive an explicit busy response and are closed — load is
+	// shed, never queued into an unbounded backlog.
+	MaxSessions int
+	// IdleTimeout is the per-read deadline on client connections. A
+	// stalled or slow-loris client times out and frees its session slot
+	// (with its checkpoint intact) instead of holding it forever.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds every server→client write (responses, acks).
+	WriteTimeout time.Duration
+	// MaxConnBytes caps the bytes read from one connection (0 = unlimited).
+	// The cap is per connection: a resumed session gets a fresh budget, so
+	// a session can still finish across reconnects via its checkpoint.
+	MaxConnBytes int64
+	// MaxSessionEvents caps delivered events per session (0 = unlimited).
+	MaxSessionEvents uint64
+	// CheckpointDir, when set, makes sessions durable: each session
+	// checkpoints to <dir>/<id>.apck, interrupted sessions resume from it
+	// on reconnect, and a graceful drain checkpoints everything in flight.
+	CheckpointDir string
+	// ResultDir, when set, also writes each completed profile to
+	// <dir>/<id>.json (atomically, via rename).
+	ResultDir string
+	// Config is the profiler configuration shared by all sessions. It must
+	// be identical across daemon restarts for checkpoints to resume.
+	Config core.Config
+	// BatchSize / CheckpointEvery tune the per-session pipeline (defaults
+	// as in profio).
+	BatchSize       int
+	CheckpointEvery int
+	// Obs receives daemon metrics under scope "server" (nil disables).
+	Obs *obs.Registry
+	// Logf logs daemon events (nil discards).
+	Logf func(format string, args ...any)
+	// OnSessionBatch, when non-nil, is called after every profiled batch
+	// of every session — an operational hook (and the chaos harness's
+	// panic/kill injection point). It runs on the session goroutine, so a
+	// panic here exercises the session panic isolation.
+	OnSessionBatch func(session string, batch int, delivered uint64)
+}
+
+// SessionResult is a completed session's outcome.
+type SessionResult struct {
+	ID        string `json:"id"`
+	Delivered uint64 `json:"delivered"`
+	Resumed   bool   `json:"resumed"`
+	// Profile is the profio JSON document.
+	Profile []byte `json:"-"`
+}
+
+// serverMetrics holds the pre-resolved metric handles (all nil-safe).
+type serverMetrics struct {
+	connsAccepted   *obs.Counter
+	sessionsStarted *obs.Counter
+	sessionsResumed *obs.Counter
+	sessionsDone    *obs.Counter
+	sessionsFailed  *obs.Counter
+	sessionsDrained *obs.Counter
+	sessionsShed    *obs.Counter
+	panics          *obs.Counter
+	ckptDiscarded   *obs.Counter
+	acksSent        *obs.Counter
+	bytesReceived   *obs.Counter
+	active          *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	s := reg.Scope(ObsScopeServer)
+	return serverMetrics{
+		connsAccepted:   s.Counter("conns_accepted"),
+		sessionsStarted: s.Counter("sessions_started"),
+		sessionsResumed: s.Counter("sessions_resumed"),
+		sessionsDone:    s.Counter("sessions_completed"),
+		sessionsFailed:  s.Counter("sessions_failed"),
+		sessionsDrained: s.Counter("sessions_drained"),
+		sessionsShed:    s.Counter("sessions_shed"),
+		panics:          s.Counter("panics_recovered"),
+		ckptDiscarded:   s.Counter("checkpoints_discarded"),
+		acksSent:        s.Counter("acks_sent"),
+		bytesReceived:   s.Counter("bytes_received"),
+		active:          s.Gauge("active_sessions"),
+	}
+}
+
+// Server is the aprofd trace-ingestion daemon.
+type Server struct {
+	opts Options
+	m    serverMetrics
+
+	ctx    context.Context // cancelled on drain/abort; parent of all sessions
+	cancel context.CancelFunc
+
+	ln       net.Listener
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	activeIDs map[string]struct{}
+	results   map[string]*SessionResult
+}
+
+// New returns an unstarted server. Call Start (or Serve with an existing
+// listener) to begin accepting.
+func New(opts Options) *Server {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.IdleTimeout <= 0 {
+		opts.IdleTimeout = DefaultIdleTimeout
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:      opts,
+		m:         newServerMetrics(opts.Obs),
+		ctx:       ctx,
+		cancel:    cancel,
+		conns:     make(map[net.Conn]struct{}),
+		activeIDs: make(map[string]struct{}),
+		results:   make(map[string]*SessionResult),
+	}
+}
+
+// Start listens on addr and begins accepting connections.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve begins accepting connections from ln, taking ownership of it.
+// It returns immediately; use Shutdown/Abort + Wait to stop.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) || s.ctx.Err() != nil {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			s.logf("aprofd: accept: %v", err)
+			return
+		}
+		s.m.connsAccepted.Inc()
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn owns one connection's lifecycle. The inner closure is the
+// panic isolation boundary: a panic anywhere in session handling — the
+// profiler, a checkpoint write, the operational hook — is converted into a
+// session error record and a log line, and the daemon keeps serving.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				s.m.panics.Inc()
+				s.m.sessionsFailed.Inc()
+				s.logf("aprofd: session panic (isolated): %v\n%s", v, debug.Stack())
+				writeError(conn, s.opts.WriteTimeout, true, fmt.Sprintf("internal error: session panicked: %v", v))
+			}
+		}()
+		s.session(conn)
+	}()
+}
+
+// meteredReader counts and caps the bytes read from one connection.
+type meteredReader struct {
+	r       io.Reader
+	n       int64
+	limit   int64
+	tripped bool
+}
+
+var errConnByteLimit = errors.New("server: connection byte limit exceeded")
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	if m.limit > 0 {
+		remaining := m.limit - m.n
+		if remaining <= 0 {
+			m.tripped = true
+			return 0, errConnByteLimit
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	}
+	n, err := m.r.Read(p)
+	m.n += int64(n)
+	return n, err
+}
+
+// idleConn arms a fresh read deadline before every Read, so the allowed
+// idle gap — not total session length — is bounded. Slow-loris clients
+// trickling a byte per interval still make progress; silent ones time out.
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if c.idle > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.idle))
+	}
+	return c.Conn.Read(p)
+}
+
+// session runs the handshake and one profiling session over conn.
+func (s *Server) session(conn net.Conn) {
+	metered := &meteredReader{r: &idleConn{Conn: conn, idle: s.opts.IdleTimeout}, limit: s.opts.MaxConnBytes}
+	defer func() { s.m.bytesReceived.Add(uint64(metered.n)) }()
+	br := bufio.NewReader(metered)
+
+	hs, err := readHandshake(br)
+	if err != nil {
+		writeResponse(conn, s.opts.WriteTimeout, StatusError, 0, err.Error())
+		return
+	}
+
+	if s.draining.Load() {
+		writeResponse(conn, s.opts.WriteTimeout, StatusBusy, 0, "server draining")
+		return
+	}
+
+	// Backpressure: one slot per session up to the cap, then explicit
+	// shedding. A busy response costs the daemon almost nothing; an
+	// unbounded accept queue under overload costs it everything.
+	if !s.acquireSlot(hs.id) {
+		s.m.sessionsShed.Inc()
+		writeResponse(conn, s.opts.WriteTimeout, StatusBusy, 0, "server busy")
+		return
+	}
+	defer s.releaseSlot(hs.id)
+
+	// Durability: adopt this session's checkpoint if one exists and is
+	// usable; discard it (and start fresh) if it is corrupt or was taken
+	// under a different configuration — availability over a stale file.
+	var ckptPath string
+	var resumeState *core.StreamState
+	if s.opts.CheckpointDir != "" {
+		ckptPath = filepath.Join(s.opts.CheckpointDir, hs.id+".apck")
+		if f, err := os.Open(ckptPath); err == nil {
+			state, rerr := core.ReadCheckpointState(f, s.opts.Config)
+			f.Close()
+			if rerr != nil {
+				s.m.ckptDiscarded.Inc()
+				s.logf("aprofd: session %s: discarding unusable checkpoint: %v", hs.id, rerr)
+				os.Remove(ckptPath)
+			} else {
+				resumeState = &state
+			}
+		}
+	}
+
+	status, offset := StatusOK, uint64(0)
+	if resumeState != nil {
+		status, offset = StatusResume, resumeState.EventsDelivered
+	}
+	if err := writeResponse(conn, s.opts.WriteTimeout, status, offset, ""); err != nil {
+		s.m.sessionsFailed.Inc()
+		return
+	}
+
+	s.m.sessionsStarted.Inc()
+	if resumeState != nil {
+		s.m.sessionsResumed.Inc()
+	}
+	s.m.active.Add(1)
+	defer s.m.active.Add(-1)
+
+	var delivered uint64
+	opts := profio.StreamOptions{
+		BatchSize:       s.opts.BatchSize,
+		CheckpointEvery: s.opts.CheckpointEvery,
+		Lenient:         hs.lenient,
+		CheckpointPath:  ckptPath,
+		FinalCheckpoint: ckptPath != "",
+		OnBatch: func(batch int, d uint64) error {
+			delivered = d
+			if s.opts.OnSessionBatch != nil {
+				s.opts.OnSessionBatch(hs.id, batch, d)
+			}
+			if s.opts.MaxSessionEvents > 0 && d > s.opts.MaxSessionEvents {
+				return fmt.Errorf("%w (%d > %d)", errEventLimit, d, s.opts.MaxSessionEvents)
+			}
+			if err := writeAck(conn, s.opts.WriteTimeout, RecAck, d); err != nil {
+				return fmt.Errorf("server: acking batch %d: %w", batch, err)
+			}
+			s.m.acksSent.Inc()
+			return nil
+		},
+	}
+
+	var ps *core.Profiles
+	if resumeState != nil {
+		ps, err = profio.ResumeStream(s.ctx, br, ckptPath, s.opts.Config, opts)
+	} else {
+		ps, err = profio.ProfileStream(s.ctx, br, s.opts.Config, opts)
+	}
+	if err != nil {
+		s.failSession(conn, hs.id, metered, err)
+		return
+	}
+
+	if err := s.storeResult(hs.id, ps, delivered, resumeState != nil); err != nil {
+		s.m.sessionsFailed.Inc()
+		s.logf("aprofd: session %s: storing result: %v", hs.id, err)
+		writeError(conn, s.opts.WriteTimeout, true, fmt.Sprintf("storing result: %v", err))
+		return
+	}
+	if ckptPath != "" {
+		// The session is complete; its checkpoint is obsolete. A leftover
+		// file would make a future same-id session "resume" past the end
+		// of a different trace.
+		os.Remove(ckptPath)
+	}
+	s.m.sessionsDone.Inc()
+	writeAck(conn, s.opts.WriteTimeout, RecFinal, delivered)
+}
+
+// failSession classifies a session error, records metrics, and tells the
+// client whether reconnecting (to resume from the checkpoint) can help.
+func (s *Server) failSession(conn net.Conn, id string, metered *meteredReader, err error) {
+	switch {
+	case s.ctx.Err() != nil:
+		// Drain: the pipeline already wrote the final checkpoint.
+		s.m.sessionsDrained.Inc()
+		s.logf("aprofd: session %s: drained at checkpoint", id)
+		writeError(conn, s.opts.WriteTimeout, true, "server draining; reconnect to resume")
+	case errors.Is(err, errEventLimit):
+		s.m.sessionsFailed.Inc()
+		writeError(conn, s.opts.WriteTimeout, false, err.Error())
+	case metered.tripped:
+		// The byte budget is per connection and progress is checkpointed,
+		// so a reconnect may still finish the session: transient.
+		s.m.sessionsFailed.Inc()
+		writeError(conn, s.opts.WriteTimeout, true, fmt.Sprintf("connection byte limit exceeded after %d bytes", metered.n))
+	default:
+		s.m.sessionsFailed.Inc()
+		s.logf("aprofd: session %s: %v", id, err)
+		writeError(conn, s.opts.WriteTimeout, true, err.Error())
+	}
+}
+
+// acquireSlot claims a session slot and the session id, atomically.
+func (s *Server) acquireSlot(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.activeIDs) >= s.opts.MaxSessions {
+		return false
+	}
+	if _, busy := s.activeIDs[id]; busy {
+		// Two live connections for one id would race on one checkpoint
+		// file; the newcomer is shed like any overload.
+		return false
+	}
+	s.activeIDs[id] = struct{}{}
+	return true
+}
+
+func (s *Server) releaseSlot(id string) {
+	s.mu.Lock()
+	delete(s.activeIDs, id)
+	s.mu.Unlock()
+}
+
+// storeResult serializes and retains a completed session's profile.
+func (s *Server) storeResult(id string, ps *core.Profiles, delivered uint64, resumed bool) error {
+	var buf strings.Builder
+	if err := profio.Write(&buf, ps); err != nil {
+		return err
+	}
+	res := &SessionResult{ID: id, Delivered: delivered, Resumed: resumed, Profile: []byte(buf.String())}
+	s.mu.Lock()
+	s.results[id] = res
+	s.mu.Unlock()
+	if s.opts.ResultDir != "" {
+		path := filepath.Join(s.opts.ResultDir, id+".json")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, res.Profile, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+	}
+	return nil
+}
+
+// Result returns a completed session's outcome.
+func (s *Server) Result(id string) (*SessionResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.results[id]
+	return r, ok
+}
+
+// ResultIDs lists completed sessions in lexical order.
+func (s *Server) ResultIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.results))
+	for id := range s.results {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ProfilesHandler serves completed profiles over HTTP: an index of session
+// ids at the mount point, a session's profile JSON beneath it. Mount at
+// "/profiles/" on the debug mux.
+func (s *Server) ProfilesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/profiles/")
+		id = strings.Trim(id, "/")
+		w.Header().Set("Content-Type", "application/json")
+		if id == "" {
+			index := struct {
+				Sessions []string `json:"sessions"`
+			}{Sessions: s.ResultIDs()}
+			json.NewEncoder(w).Encode(index)
+			return
+		}
+		res, ok := s.Result(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf(`{"error": "no profile for session %q"}`, id), http.StatusNotFound)
+			return
+		}
+		w.Write(res.Profile)
+	})
+}
+
+// Shutdown drains the daemon gracefully: stop accepting, cancel every
+// session context (each pipeline stops at its next batch boundary and
+// writes a final checkpoint), and nudge blocked reads awake. It waits for
+// all sessions to finish until ctx expires, then force-closes the
+// stragglers' connections (their periodic/final checkpoints still bound
+// the loss to the last profiled batch).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.cancel()
+	// A session blocked in conn.Read cannot observe the cancelled context;
+	// expiring its read deadline turns the block into a timely error while
+	// keeping the conn writable for the "draining" error record.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Abort hard-stops the daemon: no drain notifications, connections closed
+// immediately — the in-process stand-in for SIGKILL. Sessions lose nothing
+// past their last written checkpoint. Safe to call from any goroutine,
+// including a session's own hooks; it does not wait (use Wait).
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.cancel()
+	s.closeConns()
+}
+
+// Wait blocks until the accept loop and all sessions have finished.
+func (s *Server) Wait() {
+	s.wg.Wait()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
