@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults chaos bench bench-baseline bench-all cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults shard-equivalence chaos bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadTrace -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzReadText -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzReadProfiles -fuzztime $(FUZZTIME) ./internal/profio
+	$(GO) test -run xxx -fuzz FuzzProfileSharded -fuzztime $(FUZZTIME) ./internal/core
 
 # Robustness suite: fault-injection seed sweeps, corrupt-frame recovery
 # with exact loss accounting, and kill-at-every-batch checkpoint/resume
@@ -46,6 +47,13 @@ faults:
 	$(GO) test ./internal/faultio/
 	$(GO) test -run 'Fault|Retry|Resume|Kill|Lenient|Corrupt|Checkpoint' \
 		./internal/trace ./internal/core ./internal/profio ./cmd/aprof
+
+# Sharded multi-core engine vs the sequential profiler: deep-equal and
+# byte-identity differential sweeps, cross-mode checkpoint resume, and the
+# shard fuzz corpus — under the race detector (the engine is the most
+# goroutine-dense code in the repo).
+shard-equivalence:
+	$(GO) test -race -count=1 -run 'Shard' ./internal/core ./internal/profio
 
 # Network chaos suite, under the race detector with a hard timeout (a
 # drain/backpressure deadlock must fail the run, not hang it): chaos-conn

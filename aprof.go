@@ -148,6 +148,18 @@ func ProfileTrace(tr *Trace, cfg Config) (*Profiles, error) {
 	return core.Run(tr, cfg)
 }
 
+// ProfileTraceSharded profiles one merged trace across nShards cores: the
+// trace's threads are partitioned over per-shard analysis workers whose
+// cross-thread induced first-reads resolve against a merged write-history
+// index. Output is byte-identical (under WriteProfiles) to ProfileTrace for
+// every shard count — parallelism changes wall-clock only, never results.
+// Shard counts below 2, and configurations the sharded engine does not
+// support (counter renumbering, event/memory limits, OnActivation), run
+// sequentially. For streaming input, set StreamOptions.Shards instead.
+func ProfileTraceSharded(tr *Trace, cfg Config, nShards int) (*Profiles, error) {
+	return core.ProfileSharded(tr, cfg, nShards)
+}
+
 // ProfileProgram compiles and executes a MiniLang program under the
 // instrumented VM, then profiles the resulting trace. It returns both the
 // profiles and the VM result (program output, executed basic blocks).

@@ -10,6 +10,7 @@ package aprof
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"aprof/internal/core"
@@ -205,6 +206,31 @@ func BenchmarkStreamPipelined(b *testing.B) {
 		if _, err := ProfileTraceStream(bytes.NewReader(data), DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStreamSharded measures the sharded multi-core engine behind the
+// same streaming entry point (-shards N on the CLI). Output is byte-
+// identical to BenchmarkStreamPipelined's; on a multi-core host pass B of
+// each window runs one goroutine per shard. On a single core the sharded
+// runs measure pure coordination overhead instead of speedup.
+func BenchmarkStreamSharded(b *testing.B) {
+	data := benchStreamBytes(b)
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				ps, err := ProfileTraceStreamContext(context.Background(), bytes.NewReader(data),
+					DefaultConfig(), StreamOptions{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ps.Events == 0 {
+					b.Fatal("empty profile")
+				}
+			}
+		})
 	}
 }
 

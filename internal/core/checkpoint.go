@@ -219,6 +219,8 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 		Cfg:            fingerprint(p.cfg),
 		Count:          p.count,
 		Symbols:        p.syms.Names(),
+		Threads:        dumpThreadsCkpt(p.threads),
+		Profiles:       dumpProfilesCkpt(p.out.ByKey),
 		Events:         p.out.Events,
 		Renumberings:   p.out.Renumberings,
 		Drops:          p.out.Drops,
@@ -231,13 +233,21 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 		data.WTS = dumpTable64(p.wts)
 		data.WKind = dumpTable8(p.wkind)
 	}
-	tids := make([]trace.ThreadID, 0, len(p.threads))
-	for id := range p.threads {
+	return encodeCheckpoint(w, &data)
+}
+
+// dumpThreadsCkpt serializes thread states sorted by thread id. Shared by
+// the sequential and sharded checkpoint writers (the sharded engine passes
+// the union of its per-shard thread maps).
+func dumpThreadsCkpt(threads map[trace.ThreadID]*threadState) []ckptThread {
+	tids := make([]trace.ThreadID, 0, len(threads))
+	for id := range threads {
 		tids = append(tids, id)
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	out := make([]ckptThread, 0, len(tids))
 	for _, id := range tids {
-		t := p.threads[id]
+		t := threads[id]
 		ct := ckptThread{
 			ID:       int32(id),
 			Cost:     t.cost,
@@ -251,10 +261,16 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 				First: f.first, IndThread: f.indThread, IndExternal: f.indExternal, RMS: f.rms,
 			})
 		}
-		data.Threads = append(data.Threads, ct)
+		out = append(out, ct)
 	}
-	keys := make([]Key, 0, len(p.out.ByKey))
-	for k := range p.out.ByKey {
+	return out
+}
+
+// dumpProfilesCkpt serializes profiles sorted by (routine, thread). Shared
+// by the sequential and sharded checkpoint writers.
+func dumpProfilesCkpt(byKey map[Key]*Profile) []ckptProfile {
+	keys := make([]Key, 0, len(byKey))
+	for k := range byKey {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -263,9 +279,10 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 		}
 		return keys[i].Thread < keys[j].Thread
 	})
+	out := make([]ckptProfile, 0, len(keys))
 	for _, k := range keys {
-		prof := p.out.ByKey[k]
-		data.Profiles = append(data.Profiles, ckptProfile{
+		prof := byKey[k]
+		out = append(out, ckptProfile{
 			Routine: uint32(k.Routine), Thread: int32(k.Thread),
 			Calls: prof.Calls, SumRMS: prof.SumRMS, SumDRMS: prof.SumDRMS,
 			FirstReads: prof.FirstReads, InducedThread: prof.InducedThread,
@@ -274,9 +291,13 @@ func (p *Profiler) WriteCheckpoint(w io.Writer, stream StreamState) error {
 			DRMS: dumpPoints(prof.DRMSPoints), RMS: dumpPoints(prof.RMSPoints),
 		})
 	}
+	return out
+}
 
+// encodeCheckpoint gob-encodes data and writes the framed APCK document.
+func encodeCheckpoint(w io.Writer, data *checkpointData) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&data); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(data); err != nil {
 		return fmt.Errorf("core: encoding checkpoint: %w", err)
 	}
 	hdr := make([]byte, 0, len(checkpointMagic)+1+8)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// fuzzShardConfig maps the fuzzer's config selector byte onto the supported
+// configuration space. Every config here satisfies CanShard, so the engine
+// never falls back and the oracle comparison is always meaningful.
+func fuzzShardConfig(sel byte) Config {
+	cfgs := []Config{
+		{ThreadInput: true, ExternalInput: true},
+		{ThreadInput: true},
+		{ExternalInput: true},
+		{},
+		{ThreadInput: true, ExternalInput: true, ContextSensitive: true},
+		{ThreadInput: true, ExternalInput: true, MaxPointsPerProfile: 3},
+		{ThreadInput: true, ExternalInput: true, Limits: Limits{MaxDepth: 2}},
+		{ThreadInput: true, ExternalInput: true, FaultPolicy: FaultSkip},
+		{ThreadInput: true, ExternalInput: true, FaultPolicy: FaultCount},
+	}
+	return cfgs[int(sel)%len(cfgs)]
+}
+
+// fuzzShardSeeds returns encoded traces that exercise the interesting
+// machinery: cross-shard induced reads, same-counter write pairs, deep
+// stacks, kernel I/O, and the v2 framing (small frames force resyncs on
+// mutation). The same traces back the committed corpus under
+// testdata/fuzz/FuzzProfileSharded.
+func fuzzShardSeeds(tb testing.TB) [][]byte {
+	encode := func(tr *trace.Trace, v2 bool) []byte {
+		var buf bytes.Buffer
+		var err error
+		if v2 {
+			err = trace.WriteBinary2Opts(&buf, tr, trace.V2Options{EventsPerFrame: 4})
+		} else {
+			err = trace.WriteBinary(&buf, tr)
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var seeds [][]byte
+	for _, tr := range []*trace.Trace{
+		crossShardHandoff(),
+		sameCountWrites(),
+		deepStacks(),
+		trace.Random(trace.RandomConfig{Seed: 11, Threads: 4, Ops: 120, Cells: 8}),
+	} {
+		seeds = append(seeds, encode(tr, false), encode(tr, true))
+	}
+	return seeds
+}
+
+// FuzzProfileSharded mutates raw trace bytes, the shard count, and the
+// configuration, using the sequential profiler as the oracle: for every
+// decodable input the sharded engine must either produce a deeply equal
+// Profiles value or fail with the identical error.
+func FuzzProfileSharded(f *testing.F) {
+	for i, data := range fuzzShardSeeds(f) {
+		f.Add(data, byte(i), byte(i))
+		f.Add(data, byte(7), byte(4)) // prime shard count, context-sensitive
+	}
+	f.Fuzz(func(t *testing.T, data []byte, shardSel, cfgSel byte) {
+		tr, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			t.Skip() // undecodable mutants are the codec fuzzer's domain
+		}
+		if len(tr.Events) > 1<<16 {
+			t.Skip() // keep per-input cost bounded
+		}
+		cfg := fuzzShardConfig(cfgSel)
+		nShards := 2 + int(shardSel)%15
+		want, wantErr := Run(tr, cfg)
+		got, gotErr := ProfileSharded(tr, cfg, nShards)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("shards=%d cfg=%d: sequential err %v, sharded err %v", nShards, cfgSel, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("shards=%d cfg=%d: fault diverges\nsequential: %v\nsharded:    %v", nShards, cfgSel, wantErr, gotErr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d cfg=%d: profiles diverge\nsequential: %+v\nsharded:    %+v",
+				nShards, cfgSel, summarize(want), summarize(got))
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"aprof/internal/trace"
+)
+
+// shardBenchTrace is an 8-thread trace with heavy cross-thread
+// communication — the workload class the sharded engine targets. It is
+// large enough that per-window coordination amortizes.
+func shardBenchTrace() *trace.Trace {
+	return trace.Random(trace.RandomConfig{Seed: 77, Threads: 8, Routines: 16, Ops: 60000, Cells: 64})
+}
+
+// benchProfileSharded measures ProfileSharded end to end at a given shard
+// count; nShards=1 is the sequential baseline (the fallback path). On a
+// single-core container the sharded counts measure coordination overhead
+// rather than speedup — the differential suite guarantees the output is
+// identical either way, so the baseline documents the worst case.
+func benchProfileSharded(b *testing.B, nShards int) {
+	tr := shardBenchTrace()
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileSharded(tr, cfg, nShards); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "events/op")
+}
+
+func BenchmarkProfileSharded1(b *testing.B) { benchProfileSharded(b, 1) }
+func BenchmarkProfileSharded2(b *testing.B) { benchProfileSharded(b, 2) }
+func BenchmarkProfileSharded4(b *testing.B) { benchProfileSharded(b, 4) }
+func BenchmarkProfileSharded8(b *testing.B) { benchProfileSharded(b, 8) }
+
+// BenchmarkShardWindowFeed isolates the per-window cost (pass A, merge,
+// pass B) from trace construction and Finish, at the window size the
+// streaming pipeline uses by default.
+func BenchmarkShardWindowFeed(b *testing.B) {
+	for _, nShards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards%d", nShards), func(b *testing.B) {
+			tr := shardBenchTrace()
+			const window = 16 * 1024
+			cfg := DefaultConfig()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp, err := NewShardedProfiler(tr.Symbols, cfg, nShards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evs := tr.Events
+				for len(evs) > 0 {
+					k := window
+					if k > len(evs) {
+						k = len(evs)
+					}
+					if err := sp.FeedWindow(evs[:k]); err != nil {
+						b.Fatal(err)
+					}
+					evs = evs[k:]
+				}
+				if _, err := sp.Finish(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

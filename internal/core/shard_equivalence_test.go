@@ -1,0 +1,525 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aprof/internal/trace"
+	"aprof/internal/workloads"
+)
+
+// shardCounts is the sweep every equivalence test runs: small counts with
+// distinct divisibility behavior, a count larger than any generated thread
+// population (so some shards are empty), and the machine's own parallelism.
+func shardCounts() []int {
+	counts := []int{2, 3, 4, 7, 16}
+	if n := runtime.NumCPU(); n > 1 && n != 16 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// shardConfigs extends the differential-test configurations with the
+// features the sharded engine explicitly supports: context sensitivity,
+// point-capped profiles, depth limits, and the non-strict fault policies.
+var shardConfigs = []struct {
+	name string
+	cfg  Config
+}{
+	{"full", Config{ThreadInput: true, ExternalInput: true}},
+	{"thread-only", Config{ThreadInput: true}},
+	{"external-only", Config{ExternalInput: true}},
+	{"rms-only", Config{}},
+	{"contexts", Config{ThreadInput: true, ExternalInput: true, ContextSensitive: true}},
+	{"capped-points", Config{ThreadInput: true, ExternalInput: true, MaxPointsPerProfile: 4}},
+	{"max-depth", Config{ThreadInput: true, ExternalInput: true, Limits: Limits{MaxDepth: 3}}},
+	{"fault-skip", Config{ThreadInput: true, ExternalInput: true, FaultPolicy: FaultSkip}},
+	{"fault-count", Config{ThreadInput: true, ExternalInput: true, FaultPolicy: FaultCount}},
+}
+
+// requireShardEqual profiles tr sequentially and with every shard count and
+// fails unless every run agrees exactly — same profiles on success, same
+// error on failure.
+func requireShardEqual(t *testing.T, label string, tr *trace.Trace, cfg Config) {
+	t.Helper()
+	want, wantErr := Run(tr, cfg)
+	for _, n := range shardCounts() {
+		got, gotErr := ProfileSharded(tr, cfg, n)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("%s shards=%d: sequential err %v, sharded err %v", label, n, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s shards=%d: fault diverges\nsequential: %v\nsharded:    %v", label, n, wantErr, gotErr)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s shards=%d: profiles diverge\nsequential: %+v\nsharded:    %+v",
+				label, n, summarize(want), summarize(got))
+		}
+	}
+}
+
+// TestShardEquivalenceRandom is the core differential suite: seeded random
+// traces (both generators) across every supported configuration must profile
+// byte-for-byte identically on every shard count.
+func TestShardEquivalenceRandom(t *testing.T) {
+	for _, tc := range shardConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				tr := randomTrace(rng, 200+rng.Intn(600))
+				requireShardEqual(t, fmt.Sprintf("builder seed %d", seed), tr, tc.cfg)
+
+				tr = trace.Random(trace.RandomConfig{Seed: seed, Threads: 1 + int(seed%5), Ops: 400})
+				requireShardEqual(t, fmt.Sprintf("random seed %d", seed), tr, tc.cfg)
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceWorkloads runs the paper's benchmark suites — the
+// traces with the heaviest cross-thread communication in the repo — through
+// the sweep, context-sensitively too.
+func TestShardEquivalenceWorkloads(t *testing.T) {
+	suites := append(append(workloads.SuiteOMP(), workloads.SuitePARSEC()...), workloads.SuiteMySQL()...)
+	for _, cfgName := range []string{"full", "contexts"} {
+		cfg := DefaultConfig()
+		if cfgName == "contexts" {
+			cfg.ContextSensitive = true
+		}
+		t.Run(cfgName, func(t *testing.T) {
+			for _, b := range suites {
+				requireShardEqual(t, b.Suite+"/"+b.Name, b.Build(), cfg)
+			}
+		})
+	}
+}
+
+// corpusTraces decodes every decodable trace from the committed fuzz
+// corpora (the trace codec's seeds plus this package's shard seeds), so the
+// equivalence sweep also covers real serialized inputs — v2 framing,
+// truncated and corrupt variants included (those that fail strict decode
+// are skipped; the lenient path is covered in profio).
+func corpusTraces(t *testing.T) map[string]*trace.Trace {
+	t.Helper()
+	out := make(map[string]*trace.Trace)
+	for _, dir := range []string{
+		filepath.Join("..", "trace", "testdata", "fuzz", "FuzzReadTrace"),
+		filepath.Join("testdata", "fuzz", "FuzzProfileSharded"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Corpus format: "go test fuzz v1" then one []byte("...") line
+			// per argument; the trace bytes are always the first.
+			lines := strings.Split(string(data), "\n")
+			if len(lines) < 2 || !strings.HasPrefix(lines[1], "[]byte(") {
+				t.Fatalf("%s: unexpected corpus format", e.Name())
+			}
+			quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+			raw, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			tr, err := trace.ReadBinary(bytes.NewReader([]byte(raw)))
+			if err != nil {
+				continue // corrupt/truncated seed; strict decode rejects it
+			}
+			out[e.Name()] = tr
+		}
+	}
+	if len(out) < 8 {
+		t.Fatalf("only %d corpus traces decoded; corpus missing?", len(out))
+	}
+	return out
+}
+
+// TestShardEquivalenceCorpus runs the committed fuzz-corpus traces through
+// the shard-count sweep under the default and context-sensitive configs.
+func TestShardEquivalenceCorpus(t *testing.T) {
+	ctxCfg := DefaultConfig()
+	ctxCfg.ContextSensitive = true
+	for name, tr := range corpusTraces(t) {
+		requireShardEqual(t, name, tr, DefaultConfig())
+		requireShardEqual(t, name+"/contexts", tr, ctxCfg)
+	}
+}
+
+// runWindowed drives a ShardedProfiler through tr in windows of the given
+// size, mimicking the streaming pipeline's checkpoint-window granularity.
+func runWindowed(tr *trace.Trace, cfg Config, nShards, window int) (*Profiles, error) {
+	sp, err := NewShardedProfiler(tr.Symbols, cfg, nShards)
+	if err != nil {
+		return nil, err
+	}
+	evs := tr.Events
+	for len(evs) > 0 {
+		k := window
+		if k > len(evs) {
+			k = len(evs)
+		}
+		if err := sp.FeedWindow(evs[:k]); err != nil {
+			return nil, err
+		}
+		evs = evs[k:]
+	}
+	return sp.Finish()
+}
+
+// TestShardEquivalenceWindowed checks that window placement is irrelevant:
+// single-event windows, odd sizes that land boundaries mid-activation and
+// mid-communication, and one whole-trace window all agree with the
+// sequential profiler.
+func TestShardEquivalenceWindowed(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		tr := randomTrace(rng, 500)
+		for _, tc := range shardConfigs {
+			want, err := Run(tr, tc.cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.name, err)
+			}
+			for _, window := range []int{1, 3, 17, 64, len(tr.Events)} {
+				for _, n := range []int{2, 3, 7} {
+					got, err := runWindowed(tr, tc.cfg, n, window)
+					if err != nil {
+						t.Fatalf("seed %d %s window=%d shards=%d: %v", seed, tc.name, window, n, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d %s window=%d shards=%d: diverges\nsequential: %+v\nsharded:    %+v",
+							seed, tc.name, window, n, summarize(want), summarize(got))
+					}
+				}
+			}
+		}
+	}
+}
+
+// crossShardHandoff builds the smallest trace whose profile depends on
+// cross-shard write resolution: thread 1 writes a cell, thread 2 first-reads
+// it. With index as split point, every window boundary — including one
+// exactly between the write and the read — is exercised by the windowed
+// sweep below.
+func crossShardHandoff() *trace.Trace {
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread(1), b.Thread(2)
+	t1.Call("writer")
+	t2.Call("reader")
+	t1.Write1(7)     // cross-shard communication target
+	t2.Read1(7)      // induced first-read from thread 1's write
+	t1.SysRead(9, 2) // kernel fill ...
+	t1.Write1(9)     // ... immediately overwritten by the same thread
+	t2.Read(9, 2)    // cell 9: thread-induced; cell 10: kernel-induced
+	t2.Write1(7)     // write back the other way
+	t1.Read1(7)      // induced first-read from thread 2
+	t1.Ret()
+	t2.Ret()
+	return b.Trace()
+}
+
+// sameCountWrites builds a trace where a kernel write and a thread write to
+// the same cell occur under the same global counter value (no counter tick
+// between them): resolution must pick the later one by trace position, not
+// by timestamp.
+func sameCountWrites() *trace.Trace {
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread(1), b.Thread(2)
+	t1.Call("producer")
+	t2.Call("consumer")
+	t1.SysRead(5, 1) // kernel writes cell 5
+	t1.Write1(5)     // thread overwrites it; counter unchanged in between
+	t2.Read1(5)      // must be thread-induced, not kernel-induced
+	t1.Ret()
+	t2.Ret()
+	return b.Trace()
+}
+
+// deepStacks builds per-thread stacks around the MaxDepth limit so that
+// depth capping (silent degradation) engages on both sides of any window
+// boundary.
+func deepStacks() *trace.Trace {
+	b := trace.NewBuilder()
+	for id := trace.ThreadID(1); id <= 3; id++ {
+		tb := b.Thread(id)
+		for d := 0; d < 6; d++ {
+			tb.Call("f")
+			tb.Write1(trace.Addr(id))
+		}
+		for d := 0; d < 6; d++ {
+			tb.Read1(trace.Addr(id%3 + 1))
+			tb.Ret()
+		}
+	}
+	return b.Trace()
+}
+
+// TestShardBoundaryAdversarial sweeps every window split position over the
+// crafted boundary traces: a first read whose writer is in another shard, a
+// same-counter kernel/thread write pair, and stacks crossing the depth
+// limit. Every split of every trace must reproduce the sequential profile.
+func TestShardBoundaryAdversarial(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		cfg  Config
+	}{
+		{"cross-shard-handoff", crossShardHandoff(), DefaultConfig()},
+		{"same-count-writes", sameCountWrites(), DefaultConfig()},
+		{"deep-stacks", deepStacks(), Config{ThreadInput: true, ExternalInput: true, Limits: Limits{MaxDepth: 3}}},
+		{"handoff-contexts", crossShardHandoff(), Config{ThreadInput: true, ExternalInput: true, ContextSensitive: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Run(tc.tr, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{2, 3, 4} {
+				for split := 1; split < len(tc.tr.Events); split++ {
+					sp, err := NewShardedProfiler(tc.tr.Symbols, tc.cfg, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sp.FeedWindow(tc.tr.Events[:split]); err != nil {
+						t.Fatalf("shards=%d split=%d: %v", n, split, err)
+					}
+					if err := sp.FeedWindow(tc.tr.Events[split:]); err != nil {
+						t.Fatalf("shards=%d split=%d: %v", n, split, err)
+					}
+					got, err := sp.Finish()
+					if err != nil {
+						t.Fatalf("shards=%d split=%d: %v", n, split, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("shards=%d split=%d: diverges\nsequential: %+v\nsharded:    %+v",
+							n, split, summarize(want), summarize(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceReinterleave reuses the happens-before machinery the
+// boundary resolution is built on: for every legal reinterleaving of a trace
+// (arbitrary and synchronization-preserving), the sharded engine must agree
+// with the sequential profiler on that same interleaving — and for
+// synchronization-preserving reschedules of a fully synchronized workload,
+// with the original schedule's profile too (§4.2 stability).
+func TestShardEquivalenceReinterleave(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := randomTrace(rng, 600)
+	for seed := int64(0); seed < 6; seed++ {
+		requireShardEqual(t, fmt.Sprintf("reinterleave seed %d", seed),
+			trace.Reinterleave(tr, seed), DefaultConfig())
+		requireShardEqual(t, fmt.Sprintf("reinterleave-window seed %d", seed),
+			trace.ReinterleaveWindow(tr, seed, 9), DefaultConfig())
+	}
+
+	sync := syncedPipeline(40)
+	base, err := Run(sync, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metricSummary(base)
+	for seed := int64(0); seed < 6; seed++ {
+		re := trace.ReinterleaveSync(sync, seed, 6)
+		requireShardEqual(t, fmt.Sprintf("sync seed %d", seed), re, DefaultConfig())
+		ps, err := ProfileSharded(re, DefaultConfig(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := metricSummary(ps)
+		for name, vals := range want {
+			if got[name] != vals {
+				t.Errorf("sync seed %d: %s = %v, want %v (schedule invariance lost)", seed, name, got[name], vals)
+			}
+		}
+	}
+}
+
+// faultyTraces builds traces that trip each fault class the profiler
+// recognizes, including ones the Builder refuses to construct (unknown
+// routine ids, negative thread ids on non-switch events).
+func faultyTraces() map[string]*trace.Trace {
+	out := make(map[string]*trace.Trace)
+
+	b := trace.NewBuilder()
+	tb := b.Thread(1)
+	tb.Call("f")
+	tb.Write1(1)
+	tr := b.Trace()
+	tr.Events = append(tr.Events, trace.Event{Kind: trace.KindReturn, Thread: 2})
+	out["return-without-call"] = tr
+
+	b = trace.NewBuilder()
+	tb = b.Thread(1)
+	tb.Call("f")
+	tr = b.Trace()
+	tr.Events = append(tr.Events, trace.Event{Kind: trace.KindCall, Thread: 1, Routine: 999})
+	out["unknown-routine"] = tr
+
+	b = trace.NewBuilder()
+	tb = b.Thread(1)
+	tb.Call("f")
+	tb.Read1(3)
+	tr = b.Trace()
+	tr.Events = append(tr.Events, trace.Event{Kind: trace.KindWrite, Thread: -7, Addr: 3, Size: 1})
+	out["negative-thread"] = tr
+
+	b = trace.NewBuilder()
+	tb = b.Thread(1)
+	tb.Call("f")
+	tr = b.Trace()
+	tr.Events = append(tr.Events, trace.Event{Kind: trace.Kind(200), Thread: 1})
+	out["invalid-kind"] = tr
+
+	return out
+}
+
+// TestShardFaultParity: under the strict policy the sharded engine must
+// report the same fault at the same event with the same message as the
+// sequential profiler; under skip and count it must produce identical
+// profiles and identical drop accounting.
+func TestShardFaultParity(t *testing.T) {
+	for name, tr := range faultyTraces() {
+		t.Run(name, func(t *testing.T) {
+			for _, policy := range []FaultPolicy{FaultStrict, FaultSkip, FaultCount} {
+				cfg := DefaultConfig()
+				cfg.FaultPolicy = policy
+				requireShardEqual(t, fmt.Sprintf("%s policy=%v", name, policy), tr, cfg)
+			}
+		})
+	}
+	// Faults must also be position-exact when they race with valid events in
+	// other shards inside the same window: pad each faulty trace with
+	// unrelated work on higher threads.
+	for name, tr := range faultyTraces() {
+		b := trace.NewBuilder()
+		for id := trace.ThreadID(5); id <= 8; id++ {
+			tb := b.Thread(id)
+			tb.Call("pad")
+			tb.Write1(trace.Addr(id))
+			tb.Read1(trace.Addr(id))
+			tb.Ret()
+		}
+		pad := b.Trace()
+		// Interleave: copy the padding trace's symbol table and append the
+		// faulty events after remapping their routine ids.
+		remap := make(map[trace.RoutineID]trace.RoutineID)
+		for i := range tr.Events {
+			ev := tr.Events[i]
+			if ev.Kind == trace.KindCall && int(ev.Routine) < tr.Symbols.Len() {
+				if _, ok := remap[ev.Routine]; !ok {
+					remap[ev.Routine] = pad.Symbols.Intern(tr.Symbols.Name(ev.Routine))
+				}
+				ev.Routine = remap[ev.Routine]
+			}
+			pad.Events = append(pad.Events, ev)
+		}
+		cfg := DefaultConfig()
+		requireShardEqual(t, "padded "+name, pad, cfg)
+	}
+}
+
+// TestShardAdoption covers resume: a sequential profiler that has consumed a
+// prefix is adopted by NewShardedFromProfiler, the suffix is fed in windows,
+// and the result must equal profiling the whole trace sequentially.
+func TestShardAdoption(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		tr := randomTrace(rng, 600)
+		want, err := Run(tr, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prefix := range []int{0, 1, 97, len(tr.Events) / 2, len(tr.Events)} {
+			for _, n := range []int{2, 4, 7} {
+				p := NewProfiler(tr.Symbols, DefaultConfig())
+				for i := 0; i < prefix; i++ {
+					if err := p.HandleEvent(&tr.Events[i]); err != nil {
+						t.Fatalf("seed %d prefix %d: %v", seed, prefix, err)
+					}
+				}
+				sp, err := NewShardedFromProfiler(p, n)
+				if err != nil {
+					t.Fatalf("seed %d prefix %d shards %d: %v", seed, prefix, n, err)
+				}
+				for lo := prefix; lo < len(tr.Events); lo += 64 {
+					hi := lo + 64
+					if hi > len(tr.Events) {
+						hi = len(tr.Events)
+					}
+					if err := sp.FeedWindow(tr.Events[lo:hi]); err != nil {
+						t.Fatalf("seed %d prefix %d shards %d: %v", seed, prefix, n, err)
+					}
+				}
+				got, err := sp.Finish()
+				if err != nil {
+					t.Fatalf("seed %d prefix %d shards %d: %v", seed, prefix, n, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d prefix %d shards %d: adoption diverges\nsequential: %+v\nsharded:    %+v",
+						seed, prefix, n, summarize(want), summarize(got))
+				}
+			}
+		}
+	}
+}
+
+// TestShardGates pins down the support boundary: configurations the engine
+// cannot shard are refused by the constructor and silently fall back to the
+// sequential path in ProfileSharded.
+func TestShardGates(t *testing.T) {
+	unshardable := []struct {
+		name string
+		cfg  Config
+	}{
+		{"counter-limit", Config{ThreadInput: true, CounterLimit: 100}},
+		{"max-events", Config{ThreadInput: true, Limits: Limits{MaxEvents: 10}}},
+		{"max-memory", Config{ThreadInput: true, Limits: Limits{MaxMemoryBytes: 1024}}},
+		{"on-activation", Config{ThreadInput: true, OnActivation: func(ActivationRecord) {}}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	tr := randomTrace(rng, 300)
+	for _, tc := range unshardable {
+		if CanShard(tc.cfg) {
+			t.Errorf("%s: CanShard = true, want false", tc.name)
+		}
+		if _, err := NewShardedProfiler(tr.Symbols, tc.cfg, 4); err == nil {
+			t.Errorf("%s: NewShardedProfiler accepted an unshardable config", tc.name)
+		}
+		// The fallback still profiles correctly (OnActivation results are not
+		// comparable via DeepEqual on the callback, so compare summaries).
+		want, err1 := Run(tr, tc.cfg)
+		got, err2 := ProfileSharded(tr, tc.cfg, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: fallback errs: %v / %v", tc.name, err1, err2)
+		}
+		if !reflect.DeepEqual(summarize(got), summarize(want)) {
+			t.Errorf("%s: fallback profile diverges", tc.name)
+		}
+	}
+	if _, err := NewShardedProfiler(tr.Symbols, DefaultConfig(), 1); err == nil {
+		t.Error("NewShardedProfiler accepted nShards=1")
+	}
+	if _, err := NewShardedProfiler(tr.Symbols, DefaultConfig(), 0); err == nil {
+		t.Error("NewShardedProfiler accepted nShards=0")
+	}
+}

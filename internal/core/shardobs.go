@@ -1,0 +1,136 @@
+package core
+
+// Observability of the sharded engine, under its own scope. The per-shard
+// profilers keep reporting into the existing "core" and "shadow" scopes
+// (they are sequential profilers sharing the registry, the RunConcurrent
+// aggregation model); the "shard" scope adds what only the sharded engine
+// knows — window cadence, per-phase latencies, and the boundary-resolution
+// traffic of the merged write-history index.
+
+import (
+	"time"
+
+	"aprof/internal/obs"
+)
+
+// ObsScopeShard carries the sharded engine's metrics: the windows and
+// window_events counters, the pass_a_us/merge_us/pass_b_us phase
+// histograms, the boundary_lookups/boundary_resolved counters of the
+// cross-shard write index, the shards gauge, and the checkpoint_write_us
+// histogram of the sharded checkpoint path.
+const ObsScopeShard = "shard"
+
+// shardObs holds the pre-resolved handles of one sharded engine; nil when
+// no registry is attached (every method is nil-receiver safe).
+type shardObs struct {
+	windows      *obs.Counter
+	windowEvents *obs.Counter
+	passA        *obs.Histogram
+	merge        *obs.Histogram
+	passB        *obs.Histogram
+	lookups      *obs.Counter
+	resolved     *obs.Counter
+	ckptWrite    *obs.Histogram
+	// Central drops (events owned by no shard) publish into the same core-
+	// scope counters the sequential profiler uses, at Finish.
+	drops [7]*obs.Counter
+}
+
+func newShardObs(reg *obs.Registry, nShards int) *shardObs {
+	if reg == nil {
+		return nil
+	}
+	s := reg.Scope(ObsScopeShard)
+	o := &shardObs{
+		windows:      s.Counter("windows"),
+		windowEvents: s.Counter("window_events"),
+		passA:        s.Histogram("pass_a_us"),
+		merge:        s.Histogram("merge_us"),
+		passB:        s.Histogram("pass_b_us"),
+		lookups:      s.Counter("boundary_lookups"),
+		resolved:     s.Counter("boundary_resolved"),
+		ckptWrite:    s.Histogram("checkpoint_write_us"),
+	}
+	s.Gauge("shards").Set(int64(nShards))
+	core := reg.Scope(ObsScopeCore)
+	for i, name := range dropCounterNames {
+		o.drops[i] = core.Counter(name)
+	}
+	return o
+}
+
+// shardWindowTimer tracks one window's phase boundaries. A nil timer (no
+// registry) makes every phase hook a no-op.
+type shardWindowTimer struct {
+	o          *shardObs
+	start      time.Time
+	afterPassA time.Time
+	afterMerge time.Time
+}
+
+func (o *shardObs) windowStart(events int) *shardWindowTimer {
+	if o == nil {
+		return nil
+	}
+	o.windows.Inc()
+	o.windowEvents.Add(uint64(events))
+	return &shardWindowTimer{o: o, start: time.Now()}
+}
+
+func (t *shardWindowTimer) passADone() {
+	if t == nil {
+		return
+	}
+	t.afterPassA = time.Now()
+	t.o.passA.Observe(uint64(t.afterPassA.Sub(t.start).Microseconds()))
+}
+
+func (t *shardWindowTimer) mergeDone() {
+	if t == nil {
+		return
+	}
+	t.afterMerge = time.Now()
+	t.o.merge.Observe(uint64(t.afterMerge.Sub(t.afterPassA).Microseconds()))
+}
+
+func (t *shardWindowTimer) passBDone() {
+	if t == nil {
+		return
+	}
+	t.o.passB.Observe(uint64(time.Since(t.afterMerge).Microseconds()))
+}
+
+// done folds the per-shard boundary-resolution counters of a successfully
+// committed window into the registry (the shard goroutines have quiesced).
+func (t *shardWindowTimer) done(sp *ShardedProfiler) {
+	if t == nil {
+		return
+	}
+	var lookups, resolved uint64
+	for _, w := range sp.shards {
+		lookups += w.lookups
+		resolved += w.resolved
+	}
+	t.o.lookups.Add(lookups)
+	t.o.resolved.Add(resolved)
+}
+
+func (o *shardObs) observeCkptWrite(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.ckptWrite.Observe(uint64(d.Microseconds()))
+}
+
+// publishFinish reports the engine-level drop counters (events no shard
+// owned, plus any adopted checkpoint state). The per-shard profilers have
+// already published their own drops through their Finish.
+func (o *shardObs) publishFinish(sp *ShardedProfiler) {
+	if o == nil {
+		return
+	}
+	vals := dropValues(sp.drops)
+	for i, c := range o.drops {
+		c.Add(vals[i])
+	}
+}

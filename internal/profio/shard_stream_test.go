@@ -1,0 +1,260 @@
+package profio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/trace"
+	"aprof/internal/workloads"
+)
+
+// TestShardStreamByteIdentical is the pipeline-level acceptance test of the
+// sharded engine: for every shard count and batch/checkpoint geometry the
+// streamed profiles must serialize to exactly the bytes of the sequential
+// stream (which the suite elsewhere pins to the in-memory profiler).
+func TestShardStreamByteIdentical(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"random-3t":  trace.Random(trace.RandomConfig{Seed: 5, Ops: 1200}),
+		"random-6t":  trace.Random(trace.RandomConfig{Seed: 6, Threads: 6, Ops: 1200, Cells: 10}),
+		"prod-cons":  workloads.ProducerConsumer(200),
+		"omp-suite":  workloads.SuiteOMP()[0].Build(),
+		"mysql-like": workloads.SuiteMySQL()[0].Build(),
+	}
+	for name, tr := range traces {
+		t.Run(name, func(t *testing.T) {
+			enc := encodeTrace(t, tr)
+			for _, cfg := range []core.Config{core.DefaultConfig(), {ThreadInput: true, ContextSensitive: true}} {
+				want, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, StreamOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantBytes := writeBytes(t, want)
+				for _, opts := range []StreamOptions{
+					{Shards: 2},
+					{Shards: 3, BatchSize: 7},
+					{Shards: 4, BatchSize: 64, CheckpointEvery: 1},
+					{Shards: 8, BatchSize: 32, CheckpointEvery: 3},
+					{Shards: 16, BatchSize: 1},
+				} {
+					got, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, opts)
+					if err != nil {
+						t.Fatalf("opts %+v: %v", opts, err)
+					}
+					if !bytes.Equal(writeBytes(t, got), wantBytes) {
+						t.Errorf("opts %+v: sharded stream output differs from sequential", opts)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardStreamLenientByteIdentical feeds a trace whose v2 framing is
+// corrupted mid-stream: the lenient reader resyncs, and the recovered event
+// suffix must profile identically whether analyzed sequentially or sharded.
+func TestShardStreamLenientByteIdentical(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 9, Threads: 4, Ops: 900})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary2Opts(&buf, tr, trace.V2Options{EventsPerFrame: 32}); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	enc[len(enc)/2] ^= 0x40 // corrupt one frame's payload; CRC catches it
+
+	// A dropped frame can orphan later returns; count them instead of
+	// aborting, as a lenient production run would.
+	cfg := core.DefaultConfig()
+	cfg.FaultPolicy = core.FaultCount
+
+	want, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, StreamOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Corruption.FramesDropped == 0 {
+		t.Fatal("corruption not detected; test is vacuous")
+	}
+	wantBytes := writeBytes(t, want)
+	for _, shards := range []int{2, 3, 8} {
+		got, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg,
+			StreamOptions{Lenient: true, Shards: shards, BatchSize: 48})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !bytes.Equal(writeBytes(t, got), wantBytes) {
+			t.Errorf("shards=%d: lenient sharded output differs from sequential", shards)
+		}
+	}
+}
+
+// TestShardCheckpointFileParity compares the APCK checkpoint files
+// themselves: at the same window-aligned batch index, the sharded pipeline
+// must have written byte-for-byte the checkpoint the sequential pipeline
+// wrote — that file equality is what makes cross-mode resume sound.
+func TestShardCheckpointFileParity(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 14, Threads: 5, Ops: 1600})
+	enc := encodeTrace(t, tr)
+	cfg := core.DefaultConfig()
+	const batchSize, every, at = 32, 4, 8
+
+	capture := func(shards int) []byte {
+		ckpt := filepath.Join(t.TempDir(), "ckpt")
+		var snap []byte
+		opts := StreamOptions{
+			BatchSize:       batchSize,
+			CheckpointEvery: every,
+			CheckpointPath:  ckpt,
+			Shards:          shards,
+			OnBatch: func(batch int, delivered uint64) error {
+				if batch == at {
+					data, err := os.ReadFile(ckpt)
+					if err != nil {
+						return err
+					}
+					snap = data
+				}
+				return nil
+			},
+		}
+		if _, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, opts); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if snap == nil {
+			t.Fatalf("shards=%d: batch %d never reached", shards, at)
+		}
+		return snap
+	}
+
+	seq := capture(1)
+	for _, shards := range []int{2, 4, 7} {
+		if got := capture(shards); !bytes.Equal(got, seq) {
+			t.Errorf("shards=%d: checkpoint file at batch %d differs from sequential (%d vs %d bytes)",
+				shards, at, len(got), len(seq))
+		}
+	}
+}
+
+// TestShardKillResumeInterop proves the checkpoint format is mode-agnostic
+// in both directions: a run killed in either mode resumes in either mode and
+// still reproduces the uninterrupted sequential bytes. Kill points cover
+// window-aligned and (for sequential kills) unaligned batch boundaries, so
+// sharded resume also adopts mid-window sequential state.
+func TestShardKillResumeInterop(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 23, Threads: 4, Ops: 2000})
+	enc := encodeTrace(t, tr)
+	cfg := core.DefaultConfig()
+	base := StreamOptions{BatchSize: 64, CheckpointEvery: 2}
+
+	want, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := writeBytes(t, want)
+
+	run := func(shards int, opts StreamOptions) (*core.Profiles, error) {
+		opts.Shards = shards
+		return ProfileStream(context.Background(), bytes.NewReader(enc), cfg, opts)
+	}
+	resume := func(shards int, ckpt string, opts StreamOptions) (*core.Profiles, error) {
+		opts.Shards = shards
+		opts.CheckpointPath = ckpt
+		return ResumeStream(context.Background(), bytes.NewReader(enc), ckpt, cfg, opts)
+	}
+
+	cases := []struct {
+		name                     string
+		killShards, resumeShards int
+		kill                     int // batch index OnBatch kills at
+	}{
+		{"sharded-to-sequential", 4, 1, 4},
+		{"sequential-to-sharded-aligned", 1, 4, 4},
+		{"sequential-to-sharded-unaligned", 1, 3, 5},
+		{"sharded-to-sharded", 2, 7, 6},
+		{"sharded-to-sequential-late", 8, 1, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "ckpt")
+			kopts := base
+			kopts.CheckpointPath = ckpt
+			kopts.OnBatch = func(batch int, delivered uint64) error {
+				if batch >= tc.kill {
+					return errKill
+				}
+				return nil
+			}
+			if _, err := run(tc.killShards, kopts); !errors.Is(err, errKill) {
+				t.Fatalf("kill not delivered: %v", err)
+			}
+			got, err := resume(tc.resumeShards, ckpt, base)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if !bytes.Equal(writeBytes(t, got), wantBytes) {
+				t.Error("resumed output differs from uninterrupted sequential run")
+			}
+		})
+	}
+}
+
+// TestShardKillResumeSweep is the dense version of the interop test: for a
+// small window geometry, kill a sharded run after EVERY window and resume
+// sequentially, and kill a sequential run after EVERY batch and resume
+// sharded. Mirrors TestKillAndResumeDeterminism with the modes crossed.
+func TestShardKillResumeSweep(t *testing.T) {
+	tr := trace.Random(trace.RandomConfig{Seed: 31, Threads: 5, Ops: 1500})
+	enc := encodeTrace(t, tr)
+	cfg := core.DefaultConfig()
+	opts := StreamOptions{BatchSize: 128, CheckpointEvery: 1}
+
+	want, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := writeBytes(t, want)
+	batches := (tr.Len() + opts.BatchSize - 1) / opts.BatchSize
+
+	for _, dir := range []struct {
+		name                     string
+		killShards, resumeShards int
+	}{
+		{"sharded-kill-sequential-resume", 4, 1},
+		{"sequential-kill-sharded-resume", 1, 4},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "ckpt")
+			for kill := 1; kill <= batches; kill++ {
+				kopts := opts
+				kopts.Shards = dir.killShards
+				kopts.CheckpointPath = ckpt
+				kopts.OnBatch = func(batch int, delivered uint64) error {
+					if batch == kill {
+						return errKill
+					}
+					return nil
+				}
+				_, err := ProfileStream(context.Background(), bytes.NewReader(enc), cfg, kopts)
+				if err == nil {
+					continue // final short batch completed before the kill
+				}
+				if !errors.Is(err, errKill) {
+					t.Fatalf("kill %d: %v", kill, err)
+				}
+				ropts := opts
+				ropts.Shards = dir.resumeShards
+				ropts.CheckpointPath = ckpt
+				got, err := ResumeStream(context.Background(), bytes.NewReader(enc), ckpt, cfg, ropts)
+				if err != nil {
+					t.Fatalf("resume after batch %d: %v", kill, err)
+				}
+				if !bytes.Equal(writeBytes(t, got), wantBytes) {
+					t.Fatalf("killed after batch %d: cross-mode resumed output differs", kill)
+				}
+			}
+		})
+	}
+}

@@ -71,6 +71,11 @@ type Options struct {
 	// as in profio).
 	BatchSize       int
 	CheckpointEvery int
+	// Shards, when > 1, profiles each session on the sharded multi-core
+	// engine (profio.StreamOptions.Shards); output and checkpoints stay
+	// byte-identical to the sequential pipeline. Under sharding, batch
+	// acks coalesce to window granularity (CheckpointEvery batches).
+	Shards int
 	// Obs receives daemon metrics under scope "server" (nil disables).
 	Obs *obs.Registry
 	// Logf logs daemon events (nil discards).
@@ -356,6 +361,7 @@ func (s *Server) session(conn net.Conn) {
 	opts := profio.StreamOptions{
 		BatchSize:       s.opts.BatchSize,
 		CheckpointEvery: s.opts.CheckpointEvery,
+		Shards:          s.opts.Shards,
 		Lenient:         hs.lenient,
 		CheckpointPath:  ckptPath,
 		FinalCheckpoint: ckptPath != "",
