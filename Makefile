@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults shard-equivalence chaos bench bench-baseline bench-all cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults shard-equivalence chaos chaos-cluster bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -66,6 +66,16 @@ chaos:
 	$(GO) test -race -timeout 300s -count=1 \
 		-run 'Torn|CorruptCheckpoint|TrailingGarbage|Interrupt' \
 		./internal/profio ./cmd/aprof
+
+# Cluster chaos suite, bounded at 90s under the race detector: node kills
+# at every batch index with ring-successor failover, seed-swept link chaos
+# and half-open links, busy-shed rerouting, health-based routing around
+# dead nodes, the client failover leak audit, and the three-binary cluster
+# end-to-end test.
+chaos-cluster:
+	$(GO) test -race -timeout 90s -count=1 ./internal/cluster
+	$(GO) test -race -timeout 90s -count=1 -run 'LeakAudit' ./internal/server/client
+	$(GO) test -race -timeout 90s -count=1 -run 'TestClusterEndToEnd' ./cmd/aprofd
 
 # Benchmark-regression harness: run the hot-path benchmarks (core, shadow,
 # profio, obs) with -benchmem and diff ns/op against the committed

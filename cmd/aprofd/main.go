@@ -7,6 +7,7 @@
 //
 //	aprofd -addr localhost:7071 [-checkpoint-dir DIR] [-result-dir DIR]
 //	       [-debug-addr localhost:6060] [-max-sessions N] [-metric drms|rms|external-only]
+//	       [-cluster-peers HOST:PORT,...] [-max-decode-latency D] [-max-memory-bytes N]
 //
 // Sessions are panic-isolated and deadline-guarded; beyond -max-sessions
 // the daemon sheds load with an explicit busy response instead of
@@ -14,6 +15,12 @@
 // uploads resume from the last acknowledged batch, and SIGINT/SIGTERM
 // drains gracefully — stop accepting, checkpoint everything in flight,
 // exit — so a restarted daemon loses nothing. A second signal aborts hard.
+//
+// As a cluster member, -cluster-peers lists the other nodes' debug HTTP
+// addresses: /profiles/ then serves the merged cluster-wide view instead
+// of only this node's share. -max-decode-latency and -max-memory-bytes
+// turn the fixed session cap into an adaptive one that sheds down toward
+// -min-sessions while the node is measurably overloaded.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"aprof"
+	"aprof/internal/cluster"
 	"aprof/internal/obs"
 	"aprof/internal/server"
 )
@@ -50,6 +58,11 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "events between periodic checkpoints (0 = default)")
 		shards      = flag.Int("shards", 1, "profile each session on this many per-thread shards (output is byte-identical to -shards 1)")
 		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before in-flight connections are force-closed")
+
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated debug HTTP addresses of the other cluster nodes; /profiles/ serves the merged cluster view")
+		minSessions  = flag.Int("min-sessions", 1, "adaptive admission floor (with -max-decode-latency or -max-memory-bytes)")
+		maxDecodeLat = flag.Duration("max-decode-latency", 0, "shed sessions while batch-decode latency exceeds this (0 = fixed -max-sessions cap)")
+		maxMemBytes  = flag.Int64("max-memory-bytes", 0, "shed sessions while the heap estimate exceeds this (0 = fixed -max-sessions cap)")
 	)
 	flag.Parse()
 
@@ -69,7 +82,12 @@ func main() {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
 	s := server.New(server.Options{
-		MaxSessions:      *maxSessions,
+		MaxSessions: *maxSessions,
+		Admission: server.AdmissionOptions{
+			MinSessions:      *minSessions,
+			MaxDecodeLatency: *maxDecodeLat,
+			MaxMemoryBytes:   *maxMemBytes,
+		},
 		IdleTimeout:      *idle,
 		WriteTimeout:     *writeT,
 		MaxConnBytes:     *maxBytes,
@@ -85,8 +103,20 @@ func main() {
 	})
 
 	if *debugAddr != "" {
+		// With peers, /profiles/ fans out to the whole cluster; the merged
+		// document is a superset of the single-node shape, so consumers need
+		// not care which node they asked.
+		var profiles http.Handler = s.ProfilesHandler()
+		if *clusterPeers != "" {
+			peers := strings.Split(*clusterPeers, ",")
+			for i := range peers {
+				peers[i] = strings.TrimSpace(peers[i])
+			}
+			profiles = cluster.NewFanout(s, peers, 0).Handler()
+			logger.Printf("aprofd: cluster fan-out over %d peers", len(peers))
+		}
 		dbg, err := obs.ServeDebugMux(*debugAddr, reg, func(mux *http.ServeMux) {
-			mux.Handle("/profiles/", s.ProfilesHandler())
+			mux.Handle("/profiles/", profiles)
 		})
 		if err != nil {
 			fatal(err)

@@ -158,3 +158,124 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("daemon did not exit after SIGTERM")
 	}
 }
+
+// startDaemon launches one aprofd and reports its TCP and debug addresses.
+func startDaemon(t *testing.T, bin string, args ...string) (proc *exec.Cmd, addr, debugAddr string) {
+	t.Helper()
+	daemon := exec.Command(bin, args...)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { daemon.Process.Kill() })
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	debugAddr = waitLine(t, lines, "the debug-server line", func(line string) (string, bool) {
+		_, rest, ok := strings.Cut(line, "debug server on http://")
+		if !ok {
+			return "", false
+		}
+		return strings.TrimSuffix(rest, "/profiles/"), true
+	})
+	addr = waitLine(t, lines, "the listening line", func(line string) (string, bool) {
+		_, rest, ok := strings.Cut(line, "listening on ")
+		return rest, ok
+	})
+	go func() { // keep draining so the daemon never blocks on stderr
+		for range lines {
+		}
+	}()
+	return daemon, addr, debugAddr
+}
+
+// TestClusterEndToEnd drives a three-binary cluster: one node is
+// SIGKILLed before the upload, aprofsend -cluster routes around it by
+// ring-successor failover, and a surviving node's fan-out endpoint serves
+// the profile cluster-wide — byte-identical to the offline pipeline, with
+// the index honestly flagged partial while a peer is dead.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aprofd and aprofsend binaries")
+	}
+	dir := t.TempDir()
+	aprofd := buildBinary(t, dir, "aprofd", ".")
+	aprofsend := buildBinary(t, dir, "aprofsend", "../aprofsend")
+
+	tr := trace.Random(trace.RandomConfig{Seed: 41, Ops: 1200, Threads: 3})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	tracePath := filepath.Join(dir, "trace.bin")
+	if err := os.WriteFile(tracePath, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := aprof.ProfileTraceStreamContext(context.Background(), bytes.NewReader(enc), aprof.DefaultConfig(), aprof.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf bytes.Buffer
+	if err := aprof.WriteProfiles(&wantBuf, ps); err != nil {
+		t.Fatal(err)
+	}
+	want := wantBuf.Bytes()
+
+	// All nodes share one checkpoint directory — the stand-in for the
+	// shared volume that makes a migration a resume.
+	ckpt := filepath.Join(dir, "ckpt")
+	baseArgs := func() []string {
+		return []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-checkpoint-dir", ckpt}
+	}
+	a, addrA, _ := startDaemon(t, aprofd, baseArgs()...)
+	_, addrB, dbgB := startDaemon(t, aprofd, baseArgs()...)
+	_, addrC, dbgC := startDaemon(t, aprofd, append(baseArgs(), "-cluster-peers", dbgB)...)
+
+	// Node A dies hard before the upload: failover must route around it.
+	if err := a.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	a.Wait()
+
+	send := exec.Command(aprofsend,
+		"-cluster", strings.Join([]string{addrA, addrB, addrC}, ","),
+		"-session", "clustered", "-backoff", "10ms", "-v", tracePath)
+	out, err := send.CombinedOutput()
+	if err != nil {
+		t.Fatalf("aprofsend -cluster: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "complete") {
+		t.Fatalf("aprofsend output: %s", out)
+	}
+
+	// Node C's fan-out serves the profile wherever it landed (locally or
+	// via its peer B).
+	resp, err := http.Get("http://" + dbgC + "/profiles/clustered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+		t.Fatalf("cluster profile: status %d, matches offline pipeline: %v", resp.StatusCode, bytes.Equal(body, want))
+	}
+	resp, err = http.Get("http://" + dbgC + "/profiles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(idx), `"clustered"`) {
+		t.Fatalf("cluster index is missing the session: %s", idx)
+	}
+}

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	aprofsend -addr localhost:7071 -session build-42 trace.bin
+//	aprofsend -cluster host1:7071,host2:7071,host3:7071 -session build-42 trace.bin
+//
+// With -cluster the session id picks its node on the consistent-hash
+// ring, and the upload fails over to the ring successor when the chosen
+// node refuses connections, sheds the session as busy, or keeps dying
+// mid-stream — resuming from the server-acked offset either way.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -24,6 +31,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:7071", "aprofd address")
+		clusterN = flag.String("cluster", "", "comma-separated aprofd node addresses; routes by session id with ring-successor failover (overrides -addr)")
 		session  = flag.String("session", "", "session id (required; names the profile on the server)")
 		lenient  = flag.Bool("lenient", false, "ask the server to skip corrupt APT2 frames instead of aborting")
 		attempts = flag.Int("attempts", client.DefaultMaxAttempts, "consecutive failed attempts tolerated (progress resets the count)")
@@ -64,6 +72,22 @@ func main() {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *clusterN != "" {
+		nodes := strings.Split(*clusterN, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		dialer, err := client.NewClusterDialer(client.ClusterOptions{
+			Nodes:     nodes,
+			SessionID: *session,
+			Logf:      opts.Logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Addr = ""
+		opts.Dialer = dialer
 	}
 
 	res, err := client.Run(ctx, opts)

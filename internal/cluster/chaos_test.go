@@ -1,0 +1,668 @@
+package cluster_test
+
+// The cluster chaos suite: a multi-node aprofd deployment against hard
+// node kills, mid-stream link chaos, half-open links, busy-shed overload,
+// and health-based routing. The invariant everywhere is the single-node
+// one lifted to the cluster: wherever a session ends up after however
+// many migrations, its profile is byte-identical to the offline
+// sequential pipeline, and the fan-out view can serve it cluster-wide.
+//
+// Node kills are in-process Aborts (the SIGKILL stand-in the single-node
+// suite established): the listener and every conn die instantly with no
+// goodbye. Nodes share one checkpoint directory — the test stand-in for
+// the shared volume a real deployment would mount — which is what turns a
+// migration into a resume instead of a restart.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aprof/internal/cluster"
+	"aprof/internal/core"
+	"aprof/internal/faultio"
+	"aprof/internal/profio"
+	"aprof/internal/server"
+	"aprof/internal/server/client"
+	"aprof/internal/trace"
+)
+
+// testTrace encodes a random trace to APT2 bytes.
+func testTrace(t *testing.T, seed int64, ops int) []byte {
+	t.Helper()
+	tr := trace.Random(trace.RandomConfig{Seed: seed, Ops: ops, Threads: 3})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// offlineProfile runs the plain offline pipeline over enc — the reference
+// every cluster outcome must match byte for byte.
+func offlineProfile(t *testing.T, enc []byte) []byte {
+	t.Helper()
+	ps, err := profio.ProfileStream(context.Background(), bytes.NewReader(enc), core.DefaultConfig(), profio.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := profio.Write(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// opener adapts trace bytes to the client's restartable source.
+func opener(enc []byte) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(enc)), nil
+	}
+}
+
+// startNode fills test defaults and starts one cluster node.
+func startNode(t *testing.T, opts server.Options) *server.Server {
+	t.Helper()
+	if opts.Config.CounterLimit == 0 {
+		opts.Config = core.DefaultConfig()
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 16
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 4
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s := server.New(opts)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Abort()
+		s.Wait()
+	})
+	return s
+}
+
+// clusterResult finds the node holding a completed session's result.
+func clusterResult(nodes []*server.Server, id string) *server.SessionResult {
+	for _, n := range nodes {
+		if r, ok := n.Result(id); ok && r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// waitNoLeak polls until the goroutine count returns to its baseline.
+func waitNoLeak(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if i >= 250 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sessionBatches runs one clean upload and reports how many batches the
+// session spans — the sweep range for kill-at-every-batch.
+func sessionBatches(t *testing.T, enc []byte) int {
+	t.Helper()
+	var maxBatch atomic.Int64
+	s := startNode(t, server.Options{
+		OnSessionBatch: func(id string, batch int, delivered uint64) {
+			for {
+				cur := maxBatch.Load()
+				if int64(batch) <= cur || maxBatch.CompareAndSwap(cur, int64(batch)) {
+					return
+				}
+			}
+		},
+	})
+	if _, err := client.Run(context.Background(), client.Options{
+		Addr: s.Addr(), SessionID: "count", Open: opener(enc),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort()
+	s.Wait()
+	if maxBatch.Load() == 0 {
+		t.Fatal("clean pass saw no batches")
+	}
+	return int(maxBatch.Load())
+}
+
+// TestClusterKillAtEveryBatch is the tentpole proof: a three-node cluster
+// over a shared checkpoint directory, with the node serving the session
+// hard-killed at batch index k — for every k the session has. The
+// cluster-routed client must fail over to the ring successor, resume from
+// the killed node's last checkpoint, and finish byte-identical to the
+// offline pipeline.
+func TestClusterKillAtEveryBatch(t *testing.T) {
+	enc := testTrace(t, 40, 600)
+	want := offlineProfile(t, enc)
+	batches := sessionBatches(t, enc)
+	t.Logf("session spans %d batches; killing at every index", batches)
+	before := runtime.NumGoroutine()
+
+	for killAt := 1; killAt <= batches; killAt++ {
+		killAt := killAt
+		t.Run(fmt.Sprintf("killAt=%d", killAt), func(t *testing.T) {
+			dir := t.TempDir()
+			var killed atomic.Bool
+			var victim atomic.Pointer[server.Server]
+
+			nodes := make([]*server.Server, 3)
+			addrs := make([]string, 3)
+			for i := range nodes {
+				self := &atomic.Pointer[server.Server]{}
+				s := startNode(t, server.Options{
+					CheckpointDir: dir,
+					OnSessionBatch: func(id string, batch int, delivered uint64) {
+						// Only the node actually serving the session sees its
+						// batches; the CAS makes the kill happen exactly once,
+						// on whichever node that is.
+						if batch == killAt && killed.CompareAndSwap(false, true) {
+							victim.Store(self.Load())
+							self.Load().Abort()
+						}
+					},
+				})
+				self.Store(s)
+				nodes[i], addrs[i] = s, s.Addr()
+			}
+
+			cd, err := client.NewClusterDialer(client.ClusterOptions{
+				Nodes:     addrs,
+				SessionID: "victim",
+				DialNode: func(ctx context.Context, addr string) (net.Conn, error) {
+					// Deterministic resume offsets: let the killed node finish
+					// flushing its final checkpoint before any redial, the way
+					// real failover (seconds) always outlasts a local fsync
+					// (microseconds).
+					if v := victim.Load(); v != nil {
+						v.Wait()
+					}
+					var d net.Dialer
+					return d.DialContext(ctx, "tcp", addr)
+				},
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := client.Run(context.Background(), client.Options{
+				SessionID:   "victim",
+				Open:        opener(enc),
+				Dialer:      cd,
+				MaxAttempts: 10,
+				Backoff:     2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("upload across node kill failed: %v (result %+v)", err, res)
+			}
+			if !killed.Load() {
+				t.Fatal("kill hook never fired")
+			}
+			if res.Reconnects == 0 {
+				t.Fatalf("node kill did not force a reconnect: %+v", res)
+			}
+			if res.ResumedFrom == 0 {
+				t.Fatalf("failover restarted from scratch instead of resuming: %+v", res)
+			}
+			got := clusterResult(nodes, "victim")
+			if got == nil {
+				t.Fatal("no surviving node holds the session result")
+			}
+			if !bytes.Equal(got.Profile, want) {
+				t.Fatal("profile after node-kill failover differs from offline pipeline")
+			}
+		})
+	}
+	waitNoLeak(t, before)
+}
+
+// TestClusterLinkChaosFailoverSweep: every connection is fragmented and
+// mid-frame reset (budget growing with the attempt), and FailoverAfter=1
+// makes each reset hop the session to the ring successor — the session
+// migrates across nodes repeatedly and must still land byte-identical.
+func TestClusterLinkChaosFailoverSweep(t *testing.T) {
+	enc := testTrace(t, 41, 900)
+	want := offlineProfile(t, enc)
+	before := runtime.NumGoroutine()
+
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			nodes := make([]*server.Server, 3)
+			addrs := make([]string, 3)
+			for i := range nodes {
+				nodes[i] = startNode(t, server.Options{CheckpointDir: dir})
+				addrs[i] = nodes[i].Addr()
+			}
+
+			var attempts atomic.Int64
+			var mu sync.Mutex
+			dialed := map[string]int{}
+			id := fmt.Sprintf("link-%d", seed)
+			cd, err := client.NewClusterDialer(client.ClusterOptions{
+				Nodes:         addrs,
+				SessionID:     id,
+				FailoverAfter: 1,
+				DialNode: func(ctx context.Context, addr string) (net.Conn, error) {
+					n := attempts.Add(1)
+					mu.Lock()
+					dialed[addr]++
+					mu.Unlock()
+					var d net.Dialer
+					conn, derr := d.DialContext(ctx, "tcp", addr)
+					if derr != nil {
+						return nil, derr
+					}
+					return faultio.WrapConn(conn, faultio.ConnConfig{
+						Seed:            seed*100 + n,
+						MaxWriteChunk:   512,
+						ResetAfterBytes: int64(len(enc)) / 5 * n,
+					}), nil
+				},
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := client.Run(context.Background(), client.Options{
+				SessionID:   id,
+				Open:        opener(enc),
+				Dialer:      cd,
+				MaxAttempts: 12,
+				Backoff:     time.Millisecond,
+				Jitter:      0.5,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatalf("upload under link chaos failed: %v (result %+v)", err, res)
+			}
+			if res.Reconnects == 0 {
+				t.Fatalf("chaos schedule never tore a connection: %+v", res)
+			}
+			mu.Lock()
+			distinct := len(dialed)
+			mu.Unlock()
+			if distinct < 2 {
+				t.Fatalf("session never migrated: dial distribution %v", dialed)
+			}
+			got := clusterResult(nodes, id)
+			if got == nil || !bytes.Equal(got.Profile, want) {
+				t.Fatal("profile after chaotic migrations differs from offline pipeline")
+			}
+		})
+	}
+	waitNoLeak(t, before)
+}
+
+// TestClusterHalfOpenLinkFailsOver: the first connection goes half-open
+// mid-upload — writes vanish without erroring — so only the serving
+// node's idle timeout can break the stall. The client must then treat it
+// as any transient, fail over, and finish byte-identical.
+func TestClusterHalfOpenLinkFailsOver(t *testing.T) {
+	enc := testTrace(t, 42, 700)
+	want := offlineProfile(t, enc)
+
+	for seed := int64(0); seed < 2; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			nodes := make([]*server.Server, 2)
+			addrs := make([]string, 2)
+			for i := range nodes {
+				nodes[i] = startNode(t, server.Options{
+					CheckpointDir: dir,
+					IdleTimeout:   50 * time.Millisecond,
+				})
+				addrs[i] = nodes[i].Addr()
+			}
+
+			var attempts atomic.Int64
+			id := fmt.Sprintf("halfopen-%d", seed)
+			cd, err := client.NewClusterDialer(client.ClusterOptions{
+				Nodes:         addrs,
+				SessionID:     id,
+				FailoverAfter: 1,
+				DialNode: func(ctx context.Context, addr string) (net.Conn, error) {
+					var d net.Dialer
+					conn, derr := d.DialContext(ctx, "tcp", addr)
+					if derr != nil {
+						return nil, derr
+					}
+					if attempts.Add(1) == 1 {
+						// Half-open only the first connection, partway in.
+						return faultio.WrapConn(conn, faultio.ConnConfig{
+							Seed:                 seed,
+							MaxWriteChunk:        512,
+							BlackholeWritesAfter: int64(len(enc)) / 3,
+						}), nil
+					}
+					return conn, nil
+				},
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := client.Run(context.Background(), client.Options{
+				SessionID:   id,
+				Open:        opener(enc),
+				Dialer:      cd,
+				MaxAttempts: 6,
+				Backoff:     2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("upload across half-open link failed: %v (result %+v)", err, res)
+			}
+			if res.Reconnects == 0 {
+				t.Fatalf("half-open link never forced a reconnect: %+v", res)
+			}
+			got := clusterResult(nodes, id)
+			if got == nil || !bytes.Equal(got.Profile, want) {
+				t.Fatal("profile after half-open failover differs from offline pipeline")
+			}
+		})
+	}
+}
+
+// TestClusterBusyShedFailsOver: the session's ring owner is at capacity,
+// so its handshake sheds — and the cluster dialer must take the hint and
+// complete the session on the ring successor, first try, no backing off
+// against a full node.
+func TestClusterBusyShedFailsOver(t *testing.T) {
+	enc := testTrace(t, 43, 600)
+	want := offlineProfile(t, enc)
+
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	defer close(gate)
+	var once sync.Once
+
+	nodes := make([]*server.Server, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startNode(t, server.Options{
+			CheckpointDir: dir,
+			MaxSessions:   1,
+			OnSessionBatch: func(id string, batch int, delivered uint64) {
+				if id == "holder" {
+					once.Do(func() { <-gate })
+				}
+			},
+		})
+		addrs[i] = nodes[i].Addr()
+	}
+
+	// Find the ring owner for the session and occupy its only slot.
+	ring, err := cluster.NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ring.Sequence("shed-me")
+	holderDone := make(chan error, 1)
+	go func() {
+		_, herr := client.Run(context.Background(), client.Options{
+			Addr: seq[0], SessionID: "holder", Open: opener(enc),
+		})
+		holderDone <- herr
+	}()
+	waitActive(t, nodes, seq[0])
+
+	cd, err := client.NewClusterDialer(client.ClusterOptions{
+		Nodes:     addrs,
+		SessionID: "shed-me",
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(context.Background(), client.Options{
+		SessionID: "shed-me",
+		Open:      opener(enc),
+		Dialer:    cd,
+		Backoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("upload with a full owner failed: %v (result %+v)", err, res)
+	}
+	if res.Reconnects != 1 {
+		t.Fatalf("reconnects = %d, want exactly 1 (one shed, one success)", res.Reconnects)
+	}
+	if got := cd.Node(); got != seq[1] {
+		t.Fatalf("session landed on %s, want ring successor %s", got, seq[1])
+	}
+	byOwner, _ := nodeFor(nodes, seq[1]).Result("shed-me")
+	if byOwner == nil || !bytes.Equal(byOwner.Profile, want) {
+		t.Fatal("profile after busy-shed failover differs from offline pipeline")
+	}
+
+	gate <- struct{}{}
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder session failed: %v", err)
+	}
+}
+
+// waitActive polls until the node at addr has an active session.
+func waitActive(t *testing.T, nodes []*server.Server, addr string) {
+	t.Helper()
+	n := nodeFor(nodes, addr)
+	for i := 0; ; i++ {
+		if len(n.ResultIDs()) > 0 || n.ActiveSessions() > 0 {
+			return
+		}
+		if i > 1000 {
+			t.Fatalf("no session ever became active on %s", addr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// nodeFor maps an address back to its server.
+func nodeFor(nodes []*server.Server, addr string) *server.Server {
+	for _, n := range nodes {
+		if n.Addr() == addr {
+			return n
+		}
+	}
+	return nil
+}
+
+// TestClusterHealthRoutesAroundDeadNode: once the probers eject a killed
+// owner, a new session's dialer must skip it without paying a connect
+// attempt — the health view saves the dial, not just the session.
+func TestClusterHealthRoutesAroundDeadNode(t *testing.T) {
+	enc := testTrace(t, 44, 500)
+	want := offlineProfile(t, enc)
+
+	dir := t.TempDir()
+	nodes := make([]*server.Server, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startNode(t, server.Options{CheckpointDir: dir})
+		addrs[i] = nodes[i].Addr()
+	}
+
+	health := cluster.NewHealth(addrs, cluster.HealthOptions{
+		Interval: 10 * time.Millisecond,
+		Timeout:  time.Second,
+		Logf:     t.Logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	health.Start(ctx)
+	defer health.Stop()
+
+	// Kill the owner of the upcoming session and wait for ejection.
+	ring, err := cluster.NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ring.Sequence("routed")
+	owner := nodeFor(nodes, seq[0])
+	owner.Abort()
+	owner.Wait()
+	for i := 0; ; i++ {
+		if !health.Alive(seq[0]) {
+			break
+		}
+		if i > 500 {
+			t.Fatalf("probers never ejected the killed owner; down=%v", health.Down())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var mu sync.Mutex
+	dialed := map[string]int{}
+	cd, err := client.NewClusterDialer(client.ClusterOptions{
+		Nodes:     addrs,
+		SessionID: "routed",
+		Health:    health,
+		DialNode: func(ctx context.Context, addr string) (net.Conn, error) {
+			mu.Lock()
+			dialed[addr]++
+			mu.Unlock()
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Run(context.Background(), client.Options{
+		SessionID: "routed",
+		Open:      opener(enc),
+		Dialer:    cd,
+		Backoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("upload around dead owner failed: %v (result %+v)", err, res)
+	}
+	mu.Lock()
+	deadDials := dialed[seq[0]]
+	mu.Unlock()
+	if deadDials != 0 {
+		t.Fatalf("dialer paid %d connect attempts to the ejected owner", deadDials)
+	}
+	got := clusterResult(nodes, "routed")
+	if got == nil || !bytes.Equal(got.Profile, want) {
+		t.Fatal("profile after health-based routing differs from offline pipeline")
+	}
+}
+
+// TestClusterFanoutServesMigratedSession: after a kill-driven migration,
+// the fan-out view on any surviving node must serve the session's profile
+// and flag the dead peer's absence as a partial index, never an error.
+func TestClusterFanoutServesMigratedSession(t *testing.T) {
+	enc := testTrace(t, 45, 600)
+	want := offlineProfile(t, enc)
+
+	dir := t.TempDir()
+	var killed atomic.Bool
+	var victim atomic.Pointer[server.Server]
+	nodes := make([]*server.Server, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		self := &atomic.Pointer[server.Server]{}
+		s := startNode(t, server.Options{
+			CheckpointDir: dir,
+			OnSessionBatch: func(id string, batch int, delivered uint64) {
+				if batch == 2 && killed.CompareAndSwap(false, true) {
+					victim.Store(self.Load())
+					self.Load().Abort()
+				}
+			},
+		})
+		self.Store(s)
+		nodes[i], addrs[i] = s, s.Addr()
+	}
+
+	cd, err := client.NewClusterDialer(client.ClusterOptions{
+		Nodes:     addrs,
+		SessionID: "migrated",
+		DialNode: func(ctx context.Context, addr string) (net.Conn, error) {
+			if v := victim.Load(); v != nil {
+				v.Wait()
+			}
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(context.Background(), client.Options{
+		SessionID: "migrated", Open: opener(enc), Dialer: cd,
+		MaxAttempts: 10, Backoff: 2 * time.Millisecond,
+	}); err != nil {
+		t.Fatalf("upload across kill failed: %v", err)
+	}
+
+	// Stand up the debug HTTP side of every node: each survivor's fan-out
+	// peers at the others (including the dead one — its HTTP side is a
+	// plain unreachable address, exactly like a crashed machine). Two
+	// passes: first bind listeners so every peer address exists, then
+	// build fan-outs with the full peer lists.
+	httpAddrs := make([]string, 3)
+	srvs := make([]*httptest.Server, 3)
+	muxes := make([]*http.ServeMux, 3)
+	for i := range nodes {
+		muxes[i] = http.NewServeMux()
+		srvs[i] = httptest.NewServer(muxes[i])
+		defer srvs[i].Close()
+		httpAddrs[i] = srvs[i].Listener.Addr().String()
+	}
+	for i := range nodes {
+		peers := make([]string, 0, 2)
+		for j := range nodes {
+			if j != i {
+				peers = append(peers, httpAddrs[j])
+			}
+		}
+		muxes[i].Handle("/profiles/", cluster.NewFanout(nodes[i], peers, 500*time.Millisecond).Handler())
+	}
+	// The dead node's HTTP side goes away with the machine.
+	for i, n := range nodes {
+		if n == victim.Load() {
+			srvs[i].Close()
+		}
+	}
+
+	for i, n := range nodes {
+		if n == victim.Load() {
+			continue
+		}
+		resp, err := http.Get("http://" + httpAddrs[i] + "/profiles/migrated")
+		if err != nil {
+			t.Fatalf("node %d fan-out query: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d fan-out status %d: %s", i, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("node %d fan-out profile differs from offline pipeline", i)
+		}
+	}
+}

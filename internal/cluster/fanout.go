@@ -1,0 +1,199 @@
+package cluster
+
+// Cluster-wide profile queries. Sessions are routed by the ring, so any
+// one node holds only its share of the completed profiles; the fan-out
+// handler presents the union. The index merges the local result list with
+// every peer's /profiles/ index, and a by-id lookup answers from the local
+// store when it can and otherwise asks each peer in turn. Peers that do
+// not answer inside the timeout degrade the index to a partial view (and
+// say so) instead of failing it: during a node outage the surviving
+// profiles must stay queryable.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aprof/internal/server"
+)
+
+// DefaultFanoutTimeout bounds one peer query.
+const DefaultFanoutTimeout = 2 * time.Second
+
+// fanoutHeader marks a peer-to-peer query. In a full mesh every node's
+// /profiles/ is itself a fan-out; without this marker an index query
+// would recurse (A asks B, whose handler asks A and C, ...) into an
+// exponential request storm that times out and degrades every view to
+// partial. A request carrying the header is answered from the local
+// store only.
+const fanoutHeader = "X-Aprof-Cluster-Local"
+
+// maxPeerProfileBytes caps one peer profile response (64 MiB): a confused
+// or hostile peer must not balloon this node's memory.
+const maxPeerProfileBytes = 64 << 20
+
+// ProfileStore is the local node's completed-session view; *server.Server
+// implements it.
+type ProfileStore interface {
+	ResultIDs() []string
+	Result(id string) (*server.SessionResult, bool)
+}
+
+// Fanout serves the cluster-wide /profiles/ endpoint over a local store
+// plus a static list of peer HTTP (debug-server) addresses.
+type Fanout struct {
+	local   ProfileStore
+	peers   []string // "host:port" of each peer's debug server
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewFanout builds the fan-out view. peers lists the other nodes' debug
+// HTTP addresses; with no peers the handler is exactly the local view.
+func NewFanout(local ProfileStore, peers []string, timeout time.Duration) *Fanout {
+	if timeout <= 0 {
+		timeout = DefaultFanoutTimeout
+	}
+	return &Fanout{
+		local:   local,
+		peers:   append([]string(nil), peers...),
+		client:  &http.Client{Timeout: timeout},
+		timeout: timeout,
+	}
+}
+
+// clusterIndex is the merged /profiles/ index document. It is a superset
+// of the single-node shape ({"sessions": [...]}), adding partial only when
+// a peer could not be reached.
+type clusterIndex struct {
+	Sessions []string `json:"sessions"`
+	Partial  bool     `json:"partial,omitempty"`
+}
+
+// Handler serves the merged index at the mount point and per-session
+// profiles beneath it. Mount at "/profiles/" like the single-node handler.
+func (f *Fanout) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/profiles/"), "/")
+		localOnly := r.Header.Get(fanoutHeader) != ""
+		w.Header().Set("Content-Type", "application/json")
+		if id == "" {
+			if localOnly {
+				idx := clusterIndex{Sessions: f.local.ResultIDs()}
+				if idx.Sessions == nil {
+					idx.Sessions = []string{}
+				}
+				sort.Strings(idx.Sessions)
+				json.NewEncoder(w).Encode(idx)
+				return
+			}
+			json.NewEncoder(w).Encode(f.index())
+			return
+		}
+		if res, ok := f.local.Result(id); ok {
+			w.Write(res.Profile)
+			return
+		}
+		if !localOnly {
+			if body, ok := f.fromPeers(id); ok {
+				w.Write(body)
+				return
+			}
+		}
+		http.Error(w, fmt.Sprintf(`{"error": "no profile for session %q"}`, id), http.StatusNotFound)
+	})
+}
+
+// index merges the local session list with every peer's, in parallel.
+func (f *Fanout) index() clusterIndex {
+	type peerIndex struct {
+		sessions []string
+		err      error
+	}
+	results := make([]peerIndex, len(f.peers))
+	var wg sync.WaitGroup
+	for i, peer := range f.peers {
+		i, peer := i, peer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i].sessions, results[i].err = f.peerSessions(peer)
+		}()
+	}
+	wg.Wait()
+
+	seen := make(map[string]struct{})
+	for _, id := range f.local.ResultIDs() {
+		seen[id] = struct{}{}
+	}
+	idx := clusterIndex{}
+	for _, r := range results {
+		if r.err != nil {
+			idx.Partial = true
+			continue
+		}
+		for _, id := range r.sessions {
+			seen[id] = struct{}{}
+		}
+	}
+	idx.Sessions = make([]string, 0, len(seen))
+	for id := range seen {
+		idx.Sessions = append(idx.Sessions, id)
+	}
+	sort.Strings(idx.Sessions)
+	return idx
+}
+
+// peerSessions fetches one peer's local session index.
+func (f *Fanout) peerSessions(peer string) ([]string, error) {
+	resp, err := f.peerGet(peer, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s index: status %d", peer, resp.StatusCode)
+	}
+	var idx clusterIndex
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerProfileBytes)).Decode(&idx); err != nil {
+		return nil, fmt.Errorf("cluster: peer %s index: %w", peer, err)
+	}
+	return idx.Sessions, nil
+}
+
+// fromPeers asks each peer for the session's profile, returning the first
+// hit. Sequential is fine: the ring sends a session to one node, so at
+// most one peer answers, and the common case (local hit) never gets here.
+func (f *Fanout) fromPeers(id string) ([]byte, bool) {
+	if !server.ValidSessionID(id) {
+		return nil, false
+	}
+	for _, peer := range f.peers {
+		resp, err := f.peerGet(peer, id)
+		if err != nil {
+			continue
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxPeerProfileBytes))
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		return body, true
+	}
+	return nil, false
+}
+
+// peerGet issues a local-only query to a peer's /profiles/ endpoint.
+func (f *Fanout) peerGet(peer, id string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://"+peer+"/profiles/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(fanoutHeader, "1")
+	return f.client.Do(req)
+}

@@ -1,0 +1,245 @@
+package cluster
+
+// Health-checked liveness over a static member list. One prober goroutine
+// per node dials a periodic APRD status probe; ejection is fail-fast (one
+// failed probe marks the node down by default) and rejoin is automatic
+// (one successful probe marks it back up). The dialer feeds connect
+// failures straight into the same view via ReportFailure, so a node that
+// dies between probes is ejected the moment a client trips over it, not an
+// interval later.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"aprof/internal/obs"
+	"aprof/internal/server"
+)
+
+// Defaults for HealthOptions fields left zero.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+)
+
+// ObsScopeCluster is the metric scope of the cluster layer: probe results
+// and the down-node gauge.
+const ObsScopeCluster = "cluster"
+
+// ProbeFunc checks one node's liveness; a nil error means the node is
+// accepting sessions.
+type ProbeFunc func(ctx context.Context, addr string) error
+
+// Probe is the default ProbeFunc: dial addr, send an APRD status probe,
+// and require a StatusOK answer. A draining node answers busy and is
+// reported down — it sheds every new session, so routing must skip it.
+func Probe(ctx context.Context, addr string, timeout time.Duration) error {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(server.AppendProbe(nil)); err != nil {
+		return fmt.Errorf("cluster: probe write: %w", err)
+	}
+	resp, err := server.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return fmt.Errorf("cluster: probe response: %w", err)
+	}
+	if resp.Status != server.StatusOK {
+		return fmt.Errorf("cluster: node %s not accepting sessions (status %q: %s)", addr, resp.Status, resp.Msg)
+	}
+	return nil
+}
+
+// HealthOptions configures a Health tracker. The zero value probes with
+// the defaults above.
+type HealthOptions struct {
+	// Interval between probes per node (default DefaultProbeInterval).
+	Interval time.Duration
+	// Timeout bounds one probe end to end (default DefaultProbeTimeout).
+	Timeout time.Duration
+	// FailAfter is the count of consecutive failures — probe or reported —
+	// that ejects a node (default 1: fail fast; a healthy node answers a
+	// probe in microseconds, so a single refusal is already a strong
+	// signal, and a false ejection costs only one probe interval).
+	FailAfter int
+	// Probe replaces the APRD status probe (tests inject failures here).
+	Probe ProbeFunc
+	// Obs receives probe metrics under scope "cluster" (nil disables).
+	Obs *obs.Registry
+	// Logf logs liveness transitions (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// nodeState is one member's liveness accounting.
+type nodeState struct {
+	down     bool
+	failures int // consecutive failures since the last success
+}
+
+// Health tracks which members of a static list are currently alive. All
+// methods are safe for concurrent use; Start/Stop manage the probers.
+type Health struct {
+	opts  HealthOptions
+	nodes []string
+
+	probesOK   *obs.Counter
+	probesFail *obs.Counter
+	nodesDown  *obs.Gauge
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	state map[string]*nodeState
+}
+
+// NewHealth builds a tracker over nodes; every node starts alive (the
+// optimistic default: a wrongly-presumed-up node costs one failed dial,
+// a wrongly-presumed-down node would silently halve the cluster).
+func NewHealth(nodes []string, opts HealthOptions) *Health {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultProbeInterval
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultProbeTimeout
+	}
+	if opts.FailAfter <= 0 {
+		opts.FailAfter = 1
+	}
+	if opts.Probe == nil {
+		timeout := opts.Timeout
+		opts.Probe = func(ctx context.Context, addr string) error {
+			return Probe(ctx, addr, timeout)
+		}
+	}
+	h := &Health{
+		opts:  opts,
+		nodes: append([]string(nil), nodes...),
+		state: make(map[string]*nodeState, len(nodes)),
+	}
+	if opts.Obs != nil {
+		s := opts.Obs.Scope(ObsScopeCluster)
+		h.probesOK = s.Counter("probes_ok")
+		h.probesFail = s.Counter("probes_failed")
+		h.nodesDown = s.Gauge("nodes_down")
+	}
+	for _, n := range h.nodes {
+		h.state[n] = &nodeState{}
+	}
+	return h
+}
+
+// Start launches one prober per node. Stop (or cancelling ctx) ends them.
+func (h *Health) Start(ctx context.Context) {
+	ctx, h.cancel = context.WithCancel(ctx)
+	for _, node := range h.nodes {
+		node := node
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			t := time.NewTicker(h.opts.Interval)
+			defer t.Stop()
+			for {
+				pctx, cancel := context.WithTimeout(ctx, h.opts.Timeout)
+				err := h.opts.Probe(pctx, node)
+				cancel()
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					h.probesFail.Inc()
+					h.ReportFailure(node)
+				} else {
+					h.probesOK.Inc()
+					h.ReportSuccess(node)
+				}
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Stop ends the probers and waits for them. Safe to call without Start.
+func (h *Health) Stop() {
+	if h.cancel != nil {
+		h.cancel()
+	}
+	h.wg.Wait()
+}
+
+// Alive reports whether addr is currently presumed up. Unknown nodes are
+// presumed up: the health view restricts routing, it never expands it.
+func (h *Health) Alive(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[addr]
+	return !ok || !st.down
+}
+
+// Down returns the currently-ejected nodes in sorted order.
+func (h *Health) Down() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var down []string
+	for n, st := range h.state {
+		if st.down {
+			down = append(down, n)
+		}
+	}
+	sort.Strings(down)
+	return down
+}
+
+// ReportFailure records one failed interaction with addr — a probe, a
+// connect error, a handshake that never answered. FailAfter consecutive
+// reports eject the node.
+func (h *Health) ReportFailure(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[addr]
+	if !ok {
+		return
+	}
+	st.failures++
+	if !st.down && st.failures >= h.opts.FailAfter {
+		st.down = true
+		h.nodesDown.Add(1)
+		h.logf("cluster: node %s down (%d consecutive failures)", addr, st.failures)
+	}
+}
+
+// ReportSuccess records one successful interaction with addr, rejoining
+// an ejected node immediately.
+func (h *Health) ReportSuccess(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.state[addr]
+	if !ok {
+		return
+	}
+	st.failures = 0
+	if st.down {
+		st.down = false
+		h.nodesDown.Add(-1)
+		h.logf("cluster: node %s rejoined", addr)
+	}
+}
+
+func (h *Health) logf(format string, args ...any) {
+	if h.opts.Logf != nil {
+		h.opts.Logf(format, args...)
+	}
+}

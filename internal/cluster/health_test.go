@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"aprof/internal/obs"
+)
+
+// scriptedProbe is a ProbeFunc whose verdict per node can be flipped at
+// runtime.
+type scriptedProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (p *scriptedProbe) set(node string, fail bool) {
+	p.mu.Lock()
+	p.fail[node] = fail
+	p.mu.Unlock()
+}
+
+func (p *scriptedProbe) probe(ctx context.Context, addr string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail[addr] {
+		return errors.New("scripted probe failure")
+	}
+	return nil
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealthEjectsAndRejoins: a failing probe ejects the node fail-fast;
+// a succeeding probe rejoins it. The obs gauge tracks the down count.
+func TestHealthEjectsAndRejoins(t *testing.T) {
+	sp := &scriptedProbe{fail: map[string]bool{}}
+	reg := obs.NewRegistry()
+	h := NewHealth([]string{"n1", "n2"}, HealthOptions{
+		Interval: 2 * time.Millisecond,
+		Probe:    sp.probe,
+		Obs:      reg,
+		Logf:     t.Logf,
+	})
+	h.Start(context.Background())
+	defer h.Stop()
+
+	if !h.Alive("n1") || !h.Alive("n2") {
+		t.Fatal("nodes must start presumed alive")
+	}
+
+	sp.set("n1", true)
+	waitFor(t, "n1 ejection", func() bool { return !h.Alive("n1") })
+	if !h.Alive("n2") {
+		t.Fatal("n2 ejected though only n1's probe fails")
+	}
+	if down := h.Down(); len(down) != 1 || down[0] != "n1" {
+		t.Fatalf("Down() = %v, want [n1]", down)
+	}
+	if g := reg.Scope(ObsScopeCluster).Gauge("nodes_down").Load(); g != 1 {
+		t.Fatalf("nodes_down = %d, want 1", g)
+	}
+
+	sp.set("n1", false)
+	waitFor(t, "n1 rejoin", func() bool { return h.Alive("n1") })
+	if g := reg.Scope(ObsScopeCluster).Gauge("nodes_down").Load(); g != 0 {
+		t.Fatalf("nodes_down after rejoin = %d, want 0", g)
+	}
+}
+
+// TestHealthFailAfterThreshold: with FailAfter=3, two failures keep the
+// node up and the third ejects it; one success resets the streak.
+func TestHealthFailAfterThreshold(t *testing.T) {
+	h := NewHealth([]string{"n"}, HealthOptions{FailAfter: 3})
+	h.ReportFailure("n")
+	h.ReportFailure("n")
+	if !h.Alive("n") {
+		t.Fatal("node ejected before the failure threshold")
+	}
+	h.ReportSuccess("n")
+	h.ReportFailure("n")
+	h.ReportFailure("n")
+	if !h.Alive("n") {
+		t.Fatal("success did not reset the failure streak")
+	}
+	h.ReportFailure("n")
+	if h.Alive("n") {
+		t.Fatal("node still alive past the failure threshold")
+	}
+}
+
+// TestHealthUnknownNodePresumedAlive: reports about strangers are ignored
+// and lookups for them answer alive — health restricts routing among
+// configured members only.
+func TestHealthUnknownNodePresumedAlive(t *testing.T) {
+	h := NewHealth([]string{"n"}, HealthOptions{})
+	h.ReportFailure("stranger")
+	if !h.Alive("stranger") {
+		t.Fatal("unknown node not presumed alive")
+	}
+}
+
+// TestHealthStopJoinsProbers: Stop must join every prober goroutine — the
+// obs leak-audit pattern.
+func TestHealthStopJoinsProbers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sp := &scriptedProbe{fail: map[string]bool{}}
+	h := NewHealth([]string{"a", "b", "c"}, HealthOptions{
+		Interval: time.Millisecond,
+		Probe:    sp.probe,
+	})
+	h.Start(context.Background())
+	time.Sleep(10 * time.Millisecond)
+	h.Stop()
+	for i := 0; ; i++ {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if i >= 250 {
+			t.Fatalf("prober goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

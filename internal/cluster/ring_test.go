@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministicPlacement: placement must be a pure function of the
+// member list and the key — independent of input order, stable across
+// constructions.
+func TestRingDeterministicPlacement(t *testing.T) {
+	nodes := []string{"c:1", "a:1", "b:1"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"b:1", "c:1", "a:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if r1.Owner(key) != r2.Owner(key) {
+			t.Fatalf("key %q: owner differs across member orderings", key)
+		}
+		if !reflect.DeepEqual(r1.Sequence(key), r2.Sequence(key)) {
+			t.Fatalf("key %q: failover sequence differs across member orderings", key)
+		}
+	}
+}
+
+// TestRingSequenceCoversAllNodes: the failover sequence is a permutation
+// of the member list starting at the owner.
+func TestRingSequenceCoversAllNodes(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r, err := NewRing(nodes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("key %q: sequence has %d nodes, want %d", key, len(seq), len(nodes))
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("key %q: sequence starts at %q, owner is %q", key, seq[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %q: node %q repeated in sequence %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes the keyspace share per member must
+// be roughly even — no member owns more than ~2x its fair share over a
+// large key sample.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := NewRing(nodes, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("session-%d", i))]++
+	}
+	fair := keys / len(nodes)
+	for n, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %q owns no keys", n)
+		}
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("node %q owns %d of %d keys (fair share %d): imbalance too large", n, c, keys, fair)
+		}
+	}
+}
+
+// TestRingStabilityUnderMemberLoss: when one member is removed, keys not
+// owned by it must keep their owner — the consistent-hashing property the
+// ring exists for.
+func TestRingStabilityUnderMemberLoss(t *testing.T) {
+	all := []string{"a", "b", "c", "d"}
+	rAll, err := NewRing(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLoss, err := NewRing([]string{"a", "b", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("s%d", i)
+		before := rAll.Owner(key)
+		after := rLoss.Owner(key)
+		if before != "c" && before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+		if before == "c" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member; test is vacuous")
+	}
+}
+
+// TestRingRejectsBadMembership: configuration errors fail construction
+// loudly instead of skewing the keyspace silently.
+func TestRingRejectsBadMembership(t *testing.T) {
+	for _, nodes := range [][]string{nil, {}, {""}, {"a", "a"}} {
+		if _, err := NewRing(nodes, 0); err == nil {
+			t.Errorf("NewRing(%q) accepted invalid membership", nodes)
+		}
+	}
+}

@@ -44,6 +44,14 @@ type ConnConfig struct {
 	// budget is deliberately oblivious to frame boundaries, so the reset
 	// lands mid-frame almost always.
 	ResetAfterBytes int64
+	// BlackholeWritesAfter, when > 0, turns the link half-open once this
+	// many write bytes have been delivered: later Writes report full
+	// success while silently discarding everything, and Reads keep flowing
+	// from the peer. This is the TCP failure a reset cannot model — the
+	// path forward is gone but nothing errors — so the only escape is a
+	// deadline (the daemon's idle timeout) firing on the starved side. The
+	// cutover lands mid-frame for the same reason the reset does.
+	BlackholeWritesAfter int64
 }
 
 // ChaosConn wraps a net.Conn with the chaos described by its config. Safe
@@ -53,10 +61,12 @@ type ChaosConn struct {
 	net.Conn
 	cfg ConnConfig
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	budget int64 // remaining bytes before reset; <0 = unlimited
-	reset  bool
+	mu          sync.Mutex
+	rng         *rand.Rand
+	budget      int64 // remaining bytes before reset; <0 = unlimited
+	reset       bool
+	writeBudget int64 // remaining write bytes before blackhole; <0 = never
+	blackholed  bool
 }
 
 // WrapConn wraps conn with the chaos described by cfg.
@@ -65,11 +75,16 @@ func WrapConn(conn net.Conn, cfg ConnConfig) *ChaosConn {
 	if budget <= 0 {
 		budget = -1
 	}
+	writeBudget := cfg.BlackholeWritesAfter
+	if writeBudget <= 0 {
+		writeBudget = -1
+	}
 	return &ChaosConn{
-		Conn:   conn,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		budget: budget,
+		Conn:        conn,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		budget:      budget,
+		writeBudget: writeBudget,
 	}
 }
 
@@ -147,12 +162,19 @@ func (c *ChaosConn) Write(p []byte) (int, error) {
 		if d > 0 {
 			time.Sleep(d)
 		}
+		// Half-open: once the write budget is spent, the remainder of this
+		// Write — and every later one — vanishes while claiming success.
+		n = c.wireAllowance(n)
+		if n == 0 {
+			return len(p), nil
+		}
 		n, ok := c.reserve(n)
 		if !ok {
 			return written, ErrInjectedReset
 		}
 		m, err := c.Conn.Write(p[written : written+n])
 		c.refund(n - m)
+		c.consumeWriteBudget(m)
 		written += m
 		if err != nil {
 			return written, err
@@ -161,9 +183,52 @@ func (c *ChaosConn) Write(p []byte) (int, error) {
 	return written, nil
 }
 
+// wireAllowance clamps a prospective write chunk to the bytes still
+// permitted on the wire before the half-open cutover; 0 means the link is
+// already black-holing.
+func (c *ChaosConn) wireAllowance(want int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blackholed {
+		return 0
+	}
+	if c.writeBudget >= 0 && int64(want) > c.writeBudget {
+		want = int(c.writeBudget)
+	}
+	return want
+}
+
+// consumeWriteBudget charges delivered bytes against the half-open budget
+// and flips the link once it is exhausted.
+func (c *ChaosConn) consumeWriteBudget(m int) {
+	if m <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.writeBudget >= 0 {
+		c.writeBudget -= int64(m)
+		if c.writeBudget <= 0 {
+			c.blackholed = true
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Blackholed reports whether the half-open cutover has fired.
+func (c *ChaosConn) Blackholed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blackholed
+}
+
 // CloseWrite half-closes the write side when the underlying conn supports
 // it (TCP does), so chaos-wrapped clients can still signal end-of-stream.
+// A black-holed link swallows the FIN like any other write: the peer must
+// discover the stall by deadline, not be handed a tidy end-of-stream.
 func (c *ChaosConn) CloseWrite() error {
+	if c.Blackholed() {
+		return nil
+	}
 	if cw, ok := c.Conn.(interface{ CloseWrite() error }); ok {
 		return cw.CloseWrite()
 	}

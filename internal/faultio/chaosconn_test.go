@@ -106,6 +106,81 @@ func TestChaosConnReadChunking(t *testing.T) {
 	}
 }
 
+// TestChaosConnHalfOpenSweep: after BlackholeWritesAfter bytes the link
+// goes half-open — writes claim success while delivering nothing, reads
+// keep flowing, and the half-close FIN is swallowed too. Swept across
+// fragmentation seeds so the cutover lands on varying chunk boundaries.
+func TestChaosConnHalfOpenSweep(t *testing.T) {
+	const cutover = 100
+	for seed := int64(0); seed < 8; seed++ {
+		a, b := net.Pipe()
+		cc := WrapConn(a, ConnConfig{
+			Seed:                 seed,
+			MaxWriteChunk:        7,
+			BlackholeWritesAfter: cutover,
+		})
+
+		delivered := make(chan []byte, 1)
+		go func() {
+			buf := make([]byte, cutover)
+			n, _ := io.ReadFull(b, buf)
+			delivered <- buf[:n]
+		}()
+
+		// The writer must see total success even though only the first
+		// cutover bytes ever reach the peer.
+		if n, err := cc.Write(payload(300)); err != nil || n != 300 {
+			t.Fatalf("seed %d: Write = (%d, %v), want (300, nil)", seed, n, err)
+		}
+		if !cc.Blackholed() {
+			t.Fatalf("seed %d: Blackholed = false after %d bytes", seed, 300)
+		}
+		if got := <-delivered; !bytes.Equal(got, payload(300)[:cutover]) {
+			t.Fatalf("seed %d: peer got %d bytes, want the exact %d-byte prefix", seed, len(got), cutover)
+		}
+		if n, err := cc.Write([]byte{1, 2, 3}); err != nil || n != 3 {
+			t.Fatalf("seed %d: post-cutover Write = (%d, %v), want silent success", seed, n, err)
+		}
+		if err := cc.CloseWrite(); err != nil {
+			t.Fatalf("seed %d: CloseWrite on half-open link: %v", seed, err)
+		}
+
+		// Reads still flow: half-open is one-directional by definition.
+		go b.Write([]byte("pong"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(cc, buf); err != nil || string(buf) != "pong" {
+			t.Fatalf("seed %d: read after cutover = %q, %v", seed, buf, err)
+		}
+
+		cc.Close()
+		b.Close()
+	}
+}
+
+// TestChaosConnHalfOpenStarvesIdlePeer: the end-to-end shape the mode
+// exists for — the starved reader never errors, never sees EOF, and only a
+// deadline gets it out.
+func TestChaosConnHalfOpenStarvesIdlePeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	cc := WrapConn(a, ConnConfig{Seed: 5, BlackholeWritesAfter: 10})
+	drained := make(chan struct{})
+	go func() { // drain the pre-cutover bytes (pipe writes block until read)
+		io.ReadFull(b, make([]byte, 10))
+		close(drained)
+	}()
+	if _, err := cc.Write(payload(50)); err != nil {
+		t.Fatal(err)
+	}
+	<-drained
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	n, err := b.Read(make([]byte, 1))
+	var nerr net.Error
+	if n != 0 || !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("starved peer read = (%d, %v), want a deadline timeout", n, err)
+	}
+}
+
 // TestChaosWriterDeterministicSchedule: equal seeds fragment identically;
 // the torn-write failure point lands at exactly FailAt.
 func TestChaosWriterDeterministicSchedule(t *testing.T) {

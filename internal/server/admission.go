@@ -1,0 +1,196 @@
+package server
+
+// Adaptive admission control. The PR 5 daemon bounded concurrency with a
+// fixed session semaphore: a constant picked at startup, blind to how
+// expensive the sessions actually are. This controller replaces the
+// constant with a feedback loop over the signals the observability layer
+// already publishes: the in-flight session gauge, the windowed
+// batch-decode-latency high-water mark (profio's decode_us_hwm — decode
+// latency climbs when sessions contend for cores), and a heap estimate.
+// The effective limit moves AIMD-style — halve toward the floor on an
+// overloaded window, creep back up one slot per healthy window — so the
+// daemon degrades to exactly the explicit busy-shed it always had, which a
+// cluster-aware client converts into failover to the ring successor
+// instead of failure.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"aprof/internal/obs"
+	"aprof/internal/profio"
+)
+
+// DefaultAdmissionInterval is the default signal-evaluation cadence.
+const DefaultAdmissionInterval = 100 * time.Millisecond
+
+// AdmissionOptions configures adaptive admission control. The zero value
+// disables adaptation: with no threshold set the controller is exactly the
+// fixed MaxSessions semaphore. Adaptation needs Options.Obs — without a
+// registry the decode-latency signal has nowhere to come from.
+type AdmissionOptions struct {
+	// MinSessions is the floor the controller never sheds below (default
+	// 1): total lockout would turn an overload blip into an outage.
+	MinSessions int
+	// MaxDecodeLatency, when > 0, treats an evaluation window whose
+	// batch-decode-latency high-water mark exceeds it as overload.
+	MaxDecodeLatency time.Duration
+	// MaxMemoryBytes, when > 0, treats a heap estimate above it as
+	// overload.
+	MaxMemoryBytes int64
+	// Interval is the evaluation cadence (default
+	// DefaultAdmissionInterval). Between evaluations admission decisions
+	// reuse the cached limit — the per-handshake cost stays one mutex and
+	// two comparisons.
+	Interval time.Duration
+}
+
+// enabled reports whether any adaptive signal is configured.
+func (o AdmissionOptions) enabled() bool {
+	return o.MaxDecodeLatency > 0 || o.MaxMemoryBytes > 0
+}
+
+// admission is the controller instance owned by one Server.
+type admission struct {
+	max      int
+	min      int
+	interval time.Duration
+
+	maxDecodeUS int64
+	maxMem      int64
+
+	// Signals. decodeHWM is the shared profio gauge, consumed
+	// read-and-reset so each evaluation sees only its own window. memBytes
+	// republishes the heap estimate for /debug visibility; limitGauge and
+	// overloads narrate the controller's own behavior.
+	decodeHWM  *obs.Gauge
+	memBytes   *obs.Gauge
+	limitGauge *obs.Gauge
+	overloads  *obs.Counter
+
+	// readMem returns the current heap estimate; swapped by tests.
+	readMem func() int64
+	// now is the clock; swapped by tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	limit    int
+	lastEval time.Time
+}
+
+// heapEstimate is the default memory signal: allocated heap bytes. It
+// stops the world for microseconds, which the evaluation interval
+// amortizes to nothing.
+func heapEstimate() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// newAdmission builds the controller for a server with the given session
+// ceiling. reg may be nil (adaptation degrades to the fixed semaphore).
+func newAdmission(maxSessions int, o AdmissionOptions, reg *obs.Registry) *admission {
+	a := &admission{
+		max:         maxSessions,
+		min:         o.MinSessions,
+		interval:    o.Interval,
+		maxDecodeUS: int64(o.MaxDecodeLatency / time.Microsecond),
+		maxMem:      o.MaxMemoryBytes,
+		readMem:     heapEstimate,
+		now:         time.Now,
+		limit:       maxSessions,
+	}
+	if a.min <= 0 {
+		a.min = 1
+	}
+	if a.min > a.max {
+		a.min = a.max
+	}
+	if a.interval <= 0 {
+		a.interval = DefaultAdmissionInterval
+	}
+	if !o.enabled() {
+		// Fixed mode: the limit never moves, so skip evaluation entirely.
+		a.maxDecodeUS, a.maxMem = 0, 0
+	}
+	if reg != nil {
+		a.decodeHWM = reg.Scope(profio.ObsScopeProfio).Gauge(profio.DecodeHWMGauge)
+		s := reg.Scope(ObsScopeServer)
+		a.memBytes = s.Gauge("mem_estimate_bytes")
+		a.limitGauge = s.Gauge("admit_limit")
+		a.overloads = s.Counter("admit_overloads")
+		a.limitGauge.Set(int64(a.limit))
+	}
+	return a
+}
+
+// adaptive reports whether any signal threshold is active.
+func (a *admission) adaptive() bool {
+	return a.maxDecodeUS > 0 || a.maxMem > 0
+}
+
+// admit decides whether a new session may start given the current
+// in-flight count. Called with the server's slot mutex held, so decisions
+// and the active count are consistent.
+func (a *admission) admit(active int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.adaptive() {
+		a.maybeEval(active)
+	}
+	return active < a.limit
+}
+
+// maybeEval re-reads the overload signals at most once per interval and
+// moves the limit: multiplicative decrease on an overloaded window,
+// additive recovery on a healthy one.
+func (a *admission) maybeEval(active int) {
+	now := a.now()
+	if now.Sub(a.lastEval) < a.interval {
+		return
+	}
+	a.lastEval = now
+
+	// Read-and-reset: the gauge accumulated the worst batch-decode latency
+	// any session saw since the previous evaluation. Resetting it here is
+	// what makes the signal a window instead of a lifetime maximum (a
+	// lifetime maximum would shed forever after one bad batch). The racing
+	// SetMax a decoder may lose between Load and Set costs one window of
+	// signal, never correctness.
+	decodeUS := a.decodeHWM.Load()
+	a.decodeHWM.Set(0)
+
+	var mem int64
+	if a.maxMem > 0 {
+		mem = a.readMem()
+		a.memBytes.Set(mem)
+	}
+
+	overloaded := (a.maxDecodeUS > 0 && decodeUS > a.maxDecodeUS) ||
+		(a.maxMem > 0 && mem > a.maxMem)
+	if overloaded {
+		a.overloads.Inc()
+		// Halve from the working set, not the stale limit: when the limit
+		// is 8 but only 4 sessions are running, the overload is those 4.
+		next := a.limit
+		if active < next {
+			next = active
+		}
+		next /= 2
+		if next < a.min {
+			next = a.min
+		}
+		a.limit = next
+	} else if a.limit < a.max {
+		a.limit++
+	}
+	a.limitGauge.Set(int64(a.limit))
+}
+
+// currentLimit reports the effective session limit (for tests and status).
+func (a *admission) currentLimit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}

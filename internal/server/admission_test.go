@@ -1,0 +1,172 @@
+package server
+
+// White-box tests of the adaptive admission controller: a scripted clock
+// and scripted signals drive the AIMD loop through overload, recovery,
+// and the fixed-semaphore degenerate case, deterministically.
+
+import (
+	"testing"
+	"time"
+
+	"aprof/internal/obs"
+	"aprof/internal/profio"
+)
+
+// admissionHarness builds a controller with a manual clock and a scripted
+// memory signal.
+type admissionHarness struct {
+	a   *admission
+	reg *obs.Registry
+	now time.Time
+	mem int64
+}
+
+func newAdmissionHarness(max int, o AdmissionOptions) *admissionHarness {
+	h := &admissionHarness{reg: obs.NewRegistry(), now: time.Unix(1000, 0)}
+	h.a = newAdmission(max, o, h.reg)
+	h.a.now = func() time.Time { return h.now }
+	h.a.readMem = func() int64 { return h.mem }
+	return h
+}
+
+// tick advances past the evaluation interval so the next admit re-reads
+// the signals.
+func (h *admissionHarness) tick() { h.now = h.now.Add(h.a.interval + time.Millisecond) }
+
+// decodeSpike simulates a slow decode window by raising the shared gauge
+// the way the profio decoder does.
+func (h *admissionHarness) decodeSpike(us int64) {
+	h.reg.Scope(profio.ObsScopeProfio).Gauge(profio.DecodeHWMGauge).SetMax(us)
+}
+
+// TestAdmissionFixedModeIsPlainSemaphore: with no thresholds the limit is
+// MaxSessions forever, whatever the signals do.
+func TestAdmissionFixedModeIsPlainSemaphore(t *testing.T) {
+	h := newAdmissionHarness(4, AdmissionOptions{})
+	h.decodeSpike(1 << 40)
+	h.mem = 1 << 50
+	for i := 0; i < 10; i++ {
+		h.tick()
+		if !h.a.admit(3) {
+			t.Fatal("fixed-mode admission denied below MaxSessions")
+		}
+		if h.a.admit(4) {
+			t.Fatal("fixed-mode admission allowed at MaxSessions")
+		}
+	}
+	if lim := h.a.currentLimit(); lim != 4 {
+		t.Fatalf("fixed-mode limit moved to %d", lim)
+	}
+}
+
+// TestAdmissionDecodeLatencyShedsAndRecovers: a decode-latency spike
+// halves the limit toward the floor; healthy windows recover it one slot
+// at a time back to the ceiling.
+func TestAdmissionDecodeLatencyShedsAndRecovers(t *testing.T) {
+	h := newAdmissionHarness(8, AdmissionOptions{
+		MaxDecodeLatency: time.Millisecond, // 1000us
+		MinSessions:      1,
+	})
+
+	// Healthy window: limit stays at the ceiling.
+	h.tick()
+	if !h.a.admit(7) || h.a.currentLimit() != 8 {
+		t.Fatalf("healthy window: limit %d, want 8", h.a.currentLimit())
+	}
+
+	// Overloaded window with 8 in flight: halve to 4.
+	h.decodeSpike(5000)
+	h.tick()
+	if h.a.admit(8) {
+		t.Fatal("admitted at the ceiling during overload")
+	}
+	if lim := h.a.currentLimit(); lim != 4 {
+		t.Fatalf("after overload: limit %d, want 4", lim)
+	}
+	// The window was consumed: the same spike must not shed again.
+	h.tick()
+	h.a.admit(2)
+	if lim := h.a.currentLimit(); lim != 5 {
+		t.Fatalf("after healthy window: limit %d, want 5 (additive recovery)", lim)
+	}
+
+	// Full recovery: one slot per healthy window, capped at the ceiling.
+	for i := 0; i < 10; i++ {
+		h.tick()
+		h.a.admit(2)
+	}
+	if lim := h.a.currentLimit(); lim != 8 {
+		t.Fatalf("after recovery: limit %d, want 8", lim)
+	}
+	if n := h.reg.Scope(ObsScopeServer).Counter("admit_overloads").Load(); n != 1 {
+		t.Fatalf("admit_overloads = %d, want 1", n)
+	}
+}
+
+// TestAdmissionMemorySignal: the heap-estimate threshold sheds on its own,
+// and halving starts from the in-flight count, not the stale limit.
+func TestAdmissionMemorySignal(t *testing.T) {
+	h := newAdmissionHarness(8, AdmissionOptions{MaxMemoryBytes: 1 << 20})
+	h.mem = 2 << 20
+	h.tick()
+	h.a.admit(4) // 4 in flight under a limit of 8: halve from 4, not 8
+	if lim := h.a.currentLimit(); lim != 2 {
+		t.Fatalf("after memory overload: limit %d, want 2", lim)
+	}
+	if g := h.reg.Scope(ObsScopeServer).Gauge("mem_estimate_bytes").Load(); g != 2<<20 {
+		t.Fatalf("mem_estimate_bytes = %d, want %d", g, 2<<20)
+	}
+}
+
+// TestAdmissionFloorHolds: sustained overload parks the limit at
+// MinSessions, never zero — shedding everything would turn a blip into an
+// outage.
+func TestAdmissionFloorHolds(t *testing.T) {
+	h := newAdmissionHarness(8, AdmissionOptions{MaxMemoryBytes: 1, MinSessions: 2})
+	h.mem = 100
+	for i := 0; i < 6; i++ {
+		h.tick()
+		h.a.admit(8)
+	}
+	if lim := h.a.currentLimit(); lim != 2 {
+		t.Fatalf("limit under sustained overload = %d, want floor 2", lim)
+	}
+	if !h.a.admit(1) {
+		t.Fatal("denied below the floor")
+	}
+}
+
+// TestAdmissionEvaluatesAtMostOncePerInterval: between ticks the cached
+// limit is reused — repeated admits must not burn extra windows.
+func TestAdmissionEvaluatesAtMostOncePerInterval(t *testing.T) {
+	h := newAdmissionHarness(8, AdmissionOptions{MaxDecodeLatency: time.Millisecond})
+	h.tick()
+	h.a.admit(0)
+	h.decodeSpike(5000)
+	// Same window: the spike is not yet visible.
+	h.a.admit(0)
+	if lim := h.a.currentLimit(); lim != 8 {
+		t.Fatalf("limit moved mid-window: %d", lim)
+	}
+	h.tick()
+	h.a.admit(8)
+	if lim := h.a.currentLimit(); lim != 4 {
+		t.Fatalf("next window missed the spike: limit %d, want 4", lim)
+	}
+}
+
+// TestAdmissionNilRegistry: without a registry adaptive thresholds cannot
+// see signals; the controller must still behave as the fixed semaphore
+// instead of shedding spuriously.
+func TestAdmissionNilRegistry(t *testing.T) {
+	a := newAdmission(4, AdmissionOptions{MaxDecodeLatency: time.Millisecond}, nil)
+	for i := 0; i < 5; i++ {
+		if !a.admit(3) {
+			t.Fatal("denied below the ceiling with nil registry")
+		}
+		if a.admit(4) {
+			t.Fatal("admitted at the ceiling with nil registry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -24,11 +24,24 @@ import (
 const (
 	DefaultMaxAttempts = 8
 	DefaultBackoff     = 100 * time.Millisecond
+	// DefaultBusyAttemptFactor scales MaxAttempts into the default busy
+	// budget: busy-shed is the server working as designed under load, so
+	// it deserves a much longer leash than genuine failures.
+	DefaultBusyAttemptFactor = 4
 )
 
 // ErrPermanent wraps server rejections that reconnecting cannot fix (bad
 // handshake, event limit, config mismatch). Run gives up immediately.
 var ErrPermanent = errors.New("client: permanent server error")
+
+// ErrBusy marks a shed connection: the server is at its admission limit,
+// the session id is already active, or the daemon is draining. Busy is
+// transient by construction — the daemon shed exactly so that a later (or
+// differently-routed) attempt can succeed — so Run retries it under its
+// own MaxBusyAttempts budget with capped backoff instead of burning the
+// failure budget, and a ClusterDialer fails the session over to the ring
+// successor.
+var ErrBusy = errors.New("client: server busy")
 
 // Options configures one upload.
 type Options struct {
@@ -45,8 +58,16 @@ type Options struct {
 	Open func() (io.ReadCloser, error)
 	// MaxAttempts bounds consecutive failed attempts (default 8). Any
 	// acknowledged progress resets the counter — a link that keeps dying
-	// but keeps advancing is slow, not down.
+	// but keeps advancing is slow, not down. Busy-shed responses do not
+	// count here; they have their own MaxBusyAttempts budget.
 	MaxAttempts int
+	// MaxBusyAttempts bounds consecutive busy-shed attempts (default
+	// DefaultBusyAttemptFactor x MaxAttempts). A busy answer means the
+	// server is healthy but full (or draining): it used to share — and
+	// routinely exhaust — the failure budget, turning a transient overload
+	// into a permanent-looking client error. Progress resets this counter
+	// too.
+	MaxBusyAttempts int
 	// Backoff is the base of the capped exponential retry schedule:
 	// consecutive failure k waits Backoff*2^(k-1) (default 100ms).
 	Backoff time.Duration
@@ -58,8 +79,14 @@ type Options struct {
 	// Seed seeds the jitter stream.
 	Seed int64
 	// Dial replaces the default TCP dial — the chaos harness's injection
-	// point for misbehaving connections.
+	// point for misbehaving connections. Takes precedence over Dialer.
 	Dial func(ctx context.Context) (net.Conn, error)
+	// Dialer, when non-nil (and Dial is nil), supplies connections from a
+	// stateful source — a ClusterDialer routing by session id. If it also
+	// implements AttemptObserver, Run reports every attempt's classified
+	// outcome back to it, which is how failover decisions (busy → ring
+	// successor, repeated resets → give the node up) are made.
+	Dialer ConnDialer
 	// Logf logs attempt-level events (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -77,12 +104,24 @@ type Result struct {
 	ResumedFrom uint64
 }
 
-// errBusy marks a shed connection (server at capacity or draining): always
-// worth retrying, never counts as the server being broken.
-var errBusy = errors.New("client: server busy")
+// ConnDialer is a stateful connection source (see Options.Dialer).
+type ConnDialer interface {
+	DialContext(ctx context.Context) (net.Conn, error)
+}
+
+// AttemptObserver is optionally implemented by a ConnDialer that wants
+// attempt feedback. Run calls AttemptResult after every connection
+// attempt with nil on session completion, or the attempt's error —
+// ErrBusy for a shed handshake, an error wrapping ErrPermanent for a
+// rejection, anything else for a transient failure. A routing dialer uses
+// the classification to decide whether the next DialContext should target
+// the same node or its ring successor.
+type AttemptObserver interface {
+	AttemptResult(err error)
+}
 
 // Run uploads the trace, reconnecting until the server reports the session
-// complete, ctx is cancelled, MaxAttempts consecutive attempts fail, or
+// complete, ctx is cancelled, the relevant attempt budget is exhausted, or
 // the server rejects the session permanently.
 func Run(ctx context.Context, opts Options) (Result, error) {
 	var res Result
@@ -95,6 +134,9 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = DefaultMaxAttempts
 	}
+	if opts.MaxBusyAttempts <= 0 {
+		opts.MaxBusyAttempts = DefaultBusyAttemptFactor * opts.MaxAttempts
+	}
 	if opts.Backoff <= 0 {
 		opts.Backoff = DefaultBackoff
 	}
@@ -102,10 +144,20 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 		opts.MaxBackoff = 32 * opts.Backoff
 	}
 	if opts.Dial == nil {
-		opts.Dial = func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", opts.Addr)
+		if opts.Dialer != nil {
+			opts.Dial = opts.Dialer.DialContext
+		} else {
+			opts.Dial = func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", opts.Addr)
+			}
 		}
+	}
+	var observe func(error)
+	if obs, ok := opts.Dialer.(AttemptObserver); ok {
+		observe = obs.AttemptResult
+	} else {
+		observe = func(error) {}
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -113,12 +165,12 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	failures := 0
+	failures, busy := 0, 0
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			res.Reconnects++
-			if err := backoffWait(ctx, rng, opts, failures); err != nil {
+			if err := backoffWait(ctx, rng, opts, failures+busy); err != nil {
 				return res, errors.Join(err, lastErr)
 			}
 		}
@@ -128,16 +180,30 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 
 		progressed, done, err := attemptOnce(ctx, opts, &res)
 		if done {
+			observe(nil)
 			return res, nil
 		}
+		observe(err)
 		if errors.Is(err, ErrPermanent) {
 			return res, err
 		}
 		lastErr = err
 		if progressed {
 			// The server acknowledged new batches this attempt: the link is
-			// lossy, not dead. Start the failure budget over.
-			failures = 0
+			// lossy, not dead. Start both budgets over.
+			failures, busy = 0, 0
+		}
+		if errors.Is(err, ErrBusy) {
+			// Shed, not broken: the server (or its admission controller)
+			// chose to turn this attempt away. Retry on the dedicated busy
+			// budget so sustained-but-finite overload cannot exhaust the
+			// failure budget meant for real breakage.
+			busy++
+			logf("aprof client: attempt %d shed (%d consecutive busy): %v", attempt+1, busy, err)
+			if busy >= opts.MaxBusyAttempts {
+				return res, fmt.Errorf("client: shed %d consecutive times: %w", busy, lastErr)
+			}
+			continue
 		}
 		failures++
 		logf("aprof client: attempt %d failed (%d consecutive): %v", attempt+1, failures, err)
@@ -197,7 +263,7 @@ func attemptOnce(ctx context.Context, opts Options, res *Result) (progressed, do
 	}
 	switch {
 	case resp.Status == server.StatusBusy:
-		return false, false, fmt.Errorf("%w: %s", errBusy, resp.Msg)
+		return false, false, fmt.Errorf("%w: %s", ErrBusy, resp.Msg)
 	case resp.Status == server.StatusError:
 		return false, false, fmt.Errorf("%w: handshake rejected: %s", ErrPermanent, resp.Msg)
 	case resp.Status == server.StatusResume:

@@ -41,10 +41,17 @@ var errEventLimit = errors.New("server: session event limit exceeded")
 // no byte/event limits, no durability (no checkpoint dir), results kept
 // in memory only.
 type Options struct {
-	// MaxSessions bounds concurrent sessions. Connection attempts beyond
-	// the cap receive an explicit busy response and are closed — load is
-	// shed, never queued into an unbounded backlog.
+	// MaxSessions is the concurrent-session ceiling. Connection attempts
+	// beyond the effective limit receive an explicit busy response and are
+	// closed — load is shed, never queued into an unbounded backlog.
 	MaxSessions int
+	// Admission configures adaptive admission control beneath the
+	// MaxSessions ceiling: when any of its signal thresholds is set (and
+	// Obs is non-nil), the effective limit moves AIMD-style with the
+	// decode-latency high-water mark and the heap estimate, degrading
+	// overload to the same explicit shedding. The zero value keeps the
+	// fixed semaphore.
+	Admission AdmissionOptions
 	// IdleTimeout is the per-read deadline on client connections. A
 	// stalled or slow-loris client times out and frees its session slot
 	// (with its checkpoint intact) instead of holding it forever.
@@ -105,6 +112,7 @@ type serverMetrics struct {
 	sessionsFailed  *obs.Counter
 	sessionsDrained *obs.Counter
 	sessionsShed    *obs.Counter
+	probes          *obs.Counter
 	panics          *obs.Counter
 	ckptDiscarded   *obs.Counter
 	acksSent        *obs.Counter
@@ -122,6 +130,7 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		sessionsFailed:  s.Counter("sessions_failed"),
 		sessionsDrained: s.Counter("sessions_drained"),
 		sessionsShed:    s.Counter("sessions_shed"),
+		probes:          s.Counter("probes_answered"),
 		panics:          s.Counter("panics_recovered"),
 		ckptDiscarded:   s.Counter("checkpoints_discarded"),
 		acksSent:        s.Counter("acks_sent"),
@@ -134,6 +143,7 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 type Server struct {
 	opts Options
 	m    serverMetrics
+	adm  *admission
 
 	ctx    context.Context // cancelled on drain/abort; parent of all sessions
 	cancel context.CancelFunc
@@ -164,6 +174,7 @@ func New(opts Options) *Server {
 	return &Server{
 		opts:      opts,
 		m:         newServerMetrics(opts.Obs),
+		adm:       newAdmission(opts.MaxSessions, opts.Admission, opts.Obs),
 		ctx:       ctx,
 		cancel:    cancel,
 		conns:     make(map[net.Conn]struct{}),
@@ -306,14 +317,33 @@ func (s *Server) session(conn net.Conn) {
 		return
 	}
 
+	if hs.probe {
+		// A liveness probe: answer and hang up. It never claims a slot, so
+		// probing an overloaded node still succeeds — "full" and "down" are
+		// different answers. Only a draining node refuses: it sheds every
+		// new session, so routing should stop picking it.
+		s.m.probes.Inc()
+		if s.draining.Load() {
+			writeResponse(conn, s.opts.WriteTimeout, StatusBusy, 0, "server draining")
+			return
+		}
+		s.mu.Lock()
+		active := len(s.activeIDs)
+		s.mu.Unlock()
+		writeResponse(conn, s.opts.WriteTimeout, StatusOK, uint64(active), "")
+		return
+	}
+
 	if s.draining.Load() {
 		writeResponse(conn, s.opts.WriteTimeout, StatusBusy, 0, "server draining")
 		return
 	}
 
-	// Backpressure: one slot per session up to the cap, then explicit
-	// shedding. A busy response costs the daemon almost nothing; an
-	// unbounded accept queue under overload costs it everything.
+	// Backpressure: one slot per session up to the admission limit, then
+	// explicit shedding. A busy response costs the daemon almost nothing;
+	// an unbounded accept queue under overload costs it everything — and a
+	// cluster-aware client turns the busy answer into failover to the ring
+	// successor instead of failure.
 	if !s.acquireSlot(hs.id) {
 		s.m.sessionsShed.Inc()
 		writeResponse(conn, s.opts.WriteTimeout, StatusBusy, 0, "server busy")
@@ -432,11 +462,12 @@ func (s *Server) failSession(conn net.Conn, id string, metered *meteredReader, e
 	}
 }
 
-// acquireSlot claims a session slot and the session id, atomically.
+// acquireSlot claims a session slot and the session id, atomically. The
+// admission controller decides how many slots currently exist.
 func (s *Server) acquireSlot(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.activeIDs) >= s.opts.MaxSessions {
+	if !s.adm.admit(len(s.activeIDs)) {
 		return false
 	}
 	if _, busy := s.activeIDs[id]; busy {
@@ -476,6 +507,13 @@ func (s *Server) storeResult(id string, ps *core.Profiles, delivered uint64, res
 		}
 	}
 	return nil
+}
+
+// ActiveSessions reports the number of sessions currently in flight.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.activeIDs)
 }
 
 // Result returns a completed session's outcome.

@@ -210,7 +210,7 @@ func TestBusySheds(t *testing.T) {
 	for _, id := range []string{"probe", "holder"} {
 		_, err := client.Run(context.Background(), client.Options{
 			Addr: s.Addr(), SessionID: id, Open: opener(enc),
-			MaxAttempts: 1, Backoff: time.Millisecond,
+			MaxAttempts: 1, MaxBusyAttempts: 1, Backoff: time.Millisecond,
 		})
 		if err == nil || !strings.Contains(err.Error(), "busy") {
 			t.Fatalf("session %q during overload: err = %v, want busy", id, err)
