@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults shard-equivalence chaos chaos-cluster bench bench-baseline bench-all cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults shard-equivalence suppress-equivalence chaos chaos-cluster bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadText -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzReadProfiles -fuzztime $(FUZZTIME) ./internal/profio
 	$(GO) test -run xxx -fuzz FuzzProfileSharded -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzEffects -fuzztime $(FUZZTIME) ./internal/vm/analysis
 
 # Robustness suite: fault-injection seed sweeps, corrupt-frame recovery
 # with exact loss accounting, and kill-at-every-batch checkpoint/resume
@@ -54,6 +55,16 @@ faults:
 # goroutine-dense code in the repo).
 shard-equivalence:
 	$(GO) test -race -count=1 -run 'Shard' ./internal/core ./internal/profio
+
+# Instrumentation redundancy suppression vs the full per-instruction
+# tracer: the differential harness proves suppressed traces produce
+# byte-identical profiler output (reports, plots, stream checkpoints)
+# across the corpora, the VM workloads, and seeded random programs, plus
+# the opcode-table cross-checks — race-enabled and time-bounded.
+suppress-equivalence:
+	$(GO) test -race -timeout 300s -count=1 \
+		-run 'TestSuppress|TestOpTable|TestEffects' \
+		./internal/vm/analysis ./internal/workloads
 
 # Network chaos suite, under the race detector with a hard timeout (a
 # drain/backpressure deadlock must fail the run, not hang it): chaos-conn
@@ -78,10 +89,10 @@ chaos-cluster:
 	$(GO) test -race -timeout 90s -count=1 -run 'TestClusterEndToEnd' ./cmd/aprofd
 
 # Benchmark-regression harness: run the hot-path benchmarks (core, shadow,
-# profio, obs) with -benchmem and diff ns/op against the committed
+# profio, obs, vm) with -benchmem and diff ns/op against the committed
 # BENCH_core.json baseline (±15%). Reports only — benchdiff exits 0 even on
 # regressions (add -exit-code for a hard local gate).
-BENCH_PKGS = ./internal/core ./internal/shadow ./internal/profio ./internal/obs
+BENCH_PKGS = ./internal/core ./internal/shadow ./internal/profio ./internal/obs ./internal/vm
 bench:
 	$(GO) test -run xxx -bench . -benchmem $(BENCH_PKGS) | tee bench_output.txt
 	$(GO) run ./internal/tools/benchdiff bench_output.txt

@@ -4,14 +4,26 @@
 //
 // Usage:
 //
-//	minivm [-quantum N] [-max-steps N] [-trace FILE] [-trace-format binary|text] [-stats|-fmt|-disasm] program.ml
+//	minivm [-quantum N] [-max-steps N] [-trace FILE] [-trace-format binary|text] [-suppress] [-stats|-fmt|-disasm] program.ml
 //	minivm vet program.ml...
+//	minivm effects program.ml...
 //
 // The vet subcommand runs the static-analysis pipeline (parse, lint,
-// compile, bytecode verification, optimize, re-verification) without
-// executing the program, printing positioned file:line:col diagnostics. It
-// exits 1 when any file has findings. Importing the analysis package also
-// wires the bytecode verifier into every compile the run mode performs.
+// compile, bytecode verification, optimize, re-verification, effect
+// analysis) without executing the program, printing positioned
+// file:line:col diagnostics. It exits 1 when any file has findings.
+// Importing the analysis package also wires the bytecode verifier into
+// every compile the run mode performs.
+//
+// The effects subcommand prints the per-function block/cost/effect report
+// of the CFG effect analysis: each basic block's static step cost and its
+// memory accesses with symbolic addresses, marking accesses the redundancy
+// suppressor elides and blocks that bail out of aggregation. Diagnostics
+// go to stderr; the report is informational, so only hard errors fail.
+//
+// -suppress runs the program with instrumentation redundancy suppression:
+// per-block aggregated trace emission with provably redundant accesses
+// elided. Profiler results over the trace are unchanged (see DESIGN.md).
 package main
 
 import (
@@ -29,6 +41,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "vet" {
 		os.Exit(vet(os.Args[2:], os.Stdout))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "effects" {
+		os.Exit(effects(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		quantum  = flag.Int("quantum", 0, "basic blocks per scheduling slice (0 = default)")
 		maxSteps = flag.Uint64("max-steps", 0, "instruction limit (0 = default)")
@@ -38,11 +53,13 @@ func main() {
 		optimize = flag.Bool("optimize", false, "run the bytecode optimizer before execution")
 		format   = flag.Bool("fmt", false, "format the program to stdout instead of running it")
 		disasm   = flag.Bool("disasm", false, "print the compiled bytecode instead of running")
+		suppress = flag.Bool("suppress", false, "suppress provably redundant instrumentation (aggregated block events)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: minivm [flags] program.ml")
 		fmt.Fprintln(os.Stderr, "       minivm vet program.ml...")
+		fmt.Fprintln(os.Stderr, "       minivm effects program.ml...")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,6 +95,7 @@ func main() {
 		MaxSteps: *maxSteps,
 		Stdout:   os.Stdout,
 		Optimize: *optimize,
+		Suppress: *suppress,
 	})
 	if err != nil {
 		fatal(err)
@@ -85,6 +103,11 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "threads: %d  steps: %d  basic blocks: %d  trace events: %d\n",
 			res.Threads, res.Steps, res.BasicBlocks, res.Trace.Len())
+		if s := res.Suppress; s != nil {
+			fmt.Fprintf(os.Stderr, "suppress: mem ops: %d  elided: %d (static %d, dynamic %d, coalesced %d)  blocks: %d aggregated, %d direct, %d bailed (sys)  overflows: %d\n",
+				s.MemOps, s.Elided(), s.ElidedStatic, s.ElidedDynamic, s.Coalesced,
+				s.BlocksAggregated, s.BlocksDirect, s.BlocksBailedSys, s.Overflows)
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -132,16 +155,54 @@ func vet(files []string, out io.Writer) int {
 			exit = 1
 		}
 		if err != nil {
-			// Hard failures (syntax, compile, verifier) with the file
-			// prepended to the position where one is known.
-			switch e := err.(type) {
-			case *vm.SyntaxError:
-				fmt.Fprintf(out, "%s:%s: error: %s\n", file, e.Pos, e.Msg)
-			default:
-				fmt.Fprintf(out, "%s: error: %v\n", file, err)
-			}
+			printHardError(out, file, err)
 			exit = 1
 		}
 	}
 	return exit
+}
+
+// effects prints the per-function effect-analysis report for each file.
+// Diagnostics (including V007 dead stores the analysis itself finds) go to
+// errOut; they do not affect the exit status — the report is informational
+// and a program with warnings still gets its full report. Only hard errors
+// (syntax, compile, verifier) exit 1; usage errors exit 2.
+func effects(files []string, out, errOut io.Writer) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: minivm effects program.ml...")
+		return 2
+	}
+	exit := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minivm: effects:", err)
+			return 2
+		}
+		pe, diags, err := analysis.Effects(string(src))
+		for _, d := range diags {
+			fmt.Fprintf(errOut, "%s:%s\n", file, d)
+		}
+		if err != nil {
+			printHardError(errOut, file, err)
+			exit = 1
+			continue
+		}
+		if len(files) > 1 {
+			fmt.Fprintf(out, "== %s\n", file)
+		}
+		fmt.Fprint(out, pe.Report())
+	}
+	return exit
+}
+
+// printHardError renders a hard failure (syntax, compile, verifier) with
+// the file prepended to the position where one is known.
+func printHardError(out io.Writer, file string, err error) {
+	switch e := err.(type) {
+	case *vm.SyntaxError:
+		fmt.Fprintf(out, "%s:%s: error: %s\n", file, e.Pos, e.Msg)
+	default:
+		fmt.Fprintf(out, "%s: error: %v\n", file, err)
+	}
 }

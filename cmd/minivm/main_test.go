@@ -79,3 +79,70 @@ func TestVetNoArgs(t *testing.T) {
 		t.Fatalf("exit %d for no arguments, want 2", code)
 	}
 }
+
+func TestEffectsReportsBlocks(t *testing.T) {
+	path := writeProgram(t, "kernel.ml", `
+fn main() {
+	var a = alloc(4);
+	var s = a[0] + a[1] + a[0];
+	a[2] = s;
+	a[3] = s;
+	print(s);
+}
+`)
+	var out, errOut strings.Builder
+	if code := effects([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fn main", "aggregate", "[elided]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEffectsWarningsDoNotGate(t *testing.T) {
+	// A program with both a lint finding (V002) and a V007 dead store must
+	// still produce a full report and exit 0: diagnostics are advisory.
+	path := writeProgram(t, "warny.ml", `
+fn main() {
+	var unused = 1;
+	var a = alloc(2);
+	a[0] = 1;
+	a[0] = 2;
+	print(a[0]);
+}
+`)
+	var out, errOut strings.Builder
+	if code := effects([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on program with warnings, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "fn main") {
+		t.Errorf("report missing despite warnings:\n%s", out.String())
+	}
+	diag := errOut.String()
+	for _, want := range []string{"V002", "V007"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("stderr missing %q:\n%s", want, diag)
+		}
+	}
+}
+
+func TestEffectsHardErrorFails(t *testing.T) {
+	path := writeProgram(t, "broken.ml", "fn main( {\n")
+	var out, errOut strings.Builder
+	if code := effects([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on unparsable program, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "error:") {
+		t.Errorf("hard error not reported:\n%s", errOut.String())
+	}
+}
+
+func TestEffectsNoArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := effects(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for no arguments, want 2", code)
+	}
+}

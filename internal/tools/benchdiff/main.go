@@ -86,7 +86,7 @@ func main() {
 			pct = 15
 		}
 		base := Baseline{
-			Description:  "ns/op baseline for the core/shadow/profio/obs benchmarks, checked by `make bench` via internal/tools/benchdiff (non-blocking in CI).",
+			Description:  "ns/op baseline for the core/shadow/profio/obs/vm benchmarks, checked by `make bench` via internal/tools/benchdiff (non-blocking in CI).",
 			Date:         time.Now().UTC().Format("2006-01-02"),
 			ThresholdPct: pct,
 			Command:      "make bench-baseline",

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a trace for size accounting: the event count, the
+// per-kind breakdown, and the binary-encoded size. The instrumentation
+// suppression work (vm.Options.Suppress) reports its savings in these
+// terms — fewer read/write events and fewer encoded bytes for the same
+// profiler output.
+type Stats struct {
+	// Events is the total event count.
+	Events int
+	// ByKind counts events per kind.
+	ByKind map[Kind]int
+	// Bytes is the size of the trace in the binary codec.
+	Bytes int
+}
+
+// Stats computes the trace summary. Encoding the trace to measure Bytes is
+// O(events); callers on hot paths should cache the result.
+func (t *Trace) Stats() Stats {
+	s := Stats{Events: len(t.Events), ByKind: make(map[Kind]int, 8)}
+	for i := range t.Events {
+		s.ByKind[t.Events[i].Kind]++
+	}
+	var cw countingWriter
+	if err := WriteBinary(&cw, t); err == nil {
+		s.Bytes = int(cw.n)
+	}
+	return s
+}
+
+// String renders "events=N bytes=N kind=N ..." with kinds in a stable
+// order, for -stats output and test logs.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "events=%d bytes=%d", s.Events, s.Bytes)
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, " %s=%d", k, s.ByKind[k])
+	}
+	return sb.String()
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

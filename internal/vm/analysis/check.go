@@ -4,7 +4,8 @@ import "aprof/internal/vm"
 
 // Check runs the full static-analysis pipeline over MiniLang source:
 // parse → lint → compile → verify → optimize → verify (the differential
-// step: bytecode that verified before optimization must verify after it).
+// step: bytecode that verified before optimization must verify after it)
+// → effect analysis (which contributes V007 dead-store findings).
 //
 // The returned diagnostics are advisory lint findings; the error is a hard
 // failure (syntax error, compile error, or a verifier rejection — the
@@ -12,23 +13,42 @@ import "aprof/internal/vm"
 // express invalid bytecode). Fuzz harnesses use a nil error as an oracle: a
 // checked program must never panic the interpreter.
 func Check(src string) ([]Diagnostic, error) {
+	_, diags, err := pipeline(src)
+	return diags, err
+}
+
+// Effects runs the same pipeline and additionally returns the effect
+// analysis itself, for the `minivm effects` report. Lint findings never
+// gate the analysis: a program with warnings still gets a full effect
+// report (the diagnostics ride along for the caller to print).
+func Effects(src string) (*ProgramEffects, []Diagnostic, error) {
+	return pipeline(src)
+}
+
+func pipeline(src string) (*ProgramEffects, []Diagnostic, error) {
 	prog, err := vm.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	diags := Lint(prog)
 	cp, err := vm.CompileProgram(prog)
 	if err != nil {
-		return diags, err
+		return nil, diags, err
 	}
 	if err := VerifyProgram(cp); err != nil {
-		return diags, err
+		return nil, diags, err
 	}
 	if _, err := cp.Optimize(); err != nil {
-		return diags, err
+		return nil, diags, err
 	}
-	if err := VerifyProgram(cp); err != nil {
-		return diags, err
+	// The effect pass analyzes the optimized bytecode — the code that
+	// actually runs — and re-verifies it, covering the differential
+	// verify-after-optimize step.
+	pe, err := AnalyzeProgram(cp)
+	if err != nil {
+		return nil, diags, err
 	}
-	return diags, nil
+	diags = append(diags, pe.DeadStores()...)
+	sortDiagnostics(diags)
+	return pe, diags, nil
 }

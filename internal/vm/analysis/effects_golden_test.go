@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEffectsGolden compares the effect-analysis report of every program
+// under internal/vm/testdata/effects against its .golden file, byte for
+// byte — the same report `minivm effects` prints. Regenerate with
+//
+//	go test ./internal/vm/analysis -run TestEffectsGolden -update
+func TestEffectsGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "effects")
+	files, err := filepath.Glob(filepath.Join(dir, "*.ml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("effects corpus unexpectedly small: %d programs", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe, _, err := Effects(string(src))
+			if err != nil {
+				t.Fatalf("effects corpus programs must analyze: %v", err)
+			}
+			got := pe.Report()
+			goldenPath := strings.TrimSuffix(file, ".ml") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}

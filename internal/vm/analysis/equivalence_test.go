@@ -1,0 +1,356 @@
+package analysis_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aprof"
+	"aprof/internal/core"
+	"aprof/internal/profio"
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+	_ "aprof/internal/vm/analysis" // installs the effect planner
+	"aprof/internal/workloads"
+)
+
+// The suppression differential harness: for every corpus program, VM
+// configuration and profiler configuration, a suppressed-mode run must be
+// observationally identical to a full-instrumentation run — same program
+// output, and byte-identical profiler results (reports, JSON, checkpoints)
+// over the two traces. The only permitted difference is Profiles.Events,
+// which counts the events fed to the profiler and genuinely shrinks under
+// suppression; every comparison normalizes it first.
+//
+// Known exclusion: configurations with Limits.MaxEvents or MaxMemoryBytes
+// start *sampling* memory events past a threshold measured in events
+// processed — a quantity suppression changes by design — so sampled runs
+// may diverge and are not part of the equivalence contract (see DESIGN.md).
+
+// equivalenceSources gathers the corpus: the characterization workloads,
+// the committed testdata programs, and the effects corpus.
+func equivalenceSources(t testing.TB) map[string]string {
+	srcs := make(map[string]string)
+	for _, p := range workloads.VMPrograms() {
+		srcs["workload/"+p.Name] = p.Source
+	}
+	for _, dir := range []string{filepath.Join("..", "testdata"), filepath.Join("..", "testdata", "effects")} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.ml"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs[filepath.Base(f)] = string(b)
+		}
+	}
+	if len(srcs) < 10 {
+		t.Fatalf("equivalence corpus unexpectedly small: %d programs", len(srcs))
+	}
+	return srcs
+}
+
+// runPair executes src with and without suppression under otherwise
+// identical options, asserting identical program-visible behavior. Both
+// traces are nil when the program faults (identically) in both modes.
+func runPair(t *testing.T, src string, opts vm.Options) (full, sup *trace.Trace) {
+	t.Helper()
+	fopts := opts
+	fopts.Suppress = false
+	sopts := opts
+	sopts.Suppress = true
+	fres, ferr := vm.RunSource(src, fopts)
+	sres, serr := vm.RunSource(src, sopts)
+	if (ferr == nil) != (serr == nil) {
+		t.Fatalf("error divergence: full=%v suppressed=%v", ferr, serr)
+	}
+	if ferr != nil {
+		return nil, nil
+	}
+	if !reflect.DeepEqual(fres.Output, sres.Output) {
+		t.Fatalf("program output diverged:\nfull: %q\nsup:  %q", fres.Output, sres.Output)
+	}
+	if fres.Steps != sres.Steps || fres.BasicBlocks != sres.BasicBlocks || fres.Threads != sres.Threads {
+		t.Fatalf("execution counters diverged: full={steps %d bb %d thr %d} sup={steps %d bb %d thr %d}",
+			fres.Steps, fres.BasicBlocks, fres.Threads, sres.Steps, sres.BasicBlocks, sres.Threads)
+	}
+	if len(sres.Trace.Events) > len(fres.Trace.Events) {
+		t.Fatalf("suppressed trace is larger: %d > %d events", len(sres.Trace.Events), len(fres.Trace.Events))
+	}
+	return fres.Trace, sres.Trace
+}
+
+// assertProfilerEquivalent profiles both traces under cfg and asserts the
+// profiler output is identical: deep-equal Profiles (modulo Events), and
+// byte-identical rendered report and JSON serialization.
+func assertProfilerEquivalent(t *testing.T, full, sup *trace.Trace, cfg core.Config) {
+	t.Helper()
+	pf, err := core.Run(full, cfg)
+	if err != nil {
+		t.Fatalf("profile full trace: %v", err)
+	}
+	ps, err := core.Run(sup, cfg)
+	if err != nil {
+		t.Fatalf("profile suppressed trace: %v", err)
+	}
+	if ps.Events > pf.Events {
+		t.Fatalf("suppressed run fed more events: %d > %d", ps.Events, pf.Events)
+	}
+	pf.Events = 0
+	ps.Events = 0
+	if !reflect.DeepEqual(pf, ps) {
+		t.Fatalf("profiles diverged (modulo Events):\nfull: %+v\nsup:  %+v", pf, ps)
+	}
+	ropts := aprof.ReportOptions{Fit: true, Plots: true, Contexts: 3}
+	if rf, rs := aprof.Report(pf, ropts), aprof.Report(ps, ropts); rf != rs {
+		t.Fatalf("rendered reports diverged:\n--- full ---\n%s--- suppressed ---\n%s", rf, rs)
+	}
+	var bf, bs bytes.Buffer
+	if err := profio.Write(&bf, pf); err != nil {
+		t.Fatal(err)
+	}
+	if err := profio.Write(&bs, ps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bf.Bytes(), bs.Bytes()) {
+		t.Fatal("JSON profile serialization diverged")
+	}
+}
+
+// eqConfigs is the profiler-configuration sweep: every supported analysis
+// mode whose output is defined independently of the event count.
+func eqConfigs() []struct {
+	name string
+	cfg  core.Config
+} {
+	withDefault := func(mut func(*core.Config)) core.Config {
+		c := core.DefaultConfig()
+		mut(&c)
+		return c
+	}
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default", core.DefaultConfig()},
+		{"rms-only", core.RMSOnlyConfig()},
+		{"external-only", aprof.ExternalOnlyConfig()},
+		{"context-sensitive", withDefault(func(c *core.Config) { c.ContextSensitive = true })},
+		{"counter-limit", withDefault(func(c *core.Config) { c.CounterLimit = 4096 })},
+		{"max-depth", withDefault(func(c *core.Config) { c.Limits.MaxDepth = 2 })},
+		{"max-points", withDefault(func(c *core.Config) { c.MaxPointsPerProfile = 4 })},
+	}
+}
+
+// TestSuppressEquivalenceCorpus sweeps the committed corpus across VM
+// scheduling/optimization variants (default config) and across the full
+// profiler-configuration sweep (default VM options).
+func TestSuppressEquivalenceCorpus(t *testing.T) {
+	for name, src := range equivalenceSources(t) {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			vmSweep := []struct {
+				name string
+				opts vm.Options
+			}{
+				{"default", vm.Options{}},
+				{"quantum1", vm.Options{Quantum: 1}},
+				{"quantum3", vm.Options{Quantum: 3}},
+				{"optimized", vm.Options{Optimize: true}},
+				{"optimized-quantum1", vm.Options{Optimize: true, Quantum: 1}},
+			}
+			for _, v := range vmSweep {
+				full, sup := runPair(t, src, v.opts)
+				if full == nil {
+					continue
+				}
+				assertProfilerEquivalent(t, full, sup, core.DefaultConfig())
+			}
+			full, sup := runPair(t, src, vm.Options{})
+			if full == nil {
+				return
+			}
+			for _, c := range eqConfigs() {
+				t.Run(c.name, func(t *testing.T) {
+					assertProfilerEquivalent(t, full, sup, c.cfg)
+				})
+			}
+		})
+	}
+}
+
+// TestSuppressEquivalenceRandom drives the differential harness with
+// seeded random programs: straight-line redundancy, bounded loops, helper
+// calls, branches and sys transfers, all with wrapped-safe indexing.
+func TestSuppressEquivalenceRandom(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := genProgram(rand.New(rand.NewSource(seed)))
+			full, sup := runPair(t, src, vm.Options{MaxSteps: 2_000_000})
+			if full == nil {
+				t.Fatalf("random program faulted:\n%s", src)
+			}
+			assertProfilerEquivalent(t, full, sup, core.DefaultConfig())
+			assertProfilerEquivalent(t, full, sup, core.RMSOnlyConfig())
+			fullQ, supQ := runPair(t, src, vm.Options{MaxSteps: 2_000_000, Quantum: 1})
+			if fullQ != nil {
+				assertProfilerEquivalent(t, fullQ, supQ, core.DefaultConfig())
+			}
+		})
+	}
+}
+
+// TestSuppressStreamDeterminism covers the streaming pipeline: a
+// suppressed trace round-tripped through the binary codec and the
+// checkpointing stream profiler must reproduce the in-memory result, and
+// two identical streaming runs must write byte-identical checkpoints.
+func TestSuppressStreamDeterminism(t *testing.T) {
+	src := workloads.VMPrograms()[0].Source
+	full, sup := runPair(t, src, vm.Options{})
+	if full == nil {
+		t.Fatal("workload faulted")
+	}
+	cfg := core.DefaultConfig()
+
+	var enc bytes.Buffer
+	if err := trace.WriteBinary(&enc, sup); err != nil {
+		t.Fatal(err)
+	}
+	streamOnce := func(dir string) (*core.Profiles, []byte) {
+		ckpt := filepath.Join(dir, "ckpt")
+		ps, err := profio.ProfileStream(context.Background(), bytes.NewReader(enc.Bytes()), cfg,
+			profio.StreamOptions{CheckpointPath: ckpt, CheckpointEvery: 1, FinalCheckpoint: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps, b
+	}
+	ps1, ck1 := streamOnce(t.TempDir())
+	ps2, ck2 := streamOnce(t.TempDir())
+	if !bytes.Equal(ck1, ck2) {
+		t.Fatal("checkpoints of identical suppressed streaming runs differ")
+	}
+	if !reflect.DeepEqual(ps1, ps2) {
+		t.Fatal("profiles of identical suppressed streaming runs differ")
+	}
+	direct, err := core.Run(sup, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps1.Events = 0
+	direct.Events = 0
+	if !reflect.DeepEqual(ps1, direct) {
+		t.Fatal("streamed suppressed profile differs from direct run")
+	}
+	assertProfilerEquivalent(t, full, sup, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random program generator.
+
+type progGen struct {
+	r     *rand.Rand
+	b     strings.Builder
+	depth int
+	loops int
+}
+
+// genProgram emits a deterministic random MiniLang program. All indexing
+// wraps into the 16-cell array, loops have constant bounds and helpers are
+// non-recursive, so generated programs always terminate cleanly.
+func genProgram(r *rand.Rand) string {
+	g := &progGen{r: r}
+	g.b.WriteString("fn bump(p, j) {\n\tp[j] = p[j] + 1;\n\treturn p[j];\n}\n")
+	g.b.WriteString("fn main() {\n")
+	g.b.WriteString("\tvar a = alloc(16);\n\tvar x = 1;\n\tvar y = 2;\n")
+	g.stmts(4 + r.Intn(8))
+	g.b.WriteString("\tprint(x + y + a[0] + a[15]);\n}\n")
+	return g.b.String()
+}
+
+func (g *progGen) idx() string {
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprint(g.r.Intn(16))
+	case 1:
+		return "((x % 16) + 16) % 16"
+	default:
+		return "((y % 16) + 16) % 16"
+	}
+}
+
+func (g *progGen) expr() string {
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprint(g.r.Intn(64))
+	case 1:
+		return "x + y"
+	case 2:
+		return fmt.Sprintf("x * %d", 1+g.r.Intn(4))
+	case 3:
+		return fmt.Sprintf("y - %d", g.r.Intn(8))
+	case 4:
+		return fmt.Sprintf("a[%s]", g.idx())
+	default:
+		return fmt.Sprintf("rand(%d)", 1+g.r.Intn(16))
+	}
+}
+
+func (g *progGen) stmts(n int) {
+	for i := 0; i < n; i++ {
+		g.stmt()
+	}
+}
+
+func (g *progGen) stmt() {
+	ind := strings.Repeat("\t", 1+g.depth)
+	switch k := g.r.Intn(10); {
+	case k < 3:
+		fmt.Fprintf(&g.b, "%sa[%s] = %s;\n", ind, g.idx(), g.expr())
+	case k < 5:
+		v := "x"
+		if g.r.Intn(2) == 0 {
+			v = "y"
+		}
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", ind, v, g.expr())
+	case k < 6:
+		fmt.Fprintf(&g.b, "%sx = bump(a, %s);\n", ind, g.idx())
+	case k < 7 && g.depth < 2:
+		fmt.Fprintf(&g.b, "%sif (%s) {\n", ind, g.expr())
+		g.depth++
+		g.stmts(1 + g.r.Intn(3))
+		g.depth--
+		fmt.Fprintf(&g.b, "%s} else {\n", ind)
+		g.depth++
+		g.stmts(1 + g.r.Intn(2))
+		g.depth--
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case k < 8 && g.depth < 2 && g.loops < 3:
+		g.loops++
+		v := fmt.Sprintf("i%d", g.loops)
+		fmt.Fprintf(&g.b, "%sfor (var %s = 0; %s < %d; %s = %s + 1) {\n", ind, v, v, 2+g.r.Intn(6), v, v)
+		g.depth++
+		fmt.Fprintf(&g.b, "%sa[%s %% 16] = a[%s %% 16] + x;\n", strings.Repeat("\t", 1+g.depth), v, v)
+		g.stmts(g.r.Intn(2))
+		g.depth--
+		fmt.Fprintf(&g.b, "%s}\n", ind)
+	case k < 9:
+		fmt.Fprintf(&g.b, "%ssysread(a, %d);\n", ind, 1+g.r.Intn(8))
+	default:
+		fmt.Fprintf(&g.b, "%ssyswrite(a, %d);\n", ind, 1+g.r.Intn(8))
+	}
+}

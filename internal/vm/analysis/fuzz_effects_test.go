@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"aprof"
+	"aprof/internal/core"
+	"aprof/internal/vm"
+	"aprof/internal/vm/analysis"
+)
+
+// FuzzEffects fuzzes the redundancy-suppression pipeline with the
+// sequential profiler as oracle: any program the front end accepts must
+// behave identically with and without suppression — same termination, same
+// output, and identical profiler results (modulo the fed-event count) over
+// the two traces. The effect analysis itself must never fail on a program
+// the verifier accepted.
+func FuzzEffects(f *testing.F) {
+	for _, src := range []string{
+		"fn main() { var a = alloc(4); a[0] = 1; a[0] = 2; print(a[0]); }",
+		"fn main() { var a = alloc(8); var s = a[0] + a[1] + a[0]; a[2] = s; a[3] = s; print(s); }",
+		"fn main() { var a = alloc(4); sysread(a, 4); print(a[0]); syswrite(a, 2); }",
+		"fn f(p, i) { p[i] = p[i] + 1; return p[i]; } fn main() { var a = alloc(4); print(f(a, 2)); }",
+		"global g = 0; fn main() { g = 1; g = 2; for (var i = 0; i < 3; i = i + 1) { g = g + i; } print(g); }",
+		"fn w(s) { wait(s); print(1); return 0; } fn main() { var s = sem(0); spawn w(s); signal(s); }",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		opts := vm.Options{MaxSteps: 100_000}
+		fopts := opts
+		sopts := opts
+		sopts.Suppress = true
+		fres, ferr := vm.RunSource(src, fopts)
+		sres, serr := vm.RunSource(src, sopts)
+		if (ferr == nil) != (serr == nil) {
+			t.Fatalf("error divergence:\nfull: %v\nsuppressed: %v\nsource: %q", ferr, serr, src)
+		}
+		if ferr != nil {
+			return
+		}
+		// A program that compiles and verifies must also analyze.
+		if _, _, err := analysis.Effects(src); err != nil {
+			t.Fatalf("verified program failed effect analysis: %v\nsource: %q", err, src)
+		}
+		if !reflect.DeepEqual(fres.Output, sres.Output) {
+			t.Fatalf("output divergence:\nfull: %q\nsuppressed: %q\nsource: %q", fres.Output, sres.Output, src)
+		}
+		pf, err := core.Run(fres.Trace, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("profile full: %v", err)
+		}
+		ps, err := core.Run(sres.Trace, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("profile suppressed: %v", err)
+		}
+		pf.Events = 0
+		ps.Events = 0
+		if !reflect.DeepEqual(pf, ps) {
+			t.Fatalf("profiles diverged (modulo Events)\nsource: %q", src)
+		}
+		ropts := aprof.ReportOptions{Fit: true, Plots: true}
+		if aprof.Report(pf, ropts) != aprof.Report(ps, ropts) {
+			t.Fatalf("reports diverged\nsource: %q", src)
+		}
+	})
+}

@@ -40,6 +40,10 @@ const (
 	// CodeWrongArity: a call or spawn whose argument count does not match
 	// the callee.
 	CodeWrongArity = "V006"
+	// CodeDeadStore: a traced memory write whose value is provably
+	// overwritten before any possibly-aliasing read (found by the bytecode
+	// effect analysis, not the AST lint).
+	CodeDeadStore = "V007"
 )
 
 // Lint analyzes a parsed program and returns its diagnostics sorted by
@@ -67,8 +71,15 @@ func Lint(prog *vm.Program) []Diagnostic {
 			l.report(fn.Pos, CodeUnusedFunc, "function %q is never called or spawned", fn.Name)
 		}
 	}
-	sort.SliceStable(l.diags, func(i, j int) bool {
-		a, b := l.diags[i], l.diags[j]
+	sortDiagnostics(l.diags)
+	return l.diags
+}
+
+// sortDiagnostics orders diagnostics by source position, then code — the
+// stable order every producer (AST lint, effect analysis) emits in.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
@@ -77,7 +88,6 @@ func Lint(prog *vm.Program) []Diagnostic {
 		}
 		return a.Code < b.Code
 	})
-	return l.diags
 }
 
 type varInfo struct {

@@ -1,0 +1,80 @@
+package analysis
+
+import "aprof/internal/vm"
+
+// MemOp classifies an opcode's traced memory behavior.
+type MemOp uint8
+
+const (
+	// MemNone: no traced memory access.
+	MemNone MemOp = iota
+	// MemLoad: a traced single-cell read (loadmem).
+	MemLoad
+	// MemStore: a traced single-cell write (storemem).
+	MemStore
+	// MemSysLoad: a kernel-to-user transfer filling a cell range (sysread).
+	MemSysLoad
+	// MemSysStore: a user-to-kernel transfer reading a cell range (syswrite).
+	MemSysStore
+)
+
+// OpInfo is the effect summary of one opcode instance: its stack effect and
+// how it interacts with the trace and the profiler. It is a second
+// independently maintained model of interp.step, alongside the verifier's
+// stackEffect table; TestOpTablesAgree proves the three stay in sync.
+type OpInfo struct {
+	// Pops and Pushes are the resolved stack effect (operand-dependent for
+	// call/spawn/print).
+	Pops, Pushes int
+	// Mem is the traced memory behavior.
+	Mem MemOp
+	// Barrier reports that the instruction emits a non-memory trace event,
+	// may tick the profiler's global counter, or is a point where the
+	// scheduler can switch threads — i.e. it ends a redundancy segment: no
+	// access after it can be proven redundant against one before it.
+	Barrier bool
+	// EndsBlock mirrors vm.(*Func).markBlocks: the next pc is a basic-block
+	// leader. Every EndsBlock op is a Barrier; sys ops are Barriers that do
+	// NOT end blocks (the profiler counter ticks mid-block), which is
+	// exactly why blocks containing them bail out of aggregation.
+	EndsBlock bool
+}
+
+// OpEffect returns the effect summary for ins, or ok=false for an undefined
+// opcode.
+func OpEffect(ins vm.Instr) (info OpInfo, ok bool) {
+	switch ins.Op {
+	case vm.OpConst, vm.OpLoadLocal:
+		return OpInfo{Pops: 0, Pushes: 1}, true
+	case vm.OpStoreLocal, vm.OpPop:
+		return OpInfo{Pops: 1, Pushes: 0}, true
+	case vm.OpLoadMem:
+		return OpInfo{Pops: 1, Pushes: 1, Mem: MemLoad}, true
+	case vm.OpStoreMem:
+		return OpInfo{Pops: 2, Pushes: 0, Mem: MemStore}, true
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMod,
+		vm.OpEq, vm.OpNe, vm.OpLt, vm.OpLe, vm.OpGt, vm.OpGe:
+		return OpInfo{Pops: 2, Pushes: 1}, true
+	case vm.OpNeg, vm.OpNot, vm.OpAlloc, vm.OpSemNew, vm.OpAssert, vm.OpRand:
+		return OpInfo{Pops: 1, Pushes: 1}, true
+	case vm.OpJump:
+		return OpInfo{Pops: 0, Pushes: 0, EndsBlock: true, Barrier: true}, true
+	case vm.OpJumpIfZero, vm.OpJumpIfNonZero:
+		return OpInfo{Pops: 1, Pushes: 0, EndsBlock: true, Barrier: true}, true
+	case vm.OpCall:
+		return OpInfo{Pops: int(ins.B), Pushes: 1, EndsBlock: true, Barrier: true}, true
+	case vm.OpSpawn:
+		return OpInfo{Pops: int(ins.B), Pushes: 0, EndsBlock: true, Barrier: true}, true
+	case vm.OpReturn:
+		return OpInfo{Pops: 1, Pushes: 0, EndsBlock: true, Barrier: true}, true
+	case vm.OpSemWait, vm.OpSemSignal:
+		return OpInfo{Pops: 1, Pushes: 1, EndsBlock: true, Barrier: true}, true
+	case vm.OpSysRead:
+		return OpInfo{Pops: 2, Pushes: 1, Mem: MemSysLoad, Barrier: true}, true
+	case vm.OpSysWrite:
+		return OpInfo{Pops: 2, Pushes: 1, Mem: MemSysStore, Barrier: true}, true
+	case vm.OpPrint:
+		return OpInfo{Pops: int(ins.A), Pushes: 1}, true
+	}
+	return OpInfo{}, false
+}

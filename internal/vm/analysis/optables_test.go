@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+)
+
+// opSnippets maps every opcode to a MiniLang program whose compiled
+// (unoptimized) bytecode contains it and which runs to completion. The
+// programs double as the dynamic leg of the drift check: the interpreter
+// must execute each opcode and produce the expected output.
+var opSnippets = map[vm.Op]struct {
+	src  string
+	want string
+}{
+	vm.OpConst:         {`fn main() { print(7); }`, "7\n"},
+	vm.OpLoadLocal:     {`fn main() { var x = 3; print(x); }`, "3\n"},
+	vm.OpStoreLocal:    {`fn main() { var x = 3; x = 4; print(x); }`, "4\n"},
+	vm.OpLoadMem:       {`fn main() { var a = alloc(1); print(a[0]); }`, "0\n"},
+	vm.OpStoreMem:      {`fn main() { var a = alloc(1); a[0] = 9; print(a[0]); }`, "9\n"},
+	vm.OpAdd:           {`fn main() { var x = 1; print(x + 2); }`, "3\n"},
+	vm.OpSub:           {`fn main() { var x = 5; print(x - 2); }`, "3\n"},
+	vm.OpMul:           {`fn main() { var x = 5; print(x * 2); }`, "10\n"},
+	vm.OpDiv:           {`fn main() { var x = 9; print(x / 2); }`, "4\n"},
+	vm.OpMod:           {`fn main() { var x = 9; print(x % 2); }`, "1\n"},
+	vm.OpNeg:           {`fn main() { var x = 5; print(-x); }`, "-5\n"},
+	vm.OpNot:           {`fn main() { var x = 5; print(!x); }`, "0\n"},
+	vm.OpEq:            {`fn main() { var x = 5; print(x == 5); }`, "1\n"},
+	vm.OpNe:            {`fn main() { var x = 5; print(x != 5); }`, "0\n"},
+	vm.OpLt:            {`fn main() { var x = 5; print(x < 6); }`, "1\n"},
+	vm.OpLe:            {`fn main() { var x = 5; print(x <= 5); }`, "1\n"},
+	vm.OpGt:            {`fn main() { var x = 5; print(x > 5); }`, "0\n"},
+	vm.OpGe:            {`fn main() { var x = 5; print(x >= 5); }`, "1\n"},
+	vm.OpJump:          {`fn main() { var s = 0; for (var i = 0; i < 2; i = i + 1) { s = s + i; } print(s); }`, "1\n"},
+	vm.OpJumpIfZero:    {`fn main() { var x = 0; if (x) { print(1); } else { print(2); } }`, "2\n"},
+	vm.OpJumpIfNonZero: {`fn main() { var x = 1; print(x || 0); }`, "1\n"},
+	vm.OpCall:          {`fn id(x) { return x; } fn main() { print(id(8)); }`, "8\n"},
+	vm.OpSpawn:         {`fn child(s) { wait(s); print(6); return 0; } fn main() { var s = sem(0); spawn child(s); signal(s); }`, "6\n"},
+	vm.OpReturn:        {`fn id(x) { return x; } fn main() { print(id(8)); }`, "8\n"},
+	vm.OpPop:           {`fn id(x) { return x; } fn main() { id(1); print(2); }`, "2\n"},
+	vm.OpAlloc:         {`fn main() { var a = alloc(2); print(a[1]); }`, "0\n"},
+	vm.OpSemNew:        {`fn main() { var s = sem(1); wait(s); signal(s); print(0); }`, "0\n"},
+	vm.OpSemWait:       {`fn main() { var s = sem(1); wait(s); signal(s); print(0); }`, "0\n"},
+	vm.OpSemSignal:     {`fn main() { var s = sem(1); wait(s); signal(s); print(0); }`, "0\n"},
+	vm.OpSysRead:       {`fn main() { var a = alloc(4); sysread(a, 4); print(1); }`, "1\n"},
+	vm.OpSysWrite:      {`fn main() { var a = alloc(4); syswrite(a, 4); print(1); }`, "1\n"},
+	vm.OpPrint:         {`fn main() { print(7); }`, "7\n"},
+	vm.OpAssert:        {`fn main() { var x = 1; assert(x); print(3); }`, "3\n"},
+	vm.OpRand:          {`fn main() { var x = 8; var r = rand(x); print(r < 8); }`, "1\n"},
+}
+
+// TestOpTablesAgree cross-checks the three independently maintained
+// per-opcode models — the verifier's stackEffect table, the effect
+// analysis' OpEffect table, and the interpreter switch itself — for every
+// defined opcode. Adding an opcode to the VM without extending every table
+// (and this test's snippet map) fails here, not in production.
+func TestOpTablesAgree(t *testing.T) {
+	if len(opSnippets) != vm.NumOps() {
+		t.Fatalf("snippet map covers %d opcodes, VM defines %d — extend opSnippets", len(opSnippets), vm.NumOps())
+	}
+	for raw := 0; raw < vm.NumOps(); raw++ {
+		op := vm.Op(raw)
+		if !op.Valid() {
+			t.Fatalf("op %d inside [0, NumOps()) is not Valid()", raw)
+		}
+		// Operand-dependent effects: exercise a few argument counts.
+		for _, n := range []int32{0, 1, 3} {
+			ins := vm.Instr{Op: op, A: n, B: n}
+			vPops, vPushes, vOK := stackEffect(ins)
+			info, eOK := OpEffect(ins)
+			if vOK != eOK {
+				t.Fatalf("%s: verifier ok=%v, effect table ok=%v", op, vOK, eOK)
+			}
+			if !vOK {
+				t.Fatalf("%s: defined opcode missing from the tables", op)
+			}
+			if vPops != info.Pops || vPushes != info.Pushes {
+				t.Errorf("%s (A=B=%d): verifier says %d→%d, effect table says %d→%d",
+					op, n, vPops, vPushes, info.Pops, info.Pushes)
+			}
+		}
+	}
+	// Undefined opcodes must be rejected by both tables.
+	bad := vm.Instr{Op: vm.Op(vm.NumOps())}
+	if _, _, ok := stackEffect(bad); ok {
+		t.Error("verifier accepts an undefined opcode")
+	}
+	if _, ok := OpEffect(bad); ok {
+		t.Error("effect table accepts an undefined opcode")
+	}
+}
+
+// TestOpTableEndsBlock cross-checks OpInfo.EndsBlock against the VM's own
+// basic-block marking: an opcode ends a block exactly when markBlocks makes
+// the next pc a leader.
+func TestOpTableEndsBlock(t *testing.T) {
+	for raw := 0; raw < vm.NumOps(); raw++ {
+		op := vm.Op(raw)
+		ins := vm.Instr{Op: op} // A=0: a valid jump target for the control ops
+		fn := &vm.Func{Name: "t", Code: []vm.Instr{ins, {Op: vm.OpReturn}}}
+		fn.MarkBlocks()
+		info, ok := OpEffect(ins)
+		if !ok {
+			t.Fatalf("%s: missing from effect table", op)
+		}
+		if fn.BlockStart[1] != info.EndsBlock {
+			t.Errorf("%s: markBlocks leader after = %v, OpInfo.EndsBlock = %v",
+				op, fn.BlockStart[1], info.EndsBlock)
+		}
+		if info.EndsBlock && !info.Barrier {
+			t.Errorf("%s: ends a block but is not a barrier", op)
+		}
+	}
+}
+
+// TestOpSnippetsExecute runs every opcode's snippet under the interpreter
+// (unoptimized, so compiled output is predictable), asserting that the
+// opcode actually appears in the compiled bytecode, that the run produces
+// the expected output, and that the trace events the opcode emits match the
+// effect table's memory classification.
+func TestOpSnippetsExecute(t *testing.T) {
+	for raw := 0; raw < vm.NumOps(); raw++ {
+		op := vm.Op(raw)
+		snip := opSnippets[op]
+		t.Run(op.String(), func(t *testing.T) {
+			cp, err := vm.Compile(snip.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			found := false
+			for _, fn := range cp.Funcs {
+				for _, ins := range fn.Code {
+					if ins.Op == op {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("snippet for %s compiles without emitting %s", op, op)
+			}
+			var out bytes.Buffer
+			res, err := vm.RunProgram(cp, vm.Options{Stdout: &out})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if out.String() != snip.want {
+				t.Fatalf("output %q, want %q", out.String(), snip.want)
+			}
+			assertTraceKinds(t, op, res.Trace)
+		})
+	}
+}
+
+// assertTraceKinds checks the dynamic leg of the memory classification:
+// programs whose bytecode performs MemLoad/MemStore/MemSysLoad/MemSysStore
+// accesses must emit the corresponding trace event kinds.
+func assertTraceKinds(t *testing.T, op vm.Op, tr *trace.Trace) {
+	t.Helper()
+	info, _ := OpEffect(vm.Instr{Op: op})
+	var want trace.Kind
+	switch info.Mem {
+	case MemLoad:
+		want = trace.KindRead
+	case MemStore:
+		want = trace.KindWrite
+	case MemSysLoad:
+		want = trace.KindKernelToUser
+	case MemSysStore:
+		want = trace.KindUserToKernel
+	default:
+		return
+	}
+	for _, ev := range tr.Events {
+		if ev.Kind == want {
+			return
+		}
+	}
+	t.Errorf("%s is classified %v but its snippet trace has no %v event", op, info.Mem, want)
+}
+
+// TestEffectTableCorpusCoverage sweeps the committed corpora (testdata
+// programs and the effects corpus) and asserts the effect table resolves
+// every instruction the compiler and optimizer can produce.
+func TestEffectTableCorpusCoverage(t *testing.T) {
+	for _, src := range corpusSources(t) {
+		cp, err := vm.Compile(src)
+		if err != nil {
+			continue // vet corpus includes programs that do not compile
+		}
+		if _, err := cp.Optimize(); err != nil {
+			t.Fatal(err)
+		}
+		for _, fn := range cp.Funcs {
+			for pc, ins := range fn.Code {
+				if _, ok := OpEffect(ins); !ok {
+					t.Fatalf("%s pc %d: opcode %v missing from effect table", fn.Name, pc, ins.Op)
+				}
+			}
+		}
+	}
+}
+
+func corpusSources(t *testing.T) []string {
+	t.Helper()
+	var srcs []string
+	for _, dir := range []string{"../testdata", "../testdata/effects", "../testdata/vet"} {
+		files, err := filepath.Glob(dir + "/*.ml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs = append(srcs, string(b))
+		}
+	}
+	if len(srcs) < 10 {
+		t.Fatalf("corpus sweep found only %d programs", len(srcs))
+	}
+	return srcs
+}

@@ -11,9 +11,10 @@ import (
 	"aprof/internal/vm"
 )
 
-var updateGolden = flag.Bool("update", false, "rewrite testdata/vet golden files")
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
 
-// TestVetGolden compares the lint diagnostics of every program under
+// TestVetGolden compares the full Check diagnostics (AST lint plus the
+// effect analysis' V007 dead-store findings) of every program under
 // internal/vm/testdata/vet against its .golden file, byte for byte. Each
 // line is "file:line:col: CODE: message". Regenerate with
 //
@@ -24,7 +25,7 @@ func TestVetGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 7 {
+	if len(files) < 8 {
 		t.Fatalf("vet corpus unexpectedly small: %d programs", len(files))
 	}
 	for _, file := range files {
@@ -34,13 +35,16 @@ func TestVetGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			prog, err := vm.Parse(string(src))
-			if err != nil {
+			if _, err := vm.Parse(string(src)); err != nil {
 				t.Fatalf("vet corpus programs must parse: %v", err)
 			}
+			diags, cerr := Check(string(src))
 			var sb strings.Builder
-			for _, d := range Lint(prog) {
+			for _, d := range diags {
 				fmt.Fprintf(&sb, "%s:%s\n", filepath.Base(file), d)
+			}
+			if cerr != nil {
+				fmt.Fprintf(&sb, "%s: error: %v\n", filepath.Base(file), cerr)
 			}
 			got := sb.String()
 			goldenPath := strings.TrimSuffix(file, ".ml") + ".golden"

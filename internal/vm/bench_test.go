@@ -1,0 +1,91 @@
+package vm_test
+
+import (
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/vm"
+	_ "aprof/internal/vm/analysis" // installs the effect planner
+	"aprof/internal/workloads"
+)
+
+// The BenchmarkSuppress* pairs measure what instrumentation redundancy
+// suppression (vm.Options.Suppress) buys on the VM workloads: the Off/On
+// trace benchmarks time source-to-trace generation (including the effect
+// analysis when suppression is on) and report the resulting trace size as
+// trace-events/op and trace-B/op custom metrics; the EndToEnd pair adds
+// the sequential profiler downstream, where fewer events mean less work.
+// stencil and vecnorm are the straight-line workloads suppression targets
+// (-45% / -79% events); pipeline is the semaphore-heavy near-zero-benefit
+// case, benchmarked so the analysis overhead on unsuppressable programs
+// stays visible in the baseline.
+
+func benchWorkload(b *testing.B, name string) workloads.VMProgram {
+	b.Helper()
+	for _, prog := range workloads.VMPrograms() {
+		if prog.Name == name {
+			return prog
+		}
+	}
+	b.Fatalf("unknown workload %q", name)
+	return workloads.VMProgram{}
+}
+
+func benchTrace(b *testing.B, name string, suppress bool) {
+	prog := benchWorkload(b, name)
+	opts := vm.Options{Suppress: suppress}
+	res, err := vm.RunSource(prog.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := res.Trace.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.RunSource(prog.Source, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// After the loop: ResetTimer clears previously reported metrics.
+	b.ReportMetric(float64(st.Events), "trace-events/op")
+	b.ReportMetric(float64(st.Bytes), "trace-B/op")
+}
+
+func benchEndToEnd(b *testing.B, name string, suppress bool) {
+	prog := benchWorkload(b, name)
+	opts := vm.Options{Suppress: suppress}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := vm.RunSource(prog.Source, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Run(res.Trace, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuppressTraceOff(b *testing.B) {
+	for _, name := range []string{"stencil", "vecnorm", "pipeline"} {
+		b.Run(name, func(b *testing.B) { benchTrace(b, name, false) })
+	}
+}
+
+func BenchmarkSuppressTraceOn(b *testing.B) {
+	for _, name := range []string{"stencil", "vecnorm", "pipeline"} {
+		b.Run(name, func(b *testing.B) { benchTrace(b, name, true) })
+	}
+}
+
+func BenchmarkSuppressEndToEndOff(b *testing.B) {
+	for _, name := range []string{"stencil", "vecnorm"} {
+		b.Run(name, func(b *testing.B) { benchEndToEnd(b, name, false) })
+	}
+}
+
+func BenchmarkSuppressEndToEndOn(b *testing.B) {
+	for _, name := range []string{"stencil", "vecnorm"} {
+		b.Run(name, func(b *testing.B) { benchEndToEnd(b, name, true) })
+	}
+}

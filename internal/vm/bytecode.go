@@ -121,6 +121,15 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// NumOps returns the number of defined opcodes. Cross-check tests iterate
+// [0, NumOps()) to prove that every independently maintained per-opcode
+// table (the verifier's stack effects, the analysis effect table) covers
+// exactly the opcode set the interpreter executes.
+func NumOps() int { return len(opNames) }
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return int(o) < len(opNames) }
+
 // Instr is one bytecode instruction. A and B are operand fields whose
 // meaning depends on the opcode.
 type Instr struct {
@@ -128,6 +137,7 @@ type Instr struct {
 	A    int32
 	B    int32
 	Line int32 // source line, for runtime errors
+	Col  int32 // source column, for positioned bytecode-level diagnostics
 }
 
 // Func is a compiled function.
@@ -186,12 +196,14 @@ func (f *Func) Disassemble(cp *CompiledProgram) string {
 	return sb.String()
 }
 
-// markBlocks computes basic-block leaders: the entry point, every jump
+// MarkBlocks computes basic-block leaders: the entry point, every jump
 // target, and every instruction following a control transfer (jumps, calls,
 // spawns, returns and potentially-blocking semaphore waits — call and block
 // boundaries are where the scheduler may switch threads, mirroring
-// Valgrind's superblock boundaries).
-func (f *Func) markBlocks() {
+// Valgrind's superblock boundaries). The compiler and optimizer call it on
+// every function they produce; it is exported so cross-check tests can
+// compare it against independently maintained per-opcode tables.
+func (f *Func) MarkBlocks() {
 	f.BlockStart = make([]bool, len(f.Code))
 	if len(f.Code) == 0 {
 		return

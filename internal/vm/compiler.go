@@ -120,7 +120,7 @@ func (fc *funcCompiler) compile(fn *FuncDecl) error {
 	fc.emit(OpConst, fc.constIdx(0), 0, fn.Pos)
 	fc.emit(OpReturn, 0, 0, fn.Pos)
 	fc.out.NumLocals = fc.maxLocals
-	fc.out.markBlocks()
+	fc.out.MarkBlocks()
 	return nil
 }
 
@@ -158,7 +158,7 @@ func (fc *funcCompiler) lookupLocal(name string) (int, bool) {
 }
 
 func (fc *funcCompiler) emit(op Op, a, b int32, pos Pos) int {
-	fc.out.Code = append(fc.out.Code, Instr{Op: op, A: a, B: b, Line: int32(pos.Line)})
+	fc.out.Code = append(fc.out.Code, Instr{Op: op, A: a, B: b, Line: int32(pos.Line), Col: int32(pos.Col)})
 	return len(fc.out.Code) - 1
 }
 

@@ -1,0 +1,128 @@
+package vm
+
+// Instrumentation redundancy suppression: the static-analysis package
+// computes an EffectPlan for a compiled program — which per-instruction
+// trace events are provably redundant under the profiler's first-access
+// semantics, and which basic blocks may batch their memory accesses into
+// aggregated events — and the interpreter consumes it when Options.Suppress
+// is set. The plan lives here (not in internal/vm/analysis) because the
+// interpreter must read it without importing the analysis package; the
+// analysis package installs its planner through SetEffectPlanner, mirroring
+// the SetVerifier hook in verify_hook.go.
+
+// BlockClass classifies one VM basic block (a run of instructions starting
+// at a BlockStart leader) for instrumentation suppression.
+type BlockClass uint8
+
+const (
+	// ClassDirect blocks are traced instruction by instruction: they have
+	// fewer than two traced memory accesses, so batching cannot shrink
+	// anything.
+	ClassDirect BlockClass = iota
+	// ClassAggregate blocks buffer their memory accesses and emit them as
+	// one deduplicated, coalesced batch at the block boundary.
+	ClassAggregate
+	// ClassBailSys blocks contain a sysread/syswrite. Kernel transfer
+	// events tick the profiler's global counter mid-block, so the block
+	// conservatively bails out to full per-instruction instrumentation
+	// (statically proven Elide flags still apply — they are established per
+	// sys-delimited segment).
+	ClassBailSys
+)
+
+// String returns a short tag used by reports and stats.
+func (c BlockClass) String() string {
+	switch c {
+	case ClassAggregate:
+		return "aggregate"
+	case ClassBailSys:
+		return "bail=sys"
+	default:
+		return "direct"
+	}
+}
+
+// PlanFunc is the suppression plan of one function, parallel to its Code.
+type PlanFunc struct {
+	// Elide[pc] marks an OpLoadMem/OpStoreMem whose trace event is provably
+	// a profiler no-op: an earlier instruction in the same straight-line
+	// segment accesses the same address (re-read after any access, re-write
+	// after a write), with no scheduling point, call, or kernel transfer in
+	// between. The interpreter performs the heap access but emits nothing.
+	Elide []bool
+	// Class[pc] is meaningful where BlockStart[pc] is true and classifies
+	// the block led by pc.
+	Class []BlockClass
+}
+
+// EffectPlan is the whole-program suppression plan; Funcs is parallel to
+// CompiledProgram.Funcs.
+type EffectPlan struct {
+	Funcs []PlanFunc
+}
+
+// SuppressStats counts what suppression did during one run. All counters
+// are exact and deterministic (the scheduler is deterministic).
+type SuppressStats struct {
+	// MemOps is the number of executed traced memory accesses (loadmem +
+	// storemem), before suppression.
+	MemOps uint64
+	// ElidedStatic counts accesses skipped by a static Elide flag.
+	ElidedStatic uint64
+	// ElidedDynamic counts accesses dropped by the runtime block buffer
+	// (address already covered by a buffered access of the block).
+	ElidedDynamic uint64
+	// Coalesced counts accesses folded into the preceding buffered event
+	// (contiguous ascending same-kind runs become one multi-cell event).
+	Coalesced uint64
+	// BlocksAggregated / BlocksDirect / BlocksBailedSys count executed
+	// block entries by class.
+	BlocksAggregated uint64
+	BlocksDirect     uint64
+	BlocksBailedSys  uint64
+	// Overflows counts early buffer flushes (block had more distinct
+	// accesses than the buffer holds; the remainder is traced exactly as
+	// full instrumentation would — sound, just less compact).
+	Overflows uint64
+}
+
+// Elided returns the total number of suppressed per-instruction events.
+func (s SuppressStats) Elided() uint64 {
+	return s.ElidedStatic + s.ElidedDynamic + s.Coalesced
+}
+
+var effectPlanner func(*CompiledProgram) (*EffectPlan, error)
+
+// SetEffectPlanner installs the effect planner consulted by RunProgram when
+// Options.Suppress is set. Called from an init function of the analysis
+// package; later calls replace the planner (tests may stub it).
+func SetEffectPlanner(fn func(*CompiledProgram) (*EffectPlan, error)) { effectPlanner = fn }
+
+// planProgram computes and shape-checks the suppression plan for cp.
+func planProgram(cp *CompiledProgram) (*EffectPlan, error) {
+	if effectPlanner == nil {
+		return nil, errNoPlanner
+	}
+	plan, err := effectPlanner(cp)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil || len(plan.Funcs) != len(cp.Funcs) {
+		return nil, errBadPlan
+	}
+	for i, fn := range cp.Funcs {
+		if len(plan.Funcs[i].Elide) != len(fn.Code) || len(plan.Funcs[i].Class) != len(fn.Code) {
+			return nil, errBadPlan
+		}
+	}
+	return plan, nil
+}
+
+type plainError string
+
+func (e plainError) Error() string { return string(e) }
+
+const (
+	errNoPlanner plainError = "minilang: Options.Suppress requires an effect planner (import aprof/internal/vm/analysis)"
+	errBadPlan   plainError = "minilang: effect planner returned a malformed plan"
+)

@@ -66,7 +66,7 @@ func (cp *CompiledProgram) optimizeFunc(fn *Func) int {
 		}
 	}
 	fn.NumBlocks = 0
-	fn.markBlocks()
+	fn.MarkBlocks()
 	return before - len(fn.Code)
 }
 
@@ -94,12 +94,12 @@ func (cp *CompiledProgram) foldConstants(fn *Func) bool {
 			a := cp.Constants[code[i].A]
 			switch code[i+1].Op {
 			case OpNeg:
-				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(-a), Line: code[i].Line}
+				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(-a), Line: code[i].Line, Col: code[i].Col}
 				code[i+1].Op = opNop
 				changed = true
 				continue
 			case OpNot:
-				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(boolVal(a == 0)), Line: code[i].Line}
+				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(boolVal(a == 0)), Line: code[i].Line, Col: code[i].Col}
 				code[i+1].Op = opNop
 				changed = true
 				continue
@@ -108,7 +108,7 @@ func (cp *CompiledProgram) foldConstants(fn *Func) bool {
 				// fires.
 				takes := (a == 0) == (code[i+1].Op == OpJumpIfZero)
 				if takes {
-					code[i] = Instr{Op: OpJump, A: code[i+1].A, Line: code[i].Line}
+					code[i] = Instr{Op: OpJump, A: code[i+1].A, Line: code[i].Line, Col: code[i].Col}
 				} else {
 					code[i].Op = opNop
 				}
@@ -124,7 +124,7 @@ func (cp *CompiledProgram) foldConstants(fn *Func) bool {
 			b := cp.Constants[code[i+1].A]
 			v, ok := foldBinary(code[i+2].Op, a, b)
 			if ok {
-				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(v), Line: code[i].Line}
+				code[i] = Instr{Op: OpConst, A: cp.constIdxOpt(v), Line: code[i].Line, Col: code[i].Col}
 				code[i+1].Op = opNop
 				code[i+2].Op = opNop
 				changed = true

@@ -1,0 +1,10 @@
+// An unrolled straight-line kernel: one aggregate block with contiguous
+// reads, a provably redundant re-read, and a re-written cell.
+fn main() {
+	var a = alloc(8);
+	var s = a[0] + a[1] + a[2] + a[0];
+	a[4] = s;
+	a[5] = s;
+	a[4] = s + 1;
+	print(s);
+}

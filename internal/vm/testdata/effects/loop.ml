@@ -1,0 +1,14 @@
+// A loop over a helper: calls split VM sub-blocks inside CFG blocks, and
+// the read-then-write in addto aggregates without eliding (a write after a
+// read must still reach the write shadow).
+fn addto(a, i, v) {
+	a[i] = a[i] + v;
+	return 0;
+}
+fn main() {
+	var a = alloc(4);
+	for (var i = 0; i < 4; i = i + 1) {
+		addto(a, i, i);
+	}
+	print(a[0] + a[1] + a[2] + a[3]);
+}

@@ -1,0 +1,10 @@
+// Sys ops tick the profiler counter mid-block: the whole block bails out
+// of aggregation, and the read after sysread is not judged redundant
+// against anything before the transfer.
+fn main() {
+	var buf = alloc(8);
+	sysread(buf, 4);
+	var x = buf[0];
+	syswrite(buf, 2);
+	print(x);
+}

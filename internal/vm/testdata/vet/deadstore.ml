@@ -1,0 +1,11 @@
+// Stores the effect analysis proves dead: each value is overwritten
+// before any possibly-aliasing read (V007 — found on the optimized
+// bytecode, not the AST).
+fn main() {
+	var buf = alloc(4);
+	buf[0] = 1;
+	buf[0] = 2;
+	buf[1] = buf[0];
+	buf[1] = 3;
+	print(buf[0] + buf[1]);
+}

@@ -194,6 +194,82 @@ fn main() {
 			HotRoutine:        "main",
 			DynamicFactor:     6,
 		},
+		{
+			// A single-threaded unrolled stencil pass: each smooth() body is
+			// one straight-line basic block whose neighboring reads overlap
+			// and whose result cells are re-read for the checksum — the
+			// workload shape where instrumentation redundancy suppression
+			// (vm.Options.Suppress) elides the most events. No threads, no
+			// I/O: drms equals rms here (DynamicFactor 1).
+			Name: "stencil",
+			Source: `
+global grid[72];
+global out[72];
+
+fn smooth(base) {
+	out[base] = grid[base] + grid[base + 1];
+	out[base + 1] = grid[base + 1] + grid[base + 2];
+	out[base + 2] = grid[base + 2] + grid[base + 3];
+	out[base + 3] = grid[base + 3] + grid[base + 4];
+	out[base + 4] = grid[base + 4] + grid[base + 5];
+	out[base + 5] = grid[base + 5] + grid[base + 6];
+	out[base + 6] = grid[base + 6] + grid[base + 7];
+	out[base + 7] = grid[base + 7] + grid[base + 8];
+	return out[base] + out[base + 1] + out[base + 2] + out[base + 3]
+		+ out[base + 4] + out[base + 5] + out[base + 6] + out[base + 7];
+}
+
+fn main() {
+	for (var i = 0; i < 72; i = i + 1) {
+		grid[i] = i * 5 % 11;
+	}
+	var total = 0;
+	for (var round = 0; round < 6; round = round + 1) {
+		for (var p = 0; p < 8; p = p + 1) {
+			total = total + smooth(p * 8);
+		}
+	}
+	print("smoothed:", total);
+}`,
+			WantOutput:    []string{"smoothed: 3882"},
+			HotRoutine:    "smooth",
+			DynamicFactor: 1,
+		},
+		{
+			// An unrolled self-dot-product: every cell is read twice per
+			// block (x·x), so half the reads in each dot8 body are provably
+			// redundant. Single-threaded and I/O-free like stencil.
+			Name: "vecnorm",
+			Source: `
+global vec[64];
+
+fn dot8(i) {
+	return vec[i] * vec[i]
+		+ vec[i + 1] * vec[i + 1]
+		+ vec[i + 2] * vec[i + 2]
+		+ vec[i + 3] * vec[i + 3]
+		+ vec[i + 4] * vec[i + 4]
+		+ vec[i + 5] * vec[i + 5]
+		+ vec[i + 6] * vec[i + 6]
+		+ vec[i + 7] * vec[i + 7];
+}
+
+fn main() {
+	for (var i = 0; i < 64; i = i + 1) {
+		vec[i] = i % 9 - 4;
+	}
+	var norm = 0;
+	for (var round = 0; round < 8; round = round + 1) {
+		for (var b = 0; b < 8; b = b + 1) {
+			norm = norm + dot8(b * 8);
+		}
+	}
+	print("norm:", norm);
+}`,
+			WantOutput:    []string{"norm: 3488"},
+			HotRoutine:    "dot8",
+			DynamicFactor: 1,
+		},
 	}
 }
 

@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"testing"
+
+	"aprof/internal/vm"
+	_ "aprof/internal/vm/analysis" // installs the effect planner
+)
+
+// TestSuppressReduction measures the trace-size savings of redundancy
+// suppression on every VM workload and enforces the headline target: on
+// the straight-line-heavy programs (stencil, vecnorm) suppression must
+// elide at least 30% of trace events. The concurrency-heavy workloads have
+// few multi-access blocks — their (near-zero) reductions are logged for
+// the record but not gated. Equivalence of the profiler output is proven
+// separately by the differential harness in internal/vm/analysis.
+func TestSuppressReduction(t *testing.T) {
+	wantReduction := map[string]float64{
+		"stencil": 30,
+		"vecnorm": 30,
+	}
+	for _, prog := range VMPrograms() {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			full, err := vm.RunSource(prog.Source, vm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sup, err := vm.RunSource(prog.Source, vm.Options{Suppress: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, ss := full.Trace.Stats(), sup.Trace.Stats()
+			if fs.Events == 0 {
+				t.Fatal("empty full trace")
+			}
+			events := 100 * float64(fs.Events-ss.Events) / float64(fs.Events)
+			bytes := 100 * float64(fs.Bytes-ss.Bytes) / float64(fs.Bytes)
+			st := sup.Suppress
+			t.Logf("events %d -> %d (-%.1f%%), bytes %d -> %d (-%.1f%%); mem ops %d, elided %d (static %d, dynamic %d, coalesced %d)",
+				fs.Events, ss.Events, events, fs.Bytes, ss.Bytes, bytes,
+				st.MemOps, st.Elided(), st.ElidedStatic, st.ElidedDynamic, st.Coalesced)
+			if min, gated := wantReduction[prog.Name]; gated && events < min {
+				t.Errorf("event reduction %.1f%%, want >= %.1f%% on this straight-line workload", events, min)
+			}
+			if ss.Events > fs.Events {
+				t.Errorf("suppressed trace grew: %d > %d events", ss.Events, fs.Events)
+			}
+		})
+	}
+}
