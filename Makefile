@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults shard-equivalence suppress-equivalence chaos chaos-cluster bench bench-baseline bench-all cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults shard-equivalence suppress-equivalence chaos chaos-cluster store-torture bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -40,6 +40,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadProfiles -fuzztime $(FUZZTIME) ./internal/profio
 	$(GO) test -run xxx -fuzz FuzzProfileSharded -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzEffects -fuzztime $(FUZZTIME) ./internal/vm/analysis
+	$(GO) test -run xxx -fuzz FuzzPackDecode -fuzztime $(FUZZTIME) ./internal/repo
+	$(GO) test -run xxx -fuzz FuzzIndexDecode -fuzztime $(FUZZTIME) ./internal/repo
 
 # Robustness suite: fault-injection seed sweeps, corrupt-frame recovery
 # with exact loss accounting, and kill-at-every-batch checkpoint/resume
@@ -87,6 +89,16 @@ chaos-cluster:
 	$(GO) test -race -timeout 90s -count=1 ./internal/cluster
 	$(GO) test -race -timeout 90s -count=1 -run 'LeakAudit' ./internal/server/client
 	$(GO) test -race -timeout 90s -count=1 -run 'TestClusterEndToEnd' ./cmd/aprofd
+
+# Profile-repository torture suite, bounded at 90s under the race
+# detector: decoder fuzz smoke over the committed corpora, the
+# kill-at-every-step crash-consistency sweeps (every backend op, every
+# crash mode, plus the GC-focused sweep), the random-ops differential
+# test against the model store, the dedup-economics assertion, and the
+# killed-write result-file regression.
+store-torture:
+	$(GO) test -race -timeout 90s -count=1 ./internal/repo/... ./internal/faultio
+	$(GO) test -race -timeout 90s -count=1 -run 'TestStore' ./internal/server ./cmd/aprofd
 
 # Benchmark-regression harness: run the hot-path benchmarks (core, shadow,
 # profio, obs, vm) with -benchmem and diff ns/op against the committed

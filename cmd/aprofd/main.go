@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	aprofd -addr localhost:7071 [-checkpoint-dir DIR] [-result-dir DIR]
+//	aprofd -addr localhost:7071 [-checkpoint-dir DIR] [-result-dir DIR] [-store DIR]
 //	       [-debug-addr localhost:6060] [-max-sessions N] [-metric drms|rms|external-only]
 //	       [-cluster-peers HOST:PORT,...] [-max-decode-latency D] [-max-memory-bytes N]
 //
@@ -15,6 +15,11 @@
 // uploads resume from the last acknowledged batch, and SIGINT/SIGTERM
 // drains gracefully — stop accepting, checkpoint everything in flight,
 // exit — so a restarted daemon loses nothing. A second signal aborts hard.
+//
+// With -store, completed profiles are persisted into a content-addressed
+// profile repository (chunked, deduplicated, checksummed, crash-safe) and
+// /profiles/ serves sessions from it across restarts. Manage the store
+// with the aprofstore command.
 //
 // As a cluster member, -cluster-peers lists the other nodes' debug HTTP
 // addresses: /profiles/ then serves the merged cluster-wide view instead
@@ -38,6 +43,8 @@ import (
 	"aprof"
 	"aprof/internal/cluster"
 	"aprof/internal/obs"
+	"aprof/internal/repo"
+	"aprof/internal/repo/backend"
 	"aprof/internal/server"
 )
 
@@ -47,6 +54,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve metrics, pprof and /profiles/ on this HTTP address")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-session checkpoints (enables resume and drain durability)")
 		resultDir = flag.String("result-dir", "", "directory to write completed profiles to as <session>.json")
+		storeDir  = flag.String("store", "", "profile repository directory (content-addressed, deduplicated, crash-safe); created if missing")
 		metric    = flag.String("metric", "drms", "input metric: drms, rms, or external-only")
 
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap; excess connections are shed with a busy response")
@@ -81,6 +89,20 @@ func main() {
 	reg := obs.NewRegistry()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
+	var store *repo.Repository
+	if *storeDir != "" {
+		be, err := backend.OpenLocal(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		store, err = repo.OpenOrInit(be, repo.Options{Obs: reg, Logf: logger.Printf})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		logger.Printf("aprofd: profile store at %s", *storeDir)
+	}
+
 	s := server.New(server.Options{
 		MaxSessions: *maxSessions,
 		Admission: server.AdmissionOptions{
@@ -94,6 +116,7 @@ func main() {
 		MaxSessionEvents: *maxEvents,
 		CheckpointDir:    *ckptDir,
 		ResultDir:        *resultDir,
+		Store:            store,
 		Config:           cfg,
 		BatchSize:        *batch,
 		CheckpointEvery:  *ckptEvery,

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	aprofdiff [-threshold PCT] [-metric drms|rms] old.json new.json
+//	aprofdiff -store DIR [-threshold PCT] [-metric drms|rms] OLD-SESSION NEW-SESSION
+//
+// With -store the two positional arguments name sessions in an aprofd
+// profile repository (see aprofd -store and the aprofstore command)
+// instead of JSON files on disk.
 //
 // The exit status is 2 on usage errors, 1 when any routine's cost regressed
 // by more than the threshold (or its fitted asymptotic class grew), and 0
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
@@ -22,27 +28,45 @@ import (
 
 	"aprof"
 	"aprof/internal/fit"
+	"aprof/internal/repo"
+	"aprof/internal/repo/backend"
 )
 
 func main() {
 	var (
 		threshold = flag.Float64("threshold", 10, "flag cost regressions above this percentage")
 		metricStr = flag.String("metric", "drms", "input metric for fits: drms or rms")
+		storeDir  = flag.String("store", "", "read profiles from this repository; arguments are session ids, not files")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: aprofdiff [-threshold PCT] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "       aprofdiff -store DIR [-threshold PCT] OLD-SESSION NEW-SESSION")
 		os.Exit(2)
 	}
 	metric := aprof.DRMS
 	if strings.EqualFold(*metricStr, "rms") {
 		metric = aprof.RMS
 	}
-	oldPs, err := loadProfiles(flag.Arg(0))
+	load := loadProfiles
+	if *storeDir != "" {
+		store, err := openStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		load = func(sessionID string) (*aprof.Profiles, error) {
+			data, err := store.GetSession(sessionID)
+			if err != nil {
+				return nil, err
+			}
+			return aprof.ReadProfiles(bytes.NewReader(data))
+		}
+	}
+	oldPs, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	newPs, err := loadProfiles(flag.Arg(1))
+	newPs, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
@@ -60,6 +84,16 @@ func loadProfiles(path string) (*aprof.Profiles, error) {
 	}
 	defer f.Close()
 	return aprof.ReadProfiles(f)
+}
+
+// openStore opens an existing profile repository read-only-ish (aprofdiff
+// never writes to it).
+func openStore(dir string) (*repo.Repository, error) {
+	be, err := backend.OpenLocal(dir)
+	if err != nil {
+		return nil, err
+	}
+	return repo.Open(be, repo.Options{})
 }
 
 // routineDiff is the comparison of one routine across the two runs.

@@ -1,0 +1,175 @@
+package faultio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"aprof/internal/repo/backend"
+)
+
+// ErrBackendCrashed is what every operation on a crashed CrashBackend
+// returns — the in-process stand-in for SIGKILL between the store and its
+// storage.
+var ErrBackendCrashed = errors.New("faultio: backend crashed")
+
+// CrashMode selects where in the fatal operation the crash lands.
+type CrashMode int
+
+const (
+	// CrashBefore kills the backend before the operation applies: the
+	// caller sees an error and the storage is untouched — a process killed
+	// before its write system call.
+	CrashBefore CrashMode = iota
+	// CrashAfter applies the operation, then kills the backend: the
+	// storage changed but the caller never learns it — a process killed
+	// between the write and its acknowledgement.
+	CrashAfter
+	// CrashTorn applies a Save with only a prefix of the data, then kills
+	// the backend: a torn write that still became visible. This is
+	// *stronger* than what a correct temp-file + rename backend can
+	// produce; surviving it proves the store's checksums reject torn
+	// objects no matter how they appear. For operations other than Save,
+	// CrashTorn behaves like CrashBefore.
+	CrashTorn
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashBefore:
+		return "before"
+	case CrashAfter:
+		return "after"
+	case CrashTorn:
+		return "torn"
+	default:
+		return fmt.Sprintf("crashmode(%d)", int(m))
+	}
+}
+
+// CrashModes lists every mode, for sweep loops.
+var CrashModes = []CrashMode{CrashBefore, CrashAfter, CrashTorn}
+
+// CrashBackend wraps a backend.Backend and kills it at the Nth mutating
+// operation (Save or Remove). Reads are never faulted — a killed process
+// does not corrupt what it only read — and are refused once the backend
+// is dead, like everything else. Deterministic: the same KillAt and mode
+// over the same operation sequence crashes at the same place, so every
+// failing sweep index is replayable.
+type CrashBackend struct {
+	inner backend.Backend
+	mode  CrashMode
+	// killAt is 1-based: the killAt'th mutating op crashes. 0 disables.
+	killAt int
+
+	mu   sync.Mutex
+	ops  int
+	dead bool
+}
+
+// NewCrashBackend wraps inner so its killAt'th mutating operation (1-based;
+// 0 = never) crashes with the given mode.
+func NewCrashBackend(inner backend.Backend, killAt int, mode CrashMode) *CrashBackend {
+	return &CrashBackend{inner: inner, killAt: killAt, mode: mode}
+}
+
+// Ops reports how many mutating operations have been attempted — run a
+// scenario once with killAt 0 to learn the sweep range.
+func (c *CrashBackend) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Dead reports whether the crash already happened.
+func (c *CrashBackend) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// Revive clears the dead flag and disables further crashes, modeling the
+// process restart that follows the kill. The operation count keeps
+// accumulating.
+func (c *CrashBackend) Revive() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead = false
+	c.killAt = 0
+}
+
+// step decides one mutating operation's fate. It returns (crashNow, torn):
+// crashNow means return ErrBackendCrashed; torn additionally means apply a
+// truncated Save first.
+func (c *CrashBackend) step() (crashNow, applyFirst, torn bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return false, false, false, ErrBackendCrashed
+	}
+	c.ops++
+	if c.killAt > 0 && c.ops == c.killAt {
+		c.dead = true
+		switch c.mode {
+		case CrashAfter:
+			return true, true, false, nil
+		case CrashTorn:
+			return true, false, true, nil
+		default:
+			return true, false, false, nil
+		}
+	}
+	return false, false, false, nil
+}
+
+// Save implements backend.Backend.
+func (c *CrashBackend) Save(h backend.Handle, data []byte) error {
+	crashNow, applyFirst, torn, err := c.step()
+	if err != nil {
+		return err
+	}
+	if !crashNow {
+		return c.inner.Save(h, data)
+	}
+	if torn && len(data) > 0 {
+		c.inner.Save(h, data[:len(data)/2])
+	} else if applyFirst {
+		if err := c.inner.Save(h, data); err != nil {
+			return err
+		}
+	}
+	return ErrBackendCrashed
+}
+
+// Remove implements backend.Backend.
+func (c *CrashBackend) Remove(h backend.Handle) error {
+	crashNow, applyFirst, _, err := c.step()
+	if err != nil {
+		return err
+	}
+	if !crashNow {
+		return c.inner.Remove(h)
+	}
+	if applyFirst {
+		if err := c.inner.Remove(h); err != nil {
+			return err
+		}
+	}
+	return ErrBackendCrashed
+}
+
+// Load implements backend.Backend; reads fail only once the backend died.
+func (c *CrashBackend) Load(h backend.Handle) ([]byte, error) {
+	if c.Dead() {
+		return nil, ErrBackendCrashed
+	}
+	return c.inner.Load(h)
+}
+
+// List implements backend.Backend; reads fail only once the backend died.
+func (c *CrashBackend) List(t backend.Type) ([]string, error) {
+	if c.Dead() {
+		return nil, ErrBackendCrashed
+	}
+	return c.inner.List(t)
+}

@@ -1,0 +1,57 @@
+package backend
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes data to path so that a crash at any instant leaves
+// either the complete new file, the complete previous file, or nothing —
+// never a truncated one. It writes a same-directory temp file, fsyncs it,
+// renames it over path, and fsyncs the directory so the rename itself is
+// durable. The temp file is removed on every failure path.
+func WriteAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Filesystems that cannot fsync a directory (rare) are tolerated: the
+// rename already happened, so at worst durability regresses to the
+// filesystem's own guarantee.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,150 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// resultPayload builds a valid result-file JSON document whose truncation
+// at any byte is detectable (json.Valid fails or the end marker is gone).
+func resultPayload(seq, padLen int) []byte {
+	return []byte(fmt.Sprintf(`{"seq":%d,"pad":%q,"complete":true}`,
+		seq, strings.Repeat("x", padLen)))
+}
+
+// validResult reports whether data is a complete payload.
+func validResult(data []byte) bool {
+	return json.Valid(data) && bytes.HasSuffix(bytes.TrimSpace(data), []byte(`"complete":true}`))
+}
+
+// TestHelperAtomicWriteLoop is not a test: it is the child process of
+// TestKilledWriteNeverLeavesTruncatedJSON, re-executed from the test
+// binary. It rewrites one result file as fast as it can until killed.
+func TestHelperAtomicWriteLoop(t *testing.T) {
+	dir := os.Getenv("APROF_ATOMIC_WRITE_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestKilledWriteNeverLeavesTruncatedJSON")
+	}
+	path := filepath.Join(dir, "session.json")
+	for seq := 0; ; seq++ {
+		// Vary the size so a torn write would change the length, not just
+		// trailing bytes.
+		if err := WriteAtomic(path, resultPayload(seq, 1024+(seq%7)*4096), 0o644); err != nil {
+			t.Fatalf("WriteAtomic: %v", err)
+		}
+	}
+}
+
+// TestKilledWriteNeverLeavesTruncatedJSON is the regression test for the
+// result-dir durability fix: a process SIGKILLed at a random instant while
+// rewriting a result file must leave either a complete old document, a
+// complete new document, or no file — never truncated JSON. Before the
+// atomic-write fix a kill inside the data write could leave a partial
+// file under the final name.
+func TestKilledWriteNeverLeavesTruncatedJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills helper processes")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.json")
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	sawFile := false
+	for round := 0; round < 12; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestHelperAtomicWriteLoop")
+		cmd.Env = append(os.Environ(), "APROF_ATOMIC_WRITE_DIR="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Duration(1+rng.Intn(25)) * time.Millisecond)
+		cmd.Process.Kill()
+		cmd.Wait()
+
+		data, err := os.ReadFile(path)
+		switch {
+		case os.IsNotExist(err):
+			// Killed before the first rename ever landed: acceptable.
+		case err != nil:
+			t.Fatalf("round %d: %v", round, err)
+		default:
+			sawFile = true
+			if !validResult(data) {
+				t.Fatalf("round %d: result file is truncated or torn (%d bytes): %.80q...", round, len(data), data)
+			}
+		}
+	}
+	if !sawFile {
+		t.Skip("no round survived to a first rename; nothing verified")
+	}
+}
+
+// TestWriteAtomicConcurrentReaderSeesWholeFiles: readers polling the path
+// while it is rewritten must only ever observe complete documents.
+func TestWriteAtomicConcurrentReaderSeesWholeFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.json")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue // not yet written
+			}
+			if !validResult(data) {
+				failed.Store(true)
+				return
+			}
+		}
+	}()
+	for seq := 0; seq < 400; seq++ {
+		if err := WriteAtomic(path, resultPayload(seq, 512+(seq%5)*2048), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("a reader observed a truncated or torn result file")
+	}
+}
+
+// TestWriteAtomicFailureLeavesNoTemp: every failure path must remove the
+// temp file so result directories never accumulate litter.
+func TestWriteAtomicFailureLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	// Rename failure: the destination is an existing non-empty directory.
+	blocked := filepath.Join(dir, "blocked.json")
+	if err := os.MkdirAll(filepath.Join(blocked, "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(blocked, []byte("{}"), 0o644); err == nil {
+		t.Fatal("WriteAtomic over a directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind after failure: %s", e.Name())
+		}
+	}
+}

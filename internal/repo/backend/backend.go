@@ -1,0 +1,83 @@
+// Package backend defines the narrow storage interface beneath the
+// content-addressed profile repository, plus its first implementation (a
+// local directory). The repository never touches the filesystem directly:
+// everything it persists goes through a Backend as an opaque
+// (type, name) → bytes mapping, so swapping the local directory for an
+// object store, a remote KV service, or a fault-injecting test wrapper
+// changes nothing above this line.
+package backend
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Type partitions the handle namespace. Each type is an independent
+// name → bytes map; the repository decides what lives in each.
+type Type string
+
+// The handle types the repository uses.
+const (
+	// ConfigType holds the single repository config document (name "config").
+	ConfigType Type = "config"
+	// PackType holds immutable pack files of checksummed blobs.
+	PackType Type = "packs"
+	// SnapshotType holds snapshot documents — the GC roots.
+	SnapshotType Type = "snapshots"
+	// IndexType holds the cached index (an optimization only: the index is
+	// always reconstructible from pack headers).
+	IndexType Type = "index"
+)
+
+// Types lists every handle type, for tools that walk a whole backend.
+var Types = []Type{ConfigType, PackType, SnapshotType, IndexType}
+
+// Handle names one stored object.
+type Handle struct {
+	Type Type
+	Name string
+}
+
+func (h Handle) String() string { return fmt.Sprintf("%s/%s", h.Type, h.Name) }
+
+// ErrNotFound is returned (wrapped) by Load and Remove for absent handles.
+var ErrNotFound = errors.New("backend: object not found")
+
+// Backend is the storage contract. Implementations must make Save atomic
+// and durable: after Save returns nil the object is fully readable under
+// its handle, and a crash at any earlier point leaves either the previous
+// object or nothing — never a torn or partial one. Objects are immutable
+// in practice (the repository content-addresses every name), but Save of
+// an existing name must still be a safe overwrite.
+//
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// Save atomically stores data under h.
+	Save(h Handle, data []byte) error
+	// Load returns the object's bytes (ErrNotFound if absent).
+	Load(h Handle) ([]byte, error)
+	// List returns the names of every object of type t, in lexical order.
+	List(t Type) ([]string, error)
+	// Remove deletes the object (ErrNotFound if absent).
+	Remove(h Handle) error
+}
+
+// validName rejects handle names that could escape a directory layout or
+// collide with temp files. Names the repository generates (hex digests and
+// "config") always pass.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("backend: empty object name")
+	}
+	for _, r := range name {
+		ok := r == '-' || r == '.' || r == '_' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return fmt.Errorf("backend: invalid object name %q", name)
+		}
+	}
+	if name[0] == '.' {
+		return fmt.Errorf("backend: invalid object name %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Local is the directory-backed Backend: one subdirectory per handle type,
+// one file per object. Saves go through a same-directory temp file plus
+// rename (WriteAtomic), so a killed save leaves no torn object — at worst
+// an orphaned dot-temp file that List never reports and Create/open
+// cleanup sweeps away.
+type Local struct {
+	dir string
+}
+
+// OpenLocal returns a Local rooted at dir, creating the directory layout
+// if needed and sweeping any temp files a previous crash left behind.
+func OpenLocal(dir string) (*Local, error) {
+	for _, t := range Types {
+		sub := filepath.Join(dir, string(t))
+		if t == ConfigType {
+			sub = dir // the config document lives at the root
+		}
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	l := &Local{dir: dir}
+	l.sweepTemp()
+	return l, nil
+}
+
+// Dir returns the root directory.
+func (l *Local) Dir() string { return l.dir }
+
+// sweepTemp removes leftover temp files from crashed saves. Best-effort:
+// a sweep failure only leaves harmless garbage.
+func (l *Local) sweepTemp() {
+	for _, t := range Types {
+		entries, err := os.ReadDir(l.typeDir(t))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".") && strings.Contains(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(l.typeDir(t), e.Name()))
+			}
+		}
+	}
+}
+
+func (l *Local) typeDir(t Type) string {
+	if t == ConfigType {
+		return l.dir
+	}
+	return filepath.Join(l.dir, string(t))
+}
+
+func (l *Local) path(h Handle) (string, error) {
+	if err := validName(h.Name); err != nil {
+		return "", err
+	}
+	switch h.Type {
+	case ConfigType, PackType, SnapshotType, IndexType:
+	default:
+		return "", fmt.Errorf("backend: unknown handle type %q", h.Type)
+	}
+	return filepath.Join(l.typeDir(h.Type), h.Name), nil
+}
+
+// Save implements Backend.
+func (l *Local) Save(h Handle, data []byte) error {
+	path, err := l.path(h)
+	if err != nil {
+		return err
+	}
+	return WriteAtomic(path, data, 0o644)
+}
+
+// Load implements Backend.
+func (l *Local) Load(h Handle) ([]byte, error) {
+	path, err := l.path(h)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h)
+	}
+	return data, err
+}
+
+// List implements Backend.
+func (l *Local) List(t Type) ([]string, error) {
+	entries, err := os.ReadDir(l.typeDir(t))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if t == ConfigType && e.Name() != "config" {
+			continue // the root dir also holds the type subdirectories
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements Backend.
+func (l *Local) Remove(h Handle) error {
+	path, err := l.path(h)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, h)
+	}
+	return err
+}

@@ -1,0 +1,79 @@
+package repo
+
+// Content-defined chunking: profile documents are split at boundaries the
+// *content* chooses (a rolling-hash condition), not at fixed offsets, so
+// inserting or deleting a few bytes near the front of a profile shifts at
+// most the chunks covering the edit — everything after the next boundary
+// re-aligns and deduplicates against the previous version. This is the
+// property that turns "a fleet writes near-identical profiles forever"
+// into bounded storage.
+
+const (
+	// chunkMin is the smallest chunk the splitter emits (except a final
+	// remainder). Boundaries inside the first chunkMin bytes are ignored so
+	// pathological content cannot shatter the stream into tiny blobs.
+	chunkMin = 512
+	// chunkMax force-splits runs where the boundary condition never fires.
+	chunkMax = 8192
+	// chunkMask selects the boundary condition: a boundary fires where the
+	// rolling hash has these 11 bits zero, giving ~2 KiB average chunks.
+	chunkMask = (1 << 11) - 1
+	// chunkWindow is the rolling-hash window width in bytes.
+	chunkWindow = 64
+)
+
+// buzTable is the fixed byte → 64-bit mixing table for the buzhash. It is
+// generated deterministically (splitmix64 over the byte value) so chunk
+// boundaries — and therefore blob IDs — are stable across runs, platforms,
+// and repository instances: dedup works fleet-wide, not per-process.
+var buzTable = func() [256]uint64 {
+	var t [256]uint64
+	for i := range t {
+		// splitmix64 step with the byte value as the state seed.
+		z := uint64(i)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// rotl rotates x left by k (k < 64).
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// chunkData splits data into content-defined chunks. The concatenation of
+// the returned slices is exactly data; each slice aliases data (callers
+// hash/copy, never mutate). Empty input yields no chunks.
+func chunkData(data []byte) [][]byte {
+	var chunks [][]byte
+	for len(data) > 0 {
+		n := nextBoundary(data)
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks
+}
+
+// nextBoundary returns the length of the first chunk of data.
+func nextBoundary(data []byte) int {
+	if len(data) <= chunkMin {
+		return len(data)
+	}
+	end := len(data)
+	if end > chunkMax {
+		end = chunkMax
+	}
+	// Prime the window over the bytes before the first candidate boundary.
+	var h uint64
+	start := chunkMin - chunkWindow
+	for i := start; i < chunkMin; i++ {
+		h = rotl(h, 1) ^ buzTable[data[i]]
+	}
+	for i := chunkMin; i < end; i++ {
+		if h&chunkMask == 0 {
+			return i
+		}
+		h = rotl(h, 1) ^ buzTable[data[i]] ^ rotl(buzTable[data[i-chunkWindow]], chunkWindow%64)
+	}
+	return end
+}

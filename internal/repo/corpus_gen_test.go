@@ -1,0 +1,34 @@
+package repo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpora under
+// testdata/fuzz from the in-code seed builders, in the native Go fuzzing
+// corpus format. Run with REPO_GEN_CORPUS=1 after changing a format or a
+// seed builder; a normal test run only verifies the files parse.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("REPO_GEN_CORPUS") == "" {
+		t.Skip("set REPO_GEN_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	write := func(target string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+			path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzPackDecode", fuzzSeedPacks())
+	write("FuzzIndexDecode", fuzzSeedIndexes())
+}

@@ -1,0 +1,43 @@
+package repo_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// syntheticDoc builds a deterministic pseudo-JSON profile document of
+// roughly the requested size, for the black-box suites (crash sweep,
+// property/differential test).
+func syntheticDoc(seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString(`{"schema":1,"routines":[`)
+	for i := 0; sb.Len() < size; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"name":"routine_%d","calls":%d,"cost":%d,"points":[`, i, rng.Intn(1e6), rng.Intn(1e9))
+		for j := 0; j < 8; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `[%d,%d]`, rng.Intn(1e4), rng.Intn(1e7))
+		}
+		sb.WriteString(`]}`)
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}
+
+// mutateDoc returns a copy of base with a few point edits — the
+// near-identical next profile of the same routine/workload.
+func mutateDoc(base []byte, seed int64) []byte {
+	out := append([]byte(nil), base...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 3; i++ {
+		pos := rng.Intn(len(out))
+		out[pos] = byte('0' + rng.Intn(10))
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package repo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A manifest is the blob that reassembles one stored profile: the ordered
+// chunk list plus the total size. It is serialized as canonical JSON
+// (fixed field order, no whitespace variance) so identical profiles always
+// produce the identical manifest blob — and therefore the identical
+// manifest ID, which is what the repository hands out as the profile's
+// address.
+type manifest struct {
+	Size   int      `json:"size"`
+	Chunks []string `json:"chunks"`
+}
+
+// encodeManifest serializes the chunk list for a profile of the given
+// total size.
+func encodeManifest(size int, chunks []ID) []byte {
+	m := manifest{Size: size, Chunks: make([]string, len(chunks))}
+	for i, id := range chunks {
+		m.Chunks[i] = id.String()
+	}
+	data, err := json.Marshal(m)
+	if err != nil { // a struct of ints and strings cannot fail to marshal
+		panic(err)
+	}
+	return data
+}
+
+// decodeManifest parses a manifest blob.
+func decodeManifest(data []byte) (size int, chunks []ID, err error) {
+	var m manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return 0, nil, fmt.Errorf("repo: corrupt manifest: %w", err)
+	}
+	if m.Size < 0 {
+		return 0, nil, fmt.Errorf("repo: corrupt manifest: negative size")
+	}
+	chunks = make([]ID, len(m.Chunks))
+	for i, s := range m.Chunks {
+		chunks[i], err = ParseID(s)
+		if err != nil {
+			return 0, nil, fmt.Errorf("repo: corrupt manifest: %w", err)
+		}
+	}
+	return m.Size, chunks, nil
+}
+
+// A snapshot is a GC root: one immutable record of a complete result set,
+// mapping session IDs to manifest IDs. Saving a profile writes a new
+// snapshot containing the updated set and then prunes the snapshots it
+// supersedes; because the new snapshot is saved first, every blob stays
+// referenced by at least one root at every instant — the invariant the
+// crash sweep tests.
+type snapshot struct {
+	// Seq orders snapshots: when two snapshots disagree about a session
+	// (possible only transiently, between a save and its prune), the higher
+	// sequence number wins.
+	Seq uint64 `json:"seq"`
+	// Sessions maps session ID → manifest ID (hex).
+	Sessions map[string]string `json:"sessions"`
+}
+
+// encodeSnapshot serializes a snapshot; json.Marshal sorts map keys, so
+// the encoding is canonical and the snapshot's name (the hex SHA-256 of
+// these bytes) is deterministic.
+func encodeSnapshot(seq uint64, sessions map[string]ID) []byte {
+	s := snapshot{Seq: seq, Sessions: make(map[string]string, len(sessions))}
+	for id, m := range sessions {
+		s.Sessions[id] = m.String()
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// decodeSnapshot parses a snapshot document.
+func decodeSnapshot(data []byte) (seq uint64, sessions map[string]ID, err error) {
+	var s snapshot
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return 0, nil, fmt.Errorf("repo: corrupt snapshot: %w", err)
+	}
+	sessions = make(map[string]ID, len(s.Sessions))
+	for sid, mhex := range s.Sessions {
+		if strings.TrimSpace(sid) == "" {
+			return 0, nil, fmt.Errorf("repo: corrupt snapshot: empty session id")
+		}
+		id, perr := ParseID(mhex)
+		if perr != nil {
+			return 0, nil, fmt.Errorf("repo: corrupt snapshot: session %q: %w", sid, perr)
+		}
+		sessions[sid] = id
+	}
+	return s.Seq, sessions, nil
+}
+
+// sortedSessionIDs returns a session map's keys in lexical order.
+func sortedSessionIDs(sessions map[string]ID) []string {
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

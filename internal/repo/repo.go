@@ -1,0 +1,767 @@
+// Package repo implements a content-addressed, deduplicated, checksummed
+// repository for profile documents — the durability layer beneath aprofd.
+//
+// Profiles are split into content-defined chunks (chunker.go); chunks and
+// the manifests that reassemble them are stored as SHA-256-addressed blobs
+// inside immutable, CRC-checksummed pack files (pack.go); an in-memory
+// index locates every blob and is rebuilt from pack headers whenever its
+// cached form is missing or stale (index.go); and snapshot documents are
+// the GC roots that make a result set durable (manifest.go). Storage goes
+// exclusively through the narrow backend.Backend interface, so the local
+// directory layout, an object store, or a fault-injecting test double are
+// interchangeable.
+//
+// Write ordering is the crash-safety story: blobs are packed and saved
+// before any snapshot referencing them exists, new snapshots are saved
+// before the ones they supersede are pruned, and GC saves repacked blobs
+// before deleting the packs they came from. Every object write is atomic
+// (backend contract), so a kill at any instant leaves a repository where
+// every snapshot-referenced blob is present — at worst with some
+// unreferenced garbage that the next GC collects.
+package repo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aprof/internal/obs"
+	"aprof/internal/repo/backend"
+)
+
+// ObsScopeRepo is the repository's metric scope: dedup hit rates, pack
+// population, live/dead byte gauges, and GC latency.
+const ObsScopeRepo = "repo"
+
+// ErrNotRepository reports an Open of a location with no config document.
+var ErrNotRepository = errors.New("repo: not a repository (missing config; run init)")
+
+// ErrProfileNotFound reports a lookup of an unknown manifest or session.
+var ErrProfileNotFound = errors.New("repo: profile not found")
+
+// repoVersion is the config document version this code reads and writes.
+const repoVersion = 1
+
+// config is the repository's root document. The chunking parameters are
+// recorded so a future chunker change cannot silently break dedup against
+// an existing store: Open refuses a config it does not understand.
+type config struct {
+	Version  int `json:"version"`
+	ChunkMin int `json:"chunk_min"`
+	ChunkMax int `json:"chunk_max"`
+	MaskBits int `json:"chunk_mask_bits"`
+}
+
+func currentConfig() config {
+	return config{Version: repoVersion, ChunkMin: chunkMin, ChunkMax: chunkMax, MaskBits: 11}
+}
+
+type repoMetrics struct {
+	blobsWritten *obs.Counter
+	blobsDeduped *obs.Counter
+	bytesWritten *obs.Counter
+	bytesDeduped *obs.Counter
+	packsWritten *obs.Counter
+	packsDeleted *obs.Counter
+	snapsWritten *obs.Counter
+	gcRuns       *obs.Counter
+	gcLatency    *obs.Histogram
+	packCount    *obs.Gauge
+	blobCount    *obs.Gauge
+	liveBytes    *obs.Gauge
+	deadBytes    *obs.Gauge
+	sessions     *obs.Gauge
+}
+
+func newRepoMetrics(reg *obs.Registry) repoMetrics {
+	s := reg.Scope(ObsScopeRepo)
+	return repoMetrics{
+		blobsWritten: s.Counter("blobs_written"),
+		blobsDeduped: s.Counter("blobs_deduped"),
+		bytesWritten: s.Counter("bytes_written"),
+		bytesDeduped: s.Counter("bytes_deduped"),
+		packsWritten: s.Counter("packs_written"),
+		packsDeleted: s.Counter("packs_deleted"),
+		snapsWritten: s.Counter("snapshots_written"),
+		gcRuns:       s.Counter("gc_runs"),
+		gcLatency:    s.Histogram("gc_us"),
+		packCount:    s.Gauge("pack_count"),
+		blobCount:    s.Gauge("blob_count"),
+		liveBytes:    s.Gauge("live_bytes"),
+		deadBytes:    s.Gauge("dead_bytes"),
+		sessions:     s.Gauge("sessions"),
+	}
+}
+
+// Options configures Open.
+type Options struct {
+	// Obs receives repository metrics under scope "repo" (nil disables).
+	Obs *obs.Registry
+	// Logf logs recoverable anomalies, e.g. a damaged pack skipped on open
+	// (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// snapState is one loaded snapshot root.
+type snapState struct {
+	seq      uint64
+	sessions map[string]ID
+}
+
+// Repository is an open profile store. All methods are safe for
+// concurrent use.
+type Repository struct {
+	be   backend.Backend
+	opts Options
+	m    repoMetrics
+
+	mu sync.Mutex
+	ix *index
+	// pending is the pack under construction: blobs staged but not yet
+	// saved. Readable through Get, persisted by flush.
+	pending      []Blob
+	pendingIDs   map[ID]struct{}
+	pendingBytes int
+	// snaps holds every snapshot root by name; sessions is the merged
+	// head view (highest seq wins per session).
+	snaps    map[string]snapState
+	sessions map[string]ID
+	maxSeq   uint64
+	// damagedSnaps lists snapshot files whose content does not hash to
+	// their name — torn writes made visible by a non-atomic backend. They
+	// are never honored as roots and are deleted by the next GC.
+	damagedSnaps []string
+	// damaged lists packs that failed to decode on open. Their blobs are
+	// not served; Check reports whether anything referenced lived there.
+	damaged []string
+	// packCache holds the bytes of the most recently loaded pack, so
+	// assembling a profile does not re-read the pack per chunk.
+	packCacheName string
+	packCacheData []byte
+}
+
+// Init creates a new repository behind be. It refuses a location that
+// already holds one.
+func Init(be backend.Backend) error {
+	h := backend.Handle{Type: backend.ConfigType, Name: "config"}
+	if _, err := be.Load(h); err == nil {
+		return errors.New("repo: already initialized")
+	} else if !errors.Is(err, backend.ErrNotFound) {
+		return err
+	}
+	data, err := json.Marshal(currentConfig())
+	if err != nil {
+		return err
+	}
+	return be.Save(h, data)
+}
+
+// Open loads the repository behind be: config, snapshots, and the blob
+// index (from the cached index file when it exactly matches the pack set,
+// from a full pack-header scan otherwise).
+func Open(be backend.Backend, opts Options) (*Repository, error) {
+	raw, err := be.Load(backend.Handle{Type: backend.ConfigType, Name: "config"})
+	if errors.Is(err, backend.ErrNotFound) {
+		return nil, ErrNotRepository
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("repo: corrupt config: %w", err)
+	}
+	if cfg != currentConfig() {
+		return nil, fmt.Errorf("repo: unsupported config %+v (want %+v)", cfg, currentConfig())
+	}
+
+	r := &Repository{
+		be:         be,
+		opts:       opts,
+		m:          newRepoMetrics(opts.Obs),
+		pendingIDs: make(map[ID]struct{}),
+		snaps:      make(map[string]snapState),
+		sessions:   make(map[string]ID),
+	}
+	if err := r.loadIndex(); err != nil {
+		return nil, err
+	}
+	if err := r.loadSnapshots(); err != nil {
+		return nil, err
+	}
+	r.updateGauges()
+	return r, nil
+}
+
+// OpenOrInit opens the repository, initializing an empty location first.
+func OpenOrInit(be backend.Backend, opts Options) (*Repository, error) {
+	r, err := Open(be, opts)
+	if errors.Is(err, ErrNotRepository) {
+		if err := Init(be); err != nil {
+			return nil, err
+		}
+		return Open(be, opts)
+	}
+	return r, err
+}
+
+func (r *Repository) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// loadIndex populates r.ix, preferring a cached index file that covers
+// exactly the pack set present; anything else falls back to scanning
+// every pack header.
+func (r *Repository) loadIndex() error {
+	packNames, err := r.be.List(backend.PackType)
+	if err != nil {
+		return err
+	}
+	if ix, ok := r.loadIndexCache(packNames); ok {
+		r.ix = ix
+		return nil
+	}
+	r.ix = newIndex()
+	for _, name := range packNames {
+		data, err := r.be.Load(backend.Handle{Type: backend.PackType, Name: name})
+		if err != nil {
+			return err
+		}
+		entries, derr := decodePackHeader(data)
+		if derr != nil {
+			// A damaged pack cannot be served; quarantine it rather than
+			// failing the whole store open. Check reports whether any
+			// referenced blob lived there.
+			r.damaged = append(r.damaged, name)
+			r.logf("repo: skipping damaged pack %s: %v", name, derr)
+			continue
+		}
+		r.ix.addPack(name, entries, false)
+	}
+	return nil
+}
+
+// loadIndexCache tries each cached index file (normally at most one) and
+// returns the first whose covered pack set equals packNames exactly.
+func (r *Repository) loadIndexCache(packNames []string) (*index, bool) {
+	names, err := r.be.List(backend.IndexType)
+	if err != nil || len(names) == 0 {
+		return nil, false
+	}
+	want := make(map[string]struct{}, len(packNames))
+	for _, n := range packNames {
+		want[n] = struct{}{}
+	}
+	for _, name := range names {
+		data, err := r.be.Load(backend.Handle{Type: backend.IndexType, Name: name})
+		if err != nil {
+			continue
+		}
+		packs, derr := DecodeIndex(data)
+		if derr != nil {
+			r.logf("repo: ignoring corrupt index cache %s: %v", name, derr)
+			continue
+		}
+		if len(packs) != len(want) {
+			continue
+		}
+		stale := false
+		for _, p := range packs {
+			if _, ok := want[p.Name]; !ok {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			continue
+		}
+		return fromIndexPacks(packs), true
+	}
+	return nil, false
+}
+
+// loadSnapshots reads every snapshot root and builds the merged session
+// view. Snapshots are content-addressed, so a torn write is detectable:
+// the file's hash no longer matches its name. Such wreckage is quarantined
+// (it was never acknowledged — the save that produced it failed). A
+// snapshot whose content DOES match its name but fails to decode is real
+// corruption and fails the open: guessing at roots risks GC deleting live
+// data.
+func (r *Repository) loadSnapshots() error {
+	names, err := r.be.List(backend.SnapshotType)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, err := r.be.Load(backend.Handle{Type: backend.SnapshotType, Name: name})
+		if err != nil {
+			return err
+		}
+		if IDOf(data).String() != name {
+			r.damagedSnaps = append(r.damagedSnaps, name)
+			r.logf("repo: skipping torn snapshot %s", name)
+			continue
+		}
+		seq, sessions, derr := decodeSnapshot(data)
+		if derr != nil {
+			return fmt.Errorf("repo: snapshot %s: %w", name, derr)
+		}
+		r.snaps[name] = snapState{seq: seq, sessions: sessions}
+		if seq > r.maxSeq {
+			r.maxSeq = seq
+		}
+	}
+	r.rebuildSessionView()
+	return nil
+}
+
+// rebuildSessionView recomputes the merged head view from all roots.
+func (r *Repository) rebuildSessionView() {
+	r.sessions = make(map[string]ID)
+	winner := make(map[string]uint64)
+	for _, s := range r.snaps {
+		for sid, mid := range s.sessions {
+			if seq, ok := winner[sid]; !ok || s.seq > seq {
+				winner[sid] = s.seq
+				r.sessions[sid] = mid
+			}
+		}
+	}
+}
+
+// Put stores a profile document, returning its manifest ID. Chunks (and
+// the manifest) already present in the store or staged in the pending
+// pack are deduplicated, not re-stored. The data is readable through Get
+// immediately, but only durable once a flush happens (Snapshot,
+// SaveProfile, Flush, and Close all flush).
+func (r *Repository) Put(data []byte) (ID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.putLocked(data)
+}
+
+func (r *Repository) putLocked(data []byte) (ID, error) {
+	chunks := chunkData(data)
+	ids := make([]ID, len(chunks))
+	for i, c := range chunks {
+		ids[i] = IDOf(c)
+		r.stageLocked(BlobChunk, ids[i], c)
+	}
+	mdata := encodeManifest(len(data), ids)
+	mid := IDOf(mdata)
+	r.stageLocked(BlobManifest, mid, mdata)
+	if err := r.maybeFlushLocked(); err != nil {
+		return ID{}, err
+	}
+	return mid, nil
+}
+
+// stageLocked adds one blob to the pending pack unless it is already
+// stored or staged (the dedup hit path).
+func (r *Repository) stageLocked(t BlobType, id ID, data []byte) {
+	if _, ok := r.pendingIDs[id]; ok {
+		r.m.blobsDeduped.Inc()
+		r.m.bytesDeduped.Add(uint64(len(data)))
+		return
+	}
+	if r.ix.has(id) {
+		r.m.blobsDeduped.Inc()
+		r.m.bytesDeduped.Add(uint64(len(data)))
+		return
+	}
+	owned := append([]byte(nil), data...)
+	r.pending = append(r.pending, Blob{Type: t, ID: id, Data: owned})
+	r.pendingIDs[id] = struct{}{}
+	r.pendingBytes += len(owned)
+	r.m.blobsWritten.Inc()
+	r.m.bytesWritten.Add(uint64(len(owned)))
+}
+
+// maybeFlushLocked seals the pending pack once it crosses the target size.
+func (r *Repository) maybeFlushLocked() error {
+	if r.pendingBytes < packTargetSize {
+		return nil
+	}
+	return r.flushLocked()
+}
+
+// Flush persists the pending pack (a no-op when nothing is staged).
+func (r *Repository) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *Repository) flushLocked() error {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	if _, err := r.savePackLocked(r.pending); err != nil {
+		return err
+	}
+	r.pending = nil
+	r.pendingIDs = make(map[ID]struct{})
+	r.pendingBytes = 0
+	r.updateGauges()
+	return nil
+}
+
+// savePackLocked encodes blobs into a pack, saves it under its content
+// hash, and indexes its entries (first-seen location wins).
+func (r *Repository) savePackLocked(blobs []Blob) (string, error) {
+	return r.savePack(blobs, false)
+}
+
+// savePackOverwriteLocked is savePackLocked with the new pack's locations
+// taking precedence over existing index entries — the GC repack path.
+func (r *Repository) savePackOverwriteLocked(blobs []Blob) (string, error) {
+	return r.savePack(blobs, true)
+}
+
+func (r *Repository) savePack(blobs []Blob, overwrite bool) (string, error) {
+	data := EncodePack(blobs)
+	name := IDOf(data).String()
+	if err := r.be.Save(backend.Handle{Type: backend.PackType, Name: name}, data); err != nil {
+		return "", err
+	}
+	entries, err := decodePackHeader(data)
+	if err != nil { // cannot happen: we just encoded it
+		return "", err
+	}
+	r.ix.addPack(name, entries, overwrite)
+	r.m.packsWritten.Inc()
+	return name, nil
+}
+
+// Get reassembles a stored profile by manifest ID.
+func (r *Repository) Get(id ID) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.getLocked(id)
+}
+
+func (r *Repository) getLocked(id ID) ([]byte, error) {
+	mdata, err := r.loadBlobLocked(id, BlobManifest)
+	if err != nil {
+		return nil, err
+	}
+	size, chunks, err := decodeManifest(mdata)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, size)
+	for _, cid := range chunks {
+		cdata, err := r.loadBlobLocked(cid, BlobChunk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cdata...)
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("repo: manifest %s: chunks total %d bytes, manifest says %d", id.Short(), len(out), size)
+	}
+	return out, nil
+}
+
+// loadBlobLocked fetches one blob by ID, from the pending pack or from a
+// saved pack. Every pack read is verified: the blob's bytes must hash
+// back to its ID, so a torn or tampered pack is never served.
+func (r *Repository) loadBlobLocked(id ID, want BlobType) ([]byte, error) {
+	if _, ok := r.pendingIDs[id]; ok {
+		for i := range r.pending {
+			if r.pending[i].ID == id {
+				if r.pending[i].Type != want {
+					return nil, fmt.Errorf("repo: blob %s is a %s, want %s", id.Short(), r.pending[i].Type, want)
+				}
+				return r.pending[i].Data, nil
+			}
+		}
+	}
+	e, ok := r.ix.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: blob %s", ErrProfileNotFound, id.Short())
+	}
+	if e.typ != want {
+		return nil, fmt.Errorf("repo: blob %s is a %s, want %s", id.Short(), e.typ, want)
+	}
+	pack, err := r.loadPackLocked(e.pack)
+	if err != nil {
+		return nil, err
+	}
+	if int64(e.offset)+int64(e.length) > int64(len(pack)) {
+		return nil, packCorrupt("pack %s: blob %s out of bounds", e.pack[:8], id.Short())
+	}
+	data := pack[e.offset : e.offset+e.length]
+	if IDOf(data) != id {
+		return nil, packCorrupt("pack %s: blob %s failed verification", e.pack[:8], id.Short())
+	}
+	return data, nil
+}
+
+// loadPackLocked reads a pack's bytes, with a one-entry cache for the
+// chunk-after-chunk access pattern of profile assembly.
+func (r *Repository) loadPackLocked(name string) ([]byte, error) {
+	if r.packCacheName == name {
+		return r.packCacheData, nil
+	}
+	data, err := r.be.Load(backend.Handle{Type: backend.PackType, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	r.packCacheName, r.packCacheData = name, data
+	return data, nil
+}
+
+// SnapshotInfo describes one root.
+type SnapshotInfo struct {
+	Name     string
+	Seq      uint64
+	Sessions map[string]ID
+}
+
+// Snapshot makes the given session → manifest set a durable root: it
+// flushes pending blobs, verifies every referenced manifest is stored,
+// and saves a new snapshot document. It returns the snapshot's name.
+func (r *Repository) Snapshot(sessions map[string]ID) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(sessions)
+}
+
+func (r *Repository) snapshotLocked(sessions map[string]ID) (string, error) {
+	if err := r.flushLocked(); err != nil {
+		return "", err
+	}
+	for sid, mid := range sessions {
+		if e, ok := r.ix.lookup(mid); !ok || e.typ != BlobManifest {
+			return "", fmt.Errorf("repo: snapshot references unknown manifest %s (session %q)", mid.Short(), sid)
+		}
+	}
+	seq := r.maxSeq + 1
+	data := encodeSnapshot(seq, sessions)
+	name := IDOf(data).String()
+	if err := r.be.Save(backend.Handle{Type: backend.SnapshotType, Name: name}, data); err != nil {
+		return "", err
+	}
+	r.maxSeq = seq
+	r.snaps[name] = snapState{seq: seq, sessions: cloneSessions(sessions)}
+	r.rebuildSessionView()
+	r.m.snapsWritten.Inc()
+	r.updateGauges()
+	return name, nil
+}
+
+// Forget removes a snapshot root. The blobs it referenced stay stored
+// until a GC finds them unreferenced.
+func (r *Repository) Forget(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.snaps[name]; !ok {
+		return fmt.Errorf("%w: snapshot %s", ErrProfileNotFound, name)
+	}
+	if err := r.be.Remove(backend.Handle{Type: backend.SnapshotType, Name: name}); err != nil && !errors.Is(err, backend.ErrNotFound) {
+		return err
+	}
+	delete(r.snaps, name)
+	r.rebuildSessionView()
+	r.updateGauges()
+	return nil
+}
+
+// SaveProfile stores a session's profile document and makes it durable in
+// one step: put, snapshot the updated head result set, and prune the
+// snapshots the new one supersedes. When SaveProfile returns nil the
+// profile survives any crash.
+func (r *Repository) SaveProfile(sessionID string, profile []byte) error {
+	if sessionID == "" {
+		return errors.New("repo: empty session id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mid, err := r.putLocked(profile)
+	if err != nil {
+		return err
+	}
+	if cur, ok := r.sessions[sessionID]; ok && cur == mid && len(r.snaps) == 1 {
+		return nil // identical re-save of the head state: nothing to do
+	}
+	next := cloneSessions(r.sessions)
+	next[sessionID] = mid
+	newName, err := r.snapshotLocked(next)
+	if err != nil {
+		return err
+	}
+	// The new snapshot holds the full head set, so every other root is
+	// redundant. Prune them; a crash mid-prune leaves extra roots, which
+	// only hold more blobs live — never fewer.
+	for name := range r.snaps {
+		if name == newName {
+			continue
+		}
+		if err := r.be.Remove(backend.Handle{Type: backend.SnapshotType, Name: name}); err != nil && !errors.Is(err, backend.ErrNotFound) {
+			return err
+		}
+		delete(r.snaps, name)
+	}
+	r.rebuildSessionView()
+	r.updateGauges()
+	return nil
+}
+
+// Sessions returns the merged head view: session ID → manifest ID.
+func (r *Repository) Sessions() map[string]ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cloneSessions(r.sessions)
+}
+
+// SessionIDs returns the stored session IDs in lexical order.
+func (r *Repository) SessionIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedSessionIDs(r.sessions)
+}
+
+// GetSession reassembles a session's profile document.
+func (r *Repository) GetSession(sessionID string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mid, ok := r.sessions[sessionID]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %q", ErrProfileNotFound, sessionID)
+	}
+	return r.getLocked(mid)
+}
+
+// Snapshots lists every root, sorted by (seq, name).
+func (r *Repository) Snapshots() []SnapshotInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SnapshotInfo, 0, len(r.snaps))
+	for name, s := range r.snaps {
+		out = append(out, SnapshotInfo{Name: name, Seq: s.seq, Sessions: cloneSessions(s.sessions)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// DamagedPacks lists packs that failed to decode when the store was
+// opened (their blobs are quarantined, never served).
+func (r *Repository) DamagedPacks() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.damaged...)
+}
+
+// Close flushes pending blobs and writes the index cache. The repository
+// stays usable (Close is idempotent); callers that only read may skip it.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.flushLocked(); err != nil {
+		return err
+	}
+	return r.writeIndexCacheLocked()
+}
+
+// writeIndexCacheLocked saves the current index under its content hash
+// and removes older cache files. Pure optimization: failures only cost
+// the next open a pack-header scan.
+func (r *Repository) writeIndexCacheLocked() error {
+	data := EncodeIndex(r.ix.toIndexPacks())
+	name := IDOf(data).String()
+	if err := r.be.Save(backend.Handle{Type: backend.IndexType, Name: name}, data); err != nil {
+		return err
+	}
+	if names, err := r.be.List(backend.IndexType); err == nil {
+		for _, n := range names {
+			if n == name {
+				continue
+			}
+			if err := r.be.Remove(backend.Handle{Type: backend.IndexType, Name: n}); err != nil && !errors.Is(err, backend.ErrNotFound) {
+				// A stale cache file costs the next open nothing (staleness
+				// detection skips it), but a failing Remove means the backend
+				// is sick — surface that rather than hiding it.
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// markLive walks every root and returns the set of live blob IDs with
+// reference counts. It fails — rather than guessing — when a referenced
+// manifest or chunk cannot be loaded.
+func (r *Repository) markLiveLocked() (map[ID]int, error) {
+	live := make(map[ID]int)
+	for name, s := range r.snaps {
+		for sid, mid := range s.sessions {
+			live[mid]++
+			if live[mid] > 1 {
+				continue // manifest already walked
+			}
+			mdata, err := r.loadBlobLocked(mid, BlobManifest)
+			if err != nil {
+				return nil, fmt.Errorf("repo: snapshot %s session %q: %w", name[:8], sid, err)
+			}
+			_, chunks, err := decodeManifest(mdata)
+			if err != nil {
+				return nil, fmt.Errorf("repo: snapshot %s session %q: %w", name[:8], sid, err)
+			}
+			for _, cid := range chunks {
+				live[cid]++
+			}
+		}
+	}
+	return live, nil
+}
+
+// updateGauges refreshes the cheap population gauges. The live/dead byte
+// gauges need a full mark pass, so only GC and Stats refresh those.
+func (r *Repository) updateGauges() {
+	r.m.packCount.Set(int64(len(r.ix.packNames())))
+	r.m.blobCount.Set(int64(len(r.ix.blobs)))
+	r.m.sessions.Set(int64(len(r.sessions)))
+}
+
+// updateByteGauges splits stored bytes into live and dead given a
+// completed mark pass.
+func (r *Repository) updateByteGauges(live map[ID]int) (liveBytes, deadBytes int64) {
+	for id, e := range r.ix.blobs {
+		if _, ok := live[id]; ok {
+			liveBytes += int64(e.length)
+		} else {
+			deadBytes += int64(e.length)
+		}
+	}
+	r.m.liveBytes.Set(liveBytes)
+	r.m.deadBytes.Set(deadBytes)
+	return liveBytes, deadBytes
+}
+
+func cloneSessions(m map[string]ID) map[string]ID {
+	out := make(map[string]ID, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// nowMicros measures a duration in microseconds for the GC histogram.
+func sinceMicros(start time.Time) uint64 {
+	us := time.Since(start).Microseconds()
+	if us < 0 {
+		return 0
+	}
+	return uint64(us)
+}

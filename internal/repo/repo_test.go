@@ -1,0 +1,365 @@
+package repo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aprof/internal/obs"
+	"aprof/internal/repo/backend"
+)
+
+// openTestRepo initializes and opens a fresh store in a test temp dir.
+func openTestRepo(t *testing.T) (*Repository, *backend.Local) {
+	t.Helper()
+	be, err := backend.OpenLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Init(be); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(be, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, be
+}
+
+// syntheticProfile builds a deterministic pseudo-JSON document of roughly
+// the requested size — stands in for a profio profile document.
+func syntheticProfile(seed int64, size int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString(`{"schema":1,"routines":[`)
+	for i := 0; sb.Len() < size; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"name":"routine_%d","calls":%d,"cost":%d,"points":[`, i, rng.Intn(1e6), rng.Intn(1e9))
+		for j := 0; j < 8; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `[%d,%d]`, rng.Intn(1e4), rng.Intn(1e7))
+		}
+		sb.WriteString(`]}`)
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}
+
+// mutateProfile flips a small region of a profile copy — the
+// "near-identical profile of the same routine" the dedup story is about.
+func mutateProfile(base []byte, seed int64) []byte {
+	out := append([]byte(nil), base...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 3; i++ {
+		pos := rng.Intn(len(out))
+		out[pos] = byte('0' + rng.Intn(10))
+	}
+	return out
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r, _ := openTestRepo(t)
+	for _, size := range []int{0, 1, 100, chunkMin, chunkMax + 1, 64 << 10} {
+		data := syntheticProfile(int64(size), size)
+		id, err := r.Put(data)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, err := r.Get(id)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round-trip mismatch (%d bytes in, %d out)", size, len(data), len(got))
+		}
+	}
+}
+
+func TestIdenticalPutsShareOneManifest(t *testing.T) {
+	r, _ := openTestRepo(t)
+	data := syntheticProfile(1, 32<<10)
+	id1, err := r.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := r.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("identical content produced different manifests %s vs %s", id1.Short(), id2.Short())
+	}
+}
+
+func TestSaveProfilePersistsAcrossReopen(t *testing.T) {
+	r, be := openTestRepo(t)
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		sid := fmt.Sprintf("session-%d", i)
+		data := syntheticProfile(int64(i), 16<<10)
+		if err := r.SaveProfile(sid, data); err != nil {
+			t.Fatal(err)
+		}
+		want[sid] = data
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(be, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.SessionIDs(); len(got) != len(want) {
+		t.Fatalf("reopened store has %d sessions, want %d", len(got), len(want))
+	}
+	for sid, data := range want {
+		got, err := r2.GetSession(sid)
+		if err != nil {
+			t.Fatalf("session %s: %v", sid, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("session %s: content mismatch after reopen", sid)
+		}
+	}
+	// SaveProfile prunes superseded roots: one snapshot should remain.
+	if snaps := r2.Snapshots(); len(snaps) != 1 {
+		t.Fatalf("expected 1 snapshot after %d saves, got %d", len(want), len(snaps))
+	}
+}
+
+func TestStaleIndexCacheIsRebuilt(t *testing.T) {
+	r, be := openTestRepo(t)
+	if err := r.SaveProfile("a", syntheticProfile(1, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil { // writes the index cache
+		t.Fatal(err)
+	}
+	// Write more WITHOUT refreshing the cache: the cache is now stale.
+	if err := r.SaveProfile("b", syntheticProfile(2, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(be, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sid := range []string{"a", "b"} {
+		if _, err := r2.GetSession(sid); err != nil {
+			t.Fatalf("session %s unreadable after reopen with stale cache: %v", sid, err)
+		}
+	}
+
+	// A corrupt cache must be ignored the same way.
+	names, err := be.List(backend.IndexType)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("expected an index cache file: %v", err)
+	}
+	for _, n := range names {
+		if err := be.Save(backend.Handle{Type: backend.IndexType, Name: n}, []byte("garbage")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r3, err := Open(be, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r3.GetSession("b"); err != nil {
+		t.Fatalf("session unreadable with corrupt index cache: %v", err)
+	}
+}
+
+func TestGCRemovesUnreferencedAndKeepsLive(t *testing.T) {
+	r, be := openTestRepo(t)
+	keep := syntheticProfile(1, 24<<10)
+	drop := append(syntheticProfile(2, 24<<10), []byte(`,"tail":"unique-to-drop"`)...)
+	if err := r.SaveProfile("keep", keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveProfile("drop", drop); err != nil {
+		t.Fatal(err)
+	}
+	dropID := r.Sessions()["drop"]
+
+	// Forget "drop" by snapshotting only the surviving session.
+	sessions := r.Sessions()
+	delete(sessions, "drop")
+	if _, err := r.Snapshot(sessions); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Snapshots() {
+		if _, ok := s.Sessions["drop"]; ok {
+			if err := r.Forget(s.Name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	stats, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlobsFreed == 0 {
+		t.Fatalf("gc freed nothing: %v", stats)
+	}
+	if got, err := r.GetSession("keep"); err != nil || !bytes.Equal(got, keep) {
+		t.Fatalf("live session damaged by gc: %v", err)
+	}
+	if _, err := r.Get(dropID); err == nil {
+		t.Fatalf("forgotten profile still readable after gc")
+	}
+	if rep := r.Check(); !rep.OK() {
+		t.Fatalf("check failed after gc: %v", rep.Errors)
+	}
+
+	// And the same holds after a cold reopen.
+	r2, err := Open(be, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := r2.GetSession("keep"); err != nil || !bytes.Equal(got, keep) {
+		t.Fatalf("live session damaged after gc+reopen: %v", err)
+	}
+}
+
+func TestDamagedPackQuarantinedNotServed(t *testing.T) {
+	r, be := openTestRepo(t)
+	if err := r.SaveProfile("a", syntheticProfile(1, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one pack on disk, then force a header rescan by removing the
+	// index cache.
+	packs, err := be.List(backend.PackType)
+	if err != nil || len(packs) == 0 {
+		t.Fatalf("expected packs: %v", err)
+	}
+	data, err := be.Load(backend.Handle{Type: backend.PackType, Name: packs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // break the end magic
+	path := filepath.Join(be.Dir(), string(backend.PackType), packs[0])
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(be, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.DamagedPacks(); len(got) != 1 {
+		t.Fatalf("damaged pack not quarantined: %v", got)
+	}
+	if _, err := r2.GetSession("a"); err == nil {
+		t.Fatalf("session served from a damaged pack")
+	}
+	if rep := r2.Check(); rep.OK() {
+		t.Fatalf("check passed with a referenced blob in a damaged pack")
+	}
+	_ = r
+}
+
+func TestObsCountersMove(t *testing.T) {
+	be, err := backend.OpenLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Init(be); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r, err := Open(be, Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := syntheticProfile(7, 32<<10)
+	if err := r.SaveProfile("a", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveProfile("b", mutateProfile(data, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GC(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	find := func(name string) uint64 {
+		for _, s := range snap.Scopes {
+			if s.Name != ObsScopeRepo {
+				continue
+			}
+			for _, c := range s.Counters {
+				if c.Name == name {
+					return c.Value
+				}
+			}
+		}
+		t.Fatalf("counter %s not in snapshot", name)
+		return 0
+	}
+	if find("blobs_written") == 0 {
+		t.Error("blobs_written did not move")
+	}
+	if find("blobs_deduped") == 0 {
+		t.Error("blobs_deduped did not move for a near-identical save")
+	}
+	if find("gc_runs") != 1 {
+		t.Error("gc_runs != 1")
+	}
+}
+
+func TestChunkerSplitsAndRejoins(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		data := syntheticProfile(seed, 100<<10)
+		chunks := chunkData(data)
+		var total int
+		var rejoined []byte
+		for _, c := range chunks {
+			if len(c) == 0 {
+				t.Fatal("empty chunk")
+			}
+			if len(c) > chunkMax {
+				t.Fatalf("chunk of %d bytes exceeds max %d", len(c), chunkMax)
+			}
+			total += len(c)
+			rejoined = append(rejoined, c...)
+		}
+		if !bytes.Equal(rejoined, data) {
+			t.Fatalf("seed %d: chunks do not rejoin to input", seed)
+		}
+		if len(chunks) < 2 {
+			t.Fatalf("seed %d: %d bytes produced only %d chunks", seed, len(data), len(chunks))
+		}
+		_ = total
+	}
+}
+
+// TestChunkerRealigns is the core dedup property: a small edit near the
+// front must not re-chunk the whole document.
+func TestChunkerRealigns(t *testing.T) {
+	base := syntheticProfile(3, 100<<10)
+	edited := append([]byte(`{"prefix":"inserted"}`), base...)
+	baseIDs := make(map[ID]struct{})
+	for _, c := range chunkData(base) {
+		baseIDs[IDOf(c)] = struct{}{}
+	}
+	shared := 0
+	chunks := chunkData(edited)
+	for _, c := range chunks {
+		if _, ok := baseIDs[IDOf(c)]; ok {
+			shared++
+		}
+	}
+	if shared < len(chunks)*3/4 {
+		t.Fatalf("only %d/%d chunks shared after a front insertion", shared, len(chunks))
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"aprof/internal/core"
 	"aprof/internal/obs"
 	"aprof/internal/profio"
+	"aprof/internal/repo"
+	"aprof/internal/repo/backend"
 )
 
 // ObsScopeServer is the metric scope of the daemon: session lifecycle,
@@ -69,8 +71,15 @@ type Options struct {
 	// on reconnect, and a graceful drain checkpoints everything in flight.
 	CheckpointDir string
 	// ResultDir, when set, also writes each completed profile to
-	// <dir>/<id>.json (atomically, via rename).
+	// <dir>/<id>.json (atomically: temp file, fsync, rename).
 	ResultDir string
+	// Store, when set, persists each completed profile into the
+	// content-addressed profile repository (chunked, deduplicated,
+	// crash-safe). Result and ResultIDs then also serve sessions that only
+	// exist in the store — e.g. from before a daemon restart — so the
+	// /profiles/ endpoints and cluster fan-out read through it
+	// transparently. The Server does not close the store.
+	Store *repo.Repository
 	// Config is the profiler configuration shared by all sessions. It must
 	// be identical across daemon restarts for checkpoints to resume.
 	Config core.Config
@@ -497,12 +506,12 @@ func (s *Server) storeResult(id string, ps *core.Profiles, delivered uint64, res
 	s.mu.Unlock()
 	if s.opts.ResultDir != "" {
 		path := filepath.Join(s.opts.ResultDir, id+".json")
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, res.Profile, 0o644); err != nil {
+		if err := backend.WriteAtomic(path, res.Profile, 0o644); err != nil {
 			return err
 		}
-		if err := os.Rename(tmp, path); err != nil {
-			os.Remove(tmp)
+	}
+	if s.opts.Store != nil {
+		if err := s.opts.Store.SaveProfile(id, res.Profile); err != nil {
 			return err
 		}
 	}
@@ -516,20 +525,40 @@ func (s *Server) ActiveSessions() int {
 	return len(s.activeIDs)
 }
 
-// Result returns a completed session's outcome.
+// Result returns a completed session's outcome. With Options.Store set,
+// sessions that only exist in the repository (e.g. completed before a
+// daemon restart) are served from it; their Delivered/Resumed metadata is
+// zero — only this process's own sessions carry it.
 func (s *Server) Result(id string) (*SessionResult, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	r, ok := s.results[id]
-	return r, ok
+	s.mu.Unlock()
+	if ok || s.opts.Store == nil {
+		return r, ok
+	}
+	profile, err := s.opts.Store.GetSession(id)
+	if err != nil {
+		return nil, false
+	}
+	return &SessionResult{ID: id, Profile: profile}, true
 }
 
-// ResultIDs lists completed sessions in lexical order.
+// ResultIDs lists completed sessions in lexical order: this process's
+// results merged with the profile repository's, when one is configured.
 func (s *Server) ResultIDs() []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	ids := make([]string, 0, len(s.results))
+	seen := make(map[string]struct{}, len(s.results))
 	for id := range s.results {
+		seen[id] = struct{}{}
+	}
+	s.mu.Unlock()
+	if s.opts.Store != nil {
+		for _, id := range s.opts.Store.SessionIDs() {
+			seen[id] = struct{}{}
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)

@@ -1,0 +1,121 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aprof/internal/repo"
+	"aprof/internal/repo/backend"
+	"aprof/internal/server"
+	"aprof/internal/server/client"
+)
+
+// openStore opens (initializing if needed) a profile repository for tests.
+func openStore(t *testing.T, dir string) *repo.Repository {
+	t.Helper()
+	be, err := backend.OpenLocal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := repo.OpenOrInit(be, repo.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestStoreMatchesFlatFilePath: with both -result-dir and -store configured
+// the two persistence paths must agree byte for byte, and both must match
+// the offline pipeline.
+func TestStoreMatchesFlatFilePath(t *testing.T) {
+	enc := testTrace(t, 21, 1500)
+	want := offlineProfile(t, enc)
+	resultDir := t.TempDir()
+	storeDir := t.TempDir()
+	store := openStore(t, storeDir)
+	defer store.Close()
+
+	s := startServer(t, server.Options{ResultDir: resultDir, Store: store})
+	if _, err := client.Run(context.Background(), client.Options{
+		Addr: s.Addr(), SessionID: "both-paths", Open: opener(enc),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	flat, err := os.ReadFile(filepath.Join(resultDir, "both-paths.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, err := store.GetSession("both-paths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flat, want) {
+		t.Fatal("flat-file profile differs from offline pipeline")
+	}
+	if !bytes.Equal(stored, want) {
+		t.Fatal("store profile differs from offline pipeline")
+	}
+	if rep := store.Check(); !rep.OK() {
+		t.Fatalf("store check: %v", rep.Errors)
+	}
+}
+
+// TestStoreServesAcrossRestart: a fresh Server (empty in-memory results)
+// configured with the same repository serves the previous daemon's
+// sessions through Result, ResultIDs and the /profiles/ handler.
+func TestStoreServesAcrossRestart(t *testing.T) {
+	enc := testTrace(t, 22, 1200)
+	want := offlineProfile(t, enc)
+	storeDir := t.TempDir()
+
+	store := openStore(t, storeDir)
+	s := startServer(t, server.Options{Store: store})
+	if _, err := client.Run(context.Background(), client.Options{
+		Addr: s.Addr(), SessionID: "survivor", Open: opener(enc),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort()
+	s.Wait()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "restarted daemon": new store handle, new server, no sessions run.
+	store2 := openStore(t, storeDir)
+	defer store2.Close()
+	s2 := startServer(t, server.Options{Store: store2})
+
+	res, ok := s2.Result("survivor")
+	if !ok {
+		t.Fatal("restarted server does not serve the stored session")
+	}
+	if !bytes.Equal(res.Profile, want) {
+		t.Fatal("stored profile differs from offline pipeline after restart")
+	}
+	ids := s2.ResultIDs()
+	if len(ids) != 1 || ids[0] != "survivor" {
+		t.Fatalf("ResultIDs after restart = %v", ids)
+	}
+
+	// The HTTP surface (what cluster fan-out reads) serves it too.
+	srv := httptest.NewServer(s2.ProfilesHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/profiles/survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("/profiles/survivor: status %d, matches: %v", resp.StatusCode, bytes.Equal(got.Bytes(), want))
+	}
+}
