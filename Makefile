@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz faults shard-equivalence suppress-equivalence chaos chaos-cluster store-torture bench bench-baseline bench-all cover experiments examples clean
+.PHONY: all build test vet lint race fuzz faults shard-equivalence suppress-equivalence chaos chaos-cluster chaos-replica store-torture bench bench-baseline bench-all cover experiments examples clean
 
 all: build test
 
@@ -89,6 +89,20 @@ chaos-cluster:
 	$(GO) test -race -timeout 90s -count=1 ./internal/cluster
 	$(GO) test -race -timeout 90s -count=1 -run 'LeakAudit' ./internal/server/client
 	$(GO) test -race -timeout 90s -count=1 -run 'TestClusterEndToEnd' ./cmd/aprofd
+
+# Replicated-cluster chaos suite, bounded at 90s under the race detector:
+# the no-shared-disk counterpart of chaos-cluster. Node kills at every
+# batch index WITH full data-dir wipes (checkpoint, replica store, and
+# profile store all lost) recovered purely from the APRR replica set,
+# torn replication-link sweeps, partition-interrupted store sync with
+# idempotent re-sync, the replication leak audit, and the APRR wire /
+# replica-store unit sweeps.
+chaos-replica:
+	$(GO) test -race -timeout 90s -count=1 \
+		-run 'TestReplica|TestCkptStore|TestNewNode|TestPeerBackend|TestRoundTrip' \
+		./internal/replica
+	$(GO) test -race -timeout 90s -count=1 ./internal/replica/wire
+	$(GO) test -race -timeout 90s -count=1 -run 'TestSync|TestRetention' ./internal/repo
 
 # Profile-repository torture suite, bounded at 90s under the race
 # detector: decoder fuzz smoke over the committed corpora, the

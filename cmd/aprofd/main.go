@@ -26,6 +26,14 @@
 // of only this node's share. -max-decode-latency and -max-memory-bytes
 // turn the fixed session cap into an adaptive one that sheds down toward
 // -min-sessions while the node is measurably overloaded.
+//
+// With -replicate-peers (the full membership's ingest addresses, this
+// node included) the cluster needs no shared disk at all: each session's
+// checkpoint is pushed to its ring successors before any batch is
+// acknowledged, failover nodes recover checkpoints from the replica set,
+// and the profile store anti-entropy loop (-sync-every) pulls every
+// peer's missing blobs so /profiles/ serves every acked session even
+// after a node's disk is lost. Replication shares the -addr port.
 package main
 
 import (
@@ -36,13 +44,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"aprof"
 	"aprof/internal/cluster"
 	"aprof/internal/obs"
+	"aprof/internal/replica"
 	"aprof/internal/repo"
 	"aprof/internal/repo/backend"
 	"aprof/internal/server"
@@ -68,6 +79,11 @@ func main() {
 		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before in-flight connections are force-closed")
 
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated debug HTTP addresses of the other cluster nodes; /profiles/ serves the merged cluster view")
+		replPeers    = flag.String("replicate-peers", "", "comma-separated ingest addresses of ALL cluster members (this node included); enables peer-to-peer checkpoint replication and store sync — no shared disk needed")
+		replSelf     = flag.String("replicate-self", "", "this node's own address within -replicate-peers (default -addr)")
+		replicas     = flag.Int("replicas", replica.DefaultReplicas, "checkpoint copies per session, this node's included (with -replicate-peers)")
+		replicaDir   = flag.String("replica-dir", "", "directory for checkpoints received from peers (default <store>/replica; with -replicate-peers)")
+		syncEvery    = flag.Duration("sync-every", 30*time.Second, "store anti-entropy interval: pull missing blobs from every replication peer (0 disables; with -replicate-peers and -store)")
 		minSessions  = flag.Int("min-sessions", 1, "adaptive admission floor (with -max-decode-latency or -max-memory-bytes)")
 		maxDecodeLat = flag.Duration("max-decode-latency", 0, "shed sessions while batch-decode latency exceeds this (0 = fixed -max-sessions cap)")
 		maxMemBytes  = flag.Int64("max-memory-bytes", 0, "shed sessions while the heap estimate exceeds this (0 = fixed -max-sessions cap)")
@@ -77,6 +93,18 @@ func main() {
 	cfg, err := configFor(*metric)
 	if err != nil {
 		fatal(err)
+	}
+	// Replication-dependent flags without replication are a configuration
+	// mistake, not a silent default; and a cluster member with neither a
+	// checkpoint dir nor replication would fail over without durability —
+	// the old unconditional shared-dir assumption, now an explicit error.
+	if *replPeers == "" {
+		if *replSelf != "" || *replicaDir != "" {
+			fatal(fmt.Errorf("-replicate-self/-replica-dir need -replicate-peers"))
+		}
+		if *clusterPeers != "" && *ckptDir == "" {
+			fatal(fmt.Errorf("a cluster member needs session durability for failover: set -checkpoint-dir (shared disk) or -replicate-peers (peer-to-peer replication)"))
+		}
 	}
 	for _, dir := range []string{*ckptDir, *resultDir} {
 		if dir != "" {
@@ -90,11 +118,13 @@ func main() {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
 	var store *repo.Repository
+	var storeBackend backend.Backend
 	if *storeDir != "" {
 		be, err := backend.OpenLocal(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
+		storeBackend = be
 		store, err = repo.OpenOrInit(be, repo.Options{Obs: reg, Logf: logger.Printf})
 		if err != nil {
 			fatal(err)
@@ -103,7 +133,41 @@ func main() {
 		logger.Printf("aprofd: profile store at %s", *storeDir)
 	}
 
-	s := server.New(server.Options{
+	var replicaNode *replica.Node
+	var replPeerList []string
+	var replSelfAddr string
+	if *replPeers != "" {
+		peers := splitAddrs(*replPeers)
+		self := *replSelf
+		if self == "" {
+			self = *addr
+		}
+		replPeerList, replSelfAddr = peers, self
+		dir := *replicaDir
+		if dir == "" && *storeDir != "" {
+			dir = filepath.Join(*storeDir, "replica")
+		}
+		if dir == "" {
+			logger.Printf("aprofd: warning: no -replica-dir and no -store; checkpoints received from peers are held in memory only")
+		}
+		node, err := replica.NewNode(replica.Options{
+			Self:     self,
+			Peers:    peers,
+			Replicas: *replicas,
+			Dir:      dir,
+			Backend:  storeBackend,
+			Obs:      reg,
+			Logf:     logger.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer node.Close()
+		replicaNode = node
+		logger.Printf("aprofd: replicating checkpoints to %d-node ring as %s (R=%d)", len(peers), self, *replicas)
+	}
+
+	srvOpts := server.Options{
 		MaxSessions: *maxSessions,
 		Admission: server.AdmissionOptions{
 			MinSessions:      *minSessions,
@@ -123,7 +187,13 @@ func main() {
 		Shards:           *shards,
 		Obs:              reg,
 		Logf:             logger.Printf,
-	})
+	}
+	if replicaNode != nil {
+		// Assigned conditionally so a nil *Node never becomes a non-nil
+		// ReplicaService interface.
+		srvOpts.Replica = replicaNode
+	}
+	s := server.New(srvOpts)
 
 	if *debugAddr != "" {
 		// With peers, /profiles/ fans out to the whole cluster; the merged
@@ -153,6 +223,12 @@ func main() {
 	}
 	logger.Printf("aprofd: listening on %s", s.Addr())
 
+	if replicaNode != nil && store != nil && *syncEvery > 0 {
+		stop := startSyncLoop(store, replSelfAddr, replPeerList, *syncEvery, logger.Printf)
+		defer stop()
+		logger.Printf("aprofd: store anti-entropy every %v", *syncEvery)
+	}
+
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigs
@@ -177,6 +253,65 @@ func main() {
 		s.Wait()
 		os.Exit(1)
 	}
+}
+
+// startSyncLoop runs store anti-entropy in the background: every interval,
+// pull whatever blobs and sessions each replication peer has that this
+// store lacks. Pull-only, so a partition mid-sync degrades to "retry next
+// round" — never corruption. The returned stop func waits for the loop to
+// exit and closes the peer connections.
+func startSyncLoop(store *repo.Repository, self string, peers []string, every time.Duration, logf func(string, ...any)) func() {
+	remotes := make([]*backend.Peer, 0, len(peers))
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		remotes = append(remotes, backend.NewPeer(p, backend.PeerOptions{}))
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			for _, r := range remotes {
+				stats, err := store.Sync(r)
+				if err != nil {
+					logf("aprofd: sync from %s: %v", r.Addr(), err)
+					continue
+				}
+				if stats.PacksPulled > 0 || stats.RootWritten {
+					logf("aprofd: sync from %s: %s", r.Addr(), stats)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		for _, r := range remotes {
+			r.Close()
+		}
+	}
+}
+
+// splitAddrs splits a comma-separated address list, trimming whitespace
+// and dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func configFor(metric string) (aprof.Config, error) {

@@ -29,24 +29,31 @@ import (
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 2 {
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, dir := flag.Arg(0), flag.Arg(1)
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	oneDir := func() string {
+		if len(rest) != 1 {
+			usage()
+			os.Exit(2)
+		}
+		return rest[0]
+	}
 
 	var err error
 	switch cmd {
 	case "init":
-		err = runInit(dir)
+		err = runInit(oneDir())
 	case "ls":
-		err = withRepo(dir, runLs)
+		err = withRepo(oneDir(), runLs)
 	case "stats":
-		err = withRepo(dir, runStats)
+		err = withRepo(oneDir(), runStats)
 	case "gc":
-		err = withRepo(dir, runGC)
+		err = runGCCmd(rest)
 	case "check":
-		err = withRepo(dir, runCheck)
+		err = withRepo(oneDir(), runCheck)
 	default:
 		fmt.Fprintf(os.Stderr, "aprofstore: unknown command %q\n\n", cmd)
 		usage()
@@ -59,13 +66,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: aprofstore COMMAND DIR
+	fmt.Fprint(os.Stderr, `usage: aprofstore COMMAND [flags] DIR
 
 Commands:
   init    initialize a new profile repository in DIR
   ls      list stored sessions
   stats   population and dedup statistics
   gc      delete unreferenced data, repack partially-live packs
+          -keep-last N   keep at most N versions per session, head included
+                         (default 1: heads only; 0: keep every recorded version)
+          -max-age D     also drop retained versions older than D (e.g. 720h; 0: no age limit)
   check   full integrity verification (exit 1 on damage)
 `)
 }
@@ -137,13 +147,31 @@ func runStats(r *repo.Repository) error {
 	return nil
 }
 
-func runGC(r *repo.Repository) error {
-	stats, err := r.GC()
-	if err != nil {
-		return err
+func runGCCmd(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	keepLast := fs.Int("keep-last", 1, "versions kept per session, head included (0 = no count limit)")
+	maxAge := fs.Duration("max-age", 0, "drop retained versions older than this (0 = no age limit)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: aprofstore gc [-keep-last N] [-max-age D] DIR")
+		fs.PrintDefaults()
 	}
-	fmt.Println(stats.String())
-	return nil
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *keepLast < 0 {
+		return fmt.Errorf("gc: -keep-last must be >= 0")
+	}
+	policy := repo.RetentionPolicy{KeepLast: *keepLast, MaxAge: *maxAge}
+	return withRepo(fs.Arg(0), func(r *repo.Repository) error {
+		stats, err := r.GCWithPolicy(policy)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats.String())
+		return nil
+	})
 }
 
 func runCheck(r *repo.Repository) error {

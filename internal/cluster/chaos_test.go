@@ -9,9 +9,12 @@ package cluster_test
 //
 // Node kills are in-process Aborts (the SIGKILL stand-in the single-node
 // suite established): the listener and every conn die instantly with no
-// goodbye. Nodes share one checkpoint directory — the test stand-in for
-// the shared volume a real deployment would mount — which is what turns a
-// migration into a resume instead of a restart.
+// goodbye. Nodes here share one checkpoint directory — the test stand-in
+// for the shared volume a deployment without replication must mount —
+// which is what turns a migration into a resume instead of a restart.
+// The replicated counterpart of this suite lives in internal/replica:
+// same kill sweep, NO shared directory, the victim's entire data dir
+// wiped, and recovery drawn solely from the APRR replica set.
 
 import (
 	"bytes"

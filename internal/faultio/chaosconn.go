@@ -88,6 +88,30 @@ func WrapConn(conn net.Conn, cfg ConnConfig) *ChaosConn {
 	}
 }
 
+// WrapDial lifts WrapConn to a dial function: every connection the
+// returned dialer produces is chaos-wrapped, with the seed advanced per
+// connection so redials misbehave differently (deterministically) instead
+// of replaying the identical failure. This is the injection point for the
+// replication layer's Dial hooks — torn checkpoint pushes and
+// partitioned store syncs without a real flaky network.
+func WrapDial(dial func(addr string) (net.Conn, error), cfg ConnConfig) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	var dials int64
+	return func(addr string) (net.Conn, error) {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		n := dials
+		dials++
+		mu.Unlock()
+		c := cfg
+		c.Seed = cfg.Seed + n*7919 // distinct deterministic schedule per dial
+		return WrapConn(conn, c), nil
+	}
+}
+
 // reserve claims up to want bytes from the reset budget, returning how many
 // may be transferred. A zero return with ok=false means the connection is
 // (now) reset. The claim is provisional: the caller refunds whatever the

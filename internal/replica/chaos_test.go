@@ -1,0 +1,651 @@
+package replica_test
+
+// The replicated-cluster chaos suite — the no-shared-disk counterpart of
+// the internal/cluster suite. Every node here has strictly PRIVATE state:
+// its own checkpoint dir, its own replica store, its own profile
+// repository. Durability comes only from the APRR replication ring and
+// store anti-entropy. The invariants proved:
+//
+//   - Kill the serving node at every batch index AND wipe its disk: the
+//     session fails over, resumes from the replicated checkpoint, and the
+//     final profile is byte-identical to the offline pipeline.
+//   - Replication links that fragment and reset mid-frame delay but never
+//     corrupt: torn pushes are CRC-rejected, redials recover, output stays
+//     byte-identical.
+//   - Store sync interrupted by a partition leaves both repositories
+//     intact; the re-sync converges and a converged re-re-sync is a no-op.
+//   - None of the replication paths — push to a dead peer, recovery
+//     against dead peers, handler churn, partitioned sync — leak
+//     goroutines or file descriptors.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aprof/internal/core"
+	"aprof/internal/faultio"
+	"aprof/internal/obs"
+	"aprof/internal/profio"
+	"aprof/internal/replica"
+	"aprof/internal/repo"
+	"aprof/internal/repo/backend"
+	"aprof/internal/server"
+	"aprof/internal/server/client"
+	"aprof/internal/trace"
+)
+
+func testTrace(t *testing.T, seed int64, ops int) []byte {
+	t.Helper()
+	tr := trace.Random(trace.RandomConfig{Seed: seed, Ops: ops, Threads: 3})
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func offlineProfile(t *testing.T, enc []byte) []byte {
+	t.Helper()
+	ps, err := profio.ProfileStream(context.Background(), bytes.NewReader(enc), core.DefaultConfig(), profio.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := profio.Write(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func opener(enc []byte) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(enc)), nil
+	}
+}
+
+// rnode is one fully-private cluster member: no directory is shared with
+// any other node.
+type rnode struct {
+	addr string
+	root string
+	srv  *server.Server
+	node *replica.Node
+	rep  *repo.Repository
+	obs  *obs.Registry
+}
+
+type rcluster struct {
+	nodes []*rnode
+	addrs []string
+}
+
+// startReplicaCluster stands up n replicated aprofd nodes, each over its
+// own temp root (checkpoint/, replica/, store/), serving APRD and APRR on
+// one port. tweak may adjust either option set before construction.
+func startReplicaCluster(t *testing.T, n int, tweak func(i int, so *server.Options, ro *replica.Options)) *rcluster {
+	t.Helper()
+	c := &rcluster{}
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		c.addrs = append(c.addrs, ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		root := t.TempDir()
+		be, err := backend.OpenLocal(filepath.Join(root, "store"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := repo.OpenOrInit(be, repo.Options{Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		ro := replica.Options{
+			Self:    c.addrs[i],
+			Peers:   append([]string(nil), c.addrs...),
+			Dir:     filepath.Join(root, "replica"),
+			Backend: be,
+			Obs:     reg,
+			Logf:    t.Logf,
+		}
+		so := server.Options{
+			CheckpointDir:   filepath.Join(root, "checkpoint"),
+			Store:           rep,
+			Config:          core.DefaultConfig(),
+			BatchSize:       16,
+			CheckpointEvery: 4,
+			Obs:             reg,
+			Logf:            t.Logf,
+		}
+		if err := os.MkdirAll(so.CheckpointDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if tweak != nil {
+			tweak(i, &so, &ro)
+		}
+		node, err := replica.NewNode(ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		so.Replica = node
+		srv := server.New(so)
+		srv.Serve(lns[i])
+		rn := &rnode{addr: c.addrs[i], root: root, srv: srv, node: node, rep: rep, obs: reg}
+		c.nodes = append(c.nodes, rn)
+		t.Cleanup(func() {
+			rn.srv.Abort()
+			rn.srv.Wait()
+			rn.node.Close()
+			rn.rep.Close() // wiped victims error here; that is fine
+		})
+	}
+	return c
+}
+
+// kill is the machine-death stand-in: server aborted, replica node closed,
+// and — the part the shared-dir suite could never do — the entire disk
+// root wiped. Nothing of this node survives.
+func (c *rcluster) kill(t *testing.T, i int) {
+	t.Helper()
+	n := c.nodes[i]
+	n.srv.Abort()
+	n.srv.Wait()
+	n.node.Close()
+	if err := os.RemoveAll(n.root); err != nil {
+		t.Fatalf("wiping node %d: %v", i, err)
+	}
+}
+
+// syncAll runs store anti-entropy between every ordered pair of surviving
+// nodes (dead indexes listed in skip), pulling over the real APRR port.
+func (c *rcluster) syncAll(t *testing.T, skip map[int]bool) {
+	t.Helper()
+	for i, dst := range c.nodes {
+		if skip[i] {
+			continue
+		}
+		for j, src := range c.nodes {
+			if i == j || skip[j] {
+				continue
+			}
+			peer := backend.NewPeer(src.addr, backend.PeerOptions{})
+			if _, err := dst.rep.Sync(peer); err != nil {
+				t.Fatalf("sync node %d <- node %d: %v", i, j, err)
+			}
+			peer.Close()
+		}
+	}
+}
+
+// sessionBatches counts the batches one clean upload spans under the test
+// batch geometry — the sweep range for kill-at-every-batch.
+func sessionBatches(t *testing.T, enc []byte) int {
+	t.Helper()
+	var maxBatch atomic.Int64
+	s := server.New(server.Options{
+		Config:          core.DefaultConfig(),
+		BatchSize:       16,
+		CheckpointEvery: 4,
+		Logf:            t.Logf,
+		OnSessionBatch: func(id string, batch int, delivered uint64) {
+			for {
+				cur := maxBatch.Load()
+				if int64(batch) <= cur || maxBatch.CompareAndSwap(cur, int64(batch)) {
+					return
+				}
+			}
+		},
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { s.Abort(); s.Wait() }()
+	if _, err := client.Run(context.Background(), client.Options{
+		Addr: s.Addr(), SessionID: "count", Open: opener(enc),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if maxBatch.Load() == 0 {
+		t.Fatal("clean pass saw no batches")
+	}
+	return int(maxBatch.Load())
+}
+
+// TestReplicaKillAtEveryBatchNoSharedDir is the tentpole proof. Three
+// nodes, nothing shared. The node serving the session is hard-killed at
+// batch index k and its disk wiped — for every k the session has. The
+// client must fail over, resume from the replica set's checkpoint (for
+// any kill past the first boundary), and finish byte-identical to the
+// offline pipeline. Afterwards store anti-entropy must spread the profile
+// to every survivor, whose repositories must pass a full integrity check.
+func TestReplicaKillAtEveryBatchNoSharedDir(t *testing.T) {
+	enc := testTrace(t, 50, 480)
+	want := offlineProfile(t, enc)
+	batches := sessionBatches(t, enc)
+	const ckptEvery = 4
+	t.Logf("session spans %d batches; killing+wiping at every index", batches)
+	before := runtime.NumGoroutine()
+
+	for killAt := 1; killAt <= batches; killAt++ {
+		killAt := killAt
+		t.Run(fmt.Sprintf("killAt=%d", killAt), func(t *testing.T) {
+			var killed atomic.Bool
+			var victimIdx atomic.Int64
+			victimIdx.Store(-1)
+			var wipeOnce sync.Once
+
+			var c *rcluster
+			c = startReplicaCluster(t, 3, func(i int, so *server.Options, ro *replica.Options) {
+				so.OnSessionBatch = func(id string, batch int, delivered uint64) {
+					if batch == killAt && killed.CompareAndSwap(false, true) {
+						victimIdx.Store(int64(i))
+						c.nodes[i].srv.Abort()
+					}
+				}
+			})
+
+			cd, err := client.NewClusterDialer(client.ClusterOptions{
+				Nodes:     c.addrs,
+				SessionID: "victim",
+				DialNode: func(ctx context.Context, addr string) (net.Conn, error) {
+					// Before any redial, finish the kill: wait the victim out,
+					// then wipe its entire disk root. Whatever the failover
+					// node resumes from, it cannot have come from the victim's
+					// machine.
+					if v := victimIdx.Load(); v >= 0 {
+						wipeOnce.Do(func() { c.kill(t, int(v)) })
+					}
+					var d net.Dialer
+					return d.DialContext(ctx, "tcp", addr)
+				},
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := client.Run(context.Background(), client.Options{
+				SessionID:   "victim",
+				Open:        opener(enc),
+				Dialer:      cd,
+				MaxAttempts: 10,
+				Backoff:     2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("upload across kill+wipe failed: %v (result %+v)", err, res)
+			}
+			if !killed.Load() {
+				t.Fatal("kill hook never fired")
+			}
+			if res.Reconnects == 0 {
+				t.Fatalf("node kill did not force a reconnect: %+v", res)
+			}
+			// Before the first checkpoint boundary nothing has been acked or
+			// replicated, so a fresh start is the correct (and only) outcome;
+			// past it, the replica set must produce a resume.
+			if killAt >= ckptEvery && res.ResumedFrom == 0 {
+				t.Fatalf("failover restarted from scratch instead of resuming from the replica set: %+v", res)
+			}
+
+			dead := int(victimIdx.Load())
+			skip := map[int]bool{dead: true}
+			var got []byte
+			for i, n := range c.nodes {
+				if skip[i] {
+					continue
+				}
+				if r, ok := n.srv.Result("victim"); ok && r != nil {
+					got = r.Profile
+				}
+			}
+			if got == nil {
+				t.Fatal("no surviving node holds the session result")
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("profile after kill+wipe failover differs from offline pipeline")
+			}
+
+			// Anti-entropy: every survivor's private store must converge on
+			// the profile and pass a full integrity check.
+			c.syncAll(t, skip)
+			for i, n := range c.nodes {
+				if skip[i] {
+					continue
+				}
+				data, err := n.rep.GetSession("victim")
+				if err != nil {
+					t.Fatalf("node %d store after sync: %v", i, err)
+				}
+				if !bytes.Equal(data, want) {
+					t.Fatalf("node %d synced store serves different bytes", i)
+				}
+				if rep := n.rep.Check(); !rep.OK() {
+					t.Fatalf("node %d store check failed after sync: %v", i, rep.Errors)
+				}
+			}
+		})
+	}
+	waitNoLeak(t, before)
+}
+
+// TestReplicaTornPushSweep fragments and mid-frame-resets every
+// replication link (client links stay clean). Torn pushes must be
+// CRC-rejected and retried, never stored, and the session must still
+// complete byte-identical — replication chaos can cost time, not truth.
+func TestReplicaTornPushSweep(t *testing.T) {
+	enc := testTrace(t, 51, 480)
+	want := offlineProfile(t, enc)
+
+	for seed := int64(0); seed < 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := startReplicaCluster(t, 3, func(i int, so *server.Options, ro *replica.Options) {
+				ro.Dial = faultio.WrapDial(func(addr string) (net.Conn, error) {
+					return net.DialTimeout("tcp", addr, 2*time.Second)
+				}, faultio.ConnConfig{
+					Seed:            seed*1000 + int64(i),
+					MaxWriteChunk:   128,
+					ResetAfterBytes: 48 << 10,
+				})
+			})
+
+			cd, err := client.NewClusterDialer(client.ClusterOptions{
+				Nodes:     c.addrs,
+				SessionID: "torn",
+				Logf:      t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := client.Run(context.Background(), client.Options{
+				SessionID:   "torn",
+				Open:        opener(enc),
+				Dialer:      cd,
+				MaxAttempts: 12,
+				Backoff:     2 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("upload with torn replication links failed: %v (result %+v)", err, res)
+			}
+
+			var got []byte
+			var redials, pushed uint64
+			for _, n := range c.nodes {
+				if r, ok := n.srv.Result("torn"); ok && r != nil {
+					got = r.Profile
+				}
+				snap := n.obs.Snapshot().Scope(replica.ObsScopeReplica)
+				redials += snap.Counter("peer_redials")
+				pushed += snap.Counter("checkpoints_pushed")
+			}
+			if got == nil || !bytes.Equal(got, want) {
+				t.Fatal("profile under torn replication links differs from offline pipeline")
+			}
+			if pushed == 0 {
+				t.Fatal("no checkpoint was ever replicated — the chaos path was not exercised")
+			}
+			if redials == 0 {
+				t.Logf("seed %d: no replication conn tore (budget unspent); pushes=%d", seed, pushed)
+			}
+		})
+	}
+}
+
+// TestReplicaSyncPartitionRecovery interrupts a store sync mid-pull with
+// an injected partition. The partial sync must leave the destination
+// repository fully intact (check-clean), the re-sync must converge, and a
+// third sync must be a pure no-op — anti-entropy is idempotent.
+func TestReplicaSyncPartitionRecovery(t *testing.T) {
+	// Source repository with enough sessions that a pull spans several
+	// pack transfers.
+	beA, err := backend.OpenLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repA, err := repo.OpenOrInit(beA, repo.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repA.Close()
+	var profiles [][]byte
+	for i := 0; i < 6; i++ {
+		p := offlineProfile(t, testTrace(t, 60+int64(i), 200+40*i))
+		profiles = append(profiles, p)
+		if err := repA.SaveProfile(fmt.Sprintf("sess-%d", i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serve it over APRR.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := replica.NewNode(replica.Options{
+		Self:     ln.Addr().String(),
+		Peers:    []string{ln.Addr().String()},
+		Replicas: 1,
+		Backend:  beA,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				node.ServeConn(conn, bufio.NewReader(conn))
+			}()
+		}
+	}()
+	defer func() { ln.Close(); node.Close(); wg.Wait() }()
+
+	beB, err := backend.OpenLocal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := repo.OpenOrInit(beB, repo.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repB.Close()
+
+	// Partitioned first pass: the link dies a few KB in, over and over.
+	torn := backend.NewPeer(ln.Addr().String(), backend.PeerOptions{
+		Dial: faultio.WrapDial(func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}, faultio.ConnConfig{Seed: 7, MaxWriteChunk: 64, ResetAfterBytes: 4 << 10}),
+	})
+	if _, err := repB.Sync(torn); err != nil {
+		t.Logf("partitioned sync returned error (acceptable): %v", err)
+	}
+	torn.Close()
+	if rep := repB.Check(); !rep.OK() {
+		t.Fatalf("destination repo damaged by partitioned sync: %v", rep.Errors)
+	}
+
+	// Healed second pass must converge fully.
+	peer := backend.NewPeer(ln.Addr().String(), backend.PeerOptions{})
+	defer peer.Close()
+	stats, err := repB.Sync(peer)
+	if err != nil {
+		t.Fatalf("healed sync: %v", err)
+	}
+	t.Logf("healed sync: %s", stats.String())
+	for i, want := range profiles {
+		got, err := repB.GetSession(fmt.Sprintf("sess-%d", i))
+		if err != nil {
+			t.Fatalf("sess-%d after sync: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("sess-%d bytes differ after sync", i)
+		}
+	}
+	if rep := repB.Check(); !rep.OK() {
+		t.Fatalf("destination repo check after healed sync: %v", rep.Errors)
+	}
+
+	// Converged third pass is a no-op: nothing pulled, no root written.
+	again, err := repB.Sync(peer)
+	if err != nil {
+		t.Fatalf("idempotent sync: %v", err)
+	}
+	if again.PacksPulled != 0 || again.RootWritten {
+		t.Fatalf("sync of a converged pair did work: %s", again.String())
+	}
+}
+
+// TestReplicaLeakAudit drives every replication path that touches the
+// network — pushes to dead peers, recovery against dead peers, handler
+// churn, partitioned syncs — and requires goroutine and FD counts to
+// settle back to baseline.
+func TestReplicaLeakAudit(t *testing.T) {
+	audit(t, func(t *testing.T) {
+		// Push and recover against a cluster whose peers are all dead.
+		dead := make([]string, 2)
+		for i := range dead {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dead[i] = l.Addr().String()
+			l.Close()
+		}
+		n, err := replica.NewNode(replica.Options{
+			Self:  dead[0],
+			Peers: dead,
+			Logf:  t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Replicate("leak", 1, []byte("x")); err == nil {
+			t.Fatal("push to dead peers confirmed")
+		}
+		if _, _, err := n.Recover("leak"); err == nil {
+			t.Fatal("recover from dead peers succeeded")
+		}
+		n.Drop("leak")
+		n.Close()
+	})
+
+	audit(t, func(t *testing.T) {
+		// Handler churn: a served node hit by many short-lived peers, some
+		// of which cut the conn mid-request.
+		c := startReplicaCluster(t, 2, nil)
+		for i := 0; i < 20; i++ {
+			conn, err := net.Dial("tcp", c.addrs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				// Half-written handshake, then gone.
+				conn.Write([]byte("APR"))
+			}
+			conn.Close()
+		}
+		// A real exchange still works afterwards.
+		if err := c.nodes[1].node.Replicate("after-churn", 3, []byte("ok")); err != nil {
+			t.Fatalf("push after churn: %v", err)
+		}
+		for _, n := range c.nodes {
+			n.srv.Abort()
+			n.srv.Wait()
+			n.node.Close()
+		}
+	})
+
+	audit(t, func(t *testing.T) {
+		// Partitioned sync against a dead address: dial fails, nothing
+		// sticks around.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		be, err := backend.OpenLocal(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := repo.OpenOrInit(be, repo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peer := backend.NewPeer(addr, backend.PeerOptions{DialTimeout: 100 * time.Millisecond})
+		if _, err := r.Sync(peer); err == nil {
+			t.Fatal("sync against a dead peer succeeded")
+		}
+		peer.Close()
+		r.Close()
+	})
+}
+
+// waitNoLeak polls until the goroutine count returns to its baseline.
+func waitNoLeak(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		} else if i >= 250 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fdCount counts this process's open file descriptors via /proc.
+func fdCount(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd on this platform: %v", err)
+	}
+	return len(ents)
+}
+
+// audit runs fn between baseline captures and polls both counts back down.
+func audit(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	goroutines := runtime.NumGoroutine()
+	fds := fdCount(t)
+
+	fn(t)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g, f := runtime.NumGoroutine(), fdCount(t)
+		if g <= goroutines && f <= fds {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak: goroutines %d -> %d, fds %d -> %d", goroutines, g, fds, f)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,155 @@
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"aprof/internal/repo/backend"
+)
+
+// ckptStore holds the checkpoint replicas this node stores on behalf of
+// its peers, keyed by session id with a monotonic sequence number (the
+// checkpoint's delivered-event count). Puts with a sequence at or below
+// the stored one are rejected as stale: a delayed push from a primary
+// that has since failed over can never roll a replica backwards.
+//
+// With a directory configured, every accepted replica is persisted
+// atomically (temp + fsync + rename, via backend.WriteAtomic) in a small
+// CRC-guarded envelope, and reloaded on open — so a restarted node still
+// serves the replicas it had confirmed. A torn or corrupt file fails its
+// CRC and is discarded on reload, exactly like a torn checkpoint file.
+type ckptStore struct {
+	dir string
+
+	mu   sync.Mutex
+	byID map[string]ckptEntry
+}
+
+type ckptEntry struct {
+	seq  uint64
+	data []byte
+}
+
+// Replica-file envelope: magic, uvarint seq, uvarint len, data, CRC-32 of
+// everything before the CRC.
+const ckptFileMagic = "RCK1"
+
+func openCkptStore(dir string) (*ckptStore, error) {
+	s := &ckptStore{dir: dir, byID: make(map[string]ckptEntry)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: checkpoint store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("replica: checkpoint store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".rck") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		session := strings.TrimSuffix(name, ".rck")
+		seq, data, derr := decodeCkptFile(raw)
+		if derr != nil {
+			// Torn by a crash mid-rename-window or bit-rotted: discard. The
+			// session's primary (or another replica) still holds it.
+			os.Remove(path)
+			continue
+		}
+		s.byID[session] = ckptEntry{seq: seq, data: data}
+	}
+	return s, nil
+}
+
+// put stores a replica if seq is newer than what is held. It returns the
+// held sequence and whether the put was accepted.
+func (s *ckptStore) put(session string, seq uint64, data []byte) (uint64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if have, ok := s.byID[session]; ok && have.seq >= seq {
+		return have.seq, false, nil
+	}
+	if s.dir != "" {
+		if err := backend.WriteAtomic(s.path(session), encodeCkptFile(seq, data), 0o644); err != nil {
+			return 0, false, fmt.Errorf("replica: persisting checkpoint: %w", err)
+		}
+	}
+	s.byID[session] = ckptEntry{seq: seq, data: append([]byte(nil), data...)}
+	return seq, true, nil
+}
+
+func (s *ckptStore) get(session string) (uint64, []byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[session]
+	if !ok {
+		return 0, nil, false
+	}
+	return e.seq, append([]byte(nil), e.data...), true
+}
+
+func (s *ckptStore) drop(session string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byID, session)
+	if s.dir != "" {
+		os.Remove(s.path(session))
+	}
+}
+
+// sessions lists the held session ids (tests and leak audits).
+func (s *ckptStore) sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (s *ckptStore) path(session string) string {
+	return filepath.Join(s.dir, session+".rck")
+}
+
+func encodeCkptFile(seq uint64, data []byte) []byte {
+	buf := append([]byte(nil), ckptFileMagic...)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(data)))
+	buf = append(buf, data...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func decodeCkptFile(raw []byte) (uint64, []byte, error) {
+	if len(raw) < len(ckptFileMagic)+4 || string(raw[:len(ckptFileMagic)]) != ckptFileMagic {
+		return 0, nil, fmt.Errorf("replica: bad replica file header")
+	}
+	body, crc := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return 0, nil, fmt.Errorf("replica: replica file crc mismatch")
+	}
+	rest := body[len(ckptFileMagic):]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("replica: bad replica file seq")
+	}
+	rest = rest[n:]
+	size, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest[n:])) != size {
+		return 0, nil, fmt.Errorf("replica: bad replica file length")
+	}
+	return seq, append([]byte(nil), rest[n:]...), nil
+}

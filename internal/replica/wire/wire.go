@@ -1,0 +1,305 @@
+// Package wire defines APRR, the aprofd replication wire protocol: the
+// peer-to-peer byte format used to push session checkpoints to ring
+// successors, recover them after a node loss, and serve read-only
+// backend objects (packs, snapshots, index caches) for store-to-store
+// anti-entropy sync.
+//
+// APRR is multiplexed onto the same TCP listener as the APRD ingest
+// protocol: the first four bytes of a connection select the protocol, so
+// a cluster needs exactly one port per node and the ring addresses double
+// as replication addresses.
+//
+// A connection speaks:
+//
+//	handshake:  magic "APRR", version byte, flags byte (reserved, 0)
+//	then any number of request/response exchanges, strictly in order:
+//
+//	request:    kind byte, then kind-specific fields
+//	  'P' put checkpoint:   uvarint seq, str session, blob data
+//	  'G' get checkpoint:   str session
+//	  'D' drop checkpoint:  uvarint seq, str session
+//	  'L' load object:      str type, str name
+//	  'I' list objects:     str type
+//
+//	response:   status byte, then status-specific fields
+//	  'K' ok:        uvarint seq, uvarint count, count× str name, blob data
+//	  'S' stale:     uvarint seq   — the peer already holds a newer copy
+//	  'N' not found
+//	  'E' error:     str message
+//
+// where `str` is a uvarint length followed by that many bytes, and `blob`
+// is a uvarint length, the bytes, and their IEEE CRC-32 (little-endian).
+// Every payload is CRC-guarded end to end: a torn or bit-flipped
+// replication write is detected at the receiver and rejected, never
+// silently stored. Requests carry explicit sequence numbers (the
+// checkpoint's delivered-event count) so a delayed or replayed push from
+// a stale primary can never overwrite a newer replica.
+//
+// The package is a leaf: it imports only the standard library, so both
+// the server (which peeks the magic to demultiplex) and the repository
+// backend (backend.Peer) can depend on it without cycles.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// Magic starts every APRR connection. Same length as the APRD ingest
+	// magic, so a server can decide the protocol from a 4-byte peek.
+	Magic   = "APRR"
+	Version = 1
+)
+
+// Request kinds.
+const (
+	KindPut  byte = 'P' // push a checkpoint replica
+	KindGet  byte = 'G' // fetch a checkpoint replica
+	KindDrop byte = 'D' // drop a completed session's replica
+	KindLoad byte = 'L' // load one backend object (read-only)
+	KindList byte = 'I' // list backend objects of one type (read-only)
+)
+
+// Response statuses.
+const (
+	StatusOK       byte = 'K'
+	StatusStale    byte = 'S' // put rejected: peer holds seq >= ours
+	StatusNotFound byte = 'N'
+	StatusErr      byte = 'E'
+)
+
+// Wire limits: a corrupt length can never balloon a read. MaxBlob bounds
+// checkpoint and pack payloads (packs are flushed well below this).
+const (
+	maxStrLen = 256
+	MaxBlob   = 1 << 30
+)
+
+// Request is one decoded APRR request.
+type Request struct {
+	Kind    byte
+	Seq     uint64 // Put/Drop: checkpoint delivered-event count
+	Session string // Put/Get/Drop
+	Type    string // Load/List: backend handle type
+	Name    string // Load: backend handle name
+	Data    []byte // Put: checkpoint bytes
+}
+
+// Response is one decoded APRR response.
+type Response struct {
+	Status byte
+	Seq    uint64   // OK (get): replica seq; Stale: the peer's newer seq
+	Names  []string // OK (list)
+	Data   []byte   // OK (get/load)
+	Msg    string   // Err
+}
+
+// AppendHandshake encodes the connection prologue.
+func AppendHandshake(dst []byte) []byte {
+	dst = append(dst, Magic...)
+	return append(dst, Version, 0)
+}
+
+// ReadHandshake consumes and validates the prologue. The caller has
+// typically already peeked (not consumed) the magic to demultiplex.
+func ReadHandshake(br *bufio.Reader) error {
+	head := make([]byte, len(Magic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("replica: reading handshake: %w", err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return fmt.Errorf("replica: bad handshake magic %q", head[:len(Magic)])
+	}
+	if head[len(Magic)] != Version {
+		return fmt.Errorf("replica: unsupported protocol version %d (want %d)", head[len(Magic)], Version)
+	}
+	return nil
+}
+
+// AppendRequest encodes req.
+func AppendRequest(dst []byte, req Request) []byte {
+	dst = append(dst, req.Kind)
+	switch req.Kind {
+	case KindPut:
+		dst = binary.AppendUvarint(dst, req.Seq)
+		dst = appendStr(dst, req.Session)
+		dst = appendBlob(dst, req.Data)
+	case KindGet:
+		dst = appendStr(dst, req.Session)
+	case KindDrop:
+		dst = binary.AppendUvarint(dst, req.Seq)
+		dst = appendStr(dst, req.Session)
+	case KindLoad:
+		dst = appendStr(dst, req.Type)
+		dst = appendStr(dst, req.Name)
+	case KindList:
+		dst = appendStr(dst, req.Type)
+	}
+	return dst
+}
+
+// ReadRequest decodes the next request from br. io.EOF before the kind
+// byte means the peer hung up cleanly between requests.
+func ReadRequest(br *bufio.Reader) (Request, error) {
+	var none Request
+	kind, err := br.ReadByte()
+	if err != nil {
+		return none, err // io.EOF passes through: clean close
+	}
+	req := Request{Kind: kind}
+	switch kind {
+	case KindPut:
+		if req.Seq, err = binary.ReadUvarint(br); err != nil {
+			return none, fmt.Errorf("replica: reading put seq: %w", err)
+		}
+		if req.Session, err = readStr(br); err != nil {
+			return none, err
+		}
+		if req.Data, err = readBlob(br); err != nil {
+			return none, err
+		}
+	case KindGet:
+		if req.Session, err = readStr(br); err != nil {
+			return none, err
+		}
+	case KindDrop:
+		if req.Seq, err = binary.ReadUvarint(br); err != nil {
+			return none, fmt.Errorf("replica: reading drop seq: %w", err)
+		}
+		if req.Session, err = readStr(br); err != nil {
+			return none, err
+		}
+	case KindLoad:
+		if req.Type, err = readStr(br); err != nil {
+			return none, err
+		}
+		if req.Name, err = readStr(br); err != nil {
+			return none, err
+		}
+	case KindList:
+		if req.Type, err = readStr(br); err != nil {
+			return none, err
+		}
+	default:
+		return none, fmt.Errorf("replica: unknown request kind %q", kind)
+	}
+	return req, nil
+}
+
+// AppendResponse encodes resp.
+func AppendResponse(dst []byte, resp Response) []byte {
+	dst = append(dst, resp.Status)
+	switch resp.Status {
+	case StatusOK:
+		dst = binary.AppendUvarint(dst, resp.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Names)))
+		for _, n := range resp.Names {
+			dst = appendStr(dst, n)
+		}
+		dst = appendBlob(dst, resp.Data)
+	case StatusStale:
+		dst = binary.AppendUvarint(dst, resp.Seq)
+	case StatusNotFound:
+	case StatusErr:
+		dst = appendStr(dst, resp.Msg)
+	}
+	return dst
+}
+
+// ReadResponse decodes the next response from br.
+func ReadResponse(br *bufio.Reader) (Response, error) {
+	var none Response
+	status, err := br.ReadByte()
+	if err != nil {
+		return none, fmt.Errorf("replica: reading response status: %w", err)
+	}
+	resp := Response{Status: status}
+	switch status {
+	case StatusOK:
+		if resp.Seq, err = binary.ReadUvarint(br); err != nil {
+			return none, fmt.Errorf("replica: reading response seq: %w", err)
+		}
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return none, fmt.Errorf("replica: reading name count: %w", err)
+		}
+		if count > MaxBlob/2 {
+			return none, fmt.Errorf("replica: name count %d out of range", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			n, err := readStr(br)
+			if err != nil {
+				return none, err
+			}
+			resp.Names = append(resp.Names, n)
+		}
+		if resp.Data, err = readBlob(br); err != nil {
+			return none, err
+		}
+	case StatusStale:
+		if resp.Seq, err = binary.ReadUvarint(br); err != nil {
+			return none, fmt.Errorf("replica: reading stale seq: %w", err)
+		}
+	case StatusNotFound:
+	case StatusErr:
+		if resp.Msg, err = readStr(br); err != nil {
+			return none, err
+		}
+	default:
+		return none, fmt.Errorf("replica: unknown response status %q", status)
+	}
+	return resp, nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readStr(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("replica: reading string length: %w", err)
+	}
+	if n > maxStrLen {
+		return "", fmt.Errorf("replica: string length %d exceeds limit %d", n, maxStrLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", fmt.Errorf("replica: reading string: %w", err)
+	}
+	return string(b), nil
+}
+
+// appendBlob writes a CRC-guarded payload: uvarint length, bytes, CRC-32.
+func appendBlob(dst []byte, data []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(data)))
+	dst = append(dst, data...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(data))
+}
+
+func readBlob(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("replica: reading blob length: %w", err)
+	}
+	if n > MaxBlob {
+		return nil, fmt.Errorf("replica: blob length %d exceeds limit %d", n, MaxBlob)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, fmt.Errorf("replica: reading blob: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return nil, fmt.Errorf("replica: reading blob crc: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(data), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("replica: blob crc mismatch: got %08x want %08x", got, want)
+	}
+	return data, nil
+}

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func reader(data []byte) *bufio.Reader {
+	return bufio.NewReader(bytes.NewReader(data))
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	data := AppendHandshake(nil)
+	if err := ReadHandshake(reader(data)); err != nil {
+		t.Fatalf("ReadHandshake: %v", err)
+	}
+}
+
+func TestHandshakeRejectsBadMagicAndVersion(t *testing.T) {
+	if err := ReadHandshake(reader([]byte("APRD\x01\x00"))); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if err := ReadHandshake(reader([]byte(Magic + "\x02\x00"))); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if err := ReadHandshake(reader([]byte("APR"))); err == nil {
+		t.Fatal("truncated handshake accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Kind: KindPut, Seq: 12345, Session: "build-42", Data: []byte("checkpoint bytes")},
+		{Kind: KindPut, Seq: 0, Session: "s", Data: nil},
+		{Kind: KindGet, Session: "build-42"},
+		{Kind: KindDrop, Seq: 99, Session: "done"},
+		{Kind: KindLoad, Type: "packs", Name: "deadbeef"},
+		{Kind: KindList, Type: "snapshots"},
+	}
+	for _, want := range cases {
+		data := AppendRequest(nil, want)
+		got, err := ReadRequest(reader(data))
+		if err != nil {
+			t.Fatalf("kind %q: ReadRequest: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Seq != want.Seq || got.Session != want.Session ||
+			got.Type != want.Type || got.Name != want.Name || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("kind %q: round trip mismatch: got %+v want %+v", want.Kind, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Status: StatusOK, Seq: 7, Names: []string{"a", "b"}, Data: []byte("payload")},
+		{Status: StatusOK},
+		{Status: StatusStale, Seq: 100},
+		{Status: StatusNotFound},
+		{Status: StatusErr, Msg: "backend exploded"},
+	}
+	for _, want := range cases {
+		data := AppendResponse(nil, want)
+		got, err := ReadResponse(reader(data))
+		if err != nil {
+			t.Fatalf("status %q: ReadResponse: %v", want.Status, err)
+		}
+		if got.Status != want.Status || got.Seq != want.Seq || got.Msg != want.Msg ||
+			len(got.Names) != len(want.Names) || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("status %q: round trip mismatch: got %+v want %+v", want.Status, got, want)
+		}
+		for i := range want.Names {
+			if got.Names[i] != want.Names[i] {
+				t.Fatalf("status %q: name %d: got %q want %q", want.Status, i, got.Names[i], want.Names[i])
+			}
+		}
+	}
+}
+
+// Every single-bit corruption of a put's payload must be rejected by the
+// CRC — a torn or flipped replication write is never silently stored.
+func TestPutBlobCorruptionDetected(t *testing.T) {
+	req := Request{Kind: KindPut, Seq: 5, Session: "sess", Data: []byte("APCK-checkpoint-payload")}
+	data := AppendRequest(nil, req)
+	// Locate the blob bytes: kind(1) + uvarint seq(1) + strlen(1) + session.
+	blobStart := 1 + 1 + 1 + len(req.Session) + 1 // + uvarint blob len
+	for i := blobStart; i < blobStart+len(req.Data); i++ {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x40
+		if _, err := ReadRequest(reader(corrupt)); err == nil {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestCleanCloseIsEOF(t *testing.T) {
+	if _, err := ReadRequest(reader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestTruncatedBlobRejected(t *testing.T) {
+	data := AppendRequest(nil, Request{Kind: KindPut, Seq: 1, Session: "s", Data: []byte("0123456789")})
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := ReadRequest(reader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBoundedLengths(t *testing.T) {
+	// A string length beyond the cap must be refused before any read.
+	big := []byte{KindGet, 0xFF, 0xFF, 0x7F} // uvarint ~2M
+	if _, err := ReadRequest(reader(big)); err == nil {
+		t.Fatal("oversized string length accepted")
+	}
+	if _, err := ReadRequest(reader([]byte{'Z'})); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadResponse(reader([]byte{'Z'})); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+}
+
+func TestPipelinedRequests(t *testing.T) {
+	var buf []byte
+	buf = AppendRequest(buf, Request{Kind: KindPut, Seq: 1, Session: "a", Data: []byte("one")})
+	buf = AppendRequest(buf, Request{Kind: KindGet, Session: "a"})
+	buf = AppendRequest(buf, Request{Kind: KindDrop, Seq: 1, Session: "a"})
+	br := reader(buf)
+	for i, wantKind := range []byte{KindPut, KindGet, KindDrop} {
+		req, err := ReadRequest(br)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if req.Kind != wantKind {
+			t.Fatalf("request %d: kind %q want %q", i, req.Kind, wantKind)
+		}
+	}
+	if _, err := ReadRequest(br); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream: got %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,170 @@
+package backend
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aprof/internal/replica/wire"
+)
+
+// Peer is a Backend backed by another cluster node's profile repository,
+// fetched over the APRR replication protocol (the node serves its local
+// backend read-only on its ingest port). It is the second real Backend
+// implementation behind the same narrow interface: `repo.Open` over a
+// Peer reads and verifies a remote repository without any shared
+// filesystem, and `repo.Sync` pulls a peer's missing blobs through it.
+//
+// Peer is read-only by design: anti-entropy is pull-only — every node
+// mutates only its own store — which is what keeps cluster sync
+// idempotent and crash-safe. Save and Remove return ErrPeerReadOnly.
+//
+// A Peer keeps one cached connection, serializes requests on it, and
+// redials once when the connection has gone bad (peer restart,
+// idle-timeout cut, mid-transfer reset); every payload arrives CRC-
+// guarded, so a torn transfer is an error, never silent corruption.
+type Peer struct {
+	addr string
+	opts PeerOptions
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	closed bool
+}
+
+// PeerOptions tunes a Peer.
+type PeerOptions struct {
+	// DialTimeout / IOTimeout bound the dial and each request round-trip
+	// (defaults 2s / 30s — pack transfers are bigger than checkpoint pushes).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	// Dial overrides the dial function (tests inject chaos links).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// ErrPeerReadOnly is returned by Peer.Save and Peer.Remove: remote stores
+// are never mutated — sync pulls, it does not push.
+var ErrPeerReadOnly = errors.New("backend: peer backend is read-only")
+
+// NewPeer returns a Backend reading from the aprofd node at addr. No
+// connection is made until the first request.
+func NewPeer(addr string, opts PeerOptions) *Peer {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	if opts.IOTimeout <= 0 {
+		opts.IOTimeout = 30 * time.Second
+	}
+	if opts.Dial == nil {
+		timeout := opts.DialTimeout
+		opts.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return &Peer{addr: addr, opts: opts}
+}
+
+// Addr returns the peer's address.
+func (p *Peer) Addr() string { return p.addr }
+
+// Save is rejected: see ErrPeerReadOnly.
+func (p *Peer) Save(h Handle, data []byte) error {
+	return fmt.Errorf("%w: cannot save %s to %s", ErrPeerReadOnly, h, p.addr)
+}
+
+// Remove is rejected: see ErrPeerReadOnly.
+func (p *Peer) Remove(h Handle) error {
+	return fmt.Errorf("%w: cannot remove %s from %s", ErrPeerReadOnly, h, p.addr)
+}
+
+// Load fetches one object from the peer.
+func (p *Peer) Load(h Handle) ([]byte, error) {
+	resp, err := p.roundTrip(wire.Request{Kind: wire.KindLoad, Type: string(h.Type), Name: h.Name})
+	if err != nil {
+		return nil, fmt.Errorf("backend: peer %s: load %s: %w", p.addr, h, err)
+	}
+	switch resp.Status {
+	case wire.StatusOK:
+		return resp.Data, nil
+	case wire.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h)
+	default:
+		return nil, fmt.Errorf("backend: peer %s: load %s: %s", p.addr, h, respMsg(resp))
+	}
+}
+
+// List fetches the names of every object of type t from the peer.
+func (p *Peer) List(t Type) ([]string, error) {
+	resp, err := p.roundTrip(wire.Request{Kind: wire.KindList, Type: string(t)})
+	if err != nil {
+		return nil, fmt.Errorf("backend: peer %s: list %s: %w", p.addr, t, err)
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, fmt.Errorf("backend: peer %s: list %s: %s", p.addr, t, respMsg(resp))
+	}
+	return resp.Names, nil
+}
+
+// Close tears down the cached connection. Further requests fail.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn, p.br = nil, nil
+	}
+	return nil
+}
+
+func (p *Peer) roundTrip(req wire.Request) (wire.Response, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return wire.Response{}, errors.New("peer backend closed")
+	}
+	for attempt := 0; ; attempt++ {
+		if p.conn == nil {
+			conn, err := p.opts.Dial(p.addr)
+			if err != nil {
+				return wire.Response{}, err
+			}
+			conn.SetWriteDeadline(time.Now().Add(p.opts.IOTimeout))
+			if _, err := conn.Write(wire.AppendHandshake(nil)); err != nil {
+				conn.Close()
+				return wire.Response{}, err
+			}
+			conn.SetWriteDeadline(time.Time{})
+			p.conn, p.br = conn, bufio.NewReader(conn)
+		}
+		p.conn.SetDeadline(time.Now().Add(p.opts.IOTimeout))
+		_, werr := p.conn.Write(wire.AppendRequest(nil, req))
+		var resp wire.Response
+		var err error
+		if werr != nil {
+			err = werr
+		} else {
+			resp, err = wire.ReadResponse(p.br)
+		}
+		p.conn.SetDeadline(time.Time{})
+		if err == nil {
+			return resp, nil
+		}
+		p.conn.Close()
+		p.conn, p.br = nil, nil
+		if attempt > 0 {
+			return wire.Response{}, err
+		}
+	}
+}
+
+func respMsg(resp wire.Response) string {
+	if resp.Status == wire.StatusErr {
+		return resp.Msg
+	}
+	return fmt.Sprintf("unexpected status %q", resp.Status)
+}

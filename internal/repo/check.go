@@ -92,32 +92,31 @@ func (r *Repository) Check() *CheckReport {
 			report.warnf("snapshot %s: file content does not match its name", short(name))
 			continue
 		}
-		_, snapSessions, derr := decodeSnapshot(data)
+		doc, derr := decodeSnapshot(data)
 		if derr != nil {
 			report.errorf("snapshot %s: %v", short(name), derr)
 			continue
 		}
 		report.Snapshots++
-		for sid, mid := range snapSessions {
-			sessions[sid] = struct{}{}
+		checkManifest := func(sid string, mid ID) {
 			typ, ok := verified[mid]
 			if !ok {
 				report.errorf("snapshot %s session %q: manifest %s missing", short(name), sid, mid.Short())
-				continue
+				return
 			}
 			if typ != BlobManifest {
 				report.errorf("snapshot %s session %q: blob %s is a %s, not a manifest", short(name), sid, mid.Short(), typ)
-				continue
+				return
 			}
 			mdata, err := r.loadVerifiedBlob(mid)
 			if err != nil {
 				report.errorf("snapshot %s session %q: manifest %s: %v", short(name), sid, mid.Short(), err)
-				continue
+				return
 			}
 			size, chunks, merr := decodeManifest(mdata)
 			if merr != nil {
 				report.errorf("snapshot %s session %q: manifest %s: %v", short(name), sid, mid.Short(), merr)
-				continue
+				return
 			}
 			total := 0
 			broken := false
@@ -138,6 +137,20 @@ func (r *Repository) Check() *CheckReport {
 			}
 			if !broken && total != size {
 				report.errorf("session %q: chunks total %d bytes, manifest says %d", sid, total, size)
+			}
+		}
+		for sid, mid := range doc.sessions {
+			sessions[sid] = struct{}{}
+			checkManifest(sid, mid)
+			// Retained history versions are roots too: a retention policy
+			// promised they stay servable until it trims them.
+			for _, he := range doc.history[sid] {
+				hid, perr := ParseID(he.Manifest)
+				if perr != nil {
+					report.errorf("snapshot %s history of %q: %v", short(name), sid, perr)
+					continue
+				}
+				checkManifest(sid, hid)
 			}
 		}
 	}

@@ -103,12 +103,17 @@ type Options struct {
 	// Logf logs recoverable anomalies, e.g. a damaged pack skipped on open
 	// (nil discards).
 	Logf func(format string, args ...any)
+	// Clock supplies the timestamps recorded on saved profiles (nil uses
+	// time.Now). Tests inject a fake clock to exercise max-age retention.
+	Clock func() time.Time
 }
 
 // snapState is one loaded snapshot root.
 type snapState struct {
 	seq      uint64
 	sessions map[string]ID
+	savedAt  map[string]int64
+	history  map[string][]histEntry
 }
 
 // Repository is an open profile store. All methods are safe for
@@ -126,9 +131,12 @@ type Repository struct {
 	pendingIDs   map[ID]struct{}
 	pendingBytes int
 	// snaps holds every snapshot root by name; sessions is the merged
-	// head view (highest seq wins per session).
+	// head view (highest seq wins per session), with the winning root's
+	// timestamp and retained history carried alongside.
 	snaps    map[string]snapState
 	sessions map[string]ID
+	savedAt  map[string]int64
+	history  map[string][]histEntry
 	maxSeq   uint64
 	// damagedSnaps lists snapshot files whose content does not hash to
 	// their name — torn writes made visible by a non-atomic backend. They
@@ -307,31 +315,57 @@ func (r *Repository) loadSnapshots() error {
 			r.logf("repo: skipping torn snapshot %s", name)
 			continue
 		}
-		seq, sessions, derr := decodeSnapshot(data)
+		doc, derr := decodeSnapshot(data)
 		if derr != nil {
 			return fmt.Errorf("repo: snapshot %s: %w", name, derr)
 		}
-		r.snaps[name] = snapState{seq: seq, sessions: sessions}
-		if seq > r.maxSeq {
-			r.maxSeq = seq
+		r.snaps[name] = snapState{seq: doc.seq, sessions: doc.sessions, savedAt: doc.savedAt, history: doc.history}
+		if doc.seq > r.maxSeq {
+			r.maxSeq = doc.seq
 		}
 	}
 	r.rebuildSessionView()
 	return nil
 }
 
-// rebuildSessionView recomputes the merged head view from all roots.
+// rebuildSessionView recomputes the merged head view from all roots. The
+// winning root (highest seq) for a session also supplies its timestamp
+// and retained history.
 func (r *Repository) rebuildSessionView() {
 	r.sessions = make(map[string]ID)
+	r.savedAt = make(map[string]int64)
+	r.history = make(map[string][]histEntry)
 	winner := make(map[string]uint64)
 	for _, s := range r.snaps {
 		for sid, mid := range s.sessions {
 			if seq, ok := winner[sid]; !ok || s.seq > seq {
 				winner[sid] = s.seq
 				r.sessions[sid] = mid
+				delete(r.savedAt, sid)
+				delete(r.history, sid)
+				if at, ok := s.savedAt[sid]; ok {
+					r.savedAt[sid] = at
+				}
+				if h := s.history[sid]; len(h) > 0 {
+					r.history[sid] = append([]histEntry(nil), h...)
+				}
 			}
 		}
 	}
+}
+
+// sessionSeqs returns, per session, the seq of the root that supplies its
+// head — the tiebreaker anti-entropy sync merges against.
+func (r *Repository) sessionSeqsLocked() map[string]uint64 {
+	winner := make(map[string]uint64)
+	for _, s := range r.snaps {
+		for sid := range s.sessions {
+			if seq, ok := winner[sid]; !ok || s.seq > seq {
+				winner[sid] = s.seq
+			}
+		}
+	}
+	return winner
 }
 
 // Put stores a profile document, returning its manifest ID. Chunks (and
@@ -530,10 +564,10 @@ type SnapshotInfo struct {
 func (r *Repository) Snapshot(sessions map[string]ID) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.snapshotLocked(sessions)
+	return r.snapshotLocked(sessions, nil, nil)
 }
 
-func (r *Repository) snapshotLocked(sessions map[string]ID) (string, error) {
+func (r *Repository) snapshotLocked(sessions map[string]ID, savedAt map[string]int64, history map[string][]histEntry) (string, error) {
 	if err := r.flushLocked(); err != nil {
 		return "", err
 	}
@@ -542,14 +576,30 @@ func (r *Repository) snapshotLocked(sessions map[string]ID) (string, error) {
 			return "", fmt.Errorf("repo: snapshot references unknown manifest %s (session %q)", mid.Short(), sid)
 		}
 	}
+	for sid, entries := range history {
+		for _, he := range entries {
+			mid, err := ParseID(he.Manifest)
+			if err != nil {
+				return "", fmt.Errorf("repo: snapshot history of %q: %w", sid, err)
+			}
+			if e, ok := r.ix.lookup(mid); !ok || e.typ != BlobManifest {
+				return "", fmt.Errorf("repo: snapshot history of %q references unknown manifest %s", sid, mid.Short())
+			}
+		}
+	}
 	seq := r.maxSeq + 1
-	data := encodeSnapshot(seq, sessions)
+	data := encodeSnapshot(seq, sessions, savedAt, history)
 	name := IDOf(data).String()
 	if err := r.be.Save(backend.Handle{Type: backend.SnapshotType, Name: name}, data); err != nil {
 		return "", err
 	}
 	r.maxSeq = seq
-	r.snaps[name] = snapState{seq: seq, sessions: cloneSessions(sessions)}
+	r.snaps[name] = snapState{
+		seq:      seq,
+		sessions: cloneSessions(sessions),
+		savedAt:  cloneSavedAt(savedAt),
+		history:  cloneHistory(history),
+	}
 	r.rebuildSessionView()
 	r.m.snapsWritten.Inc()
 	r.updateGauges()
@@ -577,6 +627,12 @@ func (r *Repository) Forget(name string) error {
 // one step: put, snapshot the updated head result set, and prune the
 // snapshots the new one supersedes. When SaveProfile returns nil the
 // profile survives any crash.
+//
+// A re-save that replaces a session's head pushes the superseded version
+// onto the session's history (bounded at maxRecordedHistory), where a
+// retention policy — GCWithPolicy's keep-last-N and max-age knobs —
+// decides how long it stays reachable. The default GC keeps heads only,
+// exactly the pre-history behavior.
 func (r *Repository) SaveProfile(sessionID string, profile []byte) error {
 	if sessionID == "" {
 		return errors.New("repo: empty session id")
@@ -591,8 +647,19 @@ func (r *Repository) SaveProfile(sessionID string, profile []byte) error {
 		return nil // identical re-save of the head state: nothing to do
 	}
 	next := cloneSessions(r.sessions)
+	nextSavedAt := cloneSavedAt(r.savedAt)
+	nextHistory := cloneHistory(r.history)
+	if old, ok := next[sessionID]; ok && old != mid {
+		entries := append([]histEntry{{Manifest: old.String(), SavedAt: r.savedAt[sessionID]}}, nextHistory[sessionID]...)
+		entries = sortedHistory(entries)
+		if len(entries) > maxRecordedHistory {
+			entries = entries[:maxRecordedHistory]
+		}
+		nextHistory[sessionID] = entries
+	}
 	next[sessionID] = mid
-	newName, err := r.snapshotLocked(next)
+	nextSavedAt[sessionID] = r.now().Unix()
+	newName, err := r.snapshotLocked(next, nextSavedAt, nextHistory)
 	if err != nil {
 		return err
 	}
@@ -699,27 +766,43 @@ func (r *Repository) writeIndexCacheLocked() error {
 	return nil
 }
 
-// markLive walks every root and returns the set of live blob IDs with
-// reference counts. It fails — rather than guessing — when a referenced
-// manifest or chunk cannot be loaded.
+// markLive walks every root — heads and retained history alike — and
+// returns the set of live blob IDs with reference counts. It fails —
+// rather than guessing — when a referenced manifest or chunk cannot be
+// loaded.
 func (r *Repository) markLiveLocked() (map[ID]int, error) {
 	live := make(map[ID]int)
+	mark := func(root, sid string, mid ID) error {
+		live[mid]++
+		if live[mid] > 1 {
+			return nil // manifest already walked
+		}
+		mdata, err := r.loadBlobLocked(mid, BlobManifest)
+		if err != nil {
+			return fmt.Errorf("repo: snapshot %s session %q: %w", root[:8], sid, err)
+		}
+		_, chunks, err := decodeManifest(mdata)
+		if err != nil {
+			return fmt.Errorf("repo: snapshot %s session %q: %w", root[:8], sid, err)
+		}
+		for _, cid := range chunks {
+			live[cid]++
+		}
+		return nil
+	}
 	for name, s := range r.snaps {
 		for sid, mid := range s.sessions {
-			live[mid]++
-			if live[mid] > 1 {
-				continue // manifest already walked
+			if err := mark(name, sid, mid); err != nil {
+				return nil, err
 			}
-			mdata, err := r.loadBlobLocked(mid, BlobManifest)
-			if err != nil {
-				return nil, fmt.Errorf("repo: snapshot %s session %q: %w", name[:8], sid, err)
-			}
-			_, chunks, err := decodeManifest(mdata)
-			if err != nil {
-				return nil, fmt.Errorf("repo: snapshot %s session %q: %w", name[:8], sid, err)
-			}
-			for _, cid := range chunks {
-				live[cid]++
+			for _, he := range s.history[sid] {
+				hid, err := ParseID(he.Manifest)
+				if err != nil {
+					return nil, fmt.Errorf("repo: snapshot %s history of %q: %w", name[:8], sid, err)
+				}
+				if err := mark(name, sid, hid); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -749,10 +832,103 @@ func (r *Repository) updateByteGauges(live map[ID]int) (liveBytes, deadBytes int
 	return liveBytes, deadBytes
 }
 
+// maxRecordedHistory bounds the superseded versions SaveProfile records
+// per session between GCs, so a hot session cannot grow a root without
+// bound. Retention policies trim below this; GC's default keeps heads
+// only.
+const maxRecordedHistory = 64
+
+func (r *Repository) now() time.Time {
+	if r.opts.Clock != nil {
+		return r.opts.Clock()
+	}
+	return time.Now()
+}
+
+// Version describes one stored version of a session.
+type Version struct {
+	Manifest ID
+	// SavedAt is when this version became the head (zero when unknown —
+	// saved before timestamps existed).
+	SavedAt time.Time
+	// Head marks the current version.
+	Head bool
+}
+
+// Versions lists a session's stored versions, head first, then retained
+// history newest-first. Empty when the session is unknown.
+func (r *Repository) Versions(sessionID string) []Version {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mid, ok := r.sessions[sessionID]
+	if !ok {
+		return nil
+	}
+	out := []Version{{Manifest: mid, SavedAt: unixTime(r.savedAt[sessionID]), Head: true}}
+	for _, he := range r.history[sessionID] {
+		hid, err := ParseID(he.Manifest)
+		if err != nil {
+			continue // unreachable: verified at decode/snapshot time
+		}
+		out = append(out, Version{Manifest: hid, SavedAt: unixTime(he.SavedAt)})
+	}
+	return out
+}
+
+// GetVersion reassembles one retained version of a session — the head or
+// any history entry listed by Versions.
+func (r *Repository) GetVersion(sessionID string, manifest ID) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mid, ok := r.sessions[sessionID]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %q", ErrProfileNotFound, sessionID)
+	}
+	if manifest != mid {
+		found := false
+		for _, he := range r.history[sessionID] {
+			if he.Manifest == manifest.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: session %q has no version %s", ErrProfileNotFound, sessionID, manifest.Short())
+		}
+	}
+	return r.getLocked(manifest)
+}
+
+func unixTime(sec int64) time.Time {
+	if sec == 0 {
+		return time.Time{}
+	}
+	return time.Unix(sec, 0)
+}
+
 func cloneSessions(m map[string]ID) map[string]ID {
 	out := make(map[string]ID, len(m))
 	for k, v := range m {
 		out[k] = v
+	}
+	return out
+}
+
+func cloneSavedAt(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneHistory(m map[string][]histEntry) map[string][]histEntry {
+	out := make(map[string][]histEntry, len(m))
+	for k, v := range m {
+		if len(v) == 0 {
+			continue
+		}
+		out[k] = sortedHistory(v)
 	}
 	return out
 }

@@ -47,6 +47,13 @@ const (
 	// slot or reading a trace. The cluster health checker dials one of
 	// these per node per interval.
 	flagProbe byte = 1 << 1
+	// flagSuppress declares the trace was recorded with effect-based
+	// instrumentation suppression (vm.Options.Suppress): redundant
+	// read/write events were elided at the source. The profile is provably
+	// identical either way, so the daemon's pipeline needs no switch — the
+	// flag is declarative, counted in metrics so operators can see how much
+	// of the fleet runs suppressed.
+	flagSuppress byte = 1 << 2
 
 	// Response statuses and record kinds are exported for the client
 	// package and raw-socket tests.
@@ -80,9 +87,10 @@ func ValidSessionID(id string) bool {
 
 // handshake is the decoded client hello.
 type handshake struct {
-	id      string
-	lenient bool
-	probe   bool
+	id       string
+	lenient  bool
+	probe    bool
+	suppress bool
 }
 
 // readHandshake parses the client hello from br.
@@ -114,9 +122,10 @@ func readHandshake(br *bufio.Reader) (handshake, error) {
 		return none, fmt.Errorf("server: invalid session id %q", id)
 	}
 	return handshake{
-		id:      string(id),
-		lenient: flags&flagLenient != 0,
-		probe:   flags&flagProbe != 0,
+		id:       string(id),
+		lenient:  flags&flagLenient != 0,
+		probe:    flags&flagProbe != 0,
+		suppress: flags&flagSuppress != 0,
 	}, nil
 }
 
@@ -135,13 +144,17 @@ func AppendProbe(dst []byte) []byte {
 }
 
 // AppendHandshake encodes the client hello (exported for the client
-// package and raw-socket tests).
-func AppendHandshake(dst []byte, id string, lenient bool) []byte {
+// package and raw-socket tests). suppress declares an effect-suppressed
+// trace (see flagSuppress).
+func AppendHandshake(dst []byte, id string, lenient, suppress bool) []byte {
 	dst = append(dst, protoMagic...)
 	dst = append(dst, protoVersion)
 	var flags byte
 	if lenient {
 		flags |= flagLenient
+	}
+	if suppress {
+		flags |= flagSuppress
 	}
 	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, uint64(len(id)))

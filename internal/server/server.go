@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -21,6 +22,7 @@ import (
 	"aprof/internal/core"
 	"aprof/internal/obs"
 	"aprof/internal/profio"
+	"aprof/internal/replica/wire"
 	"aprof/internal/repo"
 	"aprof/internal/repo/backend"
 )
@@ -92,6 +94,17 @@ type Options struct {
 	// byte-identical to the sequential pipeline. Under sharding, batch
 	// acks coalesce to window granularity (CheckpointEvery batches).
 	Shards int
+	// Replica, when set, switches the daemon to replicated-checkpoint mode:
+	// APRR replication connections are served off the same listen port,
+	// batch acks coalesce to checkpoint boundaries, every boundary's
+	// checkpoint is confirmed on the session's replica set before the ack
+	// is written, and session start recovers the newest replicated
+	// checkpoint when the local file is missing or older — removing the
+	// shared-checkpoint-directory requirement for cluster failover. With
+	// Replica set and CheckpointDir empty, a private scratch directory is
+	// created automatically (satisfying the durability invariant without
+	// any shared disk).
+	Replica ReplicaService
 	// Obs receives daemon metrics under scope "server" (nil disables).
 	Obs *obs.Registry
 	// Logf logs daemon events (nil discards).
@@ -126,6 +139,11 @@ type serverMetrics struct {
 	ckptDiscarded   *obs.Counter
 	acksSent        *obs.Counter
 	bytesReceived   *obs.Counter
+	suppressed      *obs.Counter
+	replicaConns    *obs.Counter
+	replicaPushed   *obs.Counter
+	replicaFailed   *obs.Counter
+	replicaAdopted  *obs.Counter
 	active          *obs.Gauge
 }
 
@@ -144,6 +162,11 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		ckptDiscarded:   s.Counter("checkpoints_discarded"),
 		acksSent:        s.Counter("acks_sent"),
 		bytesReceived:   s.Counter("bytes_received"),
+		suppressed:      s.Counter("sessions_suppressed"),
+		replicaConns:    s.Counter("replica_conns"),
+		replicaPushed:   s.Counter("replica_checkpoints_pushed"),
+		replicaFailed:   s.Counter("replica_pushes_failed"),
+		replicaAdopted:  s.Counter("replica_checkpoints_adopted"),
 		active:          s.Gauge("active_sessions"),
 	}
 }
@@ -160,6 +183,14 @@ type Server struct {
 	ln       net.Listener
 	wg       sync.WaitGroup
 	draining atomic.Bool
+	// aborted distinguishes a hard Abort (the in-process SIGKILL stand-in)
+	// from a graceful drain: an aborted node must not push final
+	// checkpoints — a killed process could not have either.
+	aborted atomic.Bool
+	// initErr, when non-nil, fails every session at the handshake: the
+	// server could not establish its durability invariant (e.g. the
+	// replicated-mode scratch checkpoint dir could not be created).
+	initErr error
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -179,11 +210,25 @@ func New(opts Options) *Server {
 	if opts.WriteTimeout <= 0 {
 		opts.WriteTimeout = DefaultWriteTimeout
 	}
+	var initErr error
+	if opts.Replica != nil && opts.CheckpointDir == "" {
+		// Replicated mode keeps its durability invariant (checkpoint on
+		// disk before every ack) without any shared directory: sessions
+		// checkpoint into a private scratch dir and the replica set holds
+		// the copies that matter. The shared-dir requirement is gone.
+		dir, err := os.MkdirTemp("", "aprofd-ckpt-")
+		if err != nil {
+			initErr = fmt.Errorf("server: replicated mode needs a checkpoint dir and none could be created: %w", err)
+		} else {
+			opts.CheckpointDir = dir
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		opts:      opts,
 		m:         newServerMetrics(opts.Obs),
 		adm:       newAdmission(opts.MaxSessions, opts.Admission, opts.Obs),
+		initErr:   initErr,
 		ctx:       ctx,
 		cancel:    cancel,
 		conns:     make(map[net.Conn]struct{}),
@@ -320,6 +365,19 @@ func (s *Server) session(conn net.Conn) {
 	defer func() { s.m.bytesReceived.Add(uint64(metered.n)) }()
 	br := bufio.NewReader(metered)
 
+	// Replication traffic shares the ingest port: the APRR magic is the
+	// same length as the APRD one, so a 4-byte peek demultiplexes without
+	// consuming anything. Peer transfers are exempt from the per-client
+	// byte budget — a store sync is not a client upload.
+	if s.opts.Replica != nil {
+		if head, perr := br.Peek(len(wire.Magic)); perr == nil && string(head) == wire.Magic {
+			s.m.replicaConns.Inc()
+			metered.limit = 0
+			s.opts.Replica.ServeConn(conn, br)
+			return
+		}
+	}
+
 	hs, err := readHandshake(br)
 	if err != nil {
 		writeResponse(conn, s.opts.WriteTimeout, StatusError, 0, err.Error())
@@ -345,6 +403,12 @@ func (s *Server) session(conn net.Conn) {
 
 	if s.draining.Load() {
 		writeResponse(conn, s.opts.WriteTimeout, StatusBusy, 0, "server draining")
+		return
+	}
+	if s.initErr != nil {
+		// The durability invariant could not be established at startup;
+		// refusing sessions beats accepting them without it.
+		writeResponse(conn, s.opts.WriteTimeout, StatusError, 0, s.initErr.Error())
 		return
 	}
 
@@ -379,6 +443,11 @@ func (s *Server) session(conn net.Conn) {
 			}
 		}
 	}
+	if s.opts.Replica != nil && ckptPath != "" {
+		// No shared directory: a failover node (or one whose disk was
+		// wiped) recovers the checkpoint from the session's replica set.
+		resumeState = s.recoverFromReplicas(hs.id, ckptPath, resumeState)
+	}
 
 	status, offset := StatusOK, uint64(0)
 	if resumeState != nil {
@@ -393,9 +462,16 @@ func (s *Server) session(conn net.Conn) {
 	if resumeState != nil {
 		s.m.sessionsResumed.Inc()
 	}
+	if hs.suppress {
+		s.m.suppressed.Inc()
+	}
 	s.m.active.Add(1)
 	defer s.m.active.Add(-1)
 
+	ckptEvery := s.opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = profio.DefaultCheckpointEvery
+	}
 	var delivered uint64
 	opts := profio.StreamOptions{
 		BatchSize:       s.opts.BatchSize,
@@ -412,6 +488,21 @@ func (s *Server) session(conn net.Conn) {
 			if s.opts.MaxSessionEvents > 0 && d > s.opts.MaxSessionEvents {
 				return fmt.Errorf("%w (%d > %d)", errEventLimit, d, s.opts.MaxSessionEvents)
 			}
+			if s.opts.Replica != nil {
+				// Replicated mode: acks coalesce to checkpoint boundaries
+				// (the pipeline wrote a fresh checkpoint covering exactly d
+				// events right before this callback iff batch is a
+				// boundary), and the checkpoint must be confirmed on the
+				// replica set BEFORE the ack goes out. An event is never
+				// acknowledged unless the checkpoint covering it survives
+				// the loss of this node, disk included.
+				if batch%ckptEvery != 0 {
+					return nil
+				}
+				if err := s.replicateCheckpoint(hs.id, d, ckptPath); err != nil {
+					return err
+				}
+			}
 			if err := writeAck(conn, s.opts.WriteTimeout, RecAck, d); err != nil {
 				return fmt.Errorf("server: acking batch %d: %w", batch, err)
 			}
@@ -427,6 +518,15 @@ func (s *Server) session(conn net.Conn) {
 		ps, err = profio.ProfileStream(s.ctx, br, s.opts.Config, opts)
 	}
 	if err != nil {
+		if s.opts.Replica != nil && ckptPath != "" && s.ctx.Err() != nil && !s.aborted.Load() {
+			// Graceful drain: the pipeline just wrote its final checkpoint;
+			// push it so this node's progress survives even if its disk
+			// never comes back. An Abort (the in-process SIGKILL stand-in)
+			// skips this — a killed process could not have pushed, and the
+			// chaos harness must not measure a fidelity the real signal
+			// does not have.
+			s.replicateFinal(hs.id, ckptPath)
+		}
 		s.failSession(conn, hs.id, metered, err)
 		return
 	}
@@ -443,8 +543,84 @@ func (s *Server) session(conn net.Conn) {
 		// of a different trace.
 		os.Remove(ckptPath)
 	}
+	if s.opts.Replica != nil {
+		// Retire the replica copies too, best-effort: a leftover replica is
+		// rejected by its sequence number if the id is ever reused.
+		s.opts.Replica.Drop(hs.id)
+	}
 	s.m.sessionsDone.Inc()
 	writeAck(conn, s.opts.WriteTimeout, RecFinal, delivered)
+}
+
+// recoverFromReplicas adopts the newest replicated checkpoint when it is
+// ahead of (or replaces a missing) local file. The replica's exact bytes
+// are materialized as the local checkpoint, so the resume path reads
+// precisely what the origin node wrote — output stays byte-identical to
+// an uninterrupted run.
+func (s *Server) recoverFromReplicas(id, ckptPath string, local *core.StreamState) *core.StreamState {
+	seq, data, err := s.opts.Replica.Recover(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNoReplicaCheckpoint):
+		return local
+	default:
+		s.logf("aprofd: session %s: replica recovery: %v", id, err)
+		return local
+	}
+	if local != nil && seq <= local.EventsDelivered {
+		return local
+	}
+	state, perr := core.ReadCheckpointState(bytes.NewReader(data), s.opts.Config)
+	if perr != nil {
+		s.m.ckptDiscarded.Inc()
+		s.logf("aprofd: session %s: replicated checkpoint unusable: %v", id, perr)
+		return local
+	}
+	if werr := backend.WriteAtomic(ckptPath, data, 0o644); werr != nil {
+		s.logf("aprofd: session %s: writing recovered checkpoint: %v", id, werr)
+		return local
+	}
+	s.m.replicaAdopted.Inc()
+	s.logf("aprofd: session %s: recovered checkpoint from replica set (%d events)", id, state.EventsDelivered)
+	return &state
+}
+
+// replicateCheckpoint pushes the just-written boundary checkpoint to the
+// session's replica set. Failure fails the session transiently — the
+// unconfirmed events were never acked, so a reconnect (to this node or a
+// failover target) resumes from the last confirmed checkpoint.
+func (s *Server) replicateCheckpoint(id string, delivered uint64, ckptPath string) error {
+	data, err := os.ReadFile(ckptPath)
+	if err != nil {
+		s.m.replicaFailed.Inc()
+		return fmt.Errorf("server: reading checkpoint for replication: %w", err)
+	}
+	if err := s.opts.Replica.Replicate(id, delivered, data); err != nil {
+		s.m.replicaFailed.Inc()
+		return fmt.Errorf("server: replicating checkpoint at %d events: %w", delivered, err)
+	}
+	s.m.replicaPushed.Inc()
+	return nil
+}
+
+// replicateFinal pushes the drain-time final checkpoint, best-effort: the
+// session already failed transiently, so a push failure costs nothing
+// beyond resuming from an earlier boundary.
+func (s *Server) replicateFinal(id, ckptPath string) {
+	data, err := os.ReadFile(ckptPath)
+	if err != nil {
+		return
+	}
+	state, err := core.ReadCheckpointState(bytes.NewReader(data), s.opts.Config)
+	if err != nil {
+		return
+	}
+	if err := s.opts.Replica.Replicate(id, state.EventsDelivered, data); err != nil {
+		s.m.replicaFailed.Inc()
+		s.logf("aprofd: session %s: replicating drain checkpoint: %v", id, err)
+		return
+	}
+	s.m.replicaPushed.Inc()
 }
 
 // failSession classifies a session error, records metrics, and tells the
@@ -630,6 +806,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // past their last written checkpoint. Safe to call from any goroutine,
 // including a session's own hooks; it does not wait (use Wait).
 func (s *Server) Abort() {
+	s.aborted.Store(true)
 	s.draining.Store(true)
 	if s.ln != nil {
 		s.ln.Close()

@@ -135,7 +135,7 @@ func TestHandshakeRejects(t *testing.T) {
 		"bad magic":   []byte("NOPE\x01\x00\x03abc"),
 		"bad version": []byte("APRD\x63\x00\x03abc"),
 		"empty id":    []byte("APRD\x01\x00\x00"),
-		"bad id":      append(server.AppendHandshake(nil, "ok", false)[:6], append([]byte{4}, "a/.."...)...),
+		"bad id":      append(server.AppendHandshake(nil, "ok", false, false)[:6], append([]byte{4}, "a/.."...)...),
 	}
 	for name, hello := range cases {
 		conn, err := net.Dial("tcp", s.Addr())
@@ -363,7 +363,7 @@ func TestSlowLorisTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	conn.Write(server.AppendHandshake(nil, "loris", false))
+	conn.Write(server.AppendHandshake(nil, "loris", false, false))
 	br := bufio.NewReader(conn)
 	if resp, err := server.ReadResponse(br); err != nil || resp.Status != server.StatusOK {
 		t.Fatalf("handshake: %+v, %v", resp, err)

@@ -1,0 +1,116 @@
+package server_test
+
+// Satellite proof for declared-suppressed ingest: a client that uploads a
+// suppression-reduced trace (aprofsend -suppress) flags it in the
+// handshake; the daemon counts it and — because suppression is proven
+// output-equivalent at the tracer level — produces a profile
+// byte-identical to ingesting the full per-instruction trace of the same
+// workload, modulo the Events header (the one field that honestly counts
+// the fed events, which suppression reduces by design — the same
+// normalization the tracer-level differential harness in
+// internal/vm/analysis applies).
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+
+	"aprof/internal/core"
+	"aprof/internal/obs"
+	"aprof/internal/profio"
+	"aprof/internal/server"
+	"aprof/internal/server/client"
+	"aprof/internal/trace"
+	"aprof/internal/vm"
+	_ "aprof/internal/vm/analysis" // registers the effect planner Suppress needs
+	"aprof/internal/workloads"
+)
+
+// normalizeEvents zeroes the Events header — the one field suppression
+// legitimately changes — and re-serializes; everything else must match
+// byte for byte.
+func normalizeEvents(t *testing.T, doc []byte) []byte {
+	t.Helper()
+	ps, err := profio.Read(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("re-reading stored profile: %v", err)
+	}
+	ps.Events = 0
+	var buf bytes.Buffer
+	if err := profio.Write(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSuppressedIngestByteIdentical(t *testing.T) {
+	for _, prog := range workloads.VMPrograms() {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			full, err := vm.RunSource(prog.Source, vm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sup, err := vm.RunSource(prog.Source, vm.Options{Suppress: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullEnc := encodeTrace(t, full.Trace)
+			supEnc := encodeTrace(t, sup.Trace)
+
+			reg := obs.NewRegistry()
+			s := server.New(server.Options{
+				Config: core.DefaultConfig(),
+				Obs:    reg,
+				Logf:   t.Logf,
+			})
+			if err := s.Start("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			defer func() { s.Abort(); s.Wait() }()
+
+			open := func(enc []byte) func() (io.ReadCloser, error) {
+				return func() (io.ReadCloser, error) {
+					return io.NopCloser(bytes.NewReader(enc)), nil
+				}
+			}
+			if _, err := client.Run(context.Background(), client.Options{
+				Addr: s.Addr(), SessionID: "full", Open: open(fullEnc),
+			}); err != nil {
+				t.Fatalf("full ingest: %v", err)
+			}
+			if _, err := client.Run(context.Background(), client.Options{
+				Addr: s.Addr(), SessionID: "suppressed", Open: open(supEnc),
+				Suppressed: true,
+			}); err != nil {
+				t.Fatalf("suppressed ingest: %v", err)
+			}
+
+			fullRes, ok := s.Result("full")
+			if !ok {
+				t.Fatal("full session has no result")
+			}
+			supRes, ok := s.Result("suppressed")
+			if !ok {
+				t.Fatal("suppressed session has no result")
+			}
+			if !bytes.Equal(normalizeEvents(t, fullRes.Profile), normalizeEvents(t, supRes.Profile)) {
+				t.Fatalf("suppressed ingest profile differs from full ingest (%d vs %d bytes)",
+					len(supRes.Profile), len(fullRes.Profile))
+			}
+			if got := reg.Snapshot().Scope(server.ObsScopeServer).Counter("sessions_suppressed"); got != 1 {
+				t.Fatalf("sessions_suppressed = %d, want 1", got)
+			}
+		})
+	}
+}
